@@ -1,0 +1,138 @@
+// Command dcm runs Data Control Manager passes over an assembled demo
+// system, playing a simulated clock forward so the 6/12/24-hour service
+// schedules of section 5.1.G unfold in seconds. It prints per-pass
+// statistics: which services generated files, which reported no change,
+// and which hosts were updated.
+//
+//	dcm --users 2000 --passes 8 --advance 3h
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"moira/internal/clock"
+	"moira/internal/core"
+	"moira/internal/db"
+	"moira/internal/dcm"
+	"moira/internal/gen"
+	"moira/internal/workload"
+)
+
+func main() {
+	var (
+		users   = flag.Int("users", 1000, "synthetic population size")
+		passes  = flag.Int("passes", 6, "number of DCM passes to run")
+		advance = flag.Duration("advance", 3*time.Hour, "simulated time between passes")
+		mutate  = flag.Bool("mutate", true, "apply a database change before every other pass")
+		check   = flag.Bool("check", false, "dcm_maint mode: verify every enabled service has a generator and script, then exit")
+	)
+	flag.Parse()
+
+	clk := clock.NewFake(time.Unix(600000000, 0))
+	cfg := workload.Scaled(*users)
+	sys, err := core.Boot(core.Options{Clock: clk, Workload: &cfg})
+	if err != nil {
+		log.Fatalf("dcm: boot: %v", err)
+	}
+	defer sys.Close()
+
+	if *check {
+		runCheck(sys)
+		return
+	}
+
+	fmt.Printf("dcm: %d users, %d managed hosts, advancing %v per pass\n\n",
+		*users, len(sys.Agents), *advance)
+	fmt.Printf("%4s  %-9s %9s %9s %6s %6s %8s %10s\n",
+		"pass", "sim-time", "generated", "no-change", "hosts", "fails", "files", "bytes")
+
+	mutator := newMutator(sys)
+	for i := 0; i < *passes; i++ {
+		if *mutate && i%2 == 1 {
+			mutator.mutate(i)
+		}
+		stats, err := sys.RunDCM()
+		if err != nil {
+			log.Fatalf("dcm: pass %d: %v", i+1, err)
+		}
+		fmt.Printf("%4d  %-9s %9d %9d %6d %6d %8d %10d\n",
+			i+1, clk.Now().UTC().Format("15:04:05"),
+			stats.Generated, stats.NoChange, stats.HostsUpdated,
+			stats.HostSoftFails+stats.HostHardFails,
+			stats.FilesPropagated, stats.BytesPropagated)
+		clk.Advance(*advance)
+	}
+}
+
+// runCheck is the dcm_maint role from section 5.8: the original checked
+// each generator module in; here we audit that every enabled service
+// record is backed by a registered generator and install-script builder,
+// and that its hosts resolve.
+func runCheck(sys *core.System) {
+	problems := 0
+	sys.DB.LockShared()
+	defer sys.DB.UnlockShared()
+	fmt.Printf("%-16s %-9s %-10s %-10s %-7s %s\n",
+		"service", "interval", "generator", "script", "hosts", "status")
+	sys.DB.EachServer(func(s *db.Server) bool {
+		_, hasGen := gen.Registry[s.Name]
+		_, hasScript := dcm.DefaultScripts[s.Name]
+		hosts := sys.DB.ServerHostsOf(s.Name)
+		unresolved := 0
+		for _, sh := range hosts {
+			if m, ok := sys.DB.MachineByID(sh.MachID); ok {
+				if _, ok := sys.HostAddrs[m.Name]; !ok {
+					unresolved++
+				}
+			} else {
+				unresolved++
+			}
+		}
+		status := "ok"
+		switch {
+		case !s.Enable || s.UpdateInt == 0:
+			status = "disabled (sloc only)"
+		case !hasGen:
+			status = "MISSING GENERATOR"
+			problems++
+		case !hasScript:
+			status = "MISSING SCRIPT"
+			problems++
+		case unresolved > 0:
+			status = fmt.Sprintf("%d UNRESOLVED HOSTS", unresolved)
+			problems++
+		}
+		fmt.Printf("%-16s %6dmin %-10v %-10v %-7d %s\n",
+			s.Name, s.UpdateInt, hasGen, hasScript, len(hosts), status)
+		return true
+	})
+	if problems > 0 {
+		log.Fatalf("dcm: check found %d problems", problems)
+	}
+	fmt.Println("dcm: check passed")
+}
+
+type mutator struct {
+	sys *core.System
+	n   int
+}
+
+func newMutator(sys *core.System) *mutator { return &mutator{sys: sys} }
+
+// mutate applies one administrative change so the next pass has work.
+func (m *mutator) mutate(pass int) {
+	m.n++
+	login := fmt.Sprintf("late%04d", m.n)
+	dc := m.sys.Direct("dcm-tool")
+	err := dc.Query("add_user",
+		[]string{login, "-1", "/bin/csh", "Comer", "Late", "", "1", "", "STAFF"}, nil)
+	if err != nil {
+		log.Printf("dcm: mutate: %v", err)
+		return
+	}
+	fmt.Printf("      -- added user %s --\n", login)
+	_ = pass
+}

@@ -1,0 +1,74 @@
+// Command hesiodd runs the hesiod nameserver over a directory of .db
+// files (the set Moira propagates), or performs one lookup against a
+// running server:
+//
+//	hesiodd -dir /etc/athena/hesiod -addr 127.0.0.1:7763
+//	hesiodd -lookup babette.passwd -addr 127.0.0.1:7763
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"moira/internal/hesiod"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:7763", "UDP address")
+		dir    = flag.String("dir", "", "directory of .db files to serve")
+		lookup = flag.String("lookup", "", "resolve one name against -addr and exit")
+	)
+	flag.Parse()
+
+	if *lookup != "" {
+		vals, err := hesiod.Lookup(*addr, *lookup, 3*time.Second)
+		if err != nil {
+			log.Fatalf("hesiodd: %v", err)
+		}
+		for _, v := range vals {
+			fmt.Println(v)
+		}
+		return
+	}
+
+	if *dir == "" {
+		log.Fatal("hesiodd: -dir is required in server mode")
+	}
+	files := make(map[string][]byte)
+	entries, err := os.ReadDir(*dir)
+	if err != nil {
+		log.Fatalf("hesiodd: %v", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".db" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(*dir, e.Name()))
+		if err != nil {
+			log.Fatalf("hesiodd: %v", err)
+		}
+		files[e.Name()] = data
+	}
+
+	s := hesiod.NewServer()
+	if err := s.LoadFiles(files); err != nil {
+		log.Fatalf("hesiodd: %v", err)
+	}
+	bound, err := s.Listen(*addr)
+	if err != nil {
+		log.Fatalf("hesiodd: %v", err)
+	}
+	log.Printf("hesiodd: serving %d records from %d files on %s", s.NumRecords(), len(files), bound)
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	<-ch
+	s.Close()
+}

@@ -1,0 +1,143 @@
+// Command moirad runs the Moira server daemon.
+//
+// In --demo mode it boots the complete assembled system — database
+// populated with a synthetic Athena workload, Kerberos KDC, registration
+// server, DCM, and the managed hosts with their update agents — and
+// prints the listening addresses, then serves until interrupted. This is
+// the easiest way to get a live system to point mrtest or userreg at.
+//
+// Without --demo it serves an empty (or restored) database without an
+// authenticator verifier: only unauthenticated queries work, because the
+// Kerberos simulation is in-process and cannot be shared across OS
+// processes. The assembled system (core.Boot) is the supported way to
+// run the authenticated stack.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"moira/internal/clock"
+	"moira/internal/core"
+	"moira/internal/db"
+	"moira/internal/mrerr"
+	"moira/internal/queries"
+	"moira/internal/server"
+	"moira/internal/workload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", fmt.Sprintf("127.0.0.1:%d", 7760), "TCP address to listen on")
+		demo     = flag.Bool("demo", false, "boot the full assembled system with a synthetic workload")
+		users    = flag.Int("users", 500, "synthetic population size for --demo")
+		restore  = flag.String("restore", "", "restore the database from an mrbackup directory")
+		journal  = flag.String("journal", "", "append the change journal to this file")
+		dcmEvery = flag.Duration("dcm-interval", 15*time.Minute, "wall-clock DCM pass interval in --demo mode")
+		verbose  = flag.Bool("v", false, "log requests")
+	)
+	flag.Parse()
+
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = log.Printf
+	}
+
+	if *demo {
+		runDemo(*users, *dcmEvery, logf)
+		return
+	}
+
+	var d *db.DB
+	var err error
+	if *restore != "" {
+		d, err = db.Restore(*restore, clock.System)
+		if err != nil {
+			log.Fatalf("moirad: restore: %v", err)
+		}
+		log.Printf("moirad: restored database from %s", *restore)
+	} else {
+		d = queries.NewBootstrappedDB(clock.System)
+	}
+	if *journal != "" {
+		f, err := os.OpenFile(*journal, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("moirad: journal: %v", err)
+		}
+		defer f.Close()
+		d.SetJournal(f)
+	}
+
+	srv := server.New(server.Config{DB: d, Logf: logf})
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatalf("moirad: listen: %v", err)
+	}
+	log.Printf("moirad: serving %d query handles on %s (unauthenticated mode)", queries.Count(), bound)
+	waitForSignal()
+	srv.Close()
+}
+
+func runDemo(users int, dcmEvery time.Duration, logf func(string, ...any)) {
+	cfg := workload.Scaled(users)
+	sys, err := core.Boot(core.Options{Workload: &cfg, EnableReg: true, Logf: logf})
+	if err != nil {
+		log.Fatalf("moirad: boot: %v", err)
+	}
+	defer sys.Close()
+
+	log.Printf("moirad: demo system up")
+	log.Printf("  moira server: %s", sys.ServerAddr)
+	log.Printf("  registration: %s", sys.RegAddr)
+	log.Printf("  %d managed hosts with update agents", len(sys.Agents))
+
+	stats, err := sys.RunDCM()
+	if err != nil {
+		log.Fatalf("moirad: initial dcm pass: %v", err)
+	}
+	log.Printf("  initial propagation: %d services generated, %d hosts updated, %d files (%d bytes)",
+		stats.Generated, stats.HostsUpdated, stats.FilesGenerated, stats.BytesGenerated)
+
+	stop := make(chan struct{})
+	trigger := make(chan struct{}, 1)
+	go func() {
+		runner := dcmRunner{sys: sys}
+		runner.loop(dcmEvery, trigger, stop)
+	}()
+
+	waitForSignal()
+	close(stop)
+}
+
+type dcmRunner struct{ sys *core.System }
+
+func (r dcmRunner) loop(interval time.Duration, trigger <-chan struct{}, stop <-chan struct{}) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		case <-trigger:
+		}
+		if stats, err := r.sys.RunDCM(); err != nil && err != mrerr.MrDCMDisabled {
+			log.Printf("moirad: dcm: %v", err)
+		} else if err == nil && (stats.Generated > 0 || stats.HostsUpdated > 0) {
+			log.Printf("moirad: dcm: generated %d, updated %d hosts", stats.Generated, stats.HostsUpdated)
+		}
+	}
+}
+
+// waitForSignal blocks until SIGINT or SIGTERM.
+func waitForSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	<-ch
+	log.Printf("moirad: shutting down")
+}

@@ -1,0 +1,28 @@
+// Command tableg reproduces the paper's File Organization table (section
+// 5.1.G): it builds the synthetic 10,000-user Athena deployment, runs
+// every DCM generator, and prints each propagated file's size next to
+// the published figure.
+//
+//	tableg            # the paper's 10,000-user scale
+//	tableg -users 500 # scaled-down run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"moira/internal/experiments"
+)
+
+func main() {
+	users := flag.Int("users", 10000, "population size (the paper's deployment is 10000)")
+	flag.Parse()
+
+	fmt.Printf("File Organization (section 5.1.G) at %d users\n\n", *users)
+	res, err := experiments.TableG(*users)
+	if err != nil {
+		log.Fatalf("tableg: %v", err)
+	}
+	fmt.Print(res.Format())
+}

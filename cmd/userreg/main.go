@@ -1,0 +1,87 @@
+// Command userreg is the self-service registration client of section
+// 5.10: a student walks up, types their name and MIT ID number, picks a
+// login name, and sets an initial password — no user-accounts staff
+// involved. Point it at the registration address printed by
+// `moirad --demo`.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"moira/internal/mrerr"
+	"moira/internal/reg"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7761", "registration server address")
+	flag.Parse()
+
+	in := bufio.NewScanner(os.Stdin)
+	prompt := func(what string) string {
+		fmt.Printf("%s: ", what)
+		if !in.Scan() {
+			os.Exit(0)
+		}
+		return strings.TrimSpace(in.Text())
+	}
+
+	fmt.Println("Welcome to Athena user registration.")
+	first := prompt("First name")
+	mi := prompt("Middle initial (optional)")
+	last := prompt("Last name")
+	id := prompt("MIT ID number")
+	_ = mi
+
+	timeout := 5 * time.Second
+	code, status, err := reg.VerifyUser(*addr, first, last, id, timeout)
+	if err != nil {
+		log.Fatalf("userreg: %v", err)
+	}
+	switch code {
+	case mrerr.Success:
+		fmt.Println("You are eligible to register.")
+	case mrerr.RegAlreadyRegistered:
+		log.Fatalf("userreg: you are already registered (status %d)", status)
+	default:
+		log.Fatalf("userreg: %s", mrerr.ErrorMessage(code))
+	}
+
+	var login string
+	for {
+		login = prompt("Desired login name (3-8 characters)")
+		code, err = reg.GrabLogin(*addr, first, last, id, login, timeout)
+		if err != nil {
+			log.Fatalf("userreg: %v", err)
+		}
+		switch code {
+		case mrerr.Success:
+			fmt.Printf("Login name %q is yours.\n", login)
+		case mrerr.RegLoginTaken:
+			fmt.Println("That login name is already taken; try another.")
+			continue
+		case mrerr.RegBadLogin:
+			fmt.Println("That login name is badly formed; try another.")
+			continue
+		default:
+			log.Fatalf("userreg: %s", mrerr.ErrorMessage(code))
+		}
+		break
+	}
+
+	password := prompt("Initial password")
+	code, err = reg.SetPassword(*addr, first, last, id, password, timeout)
+	if err != nil {
+		log.Fatalf("userreg: %v", err)
+	}
+	if code != mrerr.Success {
+		log.Fatalf("userreg: %s", mrerr.ErrorMessage(code))
+	}
+	fmt.Printf("Registration complete. Your account %q will be usable on all\n", login)
+	fmt.Println("workstations after the next propagation (up to 6 hours).")
+}

@@ -1,0 +1,190 @@
+package bench
+
+// Process-level smoke tests: build the real binaries and drive them as a
+// user would. These catch flag plumbing and stdio behaviour the
+// package-level tests cannot.
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildTools compiles the commands once per test binary run.
+var builtTools struct {
+	dir  string
+	done bool
+	err  error
+}
+
+func toolPath(t *testing.T, name string) string {
+	t.Helper()
+	if !builtTools.done {
+		builtTools.done = true
+		dir, err := os.MkdirTemp("", "moira-tools-*")
+		if err != nil {
+			builtTools.err = err
+		} else {
+			builtTools.dir = dir
+			cmd := exec.Command("go", "build", "-o", dir,
+				"./cmd/moirad", "./cmd/mrtest", "./cmd/mrbackup", "./cmd/mrrestore", "./cmd/tableg", "./cmd/dcm")
+			if out, err := cmd.CombinedOutput(); err != nil {
+				builtTools.err = fmt.Errorf("go build: %v\n%s", err, out)
+			}
+		}
+	}
+	if builtTools.err != nil {
+		t.Fatal(builtTools.err)
+	}
+	return filepath.Join(builtTools.dir, name)
+}
+
+// freePort grabs an ephemeral TCP port for the daemon.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func TestBinariesMoiradAndMrtest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary build in -short mode")
+	}
+	addr := freePort(t)
+	daemon := exec.Command(toolPath(t, "moirad"), "-addr", addr)
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		daemon.Process.Kill()
+		daemon.Wait()
+	}()
+
+	// Wait for the port to answer.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		c, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			c.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("moirad never came up")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// One-shot query through the real client binary.
+	out, err := exec.Command(toolPath(t, "mrtest"),
+		"-addr", addr, "-q", "_list_queries").CombinedOutput()
+	if err != nil {
+		t.Fatalf("mrtest: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "get_user_by_login | gubl") {
+		t.Errorf("mrtest output missing query listing:\n%s", firstN(s, 400))
+	}
+	if !strings.Contains(s, "tuples)") {
+		t.Errorf("mrtest output missing tuple count:\n%s", firstN(s, 400))
+	}
+
+	// The interactive REPL over a pipe.
+	repl := exec.Command(toolPath(t, "mrtest"), "-addr", addr)
+	repl.Stdin = strings.NewReader("noop\nquery get_value def_quota\nhelp gubl\nquit\n")
+	out, err = repl.CombinedOutput()
+	if err != nil {
+		t.Fatalf("mrtest repl: %v\n%s", err, out)
+	}
+	s = string(out)
+	for _, want := range []string{"ok", "300", "gubl get_user_by_login"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("repl output missing %q:\n%s", want, firstN(s, 600))
+		}
+	}
+}
+
+func TestBinariesBackupRestoreCycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary build in -short mode")
+	}
+	dir := filepath.Join(t.TempDir(), "backup_1")
+	out, err := exec.Command(toolPath(t, "mrbackup"),
+		"-users", "200", "-out", dir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("mrbackup: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "TOTAL") {
+		t.Errorf("mrbackup output:\n%s", firstN(string(out), 400))
+	}
+	out, err = exec.Command(toolPath(t, "mrrestore"),
+		"-in", dir, "-yes").CombinedOutput()
+	if err != nil {
+		t.Fatalf("mrrestore: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "restore complete") {
+		t.Errorf("mrrestore output:\n%s", firstN(string(out), 400))
+	}
+}
+
+func TestBinaryTableG(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary build in -short mode")
+	}
+	out, err := exec.Command(toolPath(t, "tableg"), "-users", "500").CombinedOutput()
+	if err != nil {
+		t.Fatalf("tableg: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{"passwd.db", "credentials", "TOTAL", "paper totals: 59 files, 90 propagations"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("tableg output missing %q:\n%s", want, firstN(s, 600))
+		}
+	}
+}
+
+func TestBinaryDCMCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary build in -short mode")
+	}
+	out, err := exec.Command(toolPath(t, "dcm"), "-check", "-users", "100").CombinedOutput()
+	if err != nil {
+		t.Fatalf("dcm -check: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{"HESIOD", "check passed"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("dcm -check output missing %q:\n%s", want, firstN(s, 600))
+		}
+	}
+}
+
+func TestBinaryDCMPasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary build in -short mode")
+	}
+	out, err := exec.Command(toolPath(t, "dcm"), "-users", "100", "-passes", "4").CombinedOutput()
+	if err != nil {
+		t.Fatalf("dcm: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "pass") || !strings.Contains(s, "added user") {
+		t.Errorf("dcm output:\n%s", firstN(s, 600))
+	}
+}
+
+func firstN(s string, n int) string {
+	if len(s) > n {
+		return s[:n] + "..."
+	}
+	return s
+}

@@ -1,0 +1,147 @@
+// Attach: the workstation side of Moira's data. A client machine never
+// talks to Moira directly — it asks hesiod, whose files Moira
+// propagated. This example reproduces the `attach` command's flow
+// (section 5.8.2, filsys.db): resolve a locker by name through the
+// nameserver, pick the NFS entry, and verify the fileserver really
+// exports it with the user's credentials in place.
+//
+//	go run ./examples/attach
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"moira/internal/clock"
+	"moira/internal/core"
+	"moira/internal/hesiod"
+	"moira/internal/workload"
+)
+
+func main() {
+	clk := clock.NewFake(time.Date(1988, 10, 3, 14, 0, 0, 0, time.UTC))
+	cfg := workload.Scaled(120)
+	sys, err := core.Boot(core.Options{Clock: clk, Workload: &cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	if _, err := sys.RunDCM(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Put the hesiod server on the network, serving what the DCM
+	// installed (core keeps it loaded in-process; Listen exposes UDP).
+	addr, err := sys.Hesiod.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ns := addr.String()
+	timeout := 3 * time.Second
+
+	// Pick a user from the population (the workstation only knows the
+	// login typed at the prompt).
+	c, err := sys.Client()
+	if err != nil {
+		log.Fatal(err)
+	}
+	logins, err := c.QueryAll("get_all_active_logins")
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.Disconnect()
+	login := ""
+	for _, row := range logins {
+		if row[0] != "root" && row[0] != "moira" {
+			login = row[0]
+			break
+		}
+	}
+
+	// 1. login(1): resolve the passwd entry.
+	pw, err := hesiod.GetPasswd(ns, login, timeout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("login: %s is uid %d, home %s, shell %s\n", pw.Login, pw.UID, pw.HomeDir, pw.Shell)
+
+	// 2. attach: resolve the home locker.
+	filsys, err := hesiod.GetFilsys(ns, login, timeout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs := filsys[0]
+	fmt.Printf("attach: %s is %s %s on server %q, mode %s, mount %s\n",
+		login, fs.Type, fs.Name, fs.Server, fs.Access, fs.Mount)
+
+	// 3. The fileserver agrees: credentials and quota are in place.
+	var serverName string
+	for name := range sys.NFSHosts {
+		if shortOf(name) == fs.Server {
+			serverName = name
+		}
+	}
+	if serverName == "" {
+		log.Fatalf("no simulated fileserver named %q", fs.Server)
+	}
+	host := sys.NFSHosts[serverName]
+	cred, ok := host.CredentialOf(login)
+	if !ok {
+		log.Fatalf("%s has no credentials for %s", serverName, login)
+	}
+	fmt.Printf("server: %s maps %s -> uid %d, groups %v\n", serverName, login, cred.UID, cred.GIDs)
+	if l, ok := host.LockerAt(fs.Name); ok {
+		fmt.Printf("server: locker %s exists (type %s, owner %d:%d, init files %v)\n",
+			l.Path, l.Type, l.UID, l.GID, l.Inits)
+	}
+	if q, ok := host.QuotaOf(partitionOf(fs.Name), cred.UID); ok {
+		fmt.Printf("server: quota %d units\n", q)
+	}
+
+	// 4. inc: find the user's post office the same way.
+	pb, err := hesiod.GetPobox(ns, login, timeout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inc: mail for %s is on %s (%s)\n", pb.Login, pb.Machine, pb.Type)
+
+	// 5. zhm/chpobox: locate services via sloc.
+	locs, err := hesiod.GetServiceLocations(ns, "ZEPHYR", timeout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sloc: ZEPHYR runs on %d hosts, e.g. %s\n", len(locs), locs[0].Host)
+	fmt.Println("every byte above came from files Moira generated and pushed — the workstation never spoke to the Moira server")
+}
+
+// shortOf lowercases the first hostname label, the form filsys data uses.
+func shortOf(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c == '.' {
+			break
+		}
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}
+
+// partitionOf recovers "/u1" from "/u1/login".
+func partitionOf(dir string) string {
+	slash := 0
+	for i := 1; i < len(dir); i++ {
+		if dir[i] == '/' {
+			slash = i
+			break
+		}
+	}
+	if slash == 0 {
+		return dir
+	}
+	return dir[:slash]
+}

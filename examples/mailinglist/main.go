@@ -1,0 +1,108 @@
+// Mailing list self-service: the paper's second example of Moira use.
+// "A user runs an application to add themselves to a public mailing
+// list. Sometime later, the mailing lists file on the central mail hub
+// will be updated to show this change."
+//
+//	go run ./examples/mailinglist
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"moira/internal/clock"
+	"moira/internal/core"
+	"moira/internal/workload"
+)
+
+func main() {
+	clk := clock.NewFake(time.Date(1988, 9, 12, 8, 0, 0, 0, time.UTC))
+	cfg := workload.Scaled(150)
+	sys, err := core.Boot(core.Options{Clock: clk, Workload: &cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// An administrator creates the public list.
+	admin := sys.Direct("listmaint")
+	err = admin.Query("add_list", []string{
+		"video-users", "1" /*active*/, "1" /*public*/, "0", /*hidden*/
+		"1" /*maillist*/, "0" /*group*/, "0", "USER", "root", "Video Users",
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Initial propagation so the hub has a baseline aliases file.
+	if _, err := sys.RunDCM(); err != nil {
+		log.Fatal(err)
+	}
+	before := sys.Mailhub.Resolve("video-users")
+	fmt.Printf("video-users before: %v\n", before)
+
+	// A user — on any workstation — adds themselves over the RPC
+	// protocol. Public lists allow self-service; no administrator needed.
+	if err := sys.AddAccount("danapple", "pw", "Dan", "Apple"); err != nil {
+		log.Fatal(err)
+	}
+	// Give the new user a post office box so the hub can route to it.
+	if err := admin.Query("set_pobox", []string{"danapple", "POP", "ATHENA-PO-1.MIT.EDU"}, nil); err != nil {
+		log.Fatal(err)
+	}
+	c, err := sys.ClientAs("danapple", "pw", "mailmaint")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Disconnect()
+
+	// The Access request first: the application checks it may proceed
+	// before prompting (section 5.5's double access check).
+	if err := c.Access("add_member_to_list", []string{"video-users", "USER", "danapple"}); err != nil {
+		log.Fatal("access check failed: ", err)
+	}
+	if err := c.Query("add_member_to_list", []string{"video-users", "USER", "danapple"}, nil); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("danapple joined video-users (self-service on a public list)")
+
+	// But someone else cannot be added by a random user:
+	if err := c.Query("add_member_to_list", []string{"video-users", "USER", "root"}, nil); err != nil {
+		fmt.Printf("adding someone else is refused: %v\n", err)
+	}
+
+	// "Sometime later" — the mail service interval is 24 hours.
+	clk.Advance(24*time.Hour + time.Minute)
+	stats, err := sys.RunDCM()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DCM pass: %d generated, %d hosts updated (aliases swapped %d times)\n",
+		stats.Generated, stats.HostsUpdated, sys.Mailhub.Swaps())
+
+	after := sys.Mailhub.Resolve("video-users")
+	fmt.Printf("video-users after:  %v\n", after)
+	found := false
+	for _, a := range after {
+		if strings.HasPrefix(a, "danapple@") {
+			found = true
+		}
+	}
+	if !found {
+		log.Fatal("the mail hub never learned about danapple")
+	}
+	fmt.Println("the central mail hub now routes video-users mail to danapple's post office")
+
+	// Prove it: deliver a message to the list and read danapple's box.
+	res, err := sys.Mailhub.Deliver("video-users", "smyser", "video meeting", "7pm, E40-somewhere")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("delivered to %d local box(es)\n", len(res.Local))
+	po, _ := sys.POs.ServerFor("ATHENA-PO-1.LOCAL")
+	for _, m := range po.Retrieve("danapple") {
+		fmt.Printf("danapple's inbox (via inc): from=%s subject=%q\n", m.From, m.Subject)
+	}
+}

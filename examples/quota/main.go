@@ -1,0 +1,95 @@
+// Quota administration: the paper's first example of Moira use. "The
+// user accounts administrator runs an application on her workstation
+// which will change the disk quota assigned to a user. She doesn't need
+// to log in to any other machine to do this, and the change will
+// automatically take place on the proper server a short time later."
+//
+//	go run ./examples/quota
+package main
+
+import (
+	"fmt"
+	"log"
+	"strconv"
+	"time"
+
+	"moira/internal/clock"
+	"moira/internal/core"
+	"moira/internal/workload"
+)
+
+func main() {
+	clk := clock.NewFake(time.Date(1988, 2, 15, 10, 0, 0, 0, time.UTC))
+	cfg := workload.Scaled(100)
+	sys, err := core.Boot(core.Options{Clock: clk, Workload: &cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	if _, err := sys.RunDCM(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The accounts administrator, with credentials and capability.
+	if err := sys.AddAccount("acctadm", "pw", "Accounts", "Admin"); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Grant("acctadm"); err != nil {
+		log.Fatal(err)
+	}
+	c, err := sys.ClientAs("acctadm", "pw", "quota-tool")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Disconnect()
+
+	// Pick a student (any active user from the population).
+	logins, err := c.QueryAll("get_all_active_logins")
+	if err != nil {
+		log.Fatal(err)
+	}
+	student := ""
+	for _, row := range logins {
+		if row[0] != "root" && row[0] != "moira" && row[0] != "acctadm" {
+			student = row[0]
+			break
+		}
+	}
+
+	// Where does the student's locker live, and what is the quota now?
+	q, err := c.QueryAll("get_nfs_quota", student, student)
+	if err != nil {
+		log.Fatal(err)
+	}
+	server, partition, oldQuota := q[0][4], q[0][3], q[0][2]
+	fmt.Printf("student %s: locker on %s%s, quota %s\n", student, server, partition, oldQuota)
+
+	// The change, from "her workstation" — one RPC.
+	if err := c.Query("update_nfs_quota", []string{student, student, "900"}, nil); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("quota updated in the Moira database to 900")
+
+	// Not yet on the fileserver:
+	host := sys.NFSHosts[server]
+	urow, _ := c.QueryAll("get_user_by_login", student)
+	uid, _ := strconv.Atoi(urow[0][1])
+	if v, ok := host.QuotaOf(partition, uid); ok {
+		fmt.Printf("fileserver still enforces %d (propagation pending)\n", v)
+	}
+
+	// "a short time later": the NFS interval is 12 hours.
+	clk.Advance(12*time.Hour + time.Minute)
+	stats, err := sys.RunDCM()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DCM: %d services generated, %d hosts updated\n", stats.Generated, stats.HostsUpdated)
+
+	v, ok := host.QuotaOf(partition, uid)
+	if !ok || v != 900 {
+		log.Fatalf("quota never reached the server (got %d, %v)", v, ok)
+	}
+	fmt.Printf("fileserver %s now enforces quota %d for uid %d — no logins to other machines required\n",
+		server, v, uid)
+}

@@ -1,0 +1,3 @@
+module moira
+
+go 1.22

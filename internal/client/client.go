@@ -1,0 +1,242 @@
+// Package client is the Moira application library (section 5.6): the
+// only supported way for an application to reach the database. It offers
+// the documented calls — mr_connect, mr_auth, mr_disconnect, mr_noop,
+// mr_access, mr_query — over the RPC protocol, and a "direct glue"
+// variant (Direct) with the exact same interface that calls the query
+// engine in-process for the DCM and other utilities running on the
+// database host.
+package client
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"time"
+
+	"moira/internal/clock"
+	"moira/internal/kerberos"
+	"moira/internal/mrerr"
+	"moira/internal/protocol"
+	"moira/internal/queries"
+)
+
+// TupleFunc is the callback invoked for each returned tuple of a query
+// (the callproc of mr_query).
+type TupleFunc func(tuple []string) error
+
+// Conn is the interface shared by the RPC client and the direct glue
+// library; application code and the DCM are written against it.
+type Conn interface {
+	// Noop does a handshake with the server, for testing and performance
+	// measurement.
+	Noop() error
+	// Access checks whether the named query with the given arguments
+	// would be allowed, without running it.
+	Access(name string, args []string) error
+	// Query runs the named query, invoking cb once per returned tuple.
+	Query(name string, args []string, cb TupleFunc) error
+	// Disconnect drops the connection.
+	Disconnect() error
+}
+
+// Client is an RPC connection to a Moira server.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	clk  clock.Clock
+}
+
+// Dial implements mr_connect: it connects to the Moira server at addr.
+// It does not authenticate — for simple read-only queries the overhead
+// of authentication can be comparable to that of the query itself.
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 10*time.Second, nil)
+}
+
+// DialTimeout is Dial with an explicit timeout and clock.
+func DialTimeout(addr string, timeout time.Duration, clk clock.Clock) (*Client, error) {
+	if clk == nil {
+		clk = clock.System
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			return nil, mrerr.MrConnTimeout
+		}
+		return nil, mrerr.MrConnRefused
+	}
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReader(conn),
+		bw:   bufio.NewWriter(conn),
+		clk:  clk,
+	}, nil
+}
+
+// roundTrip sends one request and reads reply frames until the final
+// (non-MR_MORE_DATA) frame, passing tuples to cb (which may be nil).
+func (c *Client) roundTrip(req *protocol.Request, cb TupleFunc) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return mrerr.MrNotConnected
+	}
+	req.Version = protocol.Version
+	if err := protocol.WriteRequest(c.bw, req); err != nil {
+		c.abort()
+		return mrerr.MrAborted
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.abort()
+		return mrerr.MrAborted
+	}
+	var cbErr error
+	for {
+		rep, err := protocol.ReadReply(c.br)
+		if err != nil {
+			c.abort()
+			return mrerr.MrAborted
+		}
+		if rep.Version != protocol.Version {
+			c.abort()
+			return mrerr.MrVersionMismatch
+		}
+		code := mrerr.Code(rep.Code)
+		if code == mrerr.MrMoreData {
+			if cb != nil && cbErr == nil {
+				if err := cb(rep.StringFields()); err != nil {
+					// Keep draining the stream; report after.
+					cbErr = err
+				}
+			}
+			continue
+		}
+		if cbErr != nil {
+			return mrerr.MrCallbackErr
+		}
+		return code.OrNil()
+	}
+}
+
+// abort closes the connection after an I/O failure; callers hold c.mu.
+func (c *Client) abort() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// Noop implements mr_noop.
+func (c *Client) Noop() error {
+	return c.roundTrip(&protocol.Request{Op: protocol.OpNoop}, nil)
+}
+
+// Auth implements mr_auth: it presents Kerberos credentials, naming the
+// program acting on behalf of the user. All later requests on this
+// connection are performed as the authenticated principal.
+func (c *Client) Auth(creds *kerberos.Credentials, clientName string) error {
+	payload := kerberos.BuildAuth(creds, clientName, c.clk)
+	req := &protocol.Request{Op: protocol.OpAuth, Args: [][]byte{payload.Marshal()}}
+	return c.roundTrip(req, nil)
+}
+
+// Access implements mr_access.
+func (c *Client) Access(name string, args []string) error {
+	all := append([]string{name}, args...)
+	return c.roundTrip(&protocol.Request{Op: protocol.OpAccess, Args: protocol.BytesArgs(all)}, nil)
+}
+
+// Query implements mr_query.
+func (c *Client) Query(name string, args []string, cb TupleFunc) error {
+	all := append([]string{name}, args...)
+	return c.roundTrip(&protocol.Request{Op: protocol.OpQuery, Args: protocol.BytesArgs(all)}, cb)
+}
+
+// QueryAll runs a query and gathers all tuples.
+func (c *Client) QueryAll(name string, args ...string) ([][]string, error) {
+	var out [][]string
+	err := c.Query(name, args, func(t []string) error {
+		cp := make([]string, len(t))
+		copy(cp, t)
+		out = append(out, cp)
+		return nil
+	})
+	return out, err
+}
+
+// TriggerDCM sends the Trigger_DCM request.
+func (c *Client) TriggerDCM() error {
+	return c.roundTrip(&protocol.Request{Op: protocol.OpTriggerDCM}, nil)
+}
+
+// Shutdown asks the server to exit (access-checked server side).
+func (c *Client) Shutdown() error {
+	return c.roundTrip(&protocol.Request{Op: protocol.OpShutdown}, nil)
+}
+
+// Disconnect implements mr_disconnect.
+func (c *Client) Disconnect() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return mrerr.MrNotConnected
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	if err != nil {
+		return mrerr.MrAborted
+	}
+	return nil
+}
+
+var _ Conn = (*Client)(nil)
+
+// Direct is the direct "glue" library: the same interface as Client but
+// calling the query engine in-process, bypassing the RPC layer and
+// Kerberos, for significantly higher throughput. It is used by the DCM
+// and the backup utilities on the database host.
+type Direct struct {
+	cx *queries.Context
+}
+
+// NewDirect builds a direct connection for the given database. The
+// context is privileged, exactly as the direct-Ingres library was: it is
+// only available to code already running on the Moira machine.
+func NewDirect(d *queries.Context) *Direct {
+	return &Direct{cx: d}
+}
+
+// Noop does nothing, successfully.
+func (dc *Direct) Noop() error { return nil }
+
+// Access checks query access in-process.
+func (dc *Direct) Access(name string, args []string) error {
+	return queries.CheckAccess(dc.cx, name, args)
+}
+
+// Query runs the query in-process.
+func (dc *Direct) Query(name string, args []string, cb TupleFunc) error {
+	if cb == nil {
+		cb = func([]string) error { return nil }
+	}
+	return queries.Execute(dc.cx, name, args, queries.EmitFunc(cb))
+}
+
+// QueryAll runs a query and gathers all tuples.
+func (dc *Direct) QueryAll(name string, args ...string) ([][]string, error) {
+	var out [][]string
+	err := dc.Query(name, args, func(t []string) error {
+		cp := make([]string, len(t))
+		copy(cp, t)
+		out = append(out, cp)
+		return nil
+	})
+	return out, err
+}
+
+// Disconnect is a no-op for the direct library.
+func (dc *Direct) Disconnect() error { return nil }
+
+var _ Conn = (*Direct)(nil)

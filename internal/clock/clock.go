@@ -1,0 +1,56 @@
+// Package clock abstracts time for the Moira system. The DCM's behaviour
+// is entirely driven by stored Unix timestamps and update intervals
+// (dfgen, dfcheck, lasttry, lastsuccess), so tests inject a fake clock to
+// exercise 6-hour, 12-hour, and 24-hour schedules without sleeping.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time.
+type Clock interface {
+	Now() time.Time
+}
+
+// Real is a Clock backed by the system clock.
+type Real struct{}
+
+// Now returns the current system time.
+func (Real) Now() time.Time { return time.Now() }
+
+// System is a shared real clock.
+var System Clock = Real{}
+
+// Fake is a settable clock for tests. The zero value starts at the Unix
+// epoch; use NewFake to start elsewhere.
+type Fake struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewFake returns a Fake clock set to t.
+func NewFake(t time.Time) *Fake { return &Fake{now: t} }
+
+// Now returns the fake current time.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Set moves the clock to t.
+func (f *Fake) Set(t time.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = t
+}
+
+// Advance moves the clock forward by d and returns the new time.
+func (f *Fake) Advance(d time.Duration) time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+	return f.now
+}

@@ -1,0 +1,49 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealClockAdvances(t *testing.T) {
+	a := System.Now()
+	b := System.Now()
+	if b.Before(a) {
+		t.Errorf("system clock went backwards: %v then %v", a, b)
+	}
+}
+
+func TestFakeClock(t *testing.T) {
+	start := time.Unix(600000000, 0)
+	f := NewFake(start)
+	if !f.Now().Equal(start) {
+		t.Errorf("Now = %v", f.Now())
+	}
+	got := f.Advance(6 * time.Hour)
+	want := start.Add(6 * time.Hour)
+	if !got.Equal(want) || !f.Now().Equal(want) {
+		t.Errorf("after advance: %v / %v", got, f.Now())
+	}
+	f.Set(start)
+	if !f.Now().Equal(start) {
+		t.Errorf("after set: %v", f.Now())
+	}
+}
+
+func TestFakeClockConcurrent(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 1000; i++ {
+			f.Advance(time.Second)
+		}
+		close(done)
+	}()
+	for i := 0; i < 1000; i++ {
+		_ = f.Now()
+	}
+	<-done
+	if f.Now().Unix() != 1000 {
+		t.Errorf("final = %d", f.Now().Unix())
+	}
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"moira/internal/clock"
+	"moira/internal/mrerr"
+	"moira/internal/reg"
+	"moira/internal/workload"
+)
+
+func bootSmall(t *testing.T) (*System, *clock.Fake) {
+	t.Helper()
+	clk := clock.NewFake(time.Unix(600000000, 0))
+	cfg := workload.Scaled(80)
+	s, err := Boot(Options{Clock: clk, Workload: &cfg, EnableReg: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s, clk
+}
+
+func TestBootAndFullPropagation(t *testing.T) {
+	s, _ := bootSmall(t)
+	stats, err := s.RunDCM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Generated != 4 || stats.HostHardFails+stats.HostSoftFails != 0 {
+		t.Fatalf("first pass: %+v", stats)
+	}
+	if s.Hesiod.NumRecords() == 0 {
+		t.Error("hesiod empty after propagation")
+	}
+	if s.Mailhub.Swaps() != 1 {
+		t.Error("mailhub not updated")
+	}
+	for name, h := range s.NFSHosts {
+		if h.Installs() == 0 {
+			t.Errorf("%s never installed", name)
+		}
+	}
+}
+
+func TestEndToEndAdminChange(t *testing.T) {
+	s, clk := bootSmall(t)
+	if _, err := s.RunDCM(); err != nil {
+		t.Fatal(err)
+	}
+
+	// An accounts administrator changes a quota from her workstation
+	// (the paper's first example of Moira use).
+	if err := s.AddAccount("adminr", "adminpw", "Ad", "Ministrator"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Grant("adminr"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.ClientAs("adminr", "adminpw", "quota-tool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Disconnect()
+
+	// Find some user's home filesystem and bump the quota.
+	out, err := c.QueryAll("get_all_active_logins")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victim string
+	for _, row := range out {
+		login := row[0]
+		if login == "root" || login == "moira" || login == "adminr" {
+			continue
+		}
+		victim = login
+		break
+	}
+	if err := c.Query("update_nfs_quota", []string{victim, victim, "750"}, nil); err != nil {
+		t.Fatalf("update_nfs_quota(%s): %v", victim, err)
+	}
+
+	// "the change will automatically take place on the proper server a
+	// short time later": the NFS interval passes and the DCM runs.
+	clk.Advance(13 * time.Hour)
+	if _, err := s.RunDCM(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Find the user's uid and server, then check the host state.
+	urow, err := c.QueryAll("get_user_by_login", victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uid := urow[0][1]
+	fsrow, err := c.QueryAll("get_filesys_by_label", victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := fsrow[0][2]
+	host := s.NFSHosts[server]
+	if host == nil {
+		t.Fatalf("no NFS host %q", server)
+	}
+	found := false
+	for _, part := range []string{"/u1", "/u2"} {
+		if q, ok := host.QuotaOf(part, atoi(uid)); ok && q == 750 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("quota change did not reach %s", server)
+	}
+}
+
+func TestEndToEndRegistration(t *testing.T) {
+	s, clk := bootSmall(t)
+	if _, err := s.RunDCM(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Load a registrar tape and register a student end to end.
+	entries := []reg.TapeEntry{{First: "Martin", Last: "Zimmermann", ID: "123-45-6789", Class: "1990"}}
+	if _, _, err := reg.LoadTape(s.DirectContext("regtape"), entries); err != nil {
+		t.Fatal(err)
+	}
+	timeout := 2 * time.Second
+	if code, _, err := reg.VerifyUser(s.RegAddr, "Martin", "Zimmermann", "123-45-6789", timeout); err != nil || code != mrerr.Success {
+		t.Fatalf("verify: %v/%v", code, err)
+	}
+	if code, err := reg.GrabLogin(s.RegAddr, "Martin", "Zimmermann", "123-45-6789", "kazimi", timeout); err != nil || code != mrerr.Success {
+		t.Fatalf("grab: %v/%v", code, err)
+	}
+	if code, err := reg.SetPassword(s.RegAddr, "Martin", "Zimmermann", "123-45-6789", "initialpw", timeout); err != nil || code != mrerr.Success {
+		t.Fatalf("set_password: %v/%v", code, err)
+	}
+
+	// The new user can authenticate to Moira and see themselves.
+	c, err := s.ClientAs("kazimi", "initialpw", "userreg-check")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Disconnect()
+	out, err := c.QueryAll("get_user_by_login", "kazimi")
+	if err != nil || out[0][0] != "kazimi" {
+		t.Fatalf("self query: %v %v", out, err)
+	}
+
+	// Before propagation, hesiod does not know the user; after the
+	// 6-hour DCM lag, it does (the paper's documented delay).
+	if _, ok := s.Hesiod.Resolve("kazimi.passwd"); ok {
+		t.Error("hesiod knew the user before propagation")
+	}
+	clk.Advance(6*time.Hour + time.Minute)
+	if _, err := s.RunDCM(); err != nil {
+		t.Fatal(err)
+	}
+	vals, ok := s.Hesiod.Resolve("kazimi.passwd")
+	if !ok || !strings.HasPrefix(vals[0], "kazimi:*:") {
+		t.Errorf("hesiod after propagation = %v, %v", vals, ok)
+	}
+	// The NFS interval is 12 hours; a later pass reaches the fileserver.
+	clk.Advance(6*time.Hour + time.Minute)
+	if _, err := s.RunDCM(); err != nil {
+		t.Fatal(err)
+	}
+	// The NFS server created the home locker.
+	created := false
+	for _, h := range s.NFSHosts {
+		if _, ok := h.CredentialOf("kazimi"); ok {
+			created = true
+		}
+	}
+	if !created {
+		t.Error("credentials never reached an NFS server")
+	}
+}
+
+func TestTriggerDCMViaRPC(t *testing.T) {
+	s, _ := bootSmall(t)
+	if err := s.AddAccount("oper", "pw", "Op", "Erator"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Grant("oper"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.ClientAs("oper", "pw", "mrtest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Disconnect()
+	if err := c.TriggerDCM(); err != nil {
+		t.Fatal(err)
+	}
+	// The triggered DCM runs asynchronously; poll for its effect.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Hesiod.NumRecords() > 0 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Error("triggered DCM never propagated")
+}
+
+func atoi(s string) int {
+	v := 0
+	for i := 0; i < len(s); i++ {
+		v = v*10 + int(s[i]-'0')
+	}
+	return v
+}
+
+// TestBootWithoutWorkload: an empty system (no managed hosts) still
+// serves queries and runs DCM passes that find nothing to do.
+func TestBootWithoutWorkload(t *testing.T) {
+	clk := clock.NewFake(time.Unix(600000000, 0))
+	s, err := Boot(Options{Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := s.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Disconnect()
+	out, err := c.QueryAll("_list_queries")
+	if err != nil || len(out) < 100 {
+		t.Fatalf("empty system queries: %d, %v", len(out), err)
+	}
+	stats, err := s.RunDCM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ServicesScanned != 0 || stats.HostsUpdated != 0 {
+		t.Errorf("empty DCM pass: %+v", stats)
+	}
+}
+
+// TestEndToEndMailDelivery: the complete mail pipeline. A message to a
+// Moira mailing list is resolved through the propagated aliases file and
+// lands in each member's post office box — the inc/movemail flow.
+func TestEndToEndMailDelivery(t *testing.T) {
+	s, clk := bootSmall(t)
+	dc := s.Direct("maillist")
+	if err := dc.Query("add_list", []string{"video-users", "1", "1", "0", "1", "0", "0", "USER", "root", "Video Users"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Two members with poboxes on different POs, plus an external string.
+	if err := s.AddAccount("paul", "pw", "Paul", "Video"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddAccount("davis", "pw", "Davis", "Video"); err != nil {
+		t.Fatal(err)
+	}
+	for login, po := range map[string]string{"paul": "ATHENA-PO-1.MIT.EDU", "davis": "ATHENA-PO-2.MIT.EDU"} {
+		if err := dc.Query("set_pobox", []string{login, "POP", po}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, m := range [][]string{
+		{"video-users", "USER", "paul"},
+		{"video-users", "USER", "davis"},
+		{"video-users", "STRING", "rubin@media-lab.mit.edu"},
+	} {
+		if err := dc.Query("add_member_to_list", m, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Propagate the aliases file to the hub.
+	if _, err := s.RunDCM(); err != nil {
+		t.Fatal(err)
+	}
+	_ = clk
+
+	res, err := s.Mailhub.Deliver("video-users", "smyser", "demo tonight", "8pm E40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Local) != 2 || len(res.Remote) != 1 || len(res.Failed) != 0 {
+		t.Fatalf("delivery = %+v", res)
+	}
+	po1, _ := s.POs.ServerFor("ATHENA-PO-1.LOCAL")
+	po2, _ := s.POs.ServerFor("ATHENA-PO-2.LOCAL")
+	if po1.Count("paul") != 1 {
+		t.Error("paul's box empty")
+	}
+	msgs := po2.Retrieve("davis")
+	if len(msgs) != 1 || msgs[0].Subject != "demo tonight" || msgs[0].From != "smyser" {
+		t.Errorf("davis inbox = %+v", msgs)
+	}
+}

@@ -1,0 +1,999 @@
+package db
+
+import (
+	"sort"
+
+	"moira/internal/mrerr"
+)
+
+// All accessor methods in this file assume the caller holds the database
+// lock: shared for reads, exclusive for mutations. The query layer
+// (internal/queries) is responsible for taking it per query.
+
+// --- Users ---
+
+// UserByLogin finds a user by exact login name.
+func (d *DB) UserByLogin(login string) (*User, bool) {
+	id, ok := d.usersByLogin[login]
+	if !ok {
+		return nil, false
+	}
+	return d.users[id], true
+}
+
+// UserByID finds a user by users_id.
+func (d *DB) UserByID(id int) (*User, bool) {
+	u, ok := d.users[id]
+	return u, ok
+}
+
+// UsersByUID returns all users with the given unix uid (normally one).
+func (d *DB) UsersByUID(uid int) []*User {
+	var out []*User
+	for _, u := range d.sortedUsers() {
+		if u.UID == uid {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// EachUser calls fn for every user in users_id order.
+func (d *DB) EachUser(fn func(*User) bool) {
+	for _, u := range d.sortedUsers() {
+		if !fn(u) {
+			return
+		}
+	}
+}
+
+func (d *DB) sortedUsers() []*User {
+	out := make([]*User, 0, len(d.users))
+	for _, u := range d.users {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].UsersID < out[j].UsersID })
+	return out
+}
+
+// NumUsers reports the row count of the users relation.
+func (d *DB) NumUsers() int { return len(d.users) }
+
+// InsertUser adds a fully formed user row; the caller has already
+// allocated IDs and checked uniqueness. MR_EXISTS on duplicate login or
+// users_id.
+func (d *DB) InsertUser(u *User) error {
+	if _, dup := d.users[u.UsersID]; dup {
+		return mrerr.MrExists
+	}
+	if _, dup := d.usersByLogin[u.Login]; dup {
+		return mrerr.MrExists
+	}
+	d.users[u.UsersID] = u
+	d.usersByLogin[u.Login] = u.UsersID
+	d.NoteAppend(TUsers)
+	return nil
+}
+
+// RenameUser changes a user's login, maintaining the index. The caller
+// has verified the new login is free.
+func (d *DB) RenameUser(u *User, newLogin string) {
+	delete(d.usersByLogin, u.Login)
+	u.Login = newLogin
+	d.usersByLogin[newLogin] = u.UsersID
+}
+
+// DeleteUser removes a user row.
+func (d *DB) DeleteUser(u *User) {
+	delete(d.usersByLogin, u.Login)
+	delete(d.users, u.UsersID)
+	d.NoteDelete(TUsers)
+}
+
+// --- Machines ---
+
+// MachineByName finds a machine by canonical name.
+func (d *DB) MachineByName(name string) (*Machine, bool) {
+	id, ok := d.machByName[name]
+	if !ok {
+		return nil, false
+	}
+	return d.machines[id], true
+}
+
+// MachineByID finds a machine by mach_id.
+func (d *DB) MachineByID(id int) (*Machine, bool) {
+	m, ok := d.machines[id]
+	return m, ok
+}
+
+// EachMachine calls fn for every machine in mach_id order.
+func (d *DB) EachMachine(fn func(*Machine) bool) {
+	ids := make([]int, 0, len(d.machines))
+	for id := range d.machines {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if !fn(d.machines[id]) {
+			return
+		}
+	}
+}
+
+// InsertMachine adds a machine row; MR_EXISTS on duplicates.
+func (d *DB) InsertMachine(m *Machine) error {
+	if _, dup := d.machines[m.MachID]; dup {
+		return mrerr.MrExists
+	}
+	if _, dup := d.machByName[m.Name]; dup {
+		return mrerr.MrExists
+	}
+	d.machines[m.MachID] = m
+	d.machByName[m.Name] = m.MachID
+	d.NoteAppend(TMachine)
+	return nil
+}
+
+// RenameMachine changes a machine's name, maintaining the index.
+func (d *DB) RenameMachine(m *Machine, newName string) {
+	delete(d.machByName, m.Name)
+	m.Name = newName
+	d.machByName[newName] = m.MachID
+}
+
+// DeleteMachine removes a machine row.
+func (d *DB) DeleteMachine(m *Machine) {
+	delete(d.machByName, m.Name)
+	delete(d.machines, m.MachID)
+	d.NoteDelete(TMachine)
+}
+
+// --- Clusters ---
+
+// ClusterByName finds a cluster by name (case sensitive).
+func (d *DB) ClusterByName(name string) (*Cluster, bool) {
+	id, ok := d.cluByName[name]
+	if !ok {
+		return nil, false
+	}
+	return d.clusters[id], true
+}
+
+// ClusterByID finds a cluster by clu_id.
+func (d *DB) ClusterByID(id int) (*Cluster, bool) {
+	c, ok := d.clusters[id]
+	return c, ok
+}
+
+// EachCluster calls fn for every cluster in clu_id order.
+func (d *DB) EachCluster(fn func(*Cluster) bool) {
+	ids := make([]int, 0, len(d.clusters))
+	for id := range d.clusters {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if !fn(d.clusters[id]) {
+			return
+		}
+	}
+}
+
+// InsertCluster adds a cluster row; MR_EXISTS on duplicates.
+func (d *DB) InsertCluster(c *Cluster) error {
+	if _, dup := d.clusters[c.CluID]; dup {
+		return mrerr.MrExists
+	}
+	if _, dup := d.cluByName[c.Name]; dup {
+		return mrerr.MrExists
+	}
+	d.clusters[c.CluID] = c
+	d.cluByName[c.Name] = c.CluID
+	d.NoteAppend(TCluster)
+	return nil
+}
+
+// RenameCluster changes a cluster's name, maintaining the index.
+func (d *DB) RenameCluster(c *Cluster, newName string) {
+	delete(d.cluByName, c.Name)
+	c.Name = newName
+	d.cluByName[newName] = c.CluID
+}
+
+// DeleteCluster removes a cluster row.
+func (d *DB) DeleteCluster(c *Cluster) {
+	delete(d.cluByName, c.Name)
+	delete(d.clusters, c.CluID)
+	d.NoteDelete(TCluster)
+}
+
+// --- Machine/cluster map and service clusters ---
+
+// MCMaps returns the machine-cluster assignments (shared slice; treat as
+// read-only under a shared hold).
+func (d *DB) MCMaps() []MCMap { return d.mcmap }
+
+// HasMCMap reports whether the (machine, cluster) pair exists.
+func (d *DB) HasMCMap(machID, cluID int) bool {
+	for _, m := range d.mcmap {
+		if m.MachID == machID && m.CluID == cluID {
+			return true
+		}
+	}
+	return false
+}
+
+// AddMCMap inserts an assignment; MR_EXISTS on duplicates.
+func (d *DB) AddMCMap(machID, cluID int) error {
+	if d.HasMCMap(machID, cluID) {
+		return mrerr.MrExists
+	}
+	d.mcmap = append(d.mcmap, MCMap{MachID: machID, CluID: cluID})
+	d.NoteAppend(TMCMap)
+	return nil
+}
+
+// DeleteMCMap removes an assignment; MR_NO_MATCH if absent.
+func (d *DB) DeleteMCMap(machID, cluID int) error {
+	for i, m := range d.mcmap {
+		if m.MachID == machID && m.CluID == cluID {
+			d.mcmap = append(d.mcmap[:i], d.mcmap[i+1:]...)
+			d.NoteDelete(TMCMap)
+			return nil
+		}
+	}
+	return mrerr.MrNoMatch
+}
+
+// ClustersOfMachine returns the cluster ids a machine belongs to.
+func (d *DB) ClustersOfMachine(machID int) []int {
+	var out []int
+	for _, m := range d.mcmap {
+		if m.MachID == machID {
+			out = append(out, m.CluID)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SvcRows returns the service-cluster rows (read-only under shared hold).
+func (d *DB) SvcRows() []SvcData { return d.svc }
+
+// AddSvc inserts a service-cluster datum; MR_EXISTS on exact duplicates.
+func (d *DB) AddSvc(row SvcData) error {
+	for _, s := range d.svc {
+		if s == row {
+			return mrerr.MrExists
+		}
+	}
+	d.svc = append(d.svc, row)
+	d.NoteAppend(TSvc)
+	return nil
+}
+
+// DeleteSvc removes an exactly matching service-cluster datum.
+func (d *DB) DeleteSvc(row SvcData) error {
+	for i, s := range d.svc {
+		if s == row {
+			d.svc = append(d.svc[:i], d.svc[i+1:]...)
+			d.NoteDelete(TSvc)
+			return nil
+		}
+	}
+	return mrerr.MrNoMatch
+}
+
+// DeleteSvcOfCluster removes all service data for a cluster (used when
+// deleting the cluster itself).
+func (d *DB) DeleteSvcOfCluster(cluID int) {
+	kept := d.svc[:0]
+	removed := false
+	for _, s := range d.svc {
+		if s.CluID == cluID {
+			removed = true
+			continue
+		}
+		kept = append(kept, s)
+	}
+	d.svc = kept
+	if removed {
+		d.NoteDelete(TSvc)
+	}
+}
+
+// --- Lists and members ---
+
+// ListByName finds a list by exact name.
+func (d *DB) ListByName(name string) (*List, bool) {
+	id, ok := d.listsByName[name]
+	if !ok {
+		return nil, false
+	}
+	return d.lists[id], true
+}
+
+// ListByID finds a list by list_id.
+func (d *DB) ListByID(id int) (*List, bool) {
+	l, ok := d.lists[id]
+	return l, ok
+}
+
+// EachList calls fn for every list in list_id order.
+func (d *DB) EachList(fn func(*List) bool) {
+	ids := make([]int, 0, len(d.lists))
+	for id := range d.lists {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if !fn(d.lists[id]) {
+			return
+		}
+	}
+}
+
+// InsertList adds a list row; MR_EXISTS on duplicates.
+func (d *DB) InsertList(l *List) error {
+	if _, dup := d.lists[l.ListID]; dup {
+		return mrerr.MrExists
+	}
+	if _, dup := d.listsByName[l.Name]; dup {
+		return mrerr.MrExists
+	}
+	d.lists[l.ListID] = l
+	d.listsByName[l.Name] = l.ListID
+	d.NoteAppend(TList)
+	return nil
+}
+
+// RenameList changes a list's name, maintaining the index.
+func (d *DB) RenameList(l *List, newName string) {
+	delete(d.listsByName, l.Name)
+	l.Name = newName
+	d.listsByName[newName] = l.ListID
+}
+
+// DeleteList removes a list row and its membership rows.
+func (d *DB) DeleteList(l *List) {
+	delete(d.listsByName, l.Name)
+	delete(d.lists, l.ListID)
+	if _, had := d.members[l.ListID]; had {
+		delete(d.members, l.ListID)
+	}
+	d.NoteDelete(TList)
+}
+
+// MembersOf returns the membership rows of a list (read-only).
+func (d *DB) MembersOf(listID int) []Member { return d.members[listID] }
+
+// HasMember reports whether the exact member row exists.
+func (d *DB) HasMember(listID int, mtype string, mid int) bool {
+	for _, m := range d.members[listID] {
+		if m.MemberType == mtype && m.MemberID == mid {
+			return true
+		}
+	}
+	return false
+}
+
+// AddMember inserts a membership row; MR_EXISTS on duplicates.
+func (d *DB) AddMember(listID int, mtype string, mid int) error {
+	if d.HasMember(listID, mtype, mid) {
+		return mrerr.MrExists
+	}
+	d.members[listID] = append(d.members[listID], Member{ListID: listID, MemberType: mtype, MemberID: mid})
+	d.NoteAppend(TMembers)
+	return nil
+}
+
+// DeleteMember removes a membership row; MR_NO_MATCH if absent.
+func (d *DB) DeleteMember(listID int, mtype string, mid int) error {
+	ms := d.members[listID]
+	for i, m := range ms {
+		if m.MemberType == mtype && m.MemberID == mid {
+			d.members[listID] = append(ms[:i], ms[i+1:]...)
+			d.NoteDelete(TMembers)
+			return nil
+		}
+	}
+	return mrerr.MrNoMatch
+}
+
+// EachMembership calls fn for every membership row, ordered by list id.
+func (d *DB) EachMembership(fn func(Member) bool) {
+	ids := make([]int, 0, len(d.members))
+	for id := range d.members {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		for _, m := range d.members[id] {
+			if !fn(m) {
+				return
+			}
+		}
+	}
+}
+
+// ListsContaining returns ids of lists that directly contain the member.
+func (d *DB) ListsContaining(mtype string, mid int) []int {
+	var out []int
+	d.EachMembership(func(m Member) bool {
+		if m.MemberType == mtype && m.MemberID == mid {
+			out = append(out, m.ListID)
+		}
+		return true
+	})
+	return out
+}
+
+// --- Servers and serverhosts ---
+
+// ServerByName finds a service by (upper case) name.
+func (d *DB) ServerByName(name string) (*Server, bool) {
+	s, ok := d.servers[name]
+	return s, ok
+}
+
+// EachServer calls fn for every service in name order.
+func (d *DB) EachServer(fn func(*Server) bool) {
+	names := make([]string, 0, len(d.servers))
+	for n := range d.servers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if !fn(d.servers[n]) {
+			return
+		}
+	}
+}
+
+// InsertServer adds a service row; MR_EXISTS on duplicates.
+func (d *DB) InsertServer(s *Server) error {
+	if _, dup := d.servers[s.Name]; dup {
+		return mrerr.MrExists
+	}
+	d.servers[s.Name] = s
+	d.NoteAppend(TServers)
+	return nil
+}
+
+// DeleteServer removes a service row.
+func (d *DB) DeleteServer(s *Server) {
+	delete(d.servers, s.Name)
+	d.NoteDelete(TServers)
+}
+
+// ServerHostsOf returns the host rows for a service, machine-id ordered.
+func (d *DB) ServerHostsOf(service string) []*ServerHost {
+	var out []*ServerHost
+	for _, sh := range d.serverHosts {
+		if sh.Service == service {
+			out = append(out, sh)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].MachID < out[j].MachID })
+	return out
+}
+
+// ServerHost finds the row for (service, machine).
+func (d *DB) ServerHost(service string, machID int) (*ServerHost, bool) {
+	for _, sh := range d.serverHosts {
+		if sh.Service == service && sh.MachID == machID {
+			return sh, true
+		}
+	}
+	return nil, false
+}
+
+// EachServerHost calls fn for every serverhost row in (service, mach_id)
+// order.
+func (d *DB) EachServerHost(fn func(*ServerHost) bool) {
+	rows := make([]*ServerHost, len(d.serverHosts))
+	copy(rows, d.serverHosts)
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Service != rows[j].Service {
+			return rows[i].Service < rows[j].Service
+		}
+		return rows[i].MachID < rows[j].MachID
+	})
+	for _, sh := range rows {
+		if !fn(sh) {
+			return
+		}
+	}
+}
+
+// InsertServerHost adds a serverhost row; MR_EXISTS on duplicates.
+func (d *DB) InsertServerHost(sh *ServerHost) error {
+	if _, dup := d.ServerHost(sh.Service, sh.MachID); dup {
+		return mrerr.MrExists
+	}
+	d.serverHosts = append(d.serverHosts, sh)
+	d.NoteAppend(TServerHosts)
+	return nil
+}
+
+// DeleteServerHost removes a serverhost row; MR_NO_MATCH if absent.
+func (d *DB) DeleteServerHost(service string, machID int) error {
+	for i, sh := range d.serverHosts {
+		if sh.Service == service && sh.MachID == machID {
+			d.serverHosts = append(d.serverHosts[:i], d.serverHosts[i+1:]...)
+			d.NoteDelete(TServerHosts)
+			return nil
+		}
+	}
+	return mrerr.MrNoMatch
+}
+
+// --- Filesystems ---
+
+// FilesysByID finds a filesystem by filsys_id.
+func (d *DB) FilesysByID(id int) (*Filesys, bool) {
+	f, ok := d.filesys[id]
+	return f, ok
+}
+
+// FilesysByLabel returns all filesystems with the given label, in order.
+func (d *DB) FilesysByLabel(label string) []*Filesys {
+	var out []*Filesys
+	d.EachFilesys(func(f *Filesys) bool {
+		if f.Label == label {
+			out = append(out, f)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Order < out[j].Order })
+	return out
+}
+
+// EachFilesys calls fn for every filesystem in filsys_id order.
+func (d *DB) EachFilesys(fn func(*Filesys) bool) {
+	ids := make([]int, 0, len(d.filesys))
+	for id := range d.filesys {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if !fn(d.filesys[id]) {
+			return
+		}
+	}
+}
+
+// InsertFilesys adds a filesystem row; MR_EXISTS on duplicate id or
+// (label, order) pair.
+func (d *DB) InsertFilesys(f *Filesys) error {
+	if _, dup := d.filesys[f.FilsysID]; dup {
+		return mrerr.MrExists
+	}
+	for _, other := range d.filesys {
+		if other.Label == f.Label && other.Order == f.Order {
+			return mrerr.MrExists
+		}
+	}
+	d.filesys[f.FilsysID] = f
+	d.NoteAppend(TFilesys)
+	return nil
+}
+
+// DeleteFilesys removes a filesystem row.
+func (d *DB) DeleteFilesys(f *Filesys) {
+	delete(d.filesys, f.FilsysID)
+	d.NoteDelete(TFilesys)
+}
+
+// --- NFS physical partitions and quotas ---
+
+// NFSPhysByID finds a partition by nfsphys_id.
+func (d *DB) NFSPhysByID(id int) (*NFSPhys, bool) {
+	p, ok := d.nfsphys[id]
+	return p, ok
+}
+
+// NFSPhysByMachDir finds a partition by server machine and directory.
+func (d *DB) NFSPhysByMachDir(machID int, dir string) (*NFSPhys, bool) {
+	for _, p := range d.nfsphys {
+		if p.MachID == machID && p.Dir == dir {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// EachNFSPhys calls fn for every partition in nfsphys_id order.
+func (d *DB) EachNFSPhys(fn func(*NFSPhys) bool) {
+	ids := make([]int, 0, len(d.nfsphys))
+	for id := range d.nfsphys {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if !fn(d.nfsphys[id]) {
+			return
+		}
+	}
+}
+
+// InsertNFSPhys adds a partition row; MR_EXISTS on duplicates.
+func (d *DB) InsertNFSPhys(p *NFSPhys) error {
+	if _, dup := d.nfsphys[p.NFSPhysID]; dup {
+		return mrerr.MrExists
+	}
+	if _, dup := d.NFSPhysByMachDir(p.MachID, p.Dir); dup {
+		return mrerr.MrExists
+	}
+	d.nfsphys[p.NFSPhysID] = p
+	d.NoteAppend(TNFSPhys)
+	return nil
+}
+
+// DeleteNFSPhys removes a partition row.
+func (d *DB) DeleteNFSPhys(p *NFSPhys) {
+	delete(d.nfsphys, p.NFSPhysID)
+	d.NoteDelete(TNFSPhys)
+}
+
+// QuotaOf finds the quota row for (user, filesystem).
+func (d *DB) QuotaOf(usersID, filsysID int) (*NFSQuota, bool) {
+	for _, q := range d.nfsquotas {
+		if q.UsersID == usersID && q.FilsysID == filsysID {
+			return q, true
+		}
+	}
+	return nil, false
+}
+
+// EachQuota calls fn for every quota row in (filsys, user) order.
+func (d *DB) EachQuota(fn func(*NFSQuota) bool) {
+	rows := make([]*NFSQuota, len(d.nfsquotas))
+	copy(rows, d.nfsquotas)
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].FilsysID != rows[j].FilsysID {
+			return rows[i].FilsysID < rows[j].FilsysID
+		}
+		return rows[i].UsersID < rows[j].UsersID
+	})
+	for _, q := range rows {
+		if !fn(q) {
+			return
+		}
+	}
+}
+
+// InsertQuota adds a quota row; MR_EXISTS on duplicates.
+func (d *DB) InsertQuota(q *NFSQuota) error {
+	if _, dup := d.QuotaOf(q.UsersID, q.FilsysID); dup {
+		return mrerr.MrExists
+	}
+	d.nfsquotas = append(d.nfsquotas, q)
+	d.NoteAppend(TNFSQuota)
+	return nil
+}
+
+// DeleteQuota removes a quota row; MR_NO_MATCH if absent.
+func (d *DB) DeleteQuota(usersID, filsysID int) error {
+	for i, q := range d.nfsquotas {
+		if q.UsersID == usersID && q.FilsysID == filsysID {
+			d.nfsquotas = append(d.nfsquotas[:i], d.nfsquotas[i+1:]...)
+			d.NoteDelete(TNFSQuota)
+			return nil
+		}
+	}
+	return mrerr.MrNoMatch
+}
+
+// QuotasOfUser returns all quota rows belonging to a user.
+func (d *DB) QuotasOfUser(usersID int) []*NFSQuota {
+	var out []*NFSQuota
+	d.EachQuota(func(q *NFSQuota) bool {
+		if q.UsersID == usersID {
+			out = append(out, q)
+		}
+		return true
+	})
+	return out
+}
+
+// --- Zephyr classes ---
+
+// ZephyrByClass finds a zephyr class row.
+func (d *DB) ZephyrByClass(class string) (*ZephyrClass, bool) {
+	z, ok := d.zephyr[class]
+	return z, ok
+}
+
+// EachZephyr calls fn for every zephyr class in name order.
+func (d *DB) EachZephyr(fn func(*ZephyrClass) bool) {
+	names := make([]string, 0, len(d.zephyr))
+	for n := range d.zephyr {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if !fn(d.zephyr[n]) {
+			return
+		}
+	}
+}
+
+// InsertZephyr adds a class row; MR_EXISTS on duplicates.
+func (d *DB) InsertZephyr(z *ZephyrClass) error {
+	if _, dup := d.zephyr[z.Class]; dup {
+		return mrerr.MrExists
+	}
+	d.zephyr[z.Class] = z
+	d.NoteAppend(TZephyr)
+	return nil
+}
+
+// RenameZephyr changes a class's name.
+func (d *DB) RenameZephyr(z *ZephyrClass, newClass string) {
+	delete(d.zephyr, z.Class)
+	z.Class = newClass
+	d.zephyr[newClass] = z
+}
+
+// DeleteZephyr removes a class row.
+func (d *DB) DeleteZephyr(z *ZephyrClass) {
+	delete(d.zephyr, z.Class)
+	d.NoteDelete(TZephyr)
+}
+
+// --- Host access ---
+
+// HostAccessOf finds the hostaccess row for a machine.
+func (d *DB) HostAccessOf(machID int) (*HostAccess, bool) {
+	h, ok := d.hostaccess[machID]
+	return h, ok
+}
+
+// EachHostAccess calls fn for every hostaccess row in mach_id order.
+func (d *DB) EachHostAccess(fn func(*HostAccess) bool) {
+	ids := make([]int, 0, len(d.hostaccess))
+	for id := range d.hostaccess {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if !fn(d.hostaccess[id]) {
+			return
+		}
+	}
+}
+
+// InsertHostAccess adds a row; MR_EXISTS on duplicates.
+func (d *DB) InsertHostAccess(h *HostAccess) error {
+	if _, dup := d.hostaccess[h.MachID]; dup {
+		return mrerr.MrExists
+	}
+	d.hostaccess[h.MachID] = h
+	d.NoteAppend(THostAccess)
+	return nil
+}
+
+// DeleteHostAccess removes the row for a machine; MR_NO_MATCH if absent.
+func (d *DB) DeleteHostAccess(machID int) error {
+	if _, ok := d.hostaccess[machID]; !ok {
+		return mrerr.MrNoMatch
+	}
+	delete(d.hostaccess, machID)
+	d.NoteDelete(THostAccess)
+	return nil
+}
+
+// --- Strings ---
+
+// StringByID returns the string with the given id.
+func (d *DB) StringByID(id int) (*StringRec, bool) {
+	s, ok := d.strings[id]
+	return s, ok
+}
+
+// StringID returns the id of the given string if it is interned.
+func (d *DB) StringID(s string) (int, bool) {
+	id, ok := d.stringsByVal[s]
+	return id, ok
+}
+
+// InternString returns the id for s, creating a row if needed. Exclusive
+// lock required when the string may be new.
+func (d *DB) InternString(s string) (int, error) {
+	if id, ok := d.stringsByVal[s]; ok {
+		return id, nil
+	}
+	id, err := d.AllocID("strings_id")
+	if err != nil {
+		return 0, err
+	}
+	d.strings[id] = &StringRec{StringID: id, String: s}
+	d.stringsByVal[s] = id
+	d.NoteAppend(TStrings)
+	return id, nil
+}
+
+// EachString calls fn for every string row in id order.
+func (d *DB) EachString(fn func(*StringRec) bool) {
+	ids := make([]int, 0, len(d.strings))
+	for id := range d.strings {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if !fn(d.strings[id]) {
+			return
+		}
+	}
+}
+
+// --- Network services ---
+
+// ServiceByName finds a service definition.
+func (d *DB) ServiceByName(name string) (*Service, bool) {
+	s, ok := d.services[name]
+	return s, ok
+}
+
+// EachService calls fn for every service in name order.
+func (d *DB) EachService(fn func(*Service) bool) {
+	names := make([]string, 0, len(d.services))
+	for n := range d.services {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if !fn(d.services[n]) {
+			return
+		}
+	}
+}
+
+// InsertService adds a service definition; MR_EXISTS on duplicates.
+func (d *DB) InsertService(s *Service) error {
+	if _, dup := d.services[s.Name]; dup {
+		return mrerr.MrExists
+	}
+	d.services[s.Name] = s
+	d.NoteAppend(TServices)
+	return nil
+}
+
+// DeleteService removes a service definition.
+func (d *DB) DeleteService(s *Service) {
+	delete(d.services, s.Name)
+	d.NoteDelete(TServices)
+}
+
+// --- Printers ---
+
+// PrintcapByName finds a printer.
+func (d *DB) PrintcapByName(name string) (*Printcap, bool) {
+	p, ok := d.printcaps[name]
+	return p, ok
+}
+
+// EachPrintcap calls fn for every printer in name order.
+func (d *DB) EachPrintcap(fn func(*Printcap) bool) {
+	names := make([]string, 0, len(d.printcaps))
+	for n := range d.printcaps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if !fn(d.printcaps[n]) {
+			return
+		}
+	}
+}
+
+// InsertPrintcap adds a printer; MR_EXISTS on duplicates.
+func (d *DB) InsertPrintcap(p *Printcap) error {
+	if _, dup := d.printcaps[p.Name]; dup {
+		return mrerr.MrExists
+	}
+	d.printcaps[p.Name] = p
+	d.NoteAppend(TPrintcap)
+	return nil
+}
+
+// DeletePrintcap removes a printer.
+func (d *DB) DeletePrintcap(p *Printcap) {
+	delete(d.printcaps, p.Name)
+	d.NoteDelete(TPrintcap)
+}
+
+// --- Capability ACLs ---
+
+// CapACLByName finds the ACL row for a capability (query name).
+func (d *DB) CapACLByName(capability string) (*CapACL, bool) {
+	c, ok := d.capacls[capability]
+	return c, ok
+}
+
+// SetCapACL installs or replaces the ACL for a capability.
+func (d *DB) SetCapACL(capability, tag string, listID int) {
+	if _, ok := d.capacls[capability]; ok {
+		d.NoteUpdate(TCapACLs)
+	} else {
+		d.NoteAppend(TCapACLs)
+	}
+	d.capacls[capability] = &CapACL{Capability: capability, Tag: tag, ListID: listID}
+}
+
+// EachCapACL calls fn for every capability row in name order.
+func (d *DB) EachCapACL(fn func(*CapACL) bool) {
+	names := make([]string, 0, len(d.capacls))
+	for n := range d.capacls {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if !fn(d.capacls[n]) {
+			return
+		}
+	}
+}
+
+// --- Aliases ---
+
+// Aliases returns matching alias rows; empty strings match everything
+// (the query layer applies wildcards itself, this is the raw scan).
+func (d *DB) Aliases() []Alias { return d.aliases }
+
+// HasAlias reports whether the exact triple exists.
+func (d *DB) HasAlias(name, typ, trans string) bool {
+	for _, a := range d.aliases {
+		if a.Name == name && a.Type == typ && a.Trans == trans {
+			return true
+		}
+	}
+	return false
+}
+
+// AddAlias inserts an alias triple; MR_EXISTS on exact duplicates.
+func (d *DB) AddAlias(name, typ, trans string) error {
+	if d.HasAlias(name, typ, trans) {
+		return mrerr.MrExists
+	}
+	d.aliases = append(d.aliases, Alias{Name: name, Type: typ, Trans: trans})
+	d.NoteAppend(TAlias)
+	return nil
+}
+
+// DeleteAlias removes an exactly matching alias triple.
+func (d *DB) DeleteAlias(name, typ, trans string) error {
+	for i, a := range d.aliases {
+		if a.Name == name && a.Type == typ && a.Trans == trans {
+			d.aliases = append(d.aliases[:i], d.aliases[i+1:]...)
+			d.NoteDelete(TAlias)
+			return nil
+		}
+	}
+	return mrerr.MrNoMatch
+}
+
+// AliasTranslations returns the translations of (name, type), used for
+// type checking ("is VAX a registered mach_type?").
+func (d *DB) AliasTranslations(name, typ string) []string {
+	var out []string
+	for _, a := range d.aliases {
+		if a.Name == name && a.Type == typ {
+			out = append(out, a.Trans)
+		}
+	}
+	return out
+}
+
+// IsValidType reports whether value is registered as a TYPE alias
+// translation for the named type-checked field.
+func (d *DB) IsValidType(field, value string) bool {
+	for _, a := range d.aliases {
+		if a.Type == "TYPE" && a.Name == field && a.Trans == value {
+			return true
+		}
+	}
+	return false
+}

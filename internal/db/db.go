@@ -1,0 +1,363 @@
+package db
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"moira/internal/clock"
+	"moira/internal/mrerr"
+)
+
+// Table names, used for TBLSTATS and the backup file set.
+const (
+	TUsers       = "users"
+	TMachine     = "machine"
+	TCluster     = "cluster"
+	TMCMap       = "mcmap"
+	TSvc         = "svc"
+	TList        = "list"
+	TMembers     = "members"
+	TServers     = "servers"
+	TServerHosts = "serverhosts"
+	TFilesys     = "filesys"
+	TNFSPhys     = "nfsphys"
+	TNFSQuota    = "nfsquota"
+	TZephyr      = "zephyr"
+	THostAccess  = "hostaccess"
+	TStrings     = "strings"
+	TServices    = "services"
+	TPrintcap    = "printcap"
+	TCapACLs     = "capacls"
+	TAlias       = "alias"
+	TValues      = "values"
+	TTblStats    = "tblstats"
+)
+
+// AllTables lists every relation in a stable order (the backup order).
+var AllTables = []string{
+	TUsers, TMachine, TCluster, TMCMap, TSvc, TList, TMembers,
+	TServers, TServerHosts, TFilesys, TNFSPhys, TNFSQuota, TZephyr,
+	THostAccess, TStrings, TServices, TPrintcap, TCapACLs, TAlias,
+	TValues, TTblStats,
+}
+
+// DB is the Moira database. All fields are guarded by the single lock;
+// accessor methods document whether the caller needs a shared or
+// exclusive hold. The query dispatcher takes the lock per query, which
+// makes each query a serializable transaction, matching the single
+// INGRES backend of the original.
+type DB struct {
+	mu  sync.RWMutex
+	clk clock.Clock
+
+	users        map[int]*User
+	usersByLogin map[string]int
+
+	machines   map[int]*Machine
+	machByName map[string]int
+
+	clusters  map[int]*Cluster
+	cluByName map[string]int
+
+	mcmap []MCMap
+	svc   []SvcData
+
+	lists       map[int]*List
+	listsByName map[string]int
+	members     map[int][]Member // keyed by list id
+
+	servers     map[string]*Server
+	serverHosts []*ServerHost
+
+	filesys   map[int]*Filesys
+	nfsphys   map[int]*NFSPhys
+	nfsquotas []*NFSQuota
+
+	zephyr     map[string]*ZephyrClass
+	hostaccess map[int]*HostAccess
+
+	strings      map[int]*StringRec
+	stringsByVal map[string]int
+
+	services  map[string]*Service
+	printcaps map[string]*Printcap
+	capacls   map[string]*CapACL
+	aliases   []Alias
+	values    map[string]int
+	stats     map[string]*TblStat
+
+	seqCounter int64
+	tableSeq   map[string]int64
+
+	journal io.Writer
+}
+
+// New creates an empty database with the standard Values hints loaded.
+// clk may be nil for the system clock.
+func New(clk clock.Clock) *DB {
+	if clk == nil {
+		clk = clock.System
+	}
+	d := &DB{
+		clk:          clk,
+		users:        make(map[int]*User),
+		usersByLogin: make(map[string]int),
+		machines:     make(map[int]*Machine),
+		machByName:   make(map[string]int),
+		clusters:     make(map[int]*Cluster),
+		cluByName:    make(map[string]int),
+		lists:        make(map[int]*List),
+		listsByName:  make(map[string]int),
+		members:      make(map[int][]Member),
+		servers:      make(map[string]*Server),
+		filesys:      make(map[int]*Filesys),
+		nfsphys:      make(map[int]*NFSPhys),
+		zephyr:       make(map[string]*ZephyrClass),
+		hostaccess:   make(map[int]*HostAccess),
+		strings:      make(map[int]*StringRec),
+		stringsByVal: make(map[string]int),
+		services:     make(map[string]*Service),
+		printcaps:    make(map[string]*Printcap),
+		capacls:      make(map[string]*CapACL),
+		values:       make(map[string]int),
+		stats:        make(map[string]*TblStat),
+		tableSeq:     make(map[string]int64),
+	}
+	for _, t := range AllTables {
+		d.stats[t] = &TblStat{Table: t}
+	}
+	// ID allocation hints and server state, as loaded by the db creation
+	// scripts in the original.
+	d.values["users_id"] = 100
+	d.values["list_id"] = 100
+	d.values["mach_id"] = 100
+	d.values["clu_id"] = 100
+	d.values["filsys_id"] = 100
+	d.values["nfsphys_id"] = 100
+	d.values["strings_id"] = 100
+	d.values["uid"] = 6500
+	d.values["gid"] = 10900
+	d.values["def_quota"] = 300
+	d.values["dcm_enable"] = 1
+	return d
+}
+
+// Now returns the database's notion of the current unix time.
+func (d *DB) Now() int64 { return d.clk.Now().Unix() }
+
+// Clock returns the clock the database was built with.
+func (d *DB) Clock() clock.Clock { return d.clk }
+
+// LockShared takes the database lock for reading.
+func (d *DB) LockShared() { d.mu.RLock() }
+
+// UnlockShared releases a shared hold.
+func (d *DB) UnlockShared() { d.mu.RUnlock() }
+
+// LockExclusive takes the database lock for writing.
+func (d *DB) LockExclusive() { d.mu.Lock() }
+
+// UnlockExclusive releases an exclusive hold.
+func (d *DB) UnlockExclusive() { d.mu.Unlock() }
+
+// SetJournal directs the journal of successful changes to w (section
+// 5.2.2: "the journal file kept by the Moira server daemon contains a
+// listing of all successful changes to the database"). Pass nil to
+// disable. Callers must not hold the lock.
+func (d *DB) SetJournal(w io.Writer) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.journal = w
+}
+
+// Journal appends one line describing a successful change. Caller must
+// hold the exclusive lock (it is called from inside update queries).
+func (d *DB) Journal(format string, args ...any) {
+	if d.journal == nil {
+		return
+	}
+	fmt.Fprintf(d.journal, "%d ", d.Now())
+	fmt.Fprintf(d.journal, format, args...)
+	io.WriteString(d.journal, "\n")
+}
+
+// --- TBLSTATS maintenance. Caller must hold the exclusive lock. ---
+
+func (d *DB) stat(table string) *TblStat {
+	s, ok := d.stats[table]
+	if !ok {
+		s = &TblStat{Table: table}
+		d.stats[table] = s
+	}
+	return s
+}
+
+// note stamps both the wall-clock modtime (the TBLSTATS field the paper
+// records) and the monotonic change sequence the DCM's no-change
+// detection uses — wall time alone would lose changes that land in the
+// same second as a file generation.
+func (d *DB) note(s *TblStat) {
+	s.ModTime = d.Now()
+	d.seqCounter++
+	d.tableSeq[s.Table] = d.seqCounter
+}
+
+// NoteAppend records an append to table.
+func (d *DB) NoteAppend(table string) {
+	s := d.stat(table)
+	s.Appends++
+	d.note(s)
+}
+
+// NoteUpdate records an update to table.
+func (d *DB) NoteUpdate(table string) {
+	s := d.stat(table)
+	s.Updates++
+	d.note(s)
+}
+
+// NoteDelete records a delete from table.
+func (d *DB) NoteDelete(table string) {
+	s := d.stat(table)
+	s.Deletes++
+	d.note(s)
+}
+
+// NoteUpdateInternal records an update that must NOT count as a data
+// change: the DCM's own bookkeeping (set_server_internal_flags and
+// set_server_host_internal, whose descriptions say "the modtime will NOT
+// be set"). Without this distinction the DCM's flag writes would mark
+// the serverhosts relation dirty and every pass would regenerate the
+// hesiod sloc data forever.
+func (d *DB) NoteUpdateInternal(table string) {
+	d.stat(table).Updates++
+}
+
+// SeqOf returns the largest change-sequence number across the named
+// tables: the value a generator snapshots so the next run can tell
+// whether anything relevant changed. Caller holds at least the shared
+// lock.
+func (d *DB) SeqOf(tables ...string) int64 {
+	var max int64
+	for _, t := range tables {
+		if s := d.tableSeq[t]; s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// CurSeq returns the current global change sequence.
+func (d *DB) CurSeq() int64 { return d.seqCounter }
+
+// GenSeqPrefix prefixes the values-relation entries in which the DCM
+// stores each service's last-generated change sequence.
+const GenSeqPrefix = "genseq_"
+
+// Stats returns a copy of the stats row for table. Caller must hold at
+// least the shared lock.
+func (d *DB) Stats(table string) TblStat {
+	if s, ok := d.stats[table]; ok {
+		return *s
+	}
+	return TblStat{Table: table}
+}
+
+// AllStats returns all stats rows sorted by table name. Caller must hold
+// at least the shared lock.
+func (d *DB) AllStats() []TblStat {
+	out := make([]TblStat, 0, len(d.stats))
+	for _, s := range d.stats {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Table < out[j].Table })
+	return out
+}
+
+// LastModOf returns the most recent modification time across the named
+// tables. The DCM's generators use this for MR_NO_CHANGE detection.
+// Caller must hold at least the shared lock.
+func (d *DB) LastModOf(tables ...string) int64 {
+	var max int64
+	for _, t := range tables {
+		if s, ok := d.stats[t]; ok && s.ModTime > max {
+			max = s.ModTime
+		}
+	}
+	return max
+}
+
+// --- VALUES relation. Caller must hold the appropriate lock. ---
+
+// GetValue looks up a value; MR_NO_MATCH if absent. Shared lock suffices.
+func (d *DB) GetValue(name string) (int, error) {
+	v, ok := d.values[name]
+	if !ok {
+		return 0, mrerr.MrNoMatch
+	}
+	return v, nil
+}
+
+// SetValue stores a value (creating or replacing). Exclusive lock.
+func (d *DB) SetValue(name string, v int) {
+	if _, ok := d.values[name]; ok {
+		d.NoteUpdate(TValues)
+	} else {
+		d.NoteAppend(TValues)
+	}
+	d.values[name] = v
+}
+
+// AddValue adds a new value; MR_EXISTS if present. Exclusive lock.
+func (d *DB) AddValue(name string, v int) error {
+	if _, ok := d.values[name]; ok {
+		return mrerr.MrExists
+	}
+	d.values[name] = v
+	d.NoteAppend(TValues)
+	return nil
+}
+
+// UpdateValue replaces an existing value; MR_NO_MATCH if absent.
+// Exclusive lock.
+func (d *DB) UpdateValue(name string, v int) error {
+	if _, ok := d.values[name]; !ok {
+		return mrerr.MrNoMatch
+	}
+	d.values[name] = v
+	d.NoteUpdate(TValues)
+	return nil
+}
+
+// DeleteValue removes a value; MR_NO_MATCH if absent. Exclusive lock.
+func (d *DB) DeleteValue(name string) error {
+	if _, ok := d.values[name]; !ok {
+		return mrerr.MrNoMatch
+	}
+	delete(d.values, name)
+	d.NoteDelete(TValues)
+	return nil
+}
+
+// ValueNames returns all value names sorted. Shared lock.
+func (d *DB) ValueNames() []string {
+	out := make([]string, 0, len(d.values))
+	for k := range d.values {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AllocID allocates the next ID from the named hint counter ("users_id",
+// "list_id", ...). Exclusive lock required.
+func (d *DB) AllocID(counter string) (int, error) {
+	v, ok := d.values[counter]
+	if !ok {
+		return 0, mrerr.MrNoID
+	}
+	d.values[counter] = v + 1
+	return v, nil
+}

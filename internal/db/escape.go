@@ -1,0 +1,112 @@
+package db
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The mrbackup ASCII format (section 5.2.2): each row of a relation is a
+// single line of colon-separated fields. Colons and backslashes inside
+// fields are replaced by \: and \\ respectively, and non-printing
+// characters by \nnn where nnn is the octal ASCII code.
+
+// EscapeField escapes one field for the backup format.
+func EscapeField(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == ':':
+			b.WriteString(`\:`)
+		case c == '\\':
+			b.WriteString(`\\`)
+		case c < 0x20 || c == 0x7f:
+			fmt.Fprintf(&b, `\%03o`, c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// UnescapeField reverses EscapeField. Malformed escapes are an error.
+func UnescapeField(s string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", fmt.Errorf("db: trailing backslash in field %q", s)
+		}
+		switch s[i] {
+		case ':':
+			b.WriteByte(':')
+		case '\\':
+			b.WriteByte('\\')
+		default:
+			if i+2 >= len(s) {
+				return "", fmt.Errorf("db: short octal escape in field %q", s)
+			}
+			var v int
+			for j := 0; j < 3; j++ {
+				d := s[i+j]
+				if d < '0' || d > '7' {
+					return "", fmt.Errorf("db: bad octal escape in field %q", s)
+				}
+				v = v*8 + int(d-'0')
+			}
+			if v > 0xff {
+				return "", fmt.Errorf("db: octal escape out of range in field %q", s)
+			}
+			b.WriteByte(byte(v))
+			i += 2
+		}
+	}
+	return b.String(), nil
+}
+
+// EncodeRow joins escaped fields with colons.
+func EncodeRow(fields []string) string {
+	esc := make([]string, len(fields))
+	for i, f := range fields {
+		esc[i] = EscapeField(f)
+	}
+	return strings.Join(esc, ":")
+}
+
+// DecodeRow splits a backup line into unescaped fields. Splitting honours
+// escapes: a colon preceded by an unescaped backslash is field content.
+func DecodeRow(line string) ([]string, error) {
+	var fields []string
+	var cur strings.Builder
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch c {
+		case '\\':
+			cur.WriteByte(c)
+			if i+1 < len(line) {
+				i++
+				cur.WriteByte(line[i])
+			}
+		case ':':
+			fields = append(fields, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	fields = append(fields, cur.String())
+	out := make([]string, len(fields))
+	for i, f := range fields {
+		u, err := UnescapeField(f)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = u
+	}
+	return out, nil
+}

@@ -1,0 +1,61 @@
+package db
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Structured journal records. Section 5.2.2: the nightly ASCII backup
+// "provides recovery with the loss of no more than roughly a day's
+// transactions. To improve this, the journal file kept by the Moira
+// server daemon contains a listing of all successful changes to the
+// database." This implementation makes the listing machine-replayable:
+// each successful mutating query appends one colon-escaped row
+//
+//	timestamp:principal:application:query:arg1:arg2:...
+//
+// so a restore can be rolled forward by re-executing the journal (see
+// queries.ReplayJournal).
+
+// JournalRecord is one parsed journal line.
+type JournalRecord struct {
+	Time      int64
+	Principal string
+	App       string
+	Query     string
+	Args      []string
+}
+
+// JournalQuery appends one successful mutating query to the journal.
+// Caller holds the exclusive lock (it runs inside the query transaction).
+func (d *DB) JournalQuery(principal, app, query string, args []string) {
+	if d.journal == nil {
+		return
+	}
+	row := append([]string{
+		strconv.FormatInt(d.Now(), 10), principal, app, query,
+	}, args...)
+	fmt.Fprintln(d.journal, EncodeRow(row))
+}
+
+// ParseJournalLine decodes one journal line.
+func ParseJournalLine(line string) (*JournalRecord, error) {
+	fields, err := DecodeRow(line)
+	if err != nil {
+		return nil, err
+	}
+	if len(fields) < 4 {
+		return nil, fmt.Errorf("db: journal line has %d fields", len(fields))
+	}
+	ts, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("db: journal timestamp %q", fields[0])
+	}
+	return &JournalRecord{
+		Time:      ts,
+		Principal: fields[1],
+		App:       fields[2],
+		Query:     fields[3],
+		Args:      fields[4:],
+	}, nil
+}

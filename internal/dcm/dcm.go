@@ -1,0 +1,484 @@
+// Package dcm implements the Data Control Manager (section 5.7): the
+// program responsible for distributing information to servers. Invoked
+// regularly (cron in the original; a loop or trigger here), it scans the
+// services table, regenerates server-specific files for services whose
+// update interval has elapsed — skipping cheaply when nothing in the
+// database changed — and pushes the files to each server host over the
+// update protocol, tracking per-service and per-host success, soft
+// failures (retried later), and hard failures (zephyrgram + mail, and
+// for replicated services a stop on further host updates).
+package dcm
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"moira/internal/clock"
+	"moira/internal/db"
+	"moira/internal/gen"
+	"moira/internal/kerberos"
+	"moira/internal/mrerr"
+	"moira/internal/update"
+)
+
+// ScriptBuilder produces the installation instruction sequence for one
+// host of a service. destDir is the service record's script field, which
+// this implementation uses as the installation directory on the host.
+type ScriptBuilder func(s *db.Server, host string, data []byte) []string
+
+// Config configures a DCM.
+type Config struct {
+	DB    *db.DB
+	Clock clock.Clock
+
+	// Generators maps service name to generator; defaults to
+	// gen.Registry.
+	Generators map[string]gen.Func
+
+	// Scripts maps service name to its install-script builder; defaults
+	// to DefaultScripts.
+	Scripts map[string]ScriptBuilder
+
+	// Resolve returns the update-agent address for a canonical machine
+	// name. Hosts that do not resolve get a soft failure.
+	Resolve func(machine string) (string, bool)
+
+	// Creds supplies credentials authenticating the DCM to the update
+	// agents; it is called once per pass, since a cron-driven DCM gets a
+	// fresh ticket each invocation rather than holding one across runs.
+	// nil works only against agents without verifiers (tests).
+	Creds func() *kerberos.Credentials
+
+	// Notify sends a zephyrgram; hard errors go to class MOIRA instance
+	// DCM. nil discards.
+	Notify func(class, instance, message string)
+
+	// Mail sends failure mail to the maintainers. nil discards.
+	Mail func(subject, body string)
+
+	// Logf logs progress. nil discards.
+	Logf func(format string, args ...any)
+
+	// DisablePath is the equivalent of /etc/nodcm: if the file exists,
+	// the DCM exits quietly.
+	DisablePath string
+
+	// PushTimeout bounds each host update.
+	PushTimeout time.Duration
+}
+
+// DCM is a data control manager instance.
+type DCM struct {
+	cfg Config
+	clk clock.Clock
+}
+
+// CycleStats summarizes one DCM pass; the Table G harness and the
+// benchmarks read these.
+type CycleStats struct {
+	ServicesScanned int
+	ServicesDue     int
+	Generated       int
+	NoChange        int
+	GenHardErrors   int
+
+	HostsConsidered int
+	HostsUpdated    int
+	HostSoftFails   int
+	HostHardFails   int
+
+	FilesGenerated  int
+	FilesPropagated int
+	BytesGenerated  int
+	BytesPropagated int
+}
+
+// New creates a DCM.
+func New(cfg Config) *DCM {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System
+	}
+	if cfg.Generators == nil {
+		cfg.Generators = gen.Registry
+	}
+	if cfg.Scripts == nil {
+		cfg.Scripts = DefaultScripts
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.PushTimeout == 0 {
+		cfg.PushTimeout = 30 * time.Second
+	}
+	return &DCM{cfg: cfg, clk: cfg.Clock}
+}
+
+// DefaultScripts builds installation scripts for the standard services.
+// The service record's script field names the installation directory on
+// the target host.
+var DefaultScripts = map[string]ScriptBuilder{
+	"HESIOD": func(s *db.Server, host string, data []byte) []string {
+		return gen.HesiodInstallScript(s.TargetFile, s.Script)
+	},
+	"NFS": func(s *db.Server, host string, data []byte) []string {
+		parts := partitionsInBundle(data)
+		return gen.NFSInstallScript(s.TargetFile, s.Script, parts)
+	},
+	"SMTP": func(s *db.Server, host string, data []byte) []string {
+		return gen.MailInstallScript(s.TargetFile, s.Script)
+	},
+	"ZEPHYR": func(s *db.Server, host string, data []byte) []string {
+		names, _ := update.ListTar(data)
+		var acls []string
+		for _, n := range names {
+			if strings.HasSuffix(n, ".acl") {
+				acls = append(acls, n)
+			}
+		}
+		return gen.ZephyrInstallScript(s.TargetFile, s.Script, acls)
+	},
+}
+
+// partitionsInBundle recovers the partition list from an NFS bundle's
+// member names (<base>.quotas).
+func partitionsInBundle(data []byte) []string {
+	names, err := update.ListTar(data)
+	if err != nil {
+		return nil
+	}
+	var parts []string
+	for _, n := range names {
+		if base, ok := strings.CutSuffix(n, ".quotas"); ok {
+			parts = append(parts, "/"+strings.ReplaceAll(base, "_", "/"))
+		}
+	}
+	return parts
+}
+
+// serviceSnapshot is a copy of the service row taken under the lock.
+type serviceSnapshot struct {
+	db.Server
+}
+
+// RunOnce performs one complete DCM pass: the service scan and the host
+// scan of section 5.7.1.
+func (m *DCM) RunOnce() (*CycleStats, error) {
+	// On startup the DCM first checks for the disable file.
+	if m.cfg.DisablePath != "" {
+		if _, err := os.Stat(m.cfg.DisablePath); err == nil {
+			return nil, mrerr.MrDCMDisabled
+		}
+	}
+	d := m.cfg.DB
+
+	// Then it retrieves dcm_enable from the values relation.
+	d.LockShared()
+	enable, err := d.GetValue("dcm_enable")
+	d.UnlockShared()
+	if err != nil || enable == 0 {
+		m.cfg.Logf("dcm: dcm_enable is off; exiting")
+		return nil, mrerr.MrDCMDisabled
+	}
+
+	stats := &CycleStats{}
+
+	// Snapshot the services table.
+	var services []serviceSnapshot
+	d.LockShared()
+	d.EachServer(func(s *db.Server) bool {
+		services = append(services, serviceSnapshot{*s})
+		return true
+	})
+	d.UnlockShared()
+
+	for _, snap := range services {
+		stats.ServicesScanned++
+		// Initial filter: enabled, no hard errors, non-zero interval,
+		// and a generator module exists.
+		generator := m.cfg.Generators[snap.Name]
+		if !snap.Enable || snap.HardError != 0 || snap.UpdateInt == 0 || generator == nil {
+			continue
+		}
+		if snap.InProgress {
+			m.cfg.Logf("dcm: %s: update already in progress, skipping", snap.Name)
+			continue
+		}
+		stats.ServicesDue++
+		m.serviceCycle(&snap, generator, stats)
+	}
+	return stats, nil
+}
+
+// serviceCycle regenerates one service's files if due, then scans its
+// hosts.
+func (m *DCM) serviceCycle(snap *serviceSnapshot, generator gen.Func, stats *CycleStats) {
+	d := m.cfg.DB
+	now := m.clk.Now().Unix()
+	name := snap.Name
+
+	var result *gen.Result
+
+	genDue := now >= snap.DFCheck+int64(snap.UpdateInt)*60
+	if genDue {
+		m.setServiceFlags(name, func(s *db.Server) { s.InProgress = true })
+		res, err := generator(d, m.genSeq(name))
+		switch {
+		case err == nil:
+			result = res
+			stats.Generated++
+			stats.FilesGenerated += res.NumFiles
+			stats.BytesGenerated += res.TotalBytes
+			m.setServiceFlags(name, func(s *db.Server) {
+				s.DFGen, s.DFCheck = now, now
+				s.InProgress = false
+			})
+			m.setGenSeq(name, res.Seq)
+			snap.DFGen, snap.DFCheck = now, now
+			m.cfg.Logf("dcm: %s: generated %d files (%d bytes)", name, res.NumFiles, res.TotalBytes)
+		case err == mrerr.MrNoChange:
+			stats.NoChange++
+			m.setServiceFlags(name, func(s *db.Server) {
+				s.DFCheck = now
+				s.InProgress = false
+			})
+			snap.DFCheck = now
+			m.cfg.Logf("dcm: %s: no change", name)
+		default:
+			// Hard generation error: record and zephyr-notify.
+			stats.GenHardErrors++
+			code := int(mrerr.CodeOf(err))
+			msg := err.Error()
+			m.setServiceFlags(name, func(s *db.Server) {
+				s.HardError = code
+				s.ErrMsg = msg
+				s.InProgress = false
+			})
+			m.notify(fmt.Sprintf("service %s: file generation failed: %s", name, msg))
+			return
+		}
+	}
+
+	// Host scan: runs for every service that passed the initial check,
+	// regardless of whether it was time to build data files.
+	hosts := m.hostsNeedingUpdate(snap)
+	if len(hosts) == 0 {
+		return
+	}
+	// Updates are needed but this pass produced no files (the service
+	// was not due, or nothing changed): regenerate unconditionally. The
+	// data files are valid; extra generations are not harmful.
+	if result == nil {
+		res, err := generator(d, 0)
+		if err != nil {
+			m.cfg.Logf("dcm: %s: regeneration for host updates failed: %v", name, err)
+			return
+		}
+		result = res
+	}
+
+	for _, h := range hosts {
+		stats.HostsConsidered++
+		if !m.updateHost(snap, h, result, stats) && snap.Type == db.ServiceReplicated {
+			// A hard failure on a replicated service stops updates to
+			// the service's remaining hosts.
+			break
+		}
+	}
+}
+
+type hostSnapshot struct {
+	machID int
+	name   string
+}
+
+// hostsNeedingUpdate lists the enabled hosts without hard errors that
+// have not been updated since the data files were generated (or have
+// override set).
+func (m *DCM) hostsNeedingUpdate(snap *serviceSnapshot) []hostSnapshot {
+	d := m.cfg.DB
+	d.LockShared()
+	defer d.UnlockShared()
+	var out []hostSnapshot
+	for _, sh := range d.ServerHostsOf(snap.Name) {
+		if !sh.Enable || sh.HostError != 0 || sh.InProgress {
+			continue
+		}
+		if sh.LastSuccess >= snap.DFGen && !sh.Override {
+			continue
+		}
+		if mach, ok := d.MachineByID(sh.MachID); ok {
+			out = append(out, hostSnapshot{machID: sh.MachID, name: mach.Name})
+		}
+	}
+	return out
+}
+
+// updateHost pushes the service's files to one host. It returns false on
+// a hard failure (the replicated-service abort signal).
+func (m *DCM) updateHost(snap *serviceSnapshot, h hostSnapshot, result *gen.Result, stats *CycleStats) bool {
+	name := snap.Name
+	data := result.Common
+	if data == nil {
+		data = result.PerHost[h.name]
+	}
+	if data == nil {
+		m.cfg.Logf("dcm: %s: no bundle for host %s", name, h.name)
+		return true
+	}
+
+	m.setHostFlags(name, h.machID, func(sh *db.ServerHost) { sh.InProgress = true })
+	now := m.clk.Now().Unix()
+
+	var pushErr error
+	addr, ok := m.cfg.Resolve(h.name)
+	if !ok {
+		pushErr = mrerr.UpdUnreachable
+	} else {
+		script := m.cfg.Scripts[name]
+		var lines []string
+		if script != nil {
+			lines = script(&snap.Server, h.name, data)
+		}
+		var creds *kerberos.Credentials
+		if m.cfg.Creds != nil {
+			creds = m.cfg.Creds()
+		}
+		p := &update.Push{
+			Addr: addr, Target: snap.TargetFile, Data: data, Script: lines,
+			Creds: creds, Clock: m.clk, Timeout: m.cfg.PushTimeout,
+		}
+		pushErr = p.Run()
+	}
+
+	switch {
+	case pushErr == nil:
+		stats.HostsUpdated++
+		stats.FilesPropagated += result.NumFiles
+		if result.Common != nil {
+			stats.BytesPropagated += len(data)
+		} else {
+			stats.BytesPropagated += len(data)
+		}
+		m.setHostFlags(name, h.machID, func(sh *db.ServerHost) {
+			sh.Success = true
+			sh.Override = false
+			sh.InProgress = false
+			sh.LastTry, sh.LastSuccess = now, now
+			sh.HostError, sh.HostErrMsg = 0, ""
+		})
+		m.cfg.Logf("dcm: %s: updated %s", name, h.name)
+		return true
+
+	case update.IsSoftError(pushErr):
+		stats.HostSoftFails++
+		msg := pushErr.Error()
+		m.setHostFlags(name, h.machID, func(sh *db.ServerHost) {
+			sh.InProgress = false
+			sh.LastTry = now
+			sh.HostErrMsg = msg
+		})
+		m.cfg.Logf("dcm: %s: soft failure on %s: %s (will retry)", name, h.name, msg)
+		return true
+
+	default:
+		stats.HostHardFails++
+		code := int(mrerr.CodeOf(pushErr))
+		msg := pushErr.Error()
+		m.setHostFlags(name, h.machID, func(sh *db.ServerHost) {
+			sh.InProgress = false
+			sh.Success = false
+			sh.LastTry = now
+			sh.HostError = code
+			sh.HostErrMsg = msg
+		})
+		m.notify(fmt.Sprintf("service %s host %s: update failed: %s", name, h.name, msg))
+		if m.cfg.Mail != nil {
+			m.cfg.Mail(
+				fmt.Sprintf("DCM hard failure: %s on %s", name, h.name),
+				fmt.Sprintf("updating %s on %s failed with: %s", name, h.name, msg))
+		}
+		if snap.Type == db.ServiceReplicated {
+			m.setServiceFlags(name, func(s *db.Server) {
+				s.HardError = code
+				s.ErrMsg = msg
+			})
+		}
+		return false
+	}
+}
+
+// genSeq reads the stored change sequence of the last successful
+// generation for a service (kept in the values relation so it survives
+// DCM restarts); zero means "never generated".
+func (m *DCM) genSeq(service string) int64 {
+	d := m.cfg.DB
+	d.LockShared()
+	defer d.UnlockShared()
+	v, err := d.GetValue(db.GenSeqPrefix + service)
+	if err != nil {
+		return 0
+	}
+	return int64(v)
+}
+
+// setGenSeq stores the observed change sequence after a generation.
+func (m *DCM) setGenSeq(service string, seq int64) {
+	d := m.cfg.DB
+	d.LockExclusive()
+	defer d.UnlockExclusive()
+	d.SetValue(db.GenSeqPrefix+service, int(seq))
+}
+
+// notify sends a zephyrgram to class MOIRA instance DCM.
+func (m *DCM) notify(message string) {
+	if m.cfg.Notify != nil {
+		m.cfg.Notify("MOIRA", "DCM", message)
+	}
+	m.cfg.Logf("dcm: NOTICE: %s", message)
+}
+
+// setServiceFlags mutates a service row under the exclusive lock, the
+// in-process equivalent of the set_server_internal_flags query.
+func (m *DCM) setServiceFlags(name string, fn func(*db.Server)) {
+	d := m.cfg.DB
+	d.LockExclusive()
+	defer d.UnlockExclusive()
+	if s, ok := d.ServerByName(name); ok {
+		fn(s)
+		d.NoteUpdateInternal(db.TServers)
+	}
+}
+
+// setHostFlags mutates a serverhost row under the exclusive lock, the
+// in-process equivalent of the set_server_host_internal query.
+func (m *DCM) setHostFlags(service string, machID int, fn func(*db.ServerHost)) {
+	d := m.cfg.DB
+	d.LockExclusive()
+	defer d.UnlockExclusive()
+	if sh, ok := d.ServerHost(service, machID); ok {
+		fn(sh)
+		d.NoteUpdateInternal(db.TServerHosts)
+	}
+}
+
+// Loop runs the DCM at the given wall-clock interval (the cron line of
+// the original: "invoked regularly by cron at intervals which become the
+// minimum update time for any service"). It also runs immediately when
+// trigger fires, and returns when stop closes.
+func (m *DCM) Loop(interval time.Duration, trigger <-chan struct{}, stop <-chan struct{}) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		case <-trigger:
+		}
+		if _, err := m.RunOnce(); err != nil && err != mrerr.MrDCMDisabled {
+			m.cfg.Logf("dcm: pass failed: %v", err)
+		}
+	}
+}

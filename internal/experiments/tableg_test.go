@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTableGCountsMatchPaper is the headline reproduction check: at any
+// scale the table must carry the paper's structure, and at a scale that
+// preserves the paper's server counts the totals must be exact.
+func TestTableGCountsMatchPaper(t *testing.T) {
+	res, err := TableG(1000) // 1000 users: 2 NFS servers, same structure
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eleven hesiod rows, three NFS rows, one mail, one zephyr.
+	byService := map[string]int{}
+	for _, r := range res.Rows {
+		byService[r.Service]++
+	}
+	if byService["Hesiod"] != 11 || byService["NFS"] != 3 ||
+		byService["Mail"] != 1 || byService["Zephyr"] != 1 {
+		t.Errorf("rows per service = %v", byService)
+	}
+	for _, r := range res.Rows {
+		if r.Bytes == 0 && r.File != "partition.dirs" {
+			t.Errorf("%s/%s generated empty", r.Service, r.File)
+		}
+		if r.Number == 0 || r.Propagations == 0 {
+			t.Errorf("%s/%s has zero counts", r.Service, r.File)
+		}
+	}
+}
+
+func TestTableGExactTotalsAtPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k population in -short mode")
+	}
+	res, err := TableG(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalFiles != res.PaperTotalFiles {
+		t.Errorf("total files = %d, paper %d", res.TotalFiles, res.PaperTotalFiles)
+	}
+	if res.TotalPropagations != res.PaperTotalPropagns {
+		t.Errorf("total propagations = %d, paper %d", res.TotalPropagations, res.PaperTotalPropagns)
+	}
+	// The headline file sizes are within 2x of the published figures.
+	for _, r := range res.Rows {
+		if r.Service != "Hesiod" || r.PaperBytes == 0 {
+			continue
+		}
+		ratio := float64(r.Bytes) / float64(r.PaperBytes)
+		if ratio < 0.25 || ratio > 2.0 {
+			t.Errorf("%s: ratio %.2f outside [0.25, 2.0] (paper %d, got %d)",
+				r.File, ratio, r.PaperBytes, r.Bytes)
+		}
+	}
+}
+
+func TestTableGFormat(t *testing.T) {
+	res, err := TableG(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Format()
+	for _, want := range []string{"passwd.db", "credentials", "/usr/lib/aliases", "TOTAL", "paper totals"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Package gen contains the DCM's generator sub-programs (section 5.7.1):
+// for each supported service, the code that extracts Moira data and
+// converts it to the server-specific file formats of section 5.8 —
+// Hesiod BIND files, NFS credentials/quota/directory files, the sendmail
+// aliases file, and Zephyr ACL files.
+//
+// A generator returns MR_NO_CHANGE when none of the relations it reads
+// were modified since the last generation, which is what makes the
+// 15-minute DCM wakeups cheap (section 5.1.E).
+package gen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"moira/internal/db"
+	"moira/internal/update"
+)
+
+// Result is the output of one generator run.
+type Result struct {
+	// Common is the bundle propagated identically to every host of the
+	// service (hesiod, mail, zephyr). nil when the service is per-host.
+	Common []byte
+	// PerHost maps canonical machine name to that host's bundle (NFS).
+	PerHost map[string][]byte
+	// Files flattens every generated file (per-host files are prefixed
+	// "HOST/") for inspection, sizing, and the Table G harness.
+	Files map[string][]byte
+	// NumFiles counts generated files; TotalBytes their summed size.
+	NumFiles   int
+	TotalBytes int
+	// Seq is the database change sequence the generator observed; the
+	// DCM stores it and passes it back as `since` on the next run.
+	Seq int64
+}
+
+func (r *Result) finish() {
+	r.NumFiles = len(r.Files)
+	r.TotalBytes = 0
+	for _, f := range r.Files {
+		r.TotalBytes += len(f)
+	}
+}
+
+// Func is a generator: it reads the database (taking its own shared
+// lock) and produces the service's files, or MR_NO_CHANGE if nothing
+// relevant changed since the given change sequence.
+type Func func(d *db.DB, since int64) (*Result, error)
+
+// Registry maps DCM service names to their generators, the equivalent of
+// the /u1/sms/bin/<service>.gen modules.
+var Registry = map[string]Func{
+	"HESIOD": Hesiod,
+	"NFS":    NFS,
+	"SMTP":   Mail,
+	"ZEPHYR": ZephyrACL,
+}
+
+// unchanged reports whether none of the tables changed since the change
+// sequence `since`. A zero `since` means "never generated": always
+// regenerate. Sequences, not wall times, drive this so a change landing
+// in the same second as a generation is never lost.
+func unchanged(d *db.DB, since int64, tables ...string) bool {
+	return since > 0 && d.SeqOf(tables...) <= since
+}
+
+// shortHost returns the lowercase first label of a hostname, the form
+// the hesiod filsys data uses ("charon" for CHARON.MIT.EDU).
+func shortHost(name string) string {
+	name = strings.ToLower(name)
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// hsLine renders one hesiod record: `name HS UNSPECA "data"`.
+func hsLine(b *strings.Builder, name, data string) {
+	fmt.Fprintf(b, "%s HS UNSPECA \"%s\"\n", name, data)
+}
+
+// cnameLine renders a hesiod CNAME record.
+func cnameLine(b *strings.Builder, name, target string) {
+	fmt.Fprintf(b, "%s HS CNAME %s\n", name, target)
+}
+
+// activeGroups returns the active group lists, sorted by GID.
+func activeGroups(d *db.DB) []*db.List {
+	var out []*db.List
+	d.EachList(func(l *db.List) bool {
+		if l.Active && l.Group {
+			out = append(out, l)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].GID < out[j].GID })
+	return out
+}
+
+// groupsOfUser returns the active group lists containing the user,
+// directly or through sublists, with the user's namesake group first —
+// the ordering visible in the paper's grplist.db example.
+func groupsOfUser(d *db.DB, u *db.User, groups []*db.List, memberOf func(listID, usersID int) bool) []*db.List {
+	var own *db.List
+	var rest []*db.List
+	for _, g := range groups {
+		if !memberOf(g.ListID, u.UsersID) {
+			continue
+		}
+		if g.Name == u.Login && own == nil {
+			own = g
+		} else {
+			rest = append(rest, g)
+		}
+	}
+	if own != nil {
+		return append([]*db.List{own}, rest...)
+	}
+	return rest
+}
+
+// bundle tars a file set.
+func bundle(files map[string][]byte) ([]byte, error) {
+	return update.BuildTar(files)
+}

@@ -1,0 +1,221 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"moira/internal/acl"
+	"moira/internal/db"
+	"moira/internal/mrerr"
+)
+
+// hesiodTables are the relations feeding the hesiod extract.
+var hesiodTables = []string{
+	db.TUsers, db.TList, db.TMembers, db.TMachine, db.TCluster, db.TMCMap,
+	db.TSvc, db.TFilesys, db.TPrintcap, db.TServices, db.TServerHosts,
+	db.TAlias, db.TStrings,
+}
+
+// userGroupIndex expands every active group once and returns, for each
+// user id, the active groups containing it (directly or via sublists).
+func userGroupIndex(d *db.DB, groups []*db.List) map[int][]*db.List {
+	idx := make(map[int][]*db.List)
+	for _, g := range groups {
+		for _, m := range acl.ExpandMembers(d, g.ListID) {
+			if m.MemberType == db.ACEUser {
+				idx[m.MemberID] = append(idx[m.MemberID], g)
+			}
+		}
+	}
+	return idx
+}
+
+// Hesiod generates the eleven hesiod .db files (section 5.8.2) as one
+// tar bundle: every hesiod server receives the same set.
+func Hesiod(d *db.DB, since int64) (*Result, error) {
+	d.LockShared()
+	defer d.UnlockShared()
+	if unchanged(d, since, hesiodTables...) {
+		return nil, mrerr.MrNoChange
+	}
+	observedSeq := d.SeqOf(hesiodTables...)
+
+	var passwd, uid, group, gid, grplist, pobox, filsys, cluster, pcap, service, sloc strings.Builder
+
+	groups := activeGroups(d)
+	idx := userGroupIndex(d, groups)
+
+	// passwd.db, uid.db, pobox.db, grplist.db walk the active users once.
+	d.EachUser(func(u *db.User) bool {
+		if u.Status != db.UserActive {
+			return true
+		}
+		entry := fmt.Sprintf("%s:*:%d:101:%s,,,,:/mit/%s:%s",
+			u.Login, u.UID, u.Fullname, u.Login, u.Shell)
+		hsLine(&passwd, u.Login+".passwd", entry)
+		cnameLine(&uid, fmt.Sprintf("%d.uid", u.UID), u.Login+".passwd")
+
+		if u.PoType == db.PoboxPOP {
+			if m, ok := d.MachineByID(u.PopID); ok {
+				hsLine(&pobox, u.Login+".pobox", fmt.Sprintf("POP %s %s", m.Name, u.Login))
+			}
+		}
+
+		if gs := idx[u.UsersID]; len(gs) > 0 {
+			// Namesake group first, then the rest in GID order.
+			ordered := groupsOfUser(d, u, gs, func(listID, usersID int) bool { return true })
+			parts := make([]string, 0, len(ordered))
+			for _, g := range ordered {
+				parts = append(parts, fmt.Sprintf("%s:%d", g.Name, g.GID))
+			}
+			hsLine(&grplist, u.Login+".grplist", strings.Join(parts, ":"))
+		}
+		return true
+	})
+
+	// group.db and gid.db from the active groups.
+	for _, g := range groups {
+		hsLine(&group, g.Name+".group", fmt.Sprintf("%s:*:%d:", g.Name, g.GID))
+		cnameLine(&gid, fmt.Sprintf("%d.gid", g.GID), g.Name+".group")
+	}
+
+	// filsys.db.
+	d.EachFilesys(func(f *db.Filesys) bool {
+		m, ok := d.MachineByID(f.MachID)
+		if !ok {
+			return true
+		}
+		hsLine(&filsys, f.Label+".filsys", fmt.Sprintf("%s %s %s %s %s",
+			f.Type, f.Name, shortHost(m.Name), f.Access, f.Mount))
+		return true
+	})
+	// Filesystem aliases resolve to the real filesystem's data.
+	for _, a := range d.Aliases() {
+		if a.Type != "FILESYS" {
+			continue
+		}
+		for _, f := range d.FilesysByLabel(a.Trans) {
+			m, ok := d.MachineByID(f.MachID)
+			if !ok {
+				continue
+			}
+			hsLine(&filsys, a.Name+".filsys", fmt.Sprintf("%s %s %s %s %s",
+				f.Type, f.Name, shortHost(m.Name), f.Access, f.Mount))
+		}
+	}
+
+	// cluster.db: per-cluster data lines, then machine CNAMEs. Machines
+	// in several clusters get a union pseudo-cluster (section 5.8.2).
+	d.EachCluster(func(c *db.Cluster) bool {
+		for _, s := range d.SvcRows() {
+			if s.CluID == c.CluID {
+				hsLine(&cluster, c.Name+".cluster", s.ServLabel+" "+s.ServCluster)
+			}
+		}
+		return true
+	})
+	d.EachMachine(func(m *db.Machine) bool {
+		clusters := d.ClustersOfMachine(m.MachID)
+		switch len(clusters) {
+		case 0:
+		case 1:
+			if c, ok := d.ClusterByID(clusters[0]); ok {
+				cnameLine(&cluster, m.Name+".cluster", c.Name+".cluster")
+			}
+		default:
+			pseudo := shortHost(m.Name) + "-pseudo"
+			for _, cid := range clusters {
+				if c, ok := d.ClusterByID(cid); ok {
+					for _, s := range d.SvcRows() {
+						if s.CluID == c.CluID {
+							hsLine(&cluster, pseudo+".cluster", s.ServLabel+" "+s.ServCluster)
+						}
+					}
+				}
+			}
+			cnameLine(&cluster, m.Name+".cluster", pseudo+".cluster")
+		}
+		return true
+	})
+
+	// printcap.db.
+	d.EachPrintcap(func(p *db.Printcap) bool {
+		m, ok := d.MachineByID(p.MachID)
+		if !ok {
+			return true
+		}
+		hsLine(&pcap, p.Name+".pcap", fmt.Sprintf("%s:rp=%s:rm=%s:sd=%s",
+			p.Name, p.RP, m.Name, p.Dir))
+		return true
+	})
+
+	// service.db, including SERVICE aliases.
+	d.EachService(func(s *db.Service) bool {
+		hsLine(&service, s.Name+".service", fmt.Sprintf("%s %s %d",
+			s.Name, strings.ToLower(s.Protocol), s.Port))
+		return true
+	})
+	for _, a := range d.Aliases() {
+		if a.Type != "SERVICE" {
+			continue
+		}
+		if s, ok := d.ServiceByName(a.Trans); ok {
+			hsLine(&service, a.Name+".service", fmt.Sprintf("%s %s %d",
+				s.Name, strings.ToLower(s.Protocol), s.Port))
+		}
+	}
+
+	// sloc.db: DCM service/host tuples.
+	var slocLines []string
+	d.EachServerHost(func(sh *db.ServerHost) bool {
+		if m, ok := d.MachineByID(sh.MachID); ok {
+			slocLines = append(slocLines, fmt.Sprintf("%s.sloc HS UNSPECA %s\n", sh.Service, m.Name))
+		}
+		return true
+	})
+	sort.Strings(slocLines)
+	for _, l := range slocLines {
+		sloc.WriteString(l)
+	}
+
+	files := map[string][]byte{
+		"cluster.db":  []byte(cluster.String()),
+		"filsys.db":   []byte(filsys.String()),
+		"gid.db":      []byte(gid.String()),
+		"group.db":    []byte(group.String()),
+		"grplist.db":  []byte(grplist.String()),
+		"passwd.db":   []byte(passwd.String()),
+		"pobox.db":    []byte(pobox.String()),
+		"printcap.db": []byte(pcap.String()),
+		"service.db":  []byte(service.String()),
+		"sloc.db":     []byte(sloc.String()),
+		"uid.db":      []byte(uid.String()),
+	}
+	tarball, err := bundle(files)
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{Common: tarball, Files: files}
+	r.Seq = observedSeq
+	r.finish()
+	return r, nil
+}
+
+// HesiodInstallScript is the instruction sequence the DCM runs on a
+// hesiod server after delivering the bundle: extract and atomically
+// install each file, then restart the server so it reloads into memory.
+func HesiodInstallScript(target, destDir string) []string {
+	var script []string
+	for _, f := range []string{
+		"cluster.db", "filsys.db", "gid.db", "group.db", "grplist.db",
+		"passwd.db", "pobox.db", "printcap.db", "service.db", "sloc.db", "uid.db",
+	} {
+		script = append(script,
+			"extract "+f+" "+destDir+"/"+f,
+			"install "+destDir+"/"+f,
+		)
+	}
+	script = append(script, "exec restart_hesiod "+destDir)
+	return script
+}

@@ -1,0 +1,77 @@
+package gen
+
+import (
+	"strings"
+
+	"moira/internal/acl"
+	"moira/internal/db"
+	"moira/internal/mrerr"
+)
+
+var kloginTables = []string{
+	db.THostAccess, db.TMachine, db.TUsers, db.TList, db.TMembers,
+}
+
+// KLogin generates per-host /.klogin files from the HOSTACCESS relation
+// (section 7.0.7: "This will be used to load the /.klogin file on that
+// machine"). Each named principal — the ACE user, or the recursive
+// expansion of the ACE list — gets one `principal.@REALM` line granting
+// root access on that host. The paper defines the relation and its
+// queries but describes no generator; this completes the pipeline the
+// schema was built for.
+func KLogin(realm string) Func {
+	return func(d *db.DB, since int64) (*Result, error) {
+		d.LockShared()
+		defer d.UnlockShared()
+		if unchanged(d, since, kloginTables...) {
+			return nil, mrerr.MrNoChange
+		}
+		observedSeq := d.SeqOf(kloginTables...)
+
+		r := &Result{PerHost: map[string][]byte{}, Files: map[string][]byte{}}
+		d.EachHostAccess(func(h *db.HostAccess) bool {
+			m, ok := d.MachineByID(h.MachID)
+			if !ok {
+				return true
+			}
+			var b strings.Builder
+			line := func(login string) {
+				b.WriteString(login + ".@" + realm + "\n")
+			}
+			switch h.ACLType {
+			case db.ACEUser:
+				if u, ok := d.UserByID(h.ACLID); ok && u.Status == db.UserActive {
+					line(u.Login)
+				}
+			case db.ACEList:
+				for _, mem := range acl.ExpandMembers(d, h.ACLID) {
+					if mem.MemberType != db.ACEUser {
+						continue
+					}
+					if u, ok := d.UserByID(mem.MemberID); ok && u.Status == db.UserActive {
+						line(u.Login)
+					}
+				}
+			}
+			files := map[string][]byte{".klogin": []byte(b.String())}
+			tarball, err := bundle(files)
+			if err != nil {
+				return true
+			}
+			r.PerHost[m.Name] = tarball
+			r.Files[m.Name+"/.klogin"] = files[".klogin"]
+			return true
+		})
+		r.Seq = observedSeq
+		r.finish()
+		return r, nil
+	}
+}
+
+// KLoginInstallScript installs the .klogin file at the host root.
+func KLoginInstallScript(target, destDir string) []string {
+	return []string{
+		"extract .klogin " + destDir + "/.klogin",
+		"install " + destDir + "/.klogin",
+	}
+}

@@ -1,0 +1,75 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+
+	"moira/internal/db"
+	"moira/internal/mrerr"
+	"moira/internal/queries"
+)
+
+func TestKLoginGenerator(t *testing.T) {
+	d, _ := popDB(t, 40)
+	priv := &queries.Context{DB: d, Privileged: true, App: "test"}
+	run := func(name string, args ...string) {
+		t.Helper()
+		if err := queries.Execute(priv, name, args, func([]string) error { return nil }); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	// root may log in on the hesiod server; dbadmin on the mailhub.
+	run("add_server_host_access", "SUOMI.MIT.EDU", "USER", "root")
+	run("add_server_host_access", "ATHENA.MIT.EDU", "LIST", "dbadmin")
+
+	gen := KLogin("ATHENA.MIT.EDU")
+	res, err := gen(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerHost) != 2 {
+		t.Fatalf("per-host bundles = %d", len(res.PerHost))
+	}
+	suomi := string(res.Files["SUOMI.MIT.EDU/.klogin"])
+	if suomi != "root.@ATHENA.MIT.EDU\n" {
+		t.Errorf("suomi .klogin = %q", suomi)
+	}
+	hub := string(res.Files["ATHENA.MIT.EDU/.klogin"])
+	if !strings.Contains(hub, "root.@ATHENA.MIT.EDU\n") ||
+		!strings.Contains(hub, "moira.@ATHENA.MIT.EDU\n") {
+		t.Errorf("mailhub .klogin = %q", hub)
+	}
+
+	// No-change contract.
+	if _, err := gen(d, res.Seq); err != mrerr.MrNoChange {
+		t.Errorf("unchanged err = %v", err)
+	}
+	// Membership change regenerates.
+	run("add_user", "newop", "-1", "/bin/csh", "New", "Op", "", "1", "", "STAFF")
+	run("add_member_to_list", "dbadmin", "USER", "newop")
+	res2, err := gen(d, res.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(res2.Files["ATHENA.MIT.EDU/.klogin"]), "newop.@") {
+		t.Error("new operator missing from regenerated .klogin")
+	}
+
+	// Inactive principals are excluded.
+	run("update_user_status", "newop", "0")
+	res3, err := gen(d, res2.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(res3.Files["ATHENA.MIT.EDU/.klogin"]), "newop.@") {
+		t.Error("inactive principal in .klogin")
+	}
+	_ = db.UserActive
+}
+
+func TestKLoginInstallScript(t *testing.T) {
+	s := KLoginInstallScript("/tmp/klogin.out", "/")
+	if len(s) != 2 || !strings.HasPrefix(s[0], "extract .klogin") || !strings.HasPrefix(s[1], "install") {
+		t.Errorf("script = %v", s)
+	}
+}

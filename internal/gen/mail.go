@@ -1,0 +1,142 @@
+package gen
+
+import (
+	"fmt"
+	"strings"
+
+	"moira/internal/acl"
+	"moira/internal/db"
+	"moira/internal/mrerr"
+)
+
+var mailTables = []string{
+	db.TUsers, db.TList, db.TMembers, db.TStrings, db.TMachine,
+}
+
+// localPO converts a post office machine name to the .LOCAL form the
+// aliases file uses: ATHENA-PO-2.MIT.EDU -> ATHENA-PO-2.LOCAL.
+func localPO(machine string) string {
+	if i := strings.IndexByte(machine, '.'); i >= 0 {
+		machine = machine[:i]
+	}
+	return machine + ".LOCAL"
+}
+
+// Mail generates the mailhub files (section 5.8.2, service Mail): the
+// /usr/lib/aliases file holding mailing lists and post office boxes, and
+// a complete /etc/passwd so the mailhub's finger server knows everybody.
+func Mail(d *db.DB, since int64) (*Result, error) {
+	d.LockShared()
+	defer d.UnlockShared()
+	if unchanged(d, since, mailTables...) {
+		return nil, mrerr.MrNoChange
+	}
+	observedSeq := d.SeqOf(mailTables...)
+
+	var aliases strings.Builder
+
+	memberAddr := func(m db.Member) string {
+		switch m.MemberType {
+		case db.ACEUser:
+			if u, ok := d.UserByID(m.MemberID); ok {
+				return u.Login
+			}
+		case db.ACEList:
+			if l, ok := d.ListByID(m.MemberID); ok {
+				return l.Name
+			}
+		case db.ACEString:
+			if s, ok := d.StringByID(m.MemberID); ok {
+				return s.String
+			}
+		}
+		return ""
+	}
+
+	// Mailing lists: only lists marked active and maillist. Sublists are
+	// named, not expanded — sendmail chases them through their own alias
+	// lines; sublists that are not themselves maillists are expanded.
+	d.EachList(func(l *db.List) bool {
+		if !l.Active || !l.Maillist {
+			return true
+		}
+		fmt.Fprintf(&aliases, "# %s\n", l.Desc)
+		switch l.ACLType {
+		case db.ACEUser:
+			if u, ok := d.UserByID(l.ACLID); ok {
+				fmt.Fprintf(&aliases, "owner-%s: %s\n", l.Name, u.Login)
+			}
+		case db.ACEList:
+			if owner, ok := d.ListByID(l.ACLID); ok && owner.ListID != l.ListID {
+				fmt.Fprintf(&aliases, "owner-%s: %s\n", l.Name, owner.Name)
+			}
+		}
+		var addrs []string
+		for _, m := range d.MembersOf(l.ListID) {
+			if m.MemberType == db.ACEList {
+				if sub, ok := d.ListByID(m.MemberID); ok && !(sub.Active && sub.Maillist) {
+					// Flatten a non-maillist sublist.
+					for _, em := range acl.ExpandMembers(d, sub.ListID) {
+						if a := memberAddr(em); a != "" {
+							addrs = append(addrs, a)
+						}
+					}
+					continue
+				}
+			}
+			if a := memberAddr(m); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		fmt.Fprintf(&aliases, "%s: %s\n", l.Name, strings.Join(addrs, ", "))
+		return true
+	})
+
+	// Post office boxes for active users.
+	var passwd strings.Builder
+	d.EachUser(func(u *db.User) bool {
+		if u.Status != db.UserActive {
+			return true
+		}
+		switch u.PoType {
+		case db.PoboxPOP:
+			if m, ok := d.MachineByID(u.PopID); ok {
+				fmt.Fprintf(&aliases, "%s: %s@%s\n", u.Login, u.Login, localPO(m.Name))
+			}
+		case db.PoboxSMTP:
+			if s, ok := d.StringByID(u.BoxID); ok {
+				fmt.Fprintf(&aliases, "%s: %s\n", u.Login, s.String)
+			}
+		}
+		fmt.Fprintf(&passwd, "%s:*:%d:101:%s,,,:/mit/%s:%s\n",
+			u.Login, u.UID, u.Fullname, u.Login, u.Shell)
+		return true
+	})
+
+	files := map[string][]byte{
+		"aliases": []byte(aliases.String()),
+		"passwd":  []byte(passwd.String()),
+	}
+	tarball, err := bundle(files)
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{Common: tarball, Files: files}
+	r.Seq = observedSeq
+	r.finish()
+	return r, nil
+}
+
+// MailInstallScript installs the aliases and passwd files on the
+// mailhub. The aliases file is deliberately staged, not swapped in
+// automatically — "the mail spool must be disabled during the
+// switchover" — so the final activation is a registered command the
+// hub's operators control.
+func MailInstallScript(target, destDir string) []string {
+	return []string{
+		"extract aliases " + destDir + "/aliases",
+		"extract passwd " + destDir + "/passwd",
+		"install " + destDir + "/passwd",
+		"exec stage_aliases " + destDir,
+	}
+}

@@ -1,0 +1,166 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"moira/internal/acl"
+	"moira/internal/db"
+	"moira/internal/mrerr"
+)
+
+var nfsTables = []string{
+	db.TUsers, db.TList, db.TMembers, db.TFilesys, db.TNFSPhys,
+	db.TNFSQuota, db.TServerHosts, db.TMachine,
+}
+
+// partFileBase converts a partition mount point to the base of its
+// quotas/directories file names: "/u1" -> "u1".
+func partFileBase(dir string) string {
+	return strings.ReplaceAll(strings.TrimPrefix(dir, "/"), "/", "_")
+}
+
+// NFS generates, per NFS server host, the credentials file, and a
+// .quotas and .dirs file for each exported partition on that host
+// (section 5.8.2, service NFS). Which users appear in a host's
+// credentials file is controlled by the value3 field of its serverhost
+// row: a list name, or blank for all active users.
+func NFS(d *db.DB, since int64) (*Result, error) {
+	d.LockShared()
+	defer d.UnlockShared()
+	if unchanged(d, since, nfsTables...) {
+		return nil, mrerr.MrNoChange
+	}
+	observedSeq := d.SeqOf(nfsTables...)
+
+	groups := activeGroups(d)
+	idx := userGroupIndex(d, groups)
+
+	credLine := func(u *db.User) string {
+		parts := []string{u.Login, fmt.Sprintf("%d", u.UID)}
+		for _, g := range groupsOfUser(d, u, idx[u.UsersID], func(int, int) bool { return true }) {
+			parts = append(parts, fmt.Sprintf("%d", g.GID))
+		}
+		return strings.Join(parts, ":") + "\n"
+	}
+
+	// The master credentials file contains all active users.
+	var master strings.Builder
+	d.EachUser(func(u *db.User) bool {
+		if u.Status == db.UserActive {
+			master.WriteString(credLine(u))
+		}
+		return true
+	})
+
+	r := &Result{PerHost: map[string][]byte{}, Files: map[string][]byte{}}
+
+	for _, sh := range d.ServerHostsOf("NFS") {
+		if !sh.Enable {
+			continue
+		}
+		m, ok := d.MachineByID(sh.MachID)
+		if !ok {
+			continue
+		}
+		files := map[string][]byte{}
+
+		// Credentials: the named list's membership, or the master file.
+		if sh.Value3 != "" {
+			var creds strings.Builder
+			if l, ok := d.ListByName(sh.Value3); ok {
+				for _, mem := range acl.ExpandMembers(d, l.ListID) {
+					if mem.MemberType != db.ACEUser {
+						continue
+					}
+					if u, ok := d.UserByID(mem.MemberID); ok && u.Status == db.UserActive {
+						creds.WriteString(credLine(u))
+					}
+				}
+			}
+			files["credentials"] = []byte(creds.String())
+		} else {
+			files["credentials"] = []byte(master.String())
+		}
+
+		// Per-partition quotas and directories files.
+		d.EachNFSPhys(func(p *db.NFSPhys) bool {
+			if p.MachID != sh.MachID {
+				return true
+			}
+			base := partFileBase(p.Dir)
+
+			var quotas strings.Builder
+			var qlines []string
+			d.EachQuota(func(q *db.NFSQuota) bool {
+				if q.PhysID != p.NFSPhysID {
+					return true
+				}
+				if u, ok := d.UserByID(q.UsersID); ok {
+					qlines = append(qlines, fmt.Sprintf("%d %d\n", u.UID, q.Quota))
+				}
+				return true
+			})
+			sort.Strings(qlines)
+			for _, l := range qlines {
+				quotas.WriteString(l)
+			}
+
+			var dirs strings.Builder
+			d.EachFilesys(func(f *db.Filesys) bool {
+				if f.Type != db.FSTypeNFS || f.PhysID != p.NFSPhysID || !f.CreateFlg {
+					return true
+				}
+				ownerUID := 0
+				if u, ok := d.UserByID(f.Owner); ok {
+					ownerUID = u.UID
+				}
+				ownerGID := 0
+				if l, ok := d.ListByID(f.Owners); ok {
+					ownerGID = l.GID
+				}
+				fmt.Fprintf(&dirs, "%s %d %d %s\n", f.Name, ownerUID, ownerGID, f.LockerType)
+				return true
+			})
+
+			files[base+".quotas"] = []byte(quotas.String())
+			files[base+".dirs"] = []byte(dirs.String())
+			return true
+		})
+
+		tarball, err := bundle(files)
+		if err != nil {
+			return nil, err
+		}
+		r.PerHost[m.Name] = tarball
+		for name, data := range files {
+			r.Files[m.Name+"/"+name] = data
+		}
+	}
+	r.Seq = observedSeq
+	r.finish()
+	return r, nil
+}
+
+// NFSInstallScript is the instruction sequence run on an NFS server: it
+// installs the credentials file and hands the quota/directory files to
+// the host's installer command, which applies quotas and creates lockers
+// (the "mkdir/chown/chgrp/chmod + setquota" shell script of the paper).
+func NFSInstallScript(target, destDir string, partitions []string) []string {
+	script := []string{
+		"extract credentials " + destDir + "/credentials",
+		"install " + destDir + "/credentials",
+	}
+	for _, p := range partitions {
+		base := partFileBase(p)
+		script = append(script,
+			"extract "+base+".quotas "+destDir+"/"+base+".quotas",
+			"install "+destDir+"/"+base+".quotas",
+			"extract "+base+".dirs "+destDir+"/"+base+".dirs",
+			"install "+destDir+"/"+base+".dirs",
+			"exec install_nfs "+destDir+" "+p,
+		)
+	}
+	return script
+}

@@ -1,0 +1,97 @@
+package gen
+
+import (
+	"strings"
+
+	"moira/internal/acl"
+	"moira/internal/db"
+	"moira/internal/mrerr"
+)
+
+var zephyrTables = []string{
+	db.TZephyr, db.TList, db.TMembers, db.TUsers, db.TStrings,
+}
+
+// ZephyrACL generates the access control list files for controlled
+// zephyr classes (section 5.8.2, service ZEPHYR): for each existing ACE
+// (even if it is empty) the membership is output, one entry per line,
+// with recursive lists expanded. All zephyr servers receive the same tar.
+func ZephyrACL(d *db.DB, since int64) (*Result, error) {
+	d.LockShared()
+	defer d.UnlockShared()
+	if unchanged(d, since, zephyrTables...) {
+		return nil, mrerr.MrNoChange
+	}
+	observedSeq := d.SeqOf(zephyrTables...)
+
+	files := map[string][]byte{}
+
+	renderACE := func(aceType string, aceID int) ([]byte, bool) {
+		switch aceType {
+		case db.ACEUser:
+			if u, ok := d.UserByID(aceID); ok {
+				return []byte(u.Login + "\n"), true
+			}
+			return []byte{}, true
+		case db.ACEList:
+			var b strings.Builder
+			for _, m := range acl.ExpandMembers(d, aceID) {
+				switch m.MemberType {
+				case db.ACEUser:
+					if u, ok := d.UserByID(m.MemberID); ok {
+						b.WriteString(u.Login + "\n")
+					}
+				case db.ACEString:
+					if s, ok := d.StringByID(m.MemberID); ok {
+						b.WriteString(s.String + "\n")
+					}
+				}
+			}
+			return []byte(b.String()), true
+		default:
+			return nil, false // NONE: no ACL file, function unrestricted
+		}
+	}
+
+	d.EachZephyr(func(z *db.ZephyrClass) bool {
+		for _, fn := range []struct {
+			suffix string
+			typ    string
+			id     int
+		}{
+			{"xmt", z.XmtType, z.XmtID},
+			{"sub", z.SubType, z.SubID},
+			{"iws", z.IwsType, z.IwsID},
+			{"iui", z.IuiType, z.IuiID},
+		} {
+			if data, ok := renderACE(fn.typ, fn.id); ok {
+				files[z.Class+"."+fn.suffix+".acl"] = data
+			}
+		}
+		return true
+	})
+
+	tarball, err := bundle(files)
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{Common: tarball, Files: files}
+	r.Seq = observedSeq
+	r.finish()
+	return r, nil
+}
+
+// ZephyrInstallScript extracts every ACL file and reloads the server.
+// The member list is derived from the bundle on the agent side via the
+// registered reload command, so the script stays fixed.
+func ZephyrInstallScript(target, destDir string, aclFiles []string) []string {
+	var script []string
+	for _, f := range aclFiles {
+		script = append(script,
+			"extract "+f+" "+destDir+"/"+f,
+			"install "+destDir+"/"+f,
+		)
+	}
+	script = append(script, "exec reload_zephyr_acls "+destDir)
+	return script
+}

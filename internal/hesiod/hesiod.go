@@ -1,0 +1,238 @@
+// Package hesiod is a from-scratch stand-in for the Athena nameserver:
+// the primary consumer of Moira's data. It serves the eleven .db files
+// the DCM propagates (passwd, uid, group, gid, grplist, pobox, filsys,
+// cluster, printcap, service, sloc), answering lookups like
+// "babette.passwd" over UDP from an in-memory copy loaded at (re)start,
+// exactly as the real server "uses these files from virtual memory on
+// the target machine".
+package hesiod
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"moira/internal/update"
+)
+
+// record is one name's data: either values or a CNAME referral.
+type record struct {
+	values []string
+	cname  string
+}
+
+// Server holds the in-memory database and the UDP listener.
+type Server struct {
+	mu      sync.RWMutex
+	records map[string]*record
+
+	conn *net.UDPConn
+	wg   sync.WaitGroup
+}
+
+// NewServer returns an empty hesiod server.
+func NewServer() *Server {
+	return &Server{records: make(map[string]*record)}
+}
+
+// ParseDB parses one .db file in the propagated format:
+//
+//	name HS UNSPECA "data"
+//	name HS CNAME target
+//	name HS UNSPECA bare-data      (sloc.db style, no quotes)
+//
+// Lines starting with ';' are comments.
+func ParseDB(data []byte) (map[string]*record, error) {
+	out := make(map[string]*record)
+	for lineno, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, ";") {
+			continue
+		}
+		fields := strings.SplitN(line, " ", 4)
+		if len(fields) < 4 || fields[1] != "HS" {
+			return nil, fmt.Errorf("hesiod: line %d: malformed record %q", lineno+1, line)
+		}
+		name, rtype, rest := fields[0], fields[2], fields[3]
+		switch rtype {
+		case "CNAME":
+			out[name] = &record{cname: strings.TrimSpace(rest)}
+		case "UNSPECA":
+			val := strings.TrimSpace(rest)
+			if strings.HasPrefix(val, "\"") && strings.HasSuffix(val, "\"") && len(val) >= 2 {
+				val = val[1 : len(val)-1]
+			}
+			r := out[name]
+			if r == nil {
+				r = &record{}
+				out[name] = r
+			}
+			r.values = append(r.values, val)
+		default:
+			return nil, fmt.Errorf("hesiod: line %d: unknown type %q", lineno+1, rtype)
+		}
+	}
+	return out, nil
+}
+
+// LoadFiles replaces the server's database with the union of the given
+// .db file contents, the equivalent of the restart that follows a DCM
+// update.
+func (s *Server) LoadFiles(files map[string][]byte) error {
+	merged := make(map[string]*record)
+	for name, data := range files {
+		recs, err := ParseDB(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		for k, v := range recs {
+			if old, ok := merged[k]; ok && v.cname == "" && old.cname == "" {
+				old.values = append(old.values, v.values...)
+			} else {
+				merged[k] = v
+			}
+		}
+	}
+	s.mu.Lock()
+	s.records = merged
+	s.mu.Unlock()
+	return nil
+}
+
+// NumRecords reports the number of loaded names.
+func (s *Server) NumRecords() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.records)
+}
+
+// Resolve answers one lookup, following CNAME referrals (with a chain
+// limit, as the example files CNAME machines into clusters and uids
+// into passwd entries).
+func (s *Server) Resolve(name string) ([]string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for depth := 0; depth < 8; depth++ {
+		r, ok := s.records[name]
+		if !ok {
+			return nil, false
+		}
+		if r.cname != "" {
+			name = r.cname
+			continue
+		}
+		return r.values, true
+	}
+	return nil, false
+}
+
+// Listen binds a UDP port and serves lookups in the background.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, err
+	}
+	s.conn = conn
+	s.wg.Add(1)
+	go s.serve()
+	return conn.LocalAddr(), nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() net.Addr {
+	if s.conn == nil {
+		return nil
+	}
+	return s.conn.LocalAddr()
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	var err error
+	if s.conn != nil {
+		err = s.conn.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Wire format: request is the queried name in UTF-8. Reply is one byte
+// of status (0 = found, 1 = not found) followed by the values joined
+// with newlines.
+func (s *Server) serve() {
+	defer s.wg.Done()
+	buf := make([]byte, 2048)
+	for {
+		n, peer, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		name := string(buf[:n])
+		values, ok := s.Resolve(name)
+		var reply []byte
+		if !ok {
+			reply = []byte{1}
+		} else {
+			reply = append([]byte{0}, []byte(strings.Join(values, "\n"))...)
+		}
+		s.conn.WriteToUDP(reply, peer)
+	}
+}
+
+// Lookup is the resolver client: it queries a hesiod server over UDP.
+func Lookup(addr, name string, timeout time.Duration) ([]string, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write([]byte(name)); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 64*1024)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return nil, err
+	}
+	if n < 1 || buf[0] != 0 {
+		return nil, fmt.Errorf("hesiod: %s: not found", name)
+	}
+	if n == 1 {
+		return []string{""}, nil
+	}
+	return strings.Split(string(buf[1:n]), "\n"), nil
+}
+
+// StandardFiles is the file set a hesiod server loads after an update.
+var StandardFiles = []string{
+	"cluster.db", "filsys.db", "gid.db", "group.db", "grplist.db",
+	"passwd.db", "pobox.db", "printcap.db", "service.db", "sloc.db", "uid.db",
+}
+
+// AttachToAgent registers the "restart_hesiod <destDir>" command on an
+// update agent: it reloads the server from the freshly installed files,
+// mirroring the kill-and-restart shell script of the paper.
+func AttachToAgent(a *update.Agent, s *Server) {
+	a.RegisterCommand("restart_hesiod", func(ag *update.Agent, args []string) error {
+		if len(args) != 1 {
+			return fmt.Errorf("restart_hesiod: want 1 arg, got %d", len(args))
+		}
+		destDir := args[0]
+		files := make(map[string][]byte)
+		for _, f := range StandardFiles {
+			data, err := ag.ReadHostFile(destDir + "/" + f)
+			if err != nil {
+				return err
+			}
+			files[f] = data
+		}
+		return s.LoadFiles(files)
+	})
+}

@@ -1,0 +1,149 @@
+package hesiod
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Typed resolver helpers, the equivalents of the hesiod C library's
+// hes_getpwnam / hes_getmailhost / hes_resolve family that the paper's
+// client programs (login, attach, inc, lpr) linked against. Each parses
+// one of the propagated record formats into a struct.
+
+// Passwd is a parsed passwd.db record.
+type Passwd struct {
+	Login    string
+	UID      int
+	GID      int
+	Fullname string
+	HomeDir  string
+	Shell    string
+}
+
+// ParsePasswd parses "login:*:uid:gid:Full Name,,,,:/mit/login:/bin/csh".
+func ParsePasswd(s string) (*Passwd, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 7 {
+		return nil, fmt.Errorf("hesiod: malformed passwd entry %q", s)
+	}
+	uid, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return nil, fmt.Errorf("hesiod: bad uid in %q", s)
+	}
+	gid, err := strconv.Atoi(parts[3])
+	if err != nil {
+		return nil, fmt.Errorf("hesiod: bad gid in %q", s)
+	}
+	name := parts[4]
+	if i := strings.IndexByte(name, ','); i >= 0 {
+		name = name[:i]
+	}
+	return &Passwd{
+		Login: parts[0], UID: uid, GID: gid, Fullname: name,
+		HomeDir: parts[5], Shell: parts[6],
+	}, nil
+}
+
+// Pobox is a parsed pobox.db record.
+type Pobox struct {
+	Type    string // POP
+	Machine string
+	Login   string
+}
+
+// ParsePobox parses "POP ATHENA-PO-2.MIT.EDU babette".
+func ParsePobox(s string) (*Pobox, error) {
+	f := strings.Fields(s)
+	if len(f) != 3 {
+		return nil, fmt.Errorf("hesiod: malformed pobox entry %q", s)
+	}
+	return &Pobox{Type: f[0], Machine: f[1], Login: f[2]}, nil
+}
+
+// Filsys is a parsed filsys.db record: the data `attach` needs.
+type Filsys struct {
+	Type   string // NFS or RVD
+	Name   string // server-side directory or packname
+	Server string
+	Access string // r or w
+	Mount  string // default client mount point
+}
+
+// ParseFilsys parses "NFS /mit/aab charon w /mit/aab".
+func ParseFilsys(s string) (*Filsys, error) {
+	f := strings.Fields(s)
+	if len(f) != 5 {
+		return nil, fmt.Errorf("hesiod: malformed filsys entry %q", s)
+	}
+	return &Filsys{Type: f[0], Name: f[1], Server: f[2], Access: f[3], Mount: f[4]}, nil
+}
+
+// SLoc is one service-location tuple from sloc.db.
+type SLoc struct {
+	Service string
+	Host    string
+}
+
+// --- network helpers: one UDP lookup + typed parse ---
+
+// GetPasswd resolves login's passwd entry from the server at addr, as
+// login(1) did at session start.
+func GetPasswd(addr, login string, timeout time.Duration) (*Passwd, error) {
+	vals, err := Lookup(addr, login+".passwd", timeout)
+	if err != nil {
+		return nil, err
+	}
+	return ParsePasswd(vals[0])
+}
+
+// GetPasswdByUID resolves a uid through the uid.db CNAME chain.
+func GetPasswdByUID(addr string, uid int, timeout time.Duration) (*Passwd, error) {
+	vals, err := Lookup(addr, fmt.Sprintf("%d.uid", uid), timeout)
+	if err != nil {
+		return nil, err
+	}
+	return ParsePasswd(vals[0])
+}
+
+// GetPobox resolves a user's post office box, as inc/movemail did.
+func GetPobox(addr, login string, timeout time.Duration) (*Pobox, error) {
+	vals, err := Lookup(addr, login+".pobox", timeout)
+	if err != nil {
+		return nil, err
+	}
+	return ParsePobox(vals[0])
+}
+
+// GetFilsys resolves a filesystem label, as attach did. A label may have
+// several entries (sorted by the database's order field).
+func GetFilsys(addr, label string, timeout time.Duration) ([]*Filsys, error) {
+	vals, err := Lookup(addr, label+".filsys", timeout)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Filsys, 0, len(vals))
+	for _, v := range vals {
+		fs, err := ParseFilsys(v)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fs)
+	}
+	return out, nil
+}
+
+// GetServiceLocations resolves which hosts run a service, as zhm and
+// chpobox did with sloc data.
+func GetServiceLocations(addr, service string, timeout time.Duration) ([]SLoc, error) {
+	vals, err := Lookup(addr, service+".sloc", timeout)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SLoc, 0, len(vals))
+	for _, v := range vals {
+		out = append(out, SLoc{Service: service, Host: strings.TrimSpace(v)})
+	}
+	return out, nil
+}

@@ -1,0 +1,94 @@
+package hesiod
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParsePasswd(t *testing.T) {
+	p, err := ParsePasswd("babette:*:6530:101:Harmon C Fowler,,,,:/mit/babette:/bin/csh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Login != "babette" || p.UID != 6530 || p.GID != 101 ||
+		p.Fullname != "Harmon C Fowler" || p.HomeDir != "/mit/babette" || p.Shell != "/bin/csh" {
+		t.Errorf("parsed = %+v", p)
+	}
+	for _, bad := range []string{"", "a:b", "a:*:x:101:n:/h:/s"} {
+		if _, err := ParsePasswd(bad); err == nil {
+			t.Errorf("ParsePasswd(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParsePobox(t *testing.T) {
+	p, err := ParsePobox("POP ATHENA-PO-2.MIT.EDU babette")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Type != "POP" || p.Machine != "ATHENA-PO-2.MIT.EDU" || p.Login != "babette" {
+		t.Errorf("parsed = %+v", p)
+	}
+	if _, err := ParsePobox("POP only-two"); err == nil {
+		t.Error("short pobox accepted")
+	}
+}
+
+func TestParseFilsys(t *testing.T) {
+	f, err := ParseFilsys("NFS /mit/aab charon w /mit/aab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != "NFS" || f.Name != "/mit/aab" || f.Server != "charon" ||
+		f.Access != "w" || f.Mount != "/mit/aab" {
+		t.Errorf("parsed = %+v", f)
+	}
+	if _, err := ParseFilsys("RVD too short"); err == nil {
+		t.Error("short filsys accepted")
+	}
+}
+
+func TestTypedNetworkResolvers(t *testing.T) {
+	s := NewServer()
+	err := s.LoadFiles(map[string][]byte{
+		"passwd.db": []byte(`babette.passwd HS UNSPECA "babette:*:6530:101:Harmon C Fowler,,,,:/mit/babette:/bin/csh"` + "\n"),
+		"uid.db":    []byte("6530.uid HS CNAME babette.passwd\n"),
+		"pobox.db":  []byte(`babette.pobox HS UNSPECA "POP ATHENA-PO-2.MIT.EDU babette"` + "\n"),
+		"filsys.db": []byte(`aab.filsys HS UNSPECA "NFS /mit/aab charon w /mit/aab"` + "\n"),
+		"sloc.db":   []byte("HESIOD.sloc HS UNSPECA SUOMI.MIT.EDU\nHESIOD.sloc HS UNSPECA KIWI.MIT.EDU\n"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	a := addr.String()
+	timeout := 2 * time.Second
+
+	pw, err := GetPasswd(a, "babette", timeout)
+	if err != nil || pw.UID != 6530 {
+		t.Errorf("GetPasswd = %+v, %v", pw, err)
+	}
+	pw, err = GetPasswdByUID(a, 6530, timeout)
+	if err != nil || pw.Login != "babette" {
+		t.Errorf("GetPasswdByUID = %+v, %v", pw, err)
+	}
+	pb, err := GetPobox(a, "babette", timeout)
+	if err != nil || pb.Machine != "ATHENA-PO-2.MIT.EDU" {
+		t.Errorf("GetPobox = %+v, %v", pb, err)
+	}
+	fs, err := GetFilsys(a, "aab", timeout)
+	if err != nil || len(fs) != 1 || fs[0].Server != "charon" {
+		t.Errorf("GetFilsys = %+v, %v", fs, err)
+	}
+	locs, err := GetServiceLocations(a, "HESIOD", timeout)
+	if err != nil || len(locs) != 2 {
+		t.Errorf("GetServiceLocations = %+v, %v", locs, err)
+	}
+	if _, err := GetPasswd(a, "ghost", timeout); err == nil {
+		t.Error("ghost lookup succeeded")
+	}
+}

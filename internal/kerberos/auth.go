@@ -1,0 +1,200 @@
+package kerberos
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+	"time"
+
+	"moira/internal/clock"
+	"moira/internal/mrerr"
+)
+
+// Authenticator is the plaintext content of an authenticator: the client
+// name (again, so the verifier can cross-check it against the ticket), the
+// name of the program acting on behalf of the user, and a timestamp.
+type Authenticator struct {
+	Client    string
+	ClientApp string // the clientname argument to mr_auth
+	Timestamp int64  // unix seconds
+	Nonce     int64  // distinguishes same-second authenticators
+}
+
+func (a *Authenticator) marshal() []byte {
+	var buf bytes.Buffer
+	putString(&buf, a.Client)
+	putString(&buf, a.ClientApp)
+	putInt64(&buf, a.Timestamp)
+	putInt64(&buf, a.Nonce)
+	return buf.Bytes()
+}
+
+func unmarshalAuthenticator(b []byte) (*Authenticator, error) {
+	r := bytes.NewReader(b)
+	var a Authenticator
+	var err error
+	if a.Client, err = getString(r); err != nil {
+		return nil, err
+	}
+	if a.ClientApp, err = getString(r); err != nil {
+		return nil, err
+	}
+	if a.Timestamp, err = getInt64(r); err != nil {
+		return nil, err
+	}
+	if a.Nonce, err = getInt64(r); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+var nonceMu sync.Mutex
+var nonceCounter int64
+
+func nextNonce() int64 {
+	nonceMu.Lock()
+	defer nonceMu.Unlock()
+	nonceCounter++
+	return nonceCounter
+}
+
+// AuthPayload is the wire blob a client sends with an Authenticate
+// request: the sealed ticket followed by the sealed authenticator.
+type AuthPayload struct {
+	SealedTicket        []byte
+	SealedAuthenticator []byte
+}
+
+// Marshal flattens the payload for transmission.
+func (p *AuthPayload) Marshal() []byte {
+	var buf bytes.Buffer
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(p.SealedTicket)))
+	buf.Write(n[:])
+	buf.Write(p.SealedTicket)
+	binary.BigEndian.PutUint32(n[:], uint32(len(p.SealedAuthenticator)))
+	buf.Write(n[:])
+	buf.Write(p.SealedAuthenticator)
+	return buf.Bytes()
+}
+
+// UnmarshalAuthPayload parses a wire blob back into its two parts.
+func UnmarshalAuthPayload(b []byte) (*AuthPayload, error) {
+	if len(b) < 4 {
+		return nil, mrerr.KrbBadAuthenticator
+	}
+	n := binary.BigEndian.Uint32(b[:4])
+	b = b[4:]
+	if int(n) > len(b) {
+		return nil, mrerr.KrbBadAuthenticator
+	}
+	tkt := b[:n]
+	b = b[n:]
+	if len(b) < 4 {
+		return nil, mrerr.KrbBadAuthenticator
+	}
+	m := binary.BigEndian.Uint32(b[:4])
+	b = b[4:]
+	if int(m) != len(b) {
+		return nil, mrerr.KrbBadAuthenticator
+	}
+	return &AuthPayload{SealedTicket: tkt, SealedAuthenticator: b}, nil
+}
+
+// BuildAuth constructs the authentication payload a client presents to a
+// service, from credentials previously obtained from the KDC.
+func BuildAuth(creds *Credentials, clientApp string, clk clock.Clock) *AuthPayload {
+	if clk == nil {
+		clk = clock.System
+	}
+	a := &Authenticator{
+		Client:    creds.Client,
+		ClientApp: clientApp,
+		Timestamp: clk.Now().Unix(),
+		Nonce:     nextNonce(),
+	}
+	return &AuthPayload{
+		SealedTicket:        creds.SealedTicket,
+		SealedAuthenticator: Seal(creds.SessionKey, a.marshal()),
+	}
+}
+
+// Verifier checks authenticators on the service side. It holds the
+// service's srvtab key, a replay cache, and a clock.
+type Verifier struct {
+	Service string
+	key     Key
+	clk     clock.Clock
+
+	mu     sync.Mutex
+	replay map[[32]byte]int64 // digest -> expiry unix seconds
+}
+
+// NewVerifier creates a verifier for service using its srvtab key.
+func NewVerifier(service string, key Key, clk clock.Clock) *Verifier {
+	if clk == nil {
+		clk = clock.System
+	}
+	return &Verifier{Service: service, key: key, clk: clk, replay: make(map[[32]byte]int64)}
+}
+
+// Verify opens the ticket and authenticator and returns the authenticated
+// client principal and the application name. It enforces: the ticket is
+// for this service and unexpired; the authenticator is sealed under the
+// ticket's session key; the client names agree; the timestamp is within
+// MaxClockSkew; and the exact authenticator has not been seen before
+// (replay protection against "deathgrams" and transaction replay).
+func (v *Verifier) Verify(payload *AuthPayload) (client, clientApp string, err error) {
+	tb, err := Open(v.key, payload.SealedTicket)
+	if err != nil {
+		return "", "", err
+	}
+	tkt, err := unmarshalTicket(tb)
+	if err != nil {
+		return "", "", err
+	}
+	if tkt.Service != v.Service {
+		return "", "", mrerr.KrbWrongService
+	}
+	now := v.clk.Now().Unix()
+	if now > tkt.IssuedAt+tkt.Lifetime {
+		return "", "", mrerr.KrbTicketExpired
+	}
+	ab, err := Open(tkt.SessionKey, payload.SealedAuthenticator)
+	if err != nil {
+		return "", "", err
+	}
+	auth, err := unmarshalAuthenticator(ab)
+	if err != nil {
+		return "", "", err
+	}
+	if auth.Client != tkt.Client {
+		return "", "", mrerr.KrbBadAuthenticator
+	}
+	skew := now - auth.Timestamp
+	if skew < 0 {
+		skew = -skew
+	}
+	if skew > int64(MaxClockSkew/time.Second) {
+		return "", "", mrerr.KrbClockSkew
+	}
+	digest := sha256.Sum256(payload.SealedAuthenticator)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if exp, seen := v.replay[digest]; seen && exp >= now {
+		return "", "", mrerr.KrbReplay
+	}
+	// Prune a few expired entries opportunistically to bound growth.
+	pruned := 0
+	for d, exp := range v.replay {
+		if exp < now {
+			delete(v.replay, d)
+			if pruned++; pruned >= 32 {
+				break
+			}
+		}
+	}
+	v.replay[digest] = now + 2*int64(MaxClockSkew/time.Second)
+	return tkt.Client, auth.ClientApp, nil
+}

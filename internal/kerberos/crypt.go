@@ -1,0 +1,106 @@
+package kerberos
+
+import (
+	"crypto/des"
+)
+
+// cryptAlphabet is the classic crypt(3) output alphabet.
+const cryptAlphabet = "./0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+
+// Crypt is the stand-in for the UNIX C library crypt() function that Moira
+// uses to hash MIT ID numbers (section 5.10): the last seven characters of
+// the ID are hashed with a two-character salt taken from the student's
+// initials. The output has the classic shape — the two salt characters
+// followed by eleven characters drawn from the crypt alphabet — and the
+// same interface contract: deterministic, one-way, salt-dependent.
+//
+// Internally it derives a DES key from the password, perturbs it with the
+// salt, and iterates DES encryption of a zero block 25 times, echoing the
+// structure (not the exact bit schedule) of the original.
+func Crypt(password, salt string) string {
+	if len(salt) < 2 {
+		salt = (salt + "..")[:2]
+	}
+	salt = salt[:2]
+	key := StringToKey(password)
+	// Perturb the key with the salt so equal passwords under different
+	// salts produce unrelated hashes. The salt is diffused the same way
+	// as the password: DES masks each byte's low bit, so the raw salt
+	// bytes must not land there.
+	sh := (uint64(salt[0])<<8 | uint64(salt[1])) * 0x9e3779b97f4a7c15
+	for i := range key {
+		key[i] ^= byte(sh >> (8 * uint(i)))
+	}
+	setParity(&key)
+
+	block, err := des.NewCipher(key[:])
+	if err != nil {
+		// A DES key is always 8 bytes; this cannot happen.
+		panic("kerberos: des.NewCipher: " + err.Error())
+	}
+	var buf [8]byte
+	for i := 0; i < 25; i++ {
+		block.Encrypt(buf[:], buf[:])
+	}
+
+	// Encode 64 bits as 11 characters of 6 bits each (the last character
+	// carries only 4 meaningful bits, as in crypt(3)).
+	out := make([]byte, 0, 13)
+	out = append(out, salt[0], salt[1])
+	var acc uint
+	bits := 0
+	for _, b := range buf {
+		acc = acc<<8 | uint(b)
+		bits += 8
+		for bits >= 6 {
+			bits -= 6
+			out = append(out, cryptAlphabet[(acc>>bits)&0x3f])
+		}
+	}
+	if bits > 0 {
+		out = append(out, cryptAlphabet[(acc<<(6-bits))&0x3f])
+	}
+	return string(out[:13])
+}
+
+// CryptVerify reports whether password hashes to the given crypt string.
+func CryptVerify(password, hashed string) bool {
+	if len(hashed) < 2 {
+		return false
+	}
+	return Crypt(password, hashed[:2]) == hashed
+}
+
+// HashMITID produces the encrypted MIT ID stored in the users relation:
+// the last seven characters of the ID number (hyphens removed) are
+// crypt-hashed with a salt built from the first letters of the first and
+// last names, exactly as section 5.10 specifies.
+func HashMITID(id, firstName, lastName string) string {
+	id = stripHyphens(id)
+	if len(id) > 7 {
+		id = id[len(id)-7:]
+	}
+	salt := saltFromNames(firstName, lastName)
+	return Crypt(id, salt)
+}
+
+func stripHyphens(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] != '-' && s[i] != ' ' {
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}
+
+func saltFromNames(first, last string) string {
+	f, l := byte('.'), byte('.')
+	if len(first) > 0 {
+		f = first[0]
+	}
+	if len(last) > 0 {
+		l = last[0]
+	}
+	return string([]byte{f, l})
+}

@@ -1,0 +1,193 @@
+// Package kerberos is a from-scratch simulation of the pieces of MIT
+// Kerberos (version 4 era) that Moira depends on: a key distribution
+// center with a principal database, DES-CBC-sealed tickets and
+// authenticators, srvtab service keys, a replay cache, and the crypt()
+// hash used for MIT ID numbers.
+//
+// It is a functional stand-in, not a security product: the sealing uses
+// single DES from the standard library (as the 1988 system did), and the
+// wire formats are this package's own. What it preserves is the behaviour
+// Moira's code paths need — authenticate-before-write, identity carried
+// by sealed authenticators, replay and clock-skew rejection, and the
+// registration server's ID-keyed encryption.
+package kerberos
+
+import (
+	"bytes"
+	"crypto/des"
+	"crypto/rand"
+	"encoding/binary"
+
+	"moira/internal/mrerr"
+)
+
+// Key is a DES key with parity bits set.
+type Key [8]byte
+
+// setParity forces odd parity on each byte, as DES keys require.
+func setParity(k *Key) {
+	for i, b := range k {
+		b &= 0xfe
+		// Count bits of the top 7; set low bit to make the total odd.
+		n := b
+		n ^= n >> 4
+		n ^= n >> 2
+		n ^= n >> 1
+		k[i] = b | (^n & 1)
+	}
+}
+
+// StringToKey derives a DES key from a password, in the spirit of the
+// Kerberos v4 string-to-key function. The password is diffused through a
+// 64-bit multiplicative hash before landing in the key bytes: DES ignores
+// each byte's low (parity) bit, so a naive byte-fold would make passwords
+// differing only in a low bit collide.
+func StringToKey(password string) Key {
+	var k Key
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(password); i++ {
+		h ^= uint64(password[i])
+		h *= 0x100000001b3
+		k[i%8] ^= byte(h >> 48)
+	}
+	// Spread the final hash across every key byte so short passwords
+	// still fill the whole key.
+	h *= 0x9e3779b97f4a7c15
+	for i := range k {
+		k[i] ^= byte(h >> (8 * uint(i)))
+	}
+	// One mixing pass: encrypt the key with itself.
+	setParity(&k)
+	blk, err := des.NewCipher(k[:])
+	if err == nil {
+		var tmp [8]byte
+		blk.Encrypt(tmp[:], k[:])
+		copy(k[:], tmp[:])
+	}
+	setParity(&k)
+	return k
+}
+
+// RandomKey generates a random session key.
+func RandomKey() Key {
+	var k Key
+	if _, err := rand.Read(k[:]); err != nil {
+		panic("kerberos: rand.Read: " + err.Error())
+	}
+	setParity(&k)
+	return k
+}
+
+// Seal encrypts plaintext under key using DES in CBC mode (the "error
+// propagating cypher-block-chaining mode" of the paper collapses to CBC
+// for our purposes). The plaintext is prefixed with its length and a
+// fixed magic so tampering and wrong keys are detected on open, and
+// padded to the block size. The IV is derived from the key as Kerberos
+// v4 did.
+func Seal(key Key, plaintext []byte) []byte {
+	blk, err := des.NewCipher(key[:])
+	if err != nil {
+		panic("kerberos: des.NewCipher: " + err.Error())
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:4], sealMagic)
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(plaintext)))
+	buf := make([]byte, 0, 8+len(plaintext)+8)
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, plaintext...)
+	for len(buf)%8 != 0 {
+		buf = append(buf, 0)
+	}
+	iv := ivFromKey(key)
+	out := make([]byte, len(buf))
+	prev := iv[:]
+	for i := 0; i < len(buf); i += 8 {
+		var x [8]byte
+		for j := 0; j < 8; j++ {
+			x[j] = buf[i+j] ^ prev[j]
+		}
+		blk.Encrypt(out[i:i+8], x[:])
+		prev = out[i : i+8]
+	}
+	return out
+}
+
+const sealMagic = 0x4d4f4952 // "MOIR"
+
+// Open decrypts and verifies a sealed blob. It returns
+// mrerr.KrbBadAuthenticator if the blob was not produced under key.
+func Open(key Key, sealed []byte) ([]byte, error) {
+	if len(sealed) == 0 || len(sealed)%8 != 0 {
+		return nil, mrerr.KrbBadAuthenticator
+	}
+	blk, err := des.NewCipher(key[:])
+	if err != nil {
+		panic("kerberos: des.NewCipher: " + err.Error())
+	}
+	iv := ivFromKey(key)
+	out := make([]byte, len(sealed))
+	prev := iv[:]
+	for i := 0; i < len(sealed); i += 8 {
+		var x [8]byte
+		blk.Decrypt(x[:], sealed[i:i+8])
+		for j := 0; j < 8; j++ {
+			out[i+j] = x[j] ^ prev[j]
+		}
+		prev = sealed[i : i+8]
+	}
+	if binary.BigEndian.Uint32(out[0:4]) != sealMagic {
+		return nil, mrerr.KrbBadAuthenticator
+	}
+	n := binary.BigEndian.Uint32(out[4:8])
+	if int(n) > len(out)-8 {
+		return nil, mrerr.KrbBadAuthenticator
+	}
+	return out[8 : 8+n], nil
+}
+
+func ivFromKey(key Key) Key {
+	var iv Key
+	for i := range key {
+		iv[i] = key[i] ^ 0xa5
+	}
+	return iv
+}
+
+// --- tiny field marshalling used by tickets and authenticators ---
+
+func putString(buf *bytes.Buffer, s string) {
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(s)))
+	buf.Write(n[:])
+	buf.WriteString(s)
+}
+
+func getString(r *bytes.Reader) (string, error) {
+	var n [4]byte
+	if _, err := r.Read(n[:]); err != nil {
+		return "", mrerr.KrbBadAuthenticator
+	}
+	ln := binary.BigEndian.Uint32(n[:])
+	if int(ln) > r.Len() {
+		return "", mrerr.KrbBadAuthenticator
+	}
+	b := make([]byte, ln)
+	if _, err := r.Read(b); err != nil {
+		return "", mrerr.KrbBadAuthenticator
+	}
+	return string(b), nil
+}
+
+func putInt64(buf *bytes.Buffer, v int64) {
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], uint64(v))
+	buf.Write(n[:])
+}
+
+func getInt64(r *bytes.Reader) (int64, error) {
+	var n [8]byte
+	if _, err := r.Read(n[:]); err != nil {
+		return 0, mrerr.KrbBadAuthenticator
+	}
+	return int64(binary.BigEndian.Uint64(n[:])), nil
+}

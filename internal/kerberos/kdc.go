@@ -1,0 +1,182 @@
+package kerberos
+
+import (
+	"bytes"
+	"sync"
+	"time"
+
+	"moira/internal/clock"
+	"moira/internal/mrerr"
+)
+
+// DefaultLifetime is the ticket lifetime granted by the KDC.
+const DefaultLifetime = 10 * time.Hour
+
+// MaxClockSkew is the tolerated difference between an authenticator's
+// timestamp and the verifier's clock.
+const MaxClockSkew = 5 * time.Minute
+
+// Ticket is the plaintext content of a Kerberos ticket. On the wire it is
+// always sealed under the service's key; clients hold it opaquely.
+type Ticket struct {
+	Client     string
+	Service    string
+	SessionKey Key
+	IssuedAt   int64 // unix seconds
+	Lifetime   int64 // seconds
+}
+
+func (t *Ticket) marshal() []byte {
+	var buf bytes.Buffer
+	putString(&buf, t.Client)
+	putString(&buf, t.Service)
+	buf.Write(t.SessionKey[:])
+	putInt64(&buf, t.IssuedAt)
+	putInt64(&buf, t.Lifetime)
+	return buf.Bytes()
+}
+
+func unmarshalTicket(b []byte) (*Ticket, error) {
+	r := bytes.NewReader(b)
+	var t Ticket
+	var err error
+	if t.Client, err = getString(r); err != nil {
+		return nil, err
+	}
+	if t.Service, err = getString(r); err != nil {
+		return nil, err
+	}
+	if _, err = r.Read(t.SessionKey[:]); err != nil {
+		return nil, mrerr.KrbBadAuthenticator
+	}
+	if t.IssuedAt, err = getInt64(r); err != nil {
+		return nil, err
+	}
+	if t.Lifetime, err = getInt64(r); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// Credentials is what a client holds after obtaining a ticket: the sealed
+// ticket plus the session key to build authenticators with.
+type Credentials struct {
+	Client       string
+	Service      string
+	SessionKey   Key
+	SealedTicket []byte
+}
+
+// KDC is the simulated key distribution center plus admin server. The
+// principal database maps principal names to keys derived from passwords.
+type KDC struct {
+	Realm string
+
+	mu         sync.RWMutex
+	principals map[string]Key
+	clk        clock.Clock
+}
+
+// NewKDC creates a KDC for realm using clk for timestamps (pass nil for
+// the system clock).
+func NewKDC(realm string, clk clock.Clock) *KDC {
+	if clk == nil {
+		clk = clock.System
+	}
+	return &KDC{Realm: realm, principals: make(map[string]Key), clk: clk}
+}
+
+// AddPrincipal registers a new principal with the given password. It
+// fails with KrbPrincipalExists if the name is taken — userreg relies on
+// this to detect login-name collisions.
+func (k *KDC) AddPrincipal(name, password string) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if _, ok := k.principals[name]; ok {
+		return mrerr.KrbPrincipalExists
+	}
+	k.principals[name] = StringToKey(password)
+	return nil
+}
+
+// SetPassword changes (or, for the admin path used by the registration
+// server, sets) a principal's key. Unknown principals fail.
+func (k *KDC) SetPassword(name, password string) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if _, ok := k.principals[name]; !ok {
+		return mrerr.KrbUnknownPrincipal
+	}
+	k.principals[name] = StringToKey(password)
+	return nil
+}
+
+// DeletePrincipal removes a principal; unknown names fail.
+func (k *KDC) DeletePrincipal(name string) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if _, ok := k.principals[name]; !ok {
+		return mrerr.KrbUnknownPrincipal
+	}
+	delete(k.principals, name)
+	return nil
+}
+
+// Exists reports whether a principal is registered.
+func (k *KDC) Exists(name string) bool {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	_, ok := k.principals[name]
+	return ok
+}
+
+// NumPrincipals reports the size of the principal database.
+func (k *KDC) NumPrincipals() int {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return len(k.principals)
+}
+
+// GetTicket performs the initial-ticket exchange: the client proves
+// knowledge of its password and receives credentials for service.
+func (k *KDC) GetTicket(client, password, service string) (*Credentials, error) {
+	k.mu.RLock()
+	ck, cok := k.principals[client]
+	sk, sok := k.principals[service]
+	k.mu.RUnlock()
+	if !cok {
+		return nil, mrerr.KrbUnknownPrincipal
+	}
+	if ck != StringToKey(password) {
+		return nil, mrerr.KrbBadPassword
+	}
+	if !sok {
+		return nil, mrerr.KrbNoSrvtab
+	}
+	tkt := &Ticket{
+		Client:     client,
+		Service:    service,
+		SessionKey: RandomKey(),
+		IssuedAt:   k.clk.Now().Unix(),
+		Lifetime:   int64(DefaultLifetime / time.Second),
+	}
+	return &Credentials{
+		Client:       client,
+		Service:      service,
+		SessionKey:   tkt.SessionKey,
+		SealedTicket: Seal(sk, tkt.marshal()),
+	}, nil
+}
+
+// Srvtab extracts a service's key, the equivalent of reading /etc/srvtab
+// on the service host. In production this is an offline provisioning
+// step; here the caller must be the code that owns the service.
+func (k *KDC) Srvtab(service string) (Key, error) {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	key, ok := k.principals[service]
+	if !ok {
+		return Key{}, mrerr.KrbNoSrvtab
+	}
+	return key, nil
+}

@@ -1,0 +1,308 @@
+package kerberos
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"moira/internal/clock"
+	"moira/internal/mrerr"
+)
+
+func TestCryptShape(t *testing.T) {
+	h := Crypt("secret7", "lf")
+	if len(h) != 13 {
+		t.Fatalf("crypt output length = %d, want 13", len(h))
+	}
+	if h[:2] != "lf" {
+		t.Errorf("salt prefix = %q", h[:2])
+	}
+	for i := 2; i < len(h); i++ {
+		if !bytes.ContainsRune([]byte(cryptAlphabet), rune(h[i])) {
+			t.Errorf("character %q outside crypt alphabet", h[i])
+		}
+	}
+}
+
+func TestCryptDeterministicSaltSensitive(t *testing.T) {
+	a := Crypt("3456789", "HF")
+	b := Crypt("3456789", "HF")
+	c := Crypt("3456789", "AB")
+	d := Crypt("3456780", "HF")
+	if a != b {
+		t.Error("crypt not deterministic")
+	}
+	if a == c {
+		t.Error("crypt ignores salt")
+	}
+	if a == d {
+		t.Error("crypt ignores password")
+	}
+	if !CryptVerify("3456789", a) {
+		t.Error("CryptVerify rejects correct password")
+	}
+	if CryptVerify("wrong", a) {
+		t.Error("CryptVerify accepts wrong password")
+	}
+}
+
+func TestCryptShortSalt(t *testing.T) {
+	if h := Crypt("pw", ""); len(h) != 13 {
+		t.Errorf("short-salt output length = %d", len(h))
+	}
+}
+
+func TestHashMITID(t *testing.T) {
+	h := HashMITID("123-45-6789", "Harmon", "Fowler")
+	if len(h) != 13 || h[:2] != "HF" {
+		t.Errorf("HashMITID = %q", h)
+	}
+	// Hyphens are stripped, only last 7 digits participate.
+	if h != HashMITID("123456789", "Harmon", "Fowler") {
+		t.Error("hyphen stripping failed")
+	}
+	if h != HashMITID("996-54-56789"[0:4]+"56789"[0:0]+"23456789", "Harmon", "Fowler") &&
+		h != HashMITID("923456789", "Harmon", "Fowler") {
+		t.Error("only the last seven characters should participate")
+	}
+}
+
+func TestStringToKeyParityAndVariation(t *testing.T) {
+	k := StringToKey("athena")
+	for i, b := range k {
+		ones := 0
+		for j := 0; j < 8; j++ {
+			ones += int(b>>j) & 1
+		}
+		if ones%2 != 1 {
+			t.Errorf("key byte %d lacks odd parity: %08b", i, b)
+		}
+	}
+	if StringToKey("athena") != k {
+		t.Error("StringToKey not deterministic")
+	}
+	if StringToKey("athenb") == k {
+		t.Error("StringToKey collision on near passwords")
+	}
+}
+
+// Regression: DES ignores each key byte's parity bit, so a naive
+// byte-fold made passwords differing only in a low bit (e.g. sequential
+// ID numbers) collide. The diffusing string-to-key must keep them apart.
+func TestStringToKeyLowBitDistinct(t *testing.T) {
+	if StringToKey("0000000") == StringToKey("0000001") {
+		t.Error("passwords differing in one low bit collide")
+	}
+	if Crypt("0000000", "SD") == Crypt("0000001", "SD") {
+		t.Error("crypt of low-bit-distinct passwords collide")
+	}
+	// Salts differing only in a low bit must perturb differently too.
+	if Crypt("secret", "SD") == Crypt("secret", "RD") {
+		t.Error("crypt of low-bit-distinct salts collide")
+	}
+	// Sweep sequential IDs; all 200 hashes must be distinct.
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		h := Crypt(fmt.Sprintf("%07d", i), "SD")
+		if seen[h] {
+			t.Fatalf("collision at %d", i)
+		}
+		seen[h] = true
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	key := StringToKey("pw")
+	msgs := [][]byte{nil, []byte("x"), []byte("exactly8"), []byte("a longer message spanning blocks")}
+	for _, m := range msgs {
+		got, err := Open(key, Seal(key, m))
+		if err != nil {
+			t.Fatalf("Open(%q): %v", m, err)
+		}
+		if !bytes.Equal(got, m) {
+			t.Errorf("round trip of %q = %q", m, got)
+		}
+	}
+}
+
+func TestOpenWrongKeyAndTamper(t *testing.T) {
+	k1, k2 := StringToKey("one"), StringToKey("two")
+	sealed := Seal(k1, []byte("payload"))
+	if _, err := Open(k2, sealed); err != mrerr.KrbBadAuthenticator {
+		t.Errorf("wrong key: err = %v", err)
+	}
+	sealed[0] ^= 0xff
+	if _, err := Open(k1, sealed); err == nil {
+		t.Error("tampered blob opened successfully")
+	}
+	if _, err := Open(k1, []byte("odd")); err == nil {
+		t.Error("non-block-sized blob opened")
+	}
+}
+
+func TestPropertySealOpen(t *testing.T) {
+	key := RandomKey()
+	f := func(msg []byte) bool {
+		out, err := Open(key, Seal(key, msg))
+		return err == nil && bytes.Equal(out, msg)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func newTestKDC(t *testing.T, clk clock.Clock) *KDC {
+	t.Helper()
+	kdc := NewKDC("ATHENA.MIT.EDU", clk)
+	for _, p := range []struct{ name, pw string }{
+		{"moira.server", "srvpw"},
+		{"babette", "userpw"},
+	} {
+		if err := kdc.AddPrincipal(p.name, p.pw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return kdc
+}
+
+func TestKDCPrincipals(t *testing.T) {
+	kdc := newTestKDC(t, nil)
+	if err := kdc.AddPrincipal("babette", "x"); err != mrerr.KrbPrincipalExists {
+		t.Errorf("duplicate AddPrincipal err = %v", err)
+	}
+	if !kdc.Exists("babette") || kdc.Exists("nobody") {
+		t.Error("Exists wrong")
+	}
+	if err := kdc.SetPassword("nobody", "x"); err != mrerr.KrbUnknownPrincipal {
+		t.Errorf("SetPassword unknown err = %v", err)
+	}
+	if err := kdc.DeletePrincipal("babette"); err != nil {
+		t.Fatal(err)
+	}
+	if kdc.Exists("babette") {
+		t.Error("delete failed")
+	}
+	if err := kdc.DeletePrincipal("babette"); err != mrerr.KrbUnknownPrincipal {
+		t.Errorf("double delete err = %v", err)
+	}
+}
+
+func TestTicketFlow(t *testing.T) {
+	clk := clock.NewFake(time.Unix(600000000, 0)) // late 1988, fittingly
+	kdc := newTestKDC(t, clk)
+
+	if _, err := kdc.GetTicket("nobody", "x", "moira.server"); err != mrerr.KrbUnknownPrincipal {
+		t.Errorf("unknown client err = %v", err)
+	}
+	if _, err := kdc.GetTicket("babette", "wrong", "moira.server"); err != mrerr.KrbBadPassword {
+		t.Errorf("bad password err = %v", err)
+	}
+	if _, err := kdc.GetTicket("babette", "userpw", "no.such.service"); err != mrerr.KrbNoSrvtab {
+		t.Errorf("unknown service err = %v", err)
+	}
+
+	creds, err := kdc.GetTicket("babette", "userpw", "moira.server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvKey, err := kdc.Srvtab("moira.server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ver := NewVerifier("moira.server", srvKey, clk)
+	payload := BuildAuth(creds, "mrtest", clk)
+	client, app, err := ver.Verify(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if client != "babette" || app != "mrtest" {
+		t.Errorf("verified (%q, %q)", client, app)
+	}
+
+	// Replay of the same payload is rejected.
+	if _, _, err := ver.Verify(payload); err != mrerr.KrbReplay {
+		t.Errorf("replay err = %v", err)
+	}
+
+	// Fresh authenticator from the same credentials is fine.
+	if _, _, err := ver.Verify(BuildAuth(creds, "mrtest", clk)); err != nil {
+		t.Errorf("fresh authenticator: %v", err)
+	}
+}
+
+func TestVerifyWrongServiceAndExpiry(t *testing.T) {
+	clk := clock.NewFake(time.Unix(600000000, 0))
+	kdc := newTestKDC(t, clk)
+	if err := kdc.AddPrincipal("other.server", "x"); err != nil {
+		t.Fatal(err)
+	}
+	creds, err := kdc.GetTicket("babette", "userpw", "moira.server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherKey, _ := kdc.Srvtab("other.server")
+	wrongVer := NewVerifier("other.server", otherKey, clk)
+	if _, _, err := wrongVer.Verify(BuildAuth(creds, "app", clk)); err == nil {
+		t.Error("ticket for moira.server accepted by other.server")
+	}
+
+	srvKey, _ := kdc.Srvtab("moira.server")
+	ver := NewVerifier("moira.server", srvKey, clk)
+	clk.Advance(DefaultLifetime + time.Hour)
+	if _, _, err := ver.Verify(BuildAuth(creds, "app", clk)); err != mrerr.KrbTicketExpired {
+		t.Errorf("expired ticket err = %v", err)
+	}
+}
+
+func TestVerifyClockSkew(t *testing.T) {
+	clk := clock.NewFake(time.Unix(600000000, 0))
+	kdc := newTestKDC(t, clk)
+	creds, err := kdc.GetTicket("babette", "userpw", "moira.server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvKey, _ := kdc.Srvtab("moira.server")
+
+	// Client clock far behind the server clock.
+	staleClk := clock.NewFake(clk.Now().Add(-time.Hour))
+	payload := BuildAuth(creds, "app", staleClk)
+	ver := NewVerifier("moira.server", srvKey, clk)
+	if _, _, err := ver.Verify(payload); err != mrerr.KrbClockSkew {
+		t.Errorf("skew err = %v", err)
+	}
+}
+
+func TestAuthPayloadMarshal(t *testing.T) {
+	p := &AuthPayload{SealedTicket: []byte("ticket-bytes"), SealedAuthenticator: []byte("auth-bytes")}
+	q, err := UnmarshalAuthPayload(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(q.SealedTicket, p.SealedTicket) || !bytes.Equal(q.SealedAuthenticator, p.SealedAuthenticator) {
+		t.Error("payload round trip mismatch")
+	}
+	for _, bad := range [][]byte{nil, {1}, {0, 0, 0, 99, 1, 2}} {
+		if _, err := UnmarshalAuthPayload(bad); err == nil {
+			t.Errorf("UnmarshalAuthPayload(%v) succeeded", bad)
+		}
+	}
+}
+
+func BenchmarkBuildAndVerifyAuth(b *testing.B) {
+	clk := clock.NewFake(time.Unix(600000000, 0))
+	kdc := NewKDC("ATHENA.MIT.EDU", clk)
+	kdc.AddPrincipal("moira.server", "s")
+	kdc.AddPrincipal("user", "p")
+	creds, _ := kdc.GetTicket("user", "p", "moira.server")
+	key, _ := kdc.Srvtab("moira.server")
+	ver := NewVerifier("moira.server", key, clk)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ver.Verify(BuildAuth(creds, "bench", clk)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package mailhub
+
+import (
+	"reflect"
+	"testing"
+
+	"moira/internal/update"
+)
+
+const sampleAliases = `# Video Users
+owner-video-users: paul
+video-users: smyser, paul, mwsmith, davis, rubin@media-lab.mit.edu,
+	gid@media-lab.mit.edu, danapple, agarvin
+babette: babette@ATHENA-PO-2.LOCAL
+yvette: yvette@ATHENA-PO-2.LOCAL
+nested: video-users, babette
+`
+
+func TestParseAliases(t *testing.T) {
+	aliases, err := ParseAliases([]byte(sampleAliases))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := aliases["video-users"]; len(got) != 8 {
+		t.Errorf("video-users = %v", got)
+	}
+	if got := aliases["owner-video-users"]; len(got) != 1 || got[0] != "paul" {
+		t.Errorf("owner = %v", got)
+	}
+	if got := aliases["babette"]; len(got) != 1 || got[0] != "babette@ATHENA-PO-2.LOCAL" {
+		t.Errorf("babette = %v", got)
+	}
+}
+
+func TestParseAliasesErrors(t *testing.T) {
+	if _, err := ParseAliases([]byte("\tcontinuation without entry\n")); err == nil {
+		t.Error("orphan continuation accepted")
+	}
+	if _, err := ParseAliases([]byte("no-colon-line\n")); err == nil {
+		t.Error("colonless line accepted")
+	}
+}
+
+func TestResolveRecursive(t *testing.T) {
+	h := NewHub()
+	aliases, err := ParseAliases([]byte(sampleAliases))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Load(aliases)
+
+	got := h.Resolve("nested")
+	// nested -> video-users (8 members, each resolving to itself since
+	// they have no alias entries) + babette -> babette@ATHENA-PO-2.LOCAL
+	want := []string{
+		"agarvin", "babette@ATHENA-PO-2.LOCAL", "danapple", "davis",
+		"gid@media-lab.mit.edu", "mwsmith", "paul", "rubin@media-lab.mit.edu", "smyser",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Resolve(nested) = %v", got)
+	}
+	// An address with no alias resolves to itself.
+	if got := h.Resolve("stranger@mit.edu"); len(got) != 1 || got[0] != "stranger@mit.edu" {
+		t.Errorf("identity resolve = %v", got)
+	}
+}
+
+func TestResolveCycleTerminates(t *testing.T) {
+	h := NewHub()
+	h.Load(map[string][]string{"a": {"b"}, "b": {"a", "c"}})
+	got := h.Resolve("a")
+	if len(got) != 1 || got[0] != "c" {
+		t.Errorf("cyclic resolve = %v", got)
+	}
+}
+
+func TestStageAliasesSwitchover(t *testing.T) {
+	a := update.NewAgent("ATHENA.MIT.EDU", t.TempDir(), nil)
+	h := NewHub()
+	AttachToAgent(a, h)
+
+	if err := a.WriteHostFile("/usr/lib/aliases.moira_update", []byte(sampleAliases)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WriteHostFile("/usr/lib/passwd", []byte("babette:*:6530:101:Harmon:/mit/babette:/bin/csh\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ExecCommand("stage_aliases", []string{"/usr/lib"}); err != nil {
+		t.Fatal(err)
+	}
+	if h.NumAliases() == 0 {
+		t.Fatal("aliases not loaded")
+	}
+	if h.Swaps() != 1 || !h.SpoolUp() {
+		t.Errorf("swaps = %d, spool = %v", h.Swaps(), h.SpoolUp())
+	}
+	// The spool was down strictly during the swap.
+	if log := h.SpoolLog(); len(log) != 3 || log[0] != "spool-down" || log[1] != "swap" || log[2] != "spool-up" {
+		t.Errorf("spool log = %v", log)
+	}
+	// The staged file was renamed into place.
+	if _, err := a.ReadHostFile("/usr/lib/aliases"); err != nil {
+		t.Errorf("aliases not installed: %v", err)
+	}
+	if _, err := a.ReadHostFile("/usr/lib/aliases.moira_update"); err == nil {
+		t.Error("staging file still present")
+	}
+	// Finger knows the user from the installed passwd.
+	if _, ok := h.Finger("babette"); !ok {
+		t.Error("finger missing babette")
+	}
+}
+
+func TestStageAliasesMissingFile(t *testing.T) {
+	a := update.NewAgent("H", t.TempDir(), nil)
+	h := NewHub()
+	AttachToAgent(a, h)
+	if err := a.ExecCommand("stage_aliases", []string{"/usr/lib"}); err == nil {
+		t.Error("switchover without staged file succeeded")
+	}
+	if !h.SpoolUp() {
+		t.Error("spool left down after failed switchover")
+	}
+	if h.Swaps() != 0 {
+		t.Error("swap counted despite failure")
+	}
+}
+
+func TestDeliverRespectsSpoolState(t *testing.T) {
+	h := NewHub()
+	h.Load(map[string][]string{"babette": {"babette@ATHENA-PO-2.LOCAL"}})
+	var routed []string
+	h.SetRoute(func(addr, from, subject, body string) (bool, error) {
+		routed = append(routed, addr)
+		return false, nil
+	})
+	res, err := h.Deliver("babette", "paul", "s", "b")
+	if err != nil || len(res.Local) != 1 {
+		t.Fatalf("delivery = %+v, %v", res, err)
+	}
+	if len(routed) != 1 || routed[0] != "babette@ATHENA-PO-2.LOCAL" {
+		t.Errorf("routed = %v", routed)
+	}
+	// While the spool is down, mail is refused (and counted) rather than
+	// delivered against a half-swapped aliases file.
+	h.mu.Lock()
+	h.spoolUp = false
+	h.mu.Unlock()
+	if _, err := h.Deliver("babette", "paul", "s", "b"); err == nil {
+		t.Error("delivery with spool down succeeded")
+	}
+	if h.Deferred() != 1 {
+		t.Errorf("deferred = %d", h.Deferred())
+	}
+	// Without a route installed, addresses fail rather than vanish.
+	h.mu.Lock()
+	h.spoolUp = true
+	h.route = nil
+	h.mu.Unlock()
+	res, _ = h.Deliver("babette", "paul", "s", "b")
+	if len(res.Failed) != 1 {
+		t.Errorf("routeless delivery = %+v", res)
+	}
+}

@@ -1,0 +1,223 @@
+// Package mrerr is a reimplementation of Ken Raeburn's com_err error
+// library as used by Moira (the Athena Service Management System).
+//
+// Every error in the system is an integer code. Zero means success. Each
+// error table reserves a subrange of the integers based on a hash of the
+// table's name, so codes from different subsystems (the Moira server, the
+// client library, the Kerberos simulation, the update protocol) can be
+// mixed freely in one program and still be turned back into messages.
+package mrerr
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Code is a com_err-style error code. Code(0) is success. A Code is an
+// error; its Error method returns the registered message.
+type Code int32
+
+// Success is the zero code, meaning "no error".
+const Success Code = 0
+
+// Error implements the error interface. Success has no message; calling
+// Error on it returns "success".
+func (c Code) Error() string { return ErrorMessage(c) }
+
+// IsSuccess reports whether c indicates success.
+func (c Code) IsSuccess() bool { return c == 0 }
+
+// OrNil returns nil if c is Success, and c otherwise. It exists so that
+// functions returning (value, error) can say "return v, code.OrNil()".
+func (c Code) OrNil() error {
+	if c == 0 {
+		return nil
+	}
+	return c
+}
+
+// Table is a registered error table: a contiguous block of codes starting
+// at a base derived from the table name.
+type Table struct {
+	name     string
+	base     Code
+	messages []string
+}
+
+var (
+	mu     sync.RWMutex
+	tables []*Table
+)
+
+// charIndex implements the com_err character set used to hash table names:
+// A-Z a-z 0-9 _ map to 1..63; anything else maps to 0.
+func charIndex(ch byte) int32 {
+	switch {
+	case ch >= 'A' && ch <= 'Z':
+		return int32(ch-'A') + 1
+	case ch >= 'a' && ch <= 'z':
+		return int32(ch-'a') + 27
+	case ch >= '0' && ch <= '9':
+		return int32(ch-'0') + 53
+	case ch == '_':
+		return 63
+	default:
+		return 0
+	}
+}
+
+// BaseOf computes the error-table base code for a table name. Only the
+// first four characters participate, exactly like com_err: the packed
+// 6-bit character indices are shifted left 8 bits, leaving room for 256
+// codes per table.
+func BaseOf(name string) Code {
+	var v int32
+	n := len(name)
+	if n > 4 {
+		n = 4
+	}
+	for i := 0; i < n; i++ {
+		v = v<<6 + charIndex(name[i])
+	}
+	return Code(v << 8)
+}
+
+// Register installs a new error table under the given name. The message
+// at index i is assigned code BaseOf(name)+i. Registering two tables whose
+// names hash to the same base panics: that is a build-time bug, not a
+// runtime condition.
+func Register(name string, messages []string) *Table {
+	if len(messages) > 256 {
+		panic(fmt.Sprintf("mrerr: table %q has %d messages; max 256", name, len(messages)))
+	}
+	t := &Table{name: name, base: BaseOf(name), messages: messages}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, old := range tables {
+		if old.base == t.base {
+			panic(fmt.Sprintf("mrerr: table %q collides with %q (base %d)", name, old.name, t.base))
+		}
+	}
+	tables = append(tables, t)
+	sort.Slice(tables, func(i, j int) bool { return tables[i].base < tables[j].base })
+	return t
+}
+
+// Name returns the table's registered name.
+func (t *Table) Name() string { return t.name }
+
+// Base returns the first code of the table.
+func (t *Table) Base() Code { return t.base }
+
+// Code returns the code for message index i in the table.
+func (t *Table) Code(i int) Code {
+	if i < 0 || i >= len(t.messages) {
+		panic(fmt.Sprintf("mrerr: table %q has no message %d", t.name, i))
+	}
+	return t.base + Code(i)
+}
+
+// Len returns the number of messages in the table.
+func (t *Table) Len() int { return len(t.messages) }
+
+// lookup finds the table containing code c, or nil.
+func lookup(c Code) (*Table, int) {
+	mu.RLock()
+	defer mu.RUnlock()
+	// Tables are sorted by base; binary-search for the greatest base <= c.
+	i := sort.Search(len(tables), func(i int) bool { return tables[i].base > c })
+	if i == 0 {
+		return nil, 0
+	}
+	t := tables[i-1]
+	off := int(c - t.base)
+	if off < 0 || off >= len(t.messages) {
+		return nil, 0
+	}
+	return t, off
+}
+
+// ErrorMessage returns the message string associated with code. Unknown
+// codes format as "unknown code N"; zero formats as "success".
+func ErrorMessage(c Code) string {
+	if c == 0 {
+		return "success"
+	}
+	if t, off := lookup(c); t != nil {
+		return t.messages[off]
+	}
+	return fmt.Sprintf("unknown code %d", int32(c))
+}
+
+// TableNameOf returns the name of the table a code belongs to, or "".
+func TableNameOf(c Code) string {
+	if t, _ := lookup(c); t != nil {
+		return t.name
+	}
+	return ""
+}
+
+// Hook is the signature of a com_err hook function: it receives the
+// program name, the code, and the formatted message.
+type Hook func(whoami string, code Code, message string)
+
+var (
+	hookMu sync.RWMutex
+	hook   Hook
+	// Output is where ComErr writes when no hook is installed.
+	Output io.Writer = os.Stderr
+)
+
+// SetHook installs fn as the com_err hook and returns the previous hook.
+// If fn is non-nil, future ComErr calls are routed to it instead of being
+// printed; this is how an application routes errors to syslog or a dialog
+// box. Passing nil restores the default printing behaviour.
+func SetHook(fn Hook) Hook {
+	hookMu.Lock()
+	defer hookMu.Unlock()
+	old := hook
+	hook = fn
+	return old
+}
+
+// ComErr reports an error in the com_err style:
+//
+//	whoami: error_message(code) message
+//
+// If code is zero, nothing is printed for the error message part.
+func ComErr(whoami string, code Code, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	hookMu.RLock()
+	h := hook
+	hookMu.RUnlock()
+	if h != nil {
+		h(whoami, code, msg)
+		return
+	}
+	switch {
+	case code == 0 && msg == "":
+		fmt.Fprintf(Output, "%s\n", whoami)
+	case code == 0:
+		fmt.Fprintf(Output, "%s: %s\n", whoami, msg)
+	case msg == "":
+		fmt.Fprintf(Output, "%s: %s\n", whoami, ErrorMessage(code))
+	default:
+		fmt.Fprintf(Output, "%s: %s %s\n", whoami, ErrorMessage(code), msg)
+	}
+}
+
+// CodeOf extracts a Code from an arbitrary error. A nil error is Success;
+// a Code is returned as itself; anything else maps to the generic internal
+// error of the "mr" table.
+func CodeOf(err error) Code {
+	if err == nil {
+		return Success
+	}
+	if c, ok := err.(Code); ok {
+		return c
+	}
+	return MrInternal
+}

@@ -1,0 +1,158 @@
+package mrerr
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBaseOfDistinct(t *testing.T) {
+	names := []string{"mr", "mrc", "ukrb", "upd", "ureg"}
+	seen := map[Code]string{}
+	for _, n := range names {
+		b := BaseOf(n)
+		if prev, ok := seen[b]; ok {
+			t.Fatalf("tables %q and %q share base %d", prev, n, b)
+		}
+		seen[b] = n
+	}
+}
+
+func TestBaseOfShiftsEightBits(t *testing.T) {
+	if b := BaseOf("mr"); b%256 != 0 {
+		t.Errorf("BaseOf leaves room for 256 codes; got %d (mod 256 = %d)", b, b%256)
+	}
+	if BaseOf("") != 0 {
+		t.Errorf("empty name should hash to 0, got %d", BaseOf(""))
+	}
+	// Only the first four characters participate.
+	if BaseOf("abcdxyz") != BaseOf("abcd") {
+		t.Errorf("BaseOf should ignore characters past the fourth")
+	}
+}
+
+func TestErrorMessageRoundTrip(t *testing.T) {
+	cases := []struct {
+		code Code
+		want string
+	}{
+		{Success, "success"},
+		{MrPerm, "Insufficient permission to perform requested database access"},
+		{MrNoMatch, "No records in database match query"},
+		{MrUser, "No such user"},
+		{MrMachine, "Unknown machine"},
+		{MrNotConnected, "Not connected to Moira server"},
+		{KrbReplay, "Replay detected: authenticator already used"},
+		{UpdChecksum, "Checksum mismatch on transferred file"},
+		{RegLoginTaken, "Login name already taken"},
+	}
+	for _, c := range cases {
+		if got := ErrorMessage(c.code); got != c.want {
+			t.Errorf("ErrorMessage(%d) = %q, want %q", c.code, got, c.want)
+		}
+		if c.code != 0 && c.code.Error() != c.want {
+			t.Errorf("Code.Error() = %q, want %q", c.code.Error(), c.want)
+		}
+	}
+}
+
+func TestUnknownCode(t *testing.T) {
+	got := ErrorMessage(Code(123456789))
+	if !strings.Contains(got, "unknown code") {
+		t.Errorf("unknown code message = %q", got)
+	}
+}
+
+func TestTableNameOf(t *testing.T) {
+	if n := TableNameOf(MrPerm); n != "mr" {
+		t.Errorf("TableNameOf(MrPerm) = %q, want mr", n)
+	}
+	if n := TableNameOf(MrAborted); n != "mrc" {
+		t.Errorf("TableNameOf(MrAborted) = %q, want mrc", n)
+	}
+	if n := TableNameOf(Code(-5)); n != "" {
+		t.Errorf("TableNameOf(unknown) = %q, want empty", n)
+	}
+}
+
+func TestOrNil(t *testing.T) {
+	if Success.OrNil() != nil {
+		t.Error("Success.OrNil() should be nil")
+	}
+	if MrPerm.OrNil() == nil {
+		t.Error("MrPerm.OrNil() should be non-nil")
+	}
+}
+
+func TestCodeOf(t *testing.T) {
+	if CodeOf(nil) != Success {
+		t.Error("CodeOf(nil) != Success")
+	}
+	if CodeOf(MrUser) != MrUser {
+		t.Error("CodeOf(MrUser) != MrUser")
+	}
+	if CodeOf(bytes.ErrTooLarge) != MrInternal {
+		t.Error("CodeOf(foreign error) should map to MrInternal")
+	}
+}
+
+func TestComErrFormats(t *testing.T) {
+	var buf bytes.Buffer
+	old := Output
+	Output = &buf
+	defer func() { Output = old }()
+
+	ComErr("mrtest", MrUser, "looking up %q", "nobody")
+	if got := buf.String(); got != "mrtest: No such user looking up \"nobody\"\n" {
+		t.Errorf("ComErr output = %q", got)
+	}
+	buf.Reset()
+	ComErr("mrtest", 0, "plain message")
+	if got := buf.String(); got != "mrtest: plain message\n" {
+		t.Errorf("ComErr zero-code output = %q", got)
+	}
+	buf.Reset()
+	ComErr("mrtest", MrPerm, "")
+	if !strings.Contains(buf.String(), "Insufficient permission") {
+		t.Errorf("ComErr empty-message output = %q", buf.String())
+	}
+}
+
+func TestComErrHook(t *testing.T) {
+	var gotWho string
+	var gotCode Code
+	var gotMsg string
+	prev := SetHook(func(who string, code Code, msg string) {
+		gotWho, gotCode, gotMsg = who, code, msg
+	})
+	defer SetHook(prev)
+
+	ComErr("dcm", MrNoChange, "hesiod files")
+	if gotWho != "dcm" || gotCode != MrNoChange || gotMsg != "hesiod files" {
+		t.Errorf("hook got (%q, %d, %q)", gotWho, gotCode, gotMsg)
+	}
+}
+
+// Property: BaseOf is deterministic and stable under repeated calls, and
+// every registered code maps back to its own table.
+func TestPropertyBaseDeterministic(t *testing.T) {
+	f := func(s string) bool { return BaseOf(s) == BaseOf(s) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllRegisteredCodesResolve(t *testing.T) {
+	for _, tbl := range []*Table{mrTable, mrcTable, krbTable, updTable, regTable} {
+		for i := 1; i < tbl.Len(); i++ {
+			c := tbl.Code(i)
+			if TableNameOf(c) != tbl.Name() {
+				t.Errorf("code %d of table %q resolves to table %q", i, tbl.Name(), TableNameOf(c))
+			}
+			if strings.Contains(ErrorMessage(c), "unknown code") {
+				t.Errorf("code %d of table %q has no message", i, tbl.Name())
+			}
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Package nfshost simulates an Athena NFS file server host: the consumer
+// of the credentials, quotas, and directories files the DCM propagates.
+// Its installer command reproduces the shell script of section 5.8.2 —
+// "mkdir <username>, chown, chgrp, chmod — using directories file;
+// setquota <quota> — using quotas file" — against the host's private
+// file tree, and keeps queryable state for quotas and credentials.
+package nfshost
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"moira/internal/update"
+)
+
+// Credential is one parsed line of the credentials file.
+type Credential struct {
+	Login string
+	UID   int
+	GIDs  []int
+}
+
+// Locker records a directory created by the installer.
+type Locker struct {
+	Path  string
+	UID   int
+	GID   int
+	Type  string
+	Inits bool // HOMEDIR lockers get the default init files
+}
+
+// Host is the simulated NFS server state.
+type Host struct {
+	Name string
+
+	mu          sync.RWMutex
+	credentials map[string]Credential  // by login
+	quotas      map[string]map[int]int // partition -> uid -> quota
+	lockers     map[string]Locker      // by path
+	installs    int
+}
+
+// NewHost creates an empty NFS host simulation.
+func NewHost(name string) *Host {
+	return &Host{
+		Name:        name,
+		credentials: make(map[string]Credential),
+		quotas:      make(map[string]map[int]int),
+		lockers:     make(map[string]Locker),
+	}
+}
+
+// ParseCredentials parses the credentials file: one
+// login:uid:gid[:gid...] entry per line.
+func ParseCredentials(data []byte) (map[string]Credential, error) {
+	out := make(map[string]Credential)
+	for lineno, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		parts := strings.Split(line, ":")
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("nfshost: credentials line %d malformed: %q", lineno+1, line)
+		}
+		uid, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("nfshost: credentials line %d: bad uid %q", lineno+1, parts[1])
+		}
+		c := Credential{Login: parts[0], UID: uid}
+		for _, g := range parts[2:] {
+			gid, err := strconv.Atoi(g)
+			if err != nil {
+				return nil, fmt.Errorf("nfshost: credentials line %d: bad gid %q", lineno+1, g)
+			}
+			c.GIDs = append(c.GIDs, gid)
+		}
+		out[c.Login] = c
+	}
+	return out, nil
+}
+
+// parseQuotas parses "uid quota" lines.
+func parseQuotas(data []byte) (map[int]int, error) {
+	out := make(map[int]int)
+	for lineno, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var uid, quota int
+		if _, err := fmt.Sscanf(line, "%d %d", &uid, &quota); err != nil {
+			return nil, fmt.Errorf("nfshost: quotas line %d malformed: %q", lineno+1, line)
+		}
+		out[uid] = quota
+	}
+	return out, nil
+}
+
+// CredentialOf looks up a login in the installed credentials file.
+func (h *Host) CredentialOf(login string) (Credential, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	c, ok := h.credentials[login]
+	return c, ok
+}
+
+// NumCredentials reports the credential count.
+func (h *Host) NumCredentials() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.credentials)
+}
+
+// QuotaOf returns the quota for a uid on a partition.
+func (h *Host) QuotaOf(partition string, uid int) (int, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	q, ok := h.quotas[partition][uid]
+	return q, ok
+}
+
+// LockerAt returns the locker created at path, if any.
+func (h *Host) LockerAt(path string) (Locker, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	l, ok := h.lockers[path]
+	return l, ok
+}
+
+// NumLockers reports how many directories have been created.
+func (h *Host) NumLockers() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.lockers)
+}
+
+// Installs reports how many install_nfs runs completed.
+func (h *Host) Installs() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.installs
+}
+
+// AttachToAgent registers "install_nfs <destDir> <partition>" on the
+// host's update agent. It loads the credentials file, applies the
+// partition's quotas file, and creates the lockers named by the
+// directories file — creating real directories under the agent root,
+// with HOMEDIR lockers receiving the default init files.
+func AttachToAgent(a *update.Agent, h *Host) {
+	a.RegisterCommand("install_nfs", func(ag *update.Agent, args []string) error {
+		if len(args) != 2 {
+			return fmt.Errorf("install_nfs: want 2 args, got %d", len(args))
+		}
+		destDir, partition := args[0], args[1]
+		base := strings.ReplaceAll(strings.TrimPrefix(partition, "/"), "/", "_")
+
+		credData, err := ag.ReadHostFile(destDir + "/credentials")
+		if err != nil {
+			return err
+		}
+		creds, err := ParseCredentials(credData)
+		if err != nil {
+			return err
+		}
+
+		quotaData, err := ag.ReadHostFile(destDir + "/" + base + ".quotas")
+		if err != nil {
+			return err
+		}
+		quotas, err := parseQuotas(quotaData)
+		if err != nil {
+			return err
+		}
+
+		dirData, err := ag.ReadHostFile(destDir + "/" + base + ".dirs")
+		if err != nil {
+			return err
+		}
+
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		h.credentials = creds
+		h.quotas[partition] = quotas
+
+		for lineno, line := range strings.Split(string(dirData), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" {
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				return fmt.Errorf("install_nfs: dirs line %d malformed: %q", lineno+1, line)
+			}
+			uid, err1 := strconv.Atoi(fields[1])
+			gid, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return fmt.Errorf("install_nfs: dirs line %d: bad ids", lineno+1)
+			}
+			path := fields[0]
+			if _, exists := h.lockers[path]; exists {
+				continue // already created; updates never clobber lockers
+			}
+			locker := Locker{Path: path, UID: uid, GID: gid, Type: fields[3]}
+			if locker.Type == "HOMEDIR" {
+				locker.Inits = true
+				if err := ag.WriteHostFile(path+"/.cshrc", defaultCshrc); err != nil {
+					return err
+				}
+				if err := ag.WriteHostFile(path+"/.login", defaultLogin); err != nil {
+					return err
+				}
+			} else if err := ag.WriteHostFile(path+"/.keep", nil); err != nil {
+				return err
+			}
+			h.lockers[path] = locker
+		}
+		h.installs++
+		return nil
+	})
+}
+
+var (
+	defaultCshrc = []byte("# Athena default .cshrc\nsource /usr/athena/lib/init/cshrc\n")
+	defaultLogin = []byte("# Athena default .login\nsource /usr/athena/lib/init/login\n")
+)

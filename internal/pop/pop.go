@@ -1,0 +1,130 @@
+// Package pop simulates the Athena post office servers: the machines
+// (ATHENA-PO-1, ATHENA-PO-2, ...) that hold users' mailboxes. Moira's
+// interest in them is indirect — pobox assignments route mail here, and
+// the POP serverhost rows carry box counts (value1) against capacity
+// (value2) for least-loaded placement — but having real boxes lets the
+// mail pipeline be tested end to end: aliases file → hub resolution →
+// delivery → retrieval, the `inc`/`movemail` flow of section 5.8.2.
+package pop
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"moira/internal/clock"
+)
+
+// Message is one delivered piece of mail.
+type Message struct {
+	From    string
+	To      string // the address the hub resolved to
+	Subject string
+	Body    string
+	Time    int64
+}
+
+// Server is one post office machine's mailbox store.
+type Server struct {
+	Name string // canonical machine name, e.g. ATHENA-PO-1.MIT.EDU
+
+	mu    sync.Mutex
+	boxes map[string][]Message
+	clk   clock.Clock
+}
+
+// NewServer creates an empty post office.
+func NewServer(name string, clk clock.Clock) *Server {
+	if clk == nil {
+		clk = clock.System
+	}
+	return &Server{Name: name, boxes: make(map[string][]Message), clk: clk}
+}
+
+// Deliver appends a message to login's box.
+func (s *Server) Deliver(login string, m Message) {
+	m.Time = s.clk.Now().Unix()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.boxes[login] = append(s.boxes[login], m)
+}
+
+// Retrieve drains login's box, the `inc` operation.
+func (s *Server) Retrieve(login string) []Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.boxes[login]
+	delete(s.boxes, login)
+	return out
+}
+
+// Count reports how many messages are waiting for login.
+func (s *Server) Count(login string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.boxes[login])
+}
+
+// Boxes reports how many non-empty boxes the server holds.
+func (s *Server) Boxes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.boxes)
+}
+
+// Registry maps the ".LOCAL" post office names appearing in the aliases
+// file (ATHENA-PO-1.LOCAL) to servers, for the hub's final delivery hop.
+type Registry struct {
+	mu      sync.RWMutex
+	servers map[string]*Server
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{servers: make(map[string]*Server)}
+}
+
+// Add registers a post office under its machine name; it becomes
+// addressable by its .LOCAL short form.
+func (r *Registry) Add(s *Server) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.servers[localName(s.Name)] = s
+}
+
+// localName converts ATHENA-PO-1.MIT.EDU to ATHENA-PO-1.LOCAL.
+func localName(machine string) string {
+	if i := strings.IndexByte(machine, '.'); i >= 0 {
+		machine = machine[:i]
+	}
+	return machine + ".LOCAL"
+}
+
+// Route delivers one resolved address of the form login@PO.LOCAL. Other
+// address shapes (external mail) are reported as remote.
+func (r *Registry) Route(addr string, m Message) (remote bool, err error) {
+	login, host, ok := strings.Cut(addr, "@")
+	if !ok {
+		return false, fmt.Errorf("pop: unroutable address %q", addr)
+	}
+	if !strings.HasSuffix(host, ".LOCAL") {
+		return true, nil // off-site; a real hub would hand it to SMTP
+	}
+	r.mu.RLock()
+	s := r.servers[host]
+	r.mu.RUnlock()
+	if s == nil {
+		return false, fmt.Errorf("pop: no post office %q", host)
+	}
+	m.To = addr
+	s.Deliver(login, m)
+	return false, nil
+}
+
+// ServerFor returns the post office registered under a .LOCAL name.
+func (r *Registry) ServerFor(local string) (*Server, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.servers[local]
+	return s, ok
+}

@@ -1,0 +1,55 @@
+package pop
+
+import (
+	"testing"
+	"time"
+
+	"moira/internal/clock"
+)
+
+func TestDeliverAndRetrieve(t *testing.T) {
+	clk := clock.NewFake(time.Unix(600000000, 0))
+	s := NewServer("ATHENA-PO-1.MIT.EDU", clk)
+	s.Deliver("babette", Message{From: "paul", Subject: "hi"})
+	s.Deliver("babette", Message{From: "paul", Subject: "again"})
+	if s.Count("babette") != 2 || s.Boxes() != 1 {
+		t.Errorf("count = %d, boxes = %d", s.Count("babette"), s.Boxes())
+	}
+	msgs := s.Retrieve("babette")
+	if len(msgs) != 2 || msgs[0].Subject != "hi" || msgs[0].Time != 600000000 {
+		t.Errorf("retrieved = %+v", msgs)
+	}
+	// inc drains the box.
+	if s.Count("babette") != 0 || len(s.Retrieve("babette")) != 0 {
+		t.Error("box not drained")
+	}
+}
+
+func TestRegistryRouting(t *testing.T) {
+	r := NewRegistry()
+	po1 := NewServer("ATHENA-PO-1.MIT.EDU", nil)
+	r.Add(po1)
+
+	remote, err := r.Route("babette@ATHENA-PO-1.LOCAL", Message{From: "x"})
+	if err != nil || remote {
+		t.Fatalf("local route: %v %v", remote, err)
+	}
+	if po1.Count("babette") != 1 {
+		t.Error("message not delivered")
+	}
+	// Off-site addresses are reported remote, not failed.
+	remote, err = r.Route("rubin@media-lab.mit.edu", Message{})
+	if err != nil || !remote {
+		t.Errorf("remote route: %v %v", remote, err)
+	}
+	// Unknown post office and unroutable shapes fail.
+	if _, err := r.Route("x@GHOST-PO.LOCAL", Message{}); err == nil {
+		t.Error("unknown PO routed")
+	}
+	if _, err := r.Route("no-at-sign", Message{}); err == nil {
+		t.Error("bare name routed")
+	}
+	if _, ok := r.ServerFor("ATHENA-PO-1.LOCAL"); !ok {
+		t.Error("ServerFor missed")
+	}
+}

@@ -1,0 +1,215 @@
+// Package protocol implements the Moira wire protocol (section 5.3): a
+// remote procedure call protocol layered on top of TCP/IP. Clients
+// connect to a well-known port, send requests over the stream, and
+// receive replies.
+//
+// Each request consists of a protocol version, a major request number,
+// and several counted strings of bytes. Each reply consists of the
+// version, a single number (an error code), and zero or more counted
+// strings — the server streams one reply frame per result tuple with the
+// code MR_MORE_DATA, then a final frame carrying the overall code. The
+// version field in both directions allows clean handling of version skew.
+package protocol
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"moira/internal/mrerr"
+)
+
+// Version is the protocol version this implementation speaks.
+const Version uint16 = 1
+
+// Port is the well-known Moira server port ("T.B.S." in the paper; this
+// implementation settles it).
+const Port = 7760
+
+// Major request numbers.
+const (
+	OpNoop       uint16 = 1 // do nothing; for RPC testing and profiling
+	OpAuth       uint16 = 2 // one argument: a Kerberos authenticator blob
+	OpQuery      uint16 = 3 // args: query name, then query arguments
+	OpAccess     uint16 = 4 // like Query but only checks permission
+	OpTriggerDCM uint16 = 5 // no arguments; spawn a DCM
+	OpShutdown   uint16 = 6 // no arguments; ask the server to exit
+)
+
+// OpName names an opcode for logging.
+func OpName(op uint16) string {
+	switch op {
+	case OpNoop:
+		return "noop"
+	case OpAuth:
+		return "auth"
+	case OpQuery:
+		return "query"
+	case OpAccess:
+		return "access"
+	case OpTriggerDCM:
+		return "trigger_dcm"
+	case OpShutdown:
+		return "shutdown"
+	default:
+		return fmt.Sprintf("op%d", op)
+	}
+}
+
+// Limits protecting the server from malformed or malicious frames.
+const (
+	MaxFrame  = 16 << 20 // one frame may not exceed 16 MB
+	MaxFields = 4096     // counted strings per frame
+)
+
+// Request is one client-to-server message.
+type Request struct {
+	Version uint16
+	Op      uint16
+	Args    [][]byte
+}
+
+// StringArgs converts the request arguments to strings.
+func (r *Request) StringArgs() []string {
+	out := make([]string, len(r.Args))
+	for i, a := range r.Args {
+		out[i] = string(a)
+	}
+	return out
+}
+
+// Reply is one server-to-client message. A streamed tuple carries Code
+// MR_MORE_DATA and the tuple fields; the final frame carries the overall
+// result code and no fields.
+type Reply struct {
+	Version uint16
+	Code    int32
+	Fields  [][]byte
+}
+
+// StringFields converts the reply fields to strings.
+func (r *Reply) StringFields() []string {
+	out := make([]string, len(r.Fields))
+	for i, f := range r.Fields {
+		out[i] = string(f)
+	}
+	return out
+}
+
+// frame layout: u32 payloadLen | u16 version | u16 opOrPad | i32 code
+// (replies only) | u32 nFields | (u32 len | bytes)*
+//
+// Requests and replies share the counted-string tail; requests carry the
+// opcode where replies carry a zero pad plus the code field.
+
+func writeFrame(w io.Writer, head []byte, fields [][]byte) error {
+	total := len(head) + 4
+	for _, f := range fields {
+		total += 4 + len(f)
+	}
+	if total > MaxFrame {
+		return mrerr.MrArgTooLong
+	}
+	buf := make([]byte, 0, 4+total)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(total))
+	buf = append(buf, head...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(fields)))
+	for _, f := range fields {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(f)))
+		buf = append(buf, f...)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readFrame(r io.Reader, headLen int) (head []byte, fields [][]byte, err error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, nil, err
+	}
+	total := binary.BigEndian.Uint32(lenBuf[:])
+	if total > MaxFrame || int(total) < headLen+4 {
+		return nil, nil, fmt.Errorf("protocol: bad frame length %d", total)
+	}
+	payload := make([]byte, total)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, nil, err
+	}
+	head = payload[:headLen]
+	rest := payload[headLen:]
+	n := binary.BigEndian.Uint32(rest[:4])
+	if n > MaxFields {
+		return nil, nil, fmt.Errorf("protocol: too many fields (%d)", n)
+	}
+	rest = rest[4:]
+	fields = make([][]byte, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if len(rest) < 4 {
+			return nil, nil, fmt.Errorf("protocol: truncated field header")
+		}
+		fl := binary.BigEndian.Uint32(rest[:4])
+		rest = rest[4:]
+		if uint32(len(rest)) < fl {
+			return nil, nil, fmt.Errorf("protocol: truncated field body")
+		}
+		fields = append(fields, rest[:fl:fl])
+		rest = rest[fl:]
+	}
+	if len(rest) != 0 {
+		return nil, nil, fmt.Errorf("protocol: %d trailing bytes in frame", len(rest))
+	}
+	return head, fields, nil
+}
+
+// WriteRequest sends one request frame.
+func WriteRequest(w io.Writer, req *Request) error {
+	var head [4]byte
+	binary.BigEndian.PutUint16(head[0:2], req.Version)
+	binary.BigEndian.PutUint16(head[2:4], req.Op)
+	return writeFrame(w, head[:], req.Args)
+}
+
+// ReadRequest reads one request frame.
+func ReadRequest(r *bufio.Reader) (*Request, error) {
+	head, fields, err := readFrame(r, 4)
+	if err != nil {
+		return nil, err
+	}
+	return &Request{
+		Version: binary.BigEndian.Uint16(head[0:2]),
+		Op:      binary.BigEndian.Uint16(head[2:4]),
+		Args:    fields,
+	}, nil
+}
+
+// WriteReply sends one reply frame.
+func WriteReply(w io.Writer, rep *Reply) error {
+	var head [8]byte
+	binary.BigEndian.PutUint16(head[0:2], rep.Version)
+	// head[2:4] is padding, kept zero.
+	binary.BigEndian.PutUint32(head[4:8], uint32(rep.Code))
+	return writeFrame(w, head[:], rep.Fields)
+}
+
+// ReadReply reads one reply frame.
+func ReadReply(r *bufio.Reader) (*Reply, error) {
+	head, fields, err := readFrame(r, 8)
+	if err != nil {
+		return nil, err
+	}
+	return &Reply{
+		Version: binary.BigEndian.Uint16(head[0:2]),
+		Code:    int32(binary.BigEndian.Uint32(head[4:8])),
+		Fields:  fields,
+	}, nil
+}
+
+// BytesArgs converts string arguments for a Request.
+func BytesArgs(args []string) [][]byte {
+	out := make([][]byte, len(args))
+	for i, a := range args {
+		out[i] = []byte(a)
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package queries
+
+// The access cache of section 5.5: "Because one of the requests that the
+// server supports is a request to check access to a particular query, it
+// is expected that many access checks will have to be performed twice:
+// once to allow the client to find out that it should prompt the user
+// for information, and again when the query is actually executed. It is
+// expected that some form of access caching will eventually be worked
+// into the server for performance reasons."
+//
+// The cache is per-connection (per Context) and therefore needs no
+// locking of its own. An entry records the database change sequence at
+// the time of the successful check; any write to the database — which
+// could have altered list memberships or CAPACLS rows — invalidates all
+// entries, making the cache conservative but never stale.
+
+import "strings"
+
+// accessCache memoizes successful access checks.
+type accessCache struct {
+	entries map[string]int64 // key -> db change sequence at check time
+}
+
+// EnableAccessCache turns on access-check memoization for this context.
+// The server enables it per connection; the ablation benchmark compares
+// both settings.
+func (cx *Context) EnableAccessCache() {
+	if cx.cache == nil {
+		cx.cache = &accessCache{entries: make(map[string]int64)}
+	}
+}
+
+// AccessCacheLen reports the number of live cache entries (testing).
+func (cx *Context) AccessCacheLen() int {
+	if cx.cache == nil {
+		return 0
+	}
+	return len(cx.cache.entries)
+}
+
+func accessCacheKey(name string, args []string) string {
+	return name + "\x00" + strings.Join(args, "\x00")
+}
+
+// cacheLookup reports a previously allowed (query, args) pair, valid only
+// while the database is unchanged. Caller holds at least the shared lock.
+func (cx *Context) cacheLookup(name string, args []string) bool {
+	if cx.cache == nil {
+		return false
+	}
+	seq, ok := cx.cache.entries[accessCacheKey(name, args)]
+	if !ok {
+		return false
+	}
+	if seq != cx.DB.CurSeq() {
+		// Anything may have changed; drop the whole cache.
+		cx.cache.entries = make(map[string]int64)
+		return false
+	}
+	return true
+}
+
+// cacheStore records a successful access check. Caller holds at least
+// the shared lock.
+func (cx *Context) cacheStore(name string, args []string) {
+	if cx.cache == nil {
+		return
+	}
+	if len(cx.cache.entries) >= 256 {
+		// Bound per-connection memory; a full cache simply restarts.
+		cx.cache.entries = make(map[string]int64)
+	}
+	cx.cache.entries[accessCacheKey(name, args)] = cx.DB.CurSeq()
+}

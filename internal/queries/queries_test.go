@@ -1,0 +1,735 @@
+package queries
+
+import (
+	"testing"
+	"time"
+
+	"moira/internal/clock"
+	"moira/internal/db"
+	"moira/internal/mrerr"
+)
+
+// fixture builds a bootstrapped database with a small Athena-like world:
+// machines (a POP server, an NFS server, a hesiod server), an NFS
+// partition, and the POP serverhost row register_user needs.
+type fixture struct {
+	d    *db.DB
+	clk  *clock.Fake
+	priv *Context
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	clk := clock.NewFake(time.Unix(600000000, 0))
+	d := NewBootstrappedDB(clk)
+	priv := &Context{DB: d, Privileged: true, App: "test"}
+	f := &fixture{d: d, clk: clk, priv: priv}
+
+	f.mustRun(t, priv, "add_machine", "e40-po.mit.edu", "VAX")
+	f.mustRun(t, priv, "add_machine", "charon.mit.edu", "VAX")
+	f.mustRun(t, priv, "add_machine", "suomi.mit.edu", "RT")
+	f.mustRun(t, priv, "add_server_info", "POP", "720", "/tmp/po", "po.sh", "UNIQUE", "1", "NONE", "NONE")
+	f.mustRun(t, priv, "add_server_host_info", "POP", "E40-PO.MIT.EDU", "1", "0", "1000", "")
+	f.mustRun(t, priv, "add_nfsphys", "CHARON.MIT.EDU", "/u1", "ra0c", "1", "0", "100000")
+	return f
+}
+
+func (f *fixture) run(cx *Context, name string, args ...string) ([][]string, error) {
+	var out [][]string
+	err := Execute(cx, name, args, func(t []string) error {
+		cp := make([]string, len(t))
+		copy(cp, t)
+		out = append(out, cp)
+		return nil
+	})
+	return out, err
+}
+
+func (f *fixture) mustRun(t *testing.T, cx *Context, name string, args ...string) [][]string {
+	t.Helper()
+	out, err := f.run(cx, name, args...)
+	if err != nil {
+		t.Fatalf("%s(%v): %v", name, args, err)
+	}
+	return out
+}
+
+func (f *fixture) userCtx(login string) *Context {
+	cx := &Context{DB: f.d, Principal: login, App: "test"}
+	cx.ResolveUser()
+	return cx
+}
+
+func (f *fixture) addUser(t *testing.T, login string) {
+	t.Helper()
+	f.mustRun(t, f.priv, "add_user", login, UniqueUID, "/bin/csh", "Last"+login, "First", "M", "1", "xx", "STAFF")
+}
+
+func TestRegistryIsLarge(t *testing.T) {
+	if Count() < 100 {
+		t.Errorf("paper promises over 100 query handles; registry has %d", Count())
+	}
+}
+
+func TestLookupByShortAndLongName(t *testing.T) {
+	long, ok := Lookup("get_user_by_login")
+	if !ok {
+		t.Fatal("long name lookup failed")
+	}
+	short, ok := Lookup("gubl")
+	if !ok || short != long {
+		t.Fatal("short name lookup failed")
+	}
+}
+
+func TestUnknownQuery(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.run(f.priv, "no_such_query"); err != mrerr.MrNoHandle {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestArgCountAndLength(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.run(f.priv, "get_user_by_login"); err != mrerr.MrArgs {
+		t.Errorf("missing args err = %v", err)
+	}
+	if _, err := f.run(f.priv, "get_user_by_login", "a", "b"); err != mrerr.MrArgs {
+		t.Errorf("extra args err = %v", err)
+	}
+	long := make([]byte, MaxArgLen+1)
+	for i := range long {
+		long[i] = 'a'
+	}
+	if _, err := f.run(f.priv, "get_user_by_login", string(long)); err != mrerr.MrArgTooLong {
+		t.Errorf("long arg err = %v", err)
+	}
+}
+
+func TestAddAndGetUser(t *testing.T) {
+	f := newFixture(t)
+	f.addUser(t, "babette")
+	out := f.mustRun(t, f.priv, "get_user_by_login", "babette")
+	if len(out) != 1 {
+		t.Fatalf("got %d tuples", len(out))
+	}
+	row := out[0]
+	if row[0] != "babette" || row[2] != "/bin/csh" || row[6] != "1" || row[8] != "STAFF" {
+		t.Errorf("tuple = %v", row)
+	}
+	// Wildcard retrieval by privileged caller.
+	out = f.mustRun(t, f.priv, "get_user_by_login", "bab*")
+	if len(out) != 1 {
+		t.Errorf("wildcard got %d tuples", len(out))
+	}
+	// Duplicate login.
+	if _, err := f.run(f.priv, "add_user", "babette", UniqueUID, "/bin/sh", "x", "y", "", "0", "", "STAFF"); err != mrerr.MrNotUnique {
+		t.Errorf("dup login err = %v", err)
+	}
+	// Bad class.
+	if _, err := f.run(f.priv, "add_user", "other", UniqueUID, "/bin/sh", "x", "y", "", "0", "", "NOCLASS"); err != mrerr.MrBadClass {
+		t.Errorf("bad class err = %v", err)
+	}
+}
+
+func TestUniqueLoginSentinel(t *testing.T) {
+	f := newFixture(t)
+	f.mustRun(t, f.priv, "add_user", UniqueLogin, UniqueUID, "/bin/csh", "Doe", "Jane", "", "0", "crypt", "1990")
+	out := f.mustRun(t, f.priv, "get_user_by_name", "Jane", "Doe")
+	if len(out) != 1 {
+		t.Fatalf("got %d tuples", len(out))
+	}
+	login, uid := out[0][0], out[0][1]
+	if login != "#"+uid {
+		t.Errorf("UNIQUE_LOGIN login = %q, uid = %q", login, uid)
+	}
+}
+
+func TestSelfRestrictedReads(t *testing.T) {
+	f := newFixture(t)
+	f.addUser(t, "alice")
+	f.addUser(t, "bob")
+	alice := f.userCtx("alice")
+	// Alice can read herself.
+	if _, err := f.run(alice, "get_user_by_login", "alice"); err != nil {
+		t.Errorf("self read: %v", err)
+	}
+	// But not bob, and not wildcards covering others.
+	if _, err := f.run(alice, "get_user_by_login", "bob"); err != mrerr.MrPerm {
+		t.Errorf("other read err = %v", err)
+	}
+	if _, err := f.run(alice, "get_user_by_login", "*"); err != mrerr.MrPerm {
+		t.Errorf("wildcard read err = %v", err)
+	}
+	// Unknown login is NO_MATCH before permission.
+	if _, err := f.run(alice, "get_user_by_login", "zzz"); err != mrerr.MrNoMatch {
+		t.Errorf("missing read err = %v", err)
+	}
+}
+
+func TestUpdateUserShellAccess(t *testing.T) {
+	f := newFixture(t)
+	f.addUser(t, "alice")
+	f.addUser(t, "bob")
+	alice := f.userCtx("alice")
+	if _, err := f.run(alice, "update_user_shell", "alice", "/bin/sh"); err != nil {
+		t.Errorf("self shell update: %v", err)
+	}
+	if _, err := f.run(alice, "update_user_shell", "bob", "/bin/sh"); err != mrerr.MrPerm {
+		t.Errorf("other shell update err = %v", err)
+	}
+	out := f.mustRun(t, f.priv, "get_user_by_login", "alice")
+	if out[0][2] != "/bin/sh" {
+		t.Errorf("shell = %q", out[0][2])
+	}
+	// modby records alice.
+	if out[0][10] != "alice" {
+		t.Errorf("modby = %q", out[0][10])
+	}
+}
+
+func TestAccessRequest(t *testing.T) {
+	f := newFixture(t)
+	f.addUser(t, "alice")
+	alice := f.userCtx("alice")
+	if err := CheckAccess(alice, "add_user", []string{"x", "1", "s", "l", "f", "m", "0", "id", "STAFF"}); err != mrerr.MrPerm {
+		t.Errorf("unprivileged add_user access = %v", err)
+	}
+	if err := CheckAccess(f.priv, "add_user", []string{"x", "1", "s", "l", "f", "m", "0", "id", "STAFF"}); err != nil {
+		t.Errorf("privileged add_user access = %v", err)
+	}
+	if err := CheckAccess(alice, "update_user_shell", []string{"alice", "/bin/sh"}); err != nil {
+		t.Errorf("self shell access = %v", err)
+	}
+	// Access does not execute: shell unchanged.
+	out := f.mustRun(t, f.priv, "get_user_by_login", "alice")
+	if out[0][2] != "/bin/csh" {
+		t.Errorf("Access executed the query; shell = %q", out[0][2])
+	}
+}
+
+func TestCapabilityGrantViaDBAdminList(t *testing.T) {
+	f := newFixture(t)
+	f.addUser(t, "operator")
+	op := f.userCtx("operator")
+	if _, err := f.run(op, "add_machine", "new.mit.edu", "VAX"); err != mrerr.MrPerm {
+		t.Fatalf("pre-grant err = %v", err)
+	}
+	// Put operator on dbadmin; the capability flows through CAPACLS.
+	f.mustRun(t, f.priv, "add_member_to_list", AdminList, "USER", "operator")
+	if _, err := f.run(op, "add_machine", "new.mit.edu", "VAX"); err != nil {
+		t.Fatalf("post-grant err = %v", err)
+	}
+}
+
+func TestRegisterUserFlow(t *testing.T) {
+	f := newFixture(t)
+	f.mustRun(t, f.priv, "add_user", UniqueLogin, UniqueUID, "/bin/csh", "Zimmermann", "Martin", "", "0", "hash", "1990")
+	out := f.mustRun(t, f.priv, "get_user_by_name", "Martin", "Zimmermann")
+	uid := out[0][1]
+
+	f.mustRun(t, f.priv, "register_user", uid, "kazimi", "1")
+
+	// Status is half-registered, login assigned.
+	out = f.mustRun(t, f.priv, "get_user_by_login", "kazimi")
+	if out[0][6] != "2" {
+		t.Errorf("status = %q, want 2 (half-registered)", out[0][6])
+	}
+	// Pobox on the POP server.
+	pb := f.mustRun(t, f.priv, "get_pobox", "kazimi")
+	if pb[0][1] != "POP" || pb[0][2] != "E40-PO.MIT.EDU" {
+		t.Errorf("pobox = %v", pb[0])
+	}
+	// Group list exists with the user as member.
+	gl := f.mustRun(t, f.priv, "get_list_info", "kazimi")
+	if gl[0][5] != "1" {
+		t.Errorf("group flag = %q", gl[0][5])
+	}
+	mem := f.mustRun(t, f.priv, "get_members_of_list", "kazimi")
+	if len(mem) != 1 || mem[0][0] != "USER" || mem[0][1] != "kazimi" {
+		t.Errorf("members = %v", mem)
+	}
+	// Filesystem and quota created; allocation accounted.
+	fs := f.mustRun(t, f.priv, "get_filesys_by_label", "kazimi")
+	if fs[0][1] != "NFS" || fs[0][2] != "CHARON.MIT.EDU" || fs[0][4] != "/mit/kazimi" {
+		t.Errorf("filesys = %v", fs[0])
+	}
+	q := f.mustRun(t, f.priv, "get_nfs_quota", "kazimi", "kazimi")
+	if q[0][2] != "300" {
+		t.Errorf("quota = %v", q[0])
+	}
+	np := f.mustRun(t, f.priv, "get_nfsphys", "CHARON.MIT.EDU", "/u1")
+	if np[0][4] != "300" {
+		t.Errorf("allocated = %q, want 300", np[0][4])
+	}
+	// POP box count incremented.
+	sh := f.mustRun(t, f.priv, "get_server_host_info", "POP", "*")
+	if sh[0][10] != "1" {
+		t.Errorf("POP value1 = %q, want 1", sh[0][10])
+	}
+	// Re-registration fails: no longer status 0.
+	if _, err := f.run(f.priv, "register_user", uid, "kazimi2", "1"); err != mrerr.MrInUse {
+		t.Errorf("re-register err = %v", err)
+	}
+}
+
+func TestRegisterUserLoginTaken(t *testing.T) {
+	f := newFixture(t)
+	f.addUser(t, "taken")
+	f.mustRun(t, f.priv, "add_user", UniqueLogin, UniqueUID, "/bin/csh", "New", "Person", "", "0", "h", "1990")
+	out := f.mustRun(t, f.priv, "get_user_by_name", "Person", "New")
+	if _, err := f.run(f.priv, "register_user", out[0][1], "taken", "1"); err != mrerr.MrInUse {
+		t.Errorf("taken login err = %v", err)
+	}
+}
+
+func TestDeleteUserConstraints(t *testing.T) {
+	f := newFixture(t)
+	f.addUser(t, "doomed")
+	// Active user cannot be deleted.
+	if _, err := f.run(f.priv, "delete_user", "doomed"); err != mrerr.MrInUse {
+		t.Errorf("active delete err = %v", err)
+	}
+	f.mustRun(t, f.priv, "update_user_status", "doomed", "0")
+	// Member of a list: still refused.
+	f.mustRun(t, f.priv, "add_list", "holder", "1", "0", "0", "0", "0", "0", "NONE", "NONE", "d")
+	f.mustRun(t, f.priv, "add_member_to_list", "holder", "USER", "doomed")
+	if _, err := f.run(f.priv, "delete_user", "doomed"); err != mrerr.MrInUse {
+		t.Errorf("member delete err = %v", err)
+	}
+	f.mustRun(t, f.priv, "delete_member_from_list", "holder", "USER", "doomed")
+	f.mustRun(t, f.priv, "delete_user", "doomed")
+	if _, err := f.run(f.priv, "get_user_by_login", "doomed"); err != mrerr.MrNoMatch {
+		t.Errorf("after delete err = %v", err)
+	}
+}
+
+func TestPoboxQueries(t *testing.T) {
+	f := newFixture(t)
+	f.addUser(t, "alice")
+	f.mustRun(t, f.priv, "set_pobox", "alice", "POP", "E40-PO.MIT.EDU")
+	out := f.mustRun(t, f.priv, "get_pobox", "alice")
+	if out[0][1] != "POP" || out[0][2] != "E40-PO.MIT.EDU" {
+		t.Errorf("pobox = %v", out[0])
+	}
+	// SMTP pobox interns a string.
+	f.mustRun(t, f.priv, "set_pobox", "alice", "SMTP", "alice@media-lab.mit.edu")
+	out = f.mustRun(t, f.priv, "get_pobox", "alice")
+	if out[0][1] != "SMTP" || out[0][2] != "alice@media-lab.mit.edu" {
+		t.Errorf("smtp pobox = %v", out[0])
+	}
+	// set_pobox_pop restores the previous POP machine.
+	f.mustRun(t, f.priv, "set_pobox_pop", "alice")
+	out = f.mustRun(t, f.priv, "get_pobox", "alice")
+	if out[0][1] != "POP" || out[0][2] != "E40-PO.MIT.EDU" {
+		t.Errorf("restored pobox = %v", out[0])
+	}
+	// delete_pobox sets NONE.
+	f.mustRun(t, f.priv, "delete_pobox", "alice")
+	out = f.mustRun(t, f.priv, "get_pobox", "alice")
+	if out[0][1] != "NONE" {
+		t.Errorf("deleted pobox = %v", out[0])
+	}
+	// Bad pobox type and unknown machine.
+	if _, err := f.run(f.priv, "set_pobox", "alice", "CARRIER-PIGEON", "x"); err != mrerr.MrType {
+		t.Errorf("bad type err = %v", err)
+	}
+	if _, err := f.run(f.priv, "set_pobox", "alice", "POP", "e40-p0"); err != mrerr.MrMachine {
+		t.Errorf("bad machine err = %v", err)
+	}
+	// A user with no POP history can't set_pobox_pop.
+	f.addUser(t, "fresh")
+	if _, err := f.run(f.priv, "set_pobox_pop", "fresh"); err != mrerr.MrMachine {
+		t.Errorf("no-history err = %v", err)
+	}
+}
+
+func TestMachineQueries(t *testing.T) {
+	f := newFixture(t)
+	// Case-insensitive lookup, canonical uppercase storage.
+	out := f.mustRun(t, f.priv, "get_machine", "E40-po.MIT.edu")
+	if out[0][0] != "E40-PO.MIT.EDU" || out[0][1] != "VAX" {
+		t.Errorf("machine = %v", out[0])
+	}
+	if _, err := f.run(f.priv, "add_machine", "dup.mit.edu", "PDP-11"); err != mrerr.MrType {
+		t.Errorf("bad type err = %v", err)
+	}
+	f.mustRun(t, f.priv, "update_machine", "suomi.mit.edu", "suomi2.mit.edu", "RT")
+	if _, err := f.run(f.priv, "get_machine", "SUOMI.MIT.EDU"); err != mrerr.MrNoMatch {
+		t.Errorf("old name err = %v", err)
+	}
+	// In-use machine cannot be deleted (E40-PO is a POP serverhost).
+	if _, err := f.run(f.priv, "delete_machine", "e40-po.mit.edu"); err != mrerr.MrInUse {
+		t.Errorf("in-use delete err = %v", err)
+	}
+	f.mustRun(t, f.priv, "delete_machine", "suomi2.mit.edu")
+}
+
+func TestClusterQueries(t *testing.T) {
+	f := newFixture(t)
+	f.mustRun(t, f.priv, "add_cluster", "bldge40-vs", "E40 vaxstations", "E40")
+	f.mustRun(t, f.priv, "add_machine_to_cluster", "e40-po.mit.edu", "bldge40-vs")
+	out := f.mustRun(t, f.priv, "get_machine_to_cluster_map", "*", "*")
+	if len(out) != 1 || out[0][0] != "E40-PO.MIT.EDU" || out[0][1] != "bldge40-vs" {
+		t.Errorf("mcmap = %v", out)
+	}
+	// Cluster with machines cannot be deleted.
+	if _, err := f.run(f.priv, "delete_cluster", "bldge40-vs"); err != mrerr.MrInUse {
+		t.Errorf("in-use cluster delete err = %v", err)
+	}
+	// Cluster data requires a registered slabel.
+	if _, err := f.run(f.priv, "add_cluster_data", "bldge40-vs", "bogus", "x"); err != mrerr.MrType {
+		t.Errorf("bad slabel err = %v", err)
+	}
+	f.mustRun(t, f.priv, "add_cluster_data", "bldge40-vs", "zephyr", "neskaya.mit.edu")
+	cd := f.mustRun(t, f.priv, "get_cluster_data", "bldge40-vs", "*")
+	if len(cd) != 1 || cd[0][2] != "neskaya.mit.edu" {
+		t.Errorf("cluster data = %v", cd)
+	}
+	f.mustRun(t, f.priv, "delete_cluster_data", "bldge40-vs", "zephyr", "neskaya.mit.edu")
+	f.mustRun(t, f.priv, "delete_machine_from_cluster", "e40-po.mit.edu", "bldge40-vs")
+	f.mustRun(t, f.priv, "delete_cluster", "bldge40-vs")
+}
+
+func TestListLifecycleAndACEs(t *testing.T) {
+	f := newFixture(t)
+	f.addUser(t, "owner")
+	f.addUser(t, "member")
+	f.addUser(t, "outsider")
+
+	// Self-referential ACE.
+	f.mustRun(t, f.priv, "add_list", "selfref", "1", "0", "0", "0", "0", "0", "LIST", "selfref", "self-owned")
+	gl := f.mustRun(t, f.priv, "get_list_info", "selfref")
+	if gl[0][7] != "LIST" || gl[0][8] != "selfref" {
+		t.Errorf("selfref ace = %v", gl[0])
+	}
+
+	// Owner-controlled public mailing list.
+	f.mustRun(t, f.priv, "add_list", "video-users", "1", "1", "0", "1", "0", "0", "USER", "owner", "Video Users")
+	owner := f.userCtx("owner")
+	member := f.userCtx("member")
+	outsider := f.userCtx("outsider")
+
+	// Owner may add anyone.
+	if _, err := f.run(owner, "add_member_to_list", "video-users", "USER", "member"); err != nil {
+		t.Fatalf("owner add: %v", err)
+	}
+	// A user may add themselves to a public list.
+	if _, err := f.run(outsider, "add_member_to_list", "video-users", "USER", "outsider"); err != nil {
+		t.Fatalf("public self-add: %v", err)
+	}
+	// But not someone else.
+	if _, err := f.run(member, "add_member_to_list", "video-users", "USER", "owner"); err != mrerr.MrPerm {
+		t.Errorf("non-owner add err = %v", err)
+	}
+	// STRING members are interned.
+	f.mustRun(t, f.priv, "add_member_to_list", "video-users", "STRING", "rubin@media-lab.mit.edu")
+	mem := f.mustRun(t, f.priv, "get_members_of_list", "video-users")
+	if len(mem) != 3 {
+		t.Errorf("members = %v", mem)
+	}
+	cnt := f.mustRun(t, f.priv, "count_members_of_list", "video-users")
+	if cnt[0][0] != "3" {
+		t.Errorf("count = %v", cnt)
+	}
+	// get_lists_of_member.
+	lom := f.mustRun(t, member, "get_lists_of_member", "USER", "member")
+	if len(lom) != 1 || lom[0][0] != "video-users" {
+		t.Errorf("lists of member = %v", lom)
+	}
+	// get_ace_use for the owner.
+	gau := f.mustRun(t, owner, "get_ace_use", "USER", "owner")
+	if len(gau) != 1 || gau[0][0] != "LIST" || gau[0][1] != "video-users" {
+		t.Errorf("ace use = %v", gau)
+	}
+	// Non-empty list cannot be deleted.
+	if _, err := f.run(owner, "delete_list", "video-users"); err != mrerr.MrInUse {
+		t.Errorf("non-empty delete err = %v", err)
+	}
+	// Public self-removal.
+	if _, err := f.run(outsider, "delete_member_from_list", "video-users", "USER", "outsider"); err != nil {
+		t.Fatalf("public self-remove: %v", err)
+	}
+}
+
+func TestHiddenLists(t *testing.T) {
+	f := newFixture(t)
+	f.addUser(t, "insider")
+	f.addUser(t, "outsider")
+	f.mustRun(t, f.priv, "add_list", "secret", "1", "0", "1", "0", "0", "0", "USER", "insider", "hidden list")
+	insider := f.userCtx("insider")
+	outsider := f.userCtx("outsider")
+	if _, err := f.run(outsider, "get_list_info", "secret"); err != mrerr.MrPerm {
+		t.Errorf("outsider glin err = %v", err)
+	}
+	if _, err := f.run(insider, "get_list_info", "secret"); err != nil {
+		t.Errorf("insider glin err = %v", err)
+	}
+	if _, err := f.run(outsider, "get_members_of_list", "secret"); err != mrerr.MrPerm {
+		t.Errorf("outsider gmol err = %v", err)
+	}
+	// qualified_get_lists with hidden TRUE requires the ACL.
+	if _, err := f.run(outsider, "qualified_get_lists", "TRUE", "DONTCARE", "TRUE", "DONTCARE", "DONTCARE"); err != mrerr.MrPerm {
+		t.Errorf("qgli hidden err = %v", err)
+	}
+	// hidden FALSE active TRUE is open to all.
+	if _, err := f.run(outsider, "qualified_get_lists", "TRUE", "DONTCARE", "FALSE", "DONTCARE", "DONTCARE"); err != nil {
+		t.Errorf("qgli open err = %v", err)
+	}
+}
+
+func TestRecursiveListsOfMember(t *testing.T) {
+	f := newFixture(t)
+	f.addUser(t, "deep")
+	f.mustRun(t, f.priv, "add_list", "leaf", "1", "0", "0", "0", "0", "0", "NONE", "NONE", "")
+	f.mustRun(t, f.priv, "add_list", "mid", "1", "0", "0", "0", "0", "0", "NONE", "NONE", "")
+	f.mustRun(t, f.priv, "add_list", "top", "1", "0", "0", "0", "0", "0", "NONE", "NONE", "")
+	f.mustRun(t, f.priv, "add_member_to_list", "leaf", "USER", "deep")
+	f.mustRun(t, f.priv, "add_member_to_list", "mid", "LIST", "leaf")
+	f.mustRun(t, f.priv, "add_member_to_list", "top", "LIST", "mid")
+
+	direct := f.mustRun(t, f.priv, "get_lists_of_member", "USER", "deep")
+	if len(direct) != 1 {
+		t.Errorf("direct = %v", direct)
+	}
+	rec := f.mustRun(t, f.priv, "get_lists_of_member", "RUSER", "deep")
+	if len(rec) != 3 {
+		t.Errorf("recursive = %v", rec)
+	}
+}
+
+func TestServerQueries(t *testing.T) {
+	f := newFixture(t)
+	f.mustRun(t, f.priv, "add_server_info", "hesiod", "360", "/tmp/hesiod.out", "hesiod.sh", "REPLICAT", "1", "LIST", AdminList)
+	out := f.mustRun(t, f.priv, "get_server_info", "HESIOD")
+	if out[0][0] != "HESIOD" || out[0][1] != "360" || out[0][6] != "REPLICAT" {
+		t.Errorf("server = %v", out[0])
+	}
+	f.mustRun(t, f.priv, "add_server_host_info", "HESIOD", "SUOMI.MIT.EDU", "1", "0", "0", "")
+	// qualified_get_server_host: never updated successfully.
+	q := f.mustRun(t, f.priv, "qualified_get_server_host", "HESIOD", "TRUE", "DONTCARE", "FALSE", "DONTCARE", "DONTCARE")
+	if len(q) != 1 || q[0][1] != "SUOMI.MIT.EDU" {
+		t.Errorf("qgsh = %v", q)
+	}
+	// get_server_locations is public.
+	f.addUser(t, "anyone")
+	anyone := f.userCtx("anyone")
+	loc := f.mustRun(t, anyone, "get_server_locations", "hesiod")
+	if len(loc) != 1 || loc[0][1] != "SUOMI.MIT.EDU" {
+		t.Errorf("locations = %v", loc)
+	}
+	// Internal flags via the DCM-only query.
+	f.mustRun(t, f.priv, "set_server_internal_flags", "HESIOD", "600000100", "600000200", "0", "0", "")
+	out = f.mustRun(t, f.priv, "get_server_info", "HESIOD")
+	if out[0][4] != "600000100" || out[0][5] != "600000200" {
+		t.Errorf("dfgen/dfcheck = %v", out[0])
+	}
+	// Service with hosts cannot be deleted.
+	if _, err := f.run(f.priv, "delete_server_info", "HESIOD"); err != mrerr.MrInUse {
+		t.Errorf("in-use service delete err = %v", err)
+	}
+	f.mustRun(t, f.priv, "delete_server_host_info", "HESIOD", "SUOMI.MIT.EDU")
+	f.mustRun(t, f.priv, "delete_server_info", "HESIOD")
+}
+
+func TestServerHostOverrideTriggersDCM(t *testing.T) {
+	f := newFixture(t)
+	triggered := false
+	f.priv.TriggerDCM = func() { triggered = true }
+	f.mustRun(t, f.priv, "set_server_host_override", "POP", "E40-PO.MIT.EDU")
+	if !triggered {
+		t.Error("set_server_host_override did not trigger the DCM")
+	}
+	out := f.mustRun(t, f.priv, "get_server_host_info", "POP", "*")
+	if out[0][3] != "1" {
+		t.Errorf("override flag = %q", out[0][3])
+	}
+}
+
+func TestFilesysQuotaAccounting(t *testing.T) {
+	f := newFixture(t)
+	f.addUser(t, "alice")
+	f.mustRun(t, f.priv, "add_list", "alicegrp", "1", "0", "0", "0", "1", UniqueGID, "USER", "alice", "")
+	f.mustRun(t, f.priv, "add_filesys", "aliceproj", "NFS", "charon.mit.edu", "/u1/proj", "/mit/proj", "w", "", "alice", "alicegrp", "1", "PROJECT")
+	f.mustRun(t, f.priv, "add_nfs_quota", "aliceproj", "alice", "500")
+	np := f.mustRun(t, f.priv, "get_nfsphys", "charon.mit.edu", "/u1")
+	if np[0][4] != "500" {
+		t.Errorf("allocated after add = %q", np[0][4])
+	}
+	f.mustRun(t, f.priv, "update_nfs_quota", "aliceproj", "alice", "800")
+	np = f.mustRun(t, f.priv, "get_nfsphys", "charon.mit.edu", "/u1")
+	if np[0][4] != "800" {
+		t.Errorf("allocated after update = %q", np[0][4])
+	}
+	// Deleting the filesystem returns the allocation.
+	f.mustRun(t, f.priv, "delete_filesys", "aliceproj")
+	np = f.mustRun(t, f.priv, "get_nfsphys", "charon.mit.edu", "/u1")
+	if np[0][4] != "0" {
+		t.Errorf("allocated after delete = %q", np[0][4])
+	}
+	// Partition with filesystems cannot be deleted.
+	f.mustRun(t, f.priv, "add_filesys", "keeper", "NFS", "charon.mit.edu", "/u1/keeper", "/mit/keeper", "r", "", "alice", "alicegrp", "0", "PROJECT")
+	if _, err := f.run(f.priv, "delete_nfsphys", "charon.mit.edu", "/u1"); err != mrerr.MrInUse {
+		t.Errorf("in-use nfsphys delete err = %v", err)
+	}
+}
+
+func TestFilesysValidation(t *testing.T) {
+	f := newFixture(t)
+	f.addUser(t, "alice")
+	f.mustRun(t, f.priv, "add_list", "grp", "1", "0", "0", "0", "1", UniqueGID, "NONE", "NONE", "")
+	base := []string{"fs1", "NFS", "charon.mit.edu", "/u1/fs1", "/mit/fs1", "w", "", "alice", "grp", "0", "PROJECT"}
+	bad := func(idx int, val string, want error) {
+		t.Helper()
+		args := append([]string(nil), base...)
+		args[idx] = val
+		if _, err := f.run(f.priv, "add_filesys", args...); err != want {
+			t.Errorf("arg %d=%q err = %v, want %v", idx, val, err, want)
+		}
+	}
+	bad(1, "AFS", mrerr.MrFSType)
+	bad(2, "nowhere.mit.edu", mrerr.MrMachine)
+	bad(3, "/u9/fs1", mrerr.MrNFS)
+	bad(5, "x", mrerr.MrFilesysAccess)
+	bad(7, "ghost", mrerr.MrUser)
+	bad(8, "ghostgrp", mrerr.MrList)
+	bad(10, "CLOSET", mrerr.MrType)
+	// RVD filesystems skip the NFS-specific checks.
+	if _, err := f.run(f.priv, "add_filesys", "ade", "RVD", "charon.mit.edu", "ade-pack", "/mnt/ade", "r", "", "alice", "grp", "0", "OTHER"); err != nil {
+		t.Errorf("rvd add: %v", err)
+	}
+}
+
+func TestZephyrQueries(t *testing.T) {
+	f := newFixture(t)
+	f.mustRun(t, f.priv, "add_zephyr_class", "MOIRA", "LIST", AdminList, "NONE", "NONE", "NONE", "NONE", "NONE", "NONE")
+	out := f.mustRun(t, f.priv, "get_zephyr_class", "MOIRA")
+	if out[0][1] != "LIST" || out[0][2] != AdminList {
+		t.Errorf("zephyr = %v", out[0])
+	}
+	f.mustRun(t, f.priv, "update_zephyr_class", "MOIRA", "MOIRA2", "NONE", "NONE", "NONE", "NONE", "NONE", "NONE", "NONE", "NONE")
+	if _, err := f.run(f.priv, "get_zephyr_class", "MOIRA"); err != mrerr.MrNoMatch {
+		t.Errorf("old class err = %v", err)
+	}
+	f.mustRun(t, f.priv, "delete_zephyr_class", "MOIRA2")
+}
+
+func TestServiceAndPrintcap(t *testing.T) {
+	f := newFixture(t)
+	f.mustRun(t, f.priv, "add_service", "smtp", "tcp", "25", "mail")
+	if _, err := f.run(f.priv, "add_service", "smtp", "TCP", "25", "dup"); err != mrerr.MrExists {
+		t.Errorf("dup service err = %v", err)
+	}
+	if _, err := f.run(f.priv, "add_service", "x25", "DECNET", "1", ""); err != mrerr.MrType {
+		t.Errorf("bad protocol err = %v", err)
+	}
+	f.mustRun(t, f.priv, "add_printcap", "linus", "charon.mit.edu", "/usr/spool/printer/linus", "linus", "")
+	out := f.mustRun(t, f.priv, "get_printcap", "lin*")
+	if out[0][0] != "linus" || out[0][1] != "CHARON.MIT.EDU" {
+		t.Errorf("printcap = %v", out[0])
+	}
+	f.mustRun(t, f.priv, "delete_printcap", "linus")
+	f.mustRun(t, f.priv, "delete_service", "smtp")
+}
+
+func TestAliasAndValueQueries(t *testing.T) {
+	f := newFixture(t)
+	f.mustRun(t, f.priv, "add_alias", "ade", "FILESYS", "ade-real")
+	out := f.mustRun(t, f.priv, "get_alias", "ade", "*", "*")
+	if len(out) != 1 || out[0][2] != "ade-real" {
+		t.Errorf("alias = %v", out)
+	}
+	if _, err := f.run(f.priv, "add_alias", "x", "NOTATYPE", "y"); err != mrerr.MrType {
+		t.Errorf("bad alias type err = %v", err)
+	}
+	f.mustRun(t, f.priv, "delete_alias", "ade", "FILESYS", "ade-real")
+
+	f.mustRun(t, f.priv, "add_value", "test_val", "7")
+	v := f.mustRun(t, f.priv, "get_value", "test_val")
+	if v[0][0] != "7" {
+		t.Errorf("value = %v", v)
+	}
+	f.mustRun(t, f.priv, "update_value", "test_val", "8")
+	f.mustRun(t, f.priv, "delete_value", "test_val")
+	if _, err := f.run(f.priv, "get_value", "test_val"); err != mrerr.MrNoMatch {
+		t.Errorf("deleted value err = %v", err)
+	}
+}
+
+func TestTableStatsQuery(t *testing.T) {
+	f := newFixture(t)
+	f.addUser(t, "statuser")
+	out := f.mustRun(t, f.priv, "get_all_table_stats")
+	found := false
+	for _, row := range out {
+		if row[0] == db.TUsers {
+			found = true
+			if row[2] == "0" {
+				t.Errorf("users appends = %v", row)
+			}
+		}
+	}
+	if !found {
+		t.Error("users table missing from stats")
+	}
+}
+
+func TestBuiltinQueries(t *testing.T) {
+	f := newFixture(t)
+	out := f.mustRun(t, f.priv, "_list_queries")
+	if len(out) != Count() {
+		t.Errorf("_list_queries returned %d rows, registry has %d", len(out), Count())
+	}
+	h := f.mustRun(t, f.priv, "_help", "gubl")
+	if len(h) != 1 {
+		t.Errorf("_help = %v", h)
+	}
+	if _, err := f.run(f.priv, "_help", "nonsense"); err != mrerr.MrNoHandle {
+		t.Errorf("_help unknown err = %v", err)
+	}
+	// _list_users with a session lister installed.
+	f.priv.Sessions = func() []SessionInfo {
+		return []SessionInfo{{Principal: "alice", HostAddress: "18.72.0.1", Port: 999, ConnectTime: 600000000, ClientNum: 1}}
+	}
+	lu := f.mustRun(t, f.priv, "_list_users")
+	if len(lu) != 1 || lu[0][0] != "alice" {
+		t.Errorf("_list_users = %v", lu)
+	}
+}
+
+func TestJournalRecordsWrites(t *testing.T) {
+	f := newFixture(t)
+	var journal journalBuffer
+	f.d.SetJournal(&journal)
+	f.addUser(t, "journaled")
+	if !journal.contains("add_user:journaled") {
+		t.Errorf("journal = %q", journal.String())
+	}
+	// Retrieves are not journaled.
+	journal.reset()
+	f.mustRun(t, f.priv, "get_user_by_login", "journaled")
+	if journal.String() != "" {
+		t.Errorf("retrieve journaled: %q", journal.String())
+	}
+}
+
+type journalBuffer struct{ buf []byte }
+
+func (j *journalBuffer) Write(p []byte) (int, error) {
+	j.buf = append(j.buf, p...)
+	return len(p), nil
+}
+func (j *journalBuffer) String() string { return string(j.buf) }
+func (j *journalBuffer) reset()         { j.buf = nil }
+func (j *journalBuffer) contains(s string) bool {
+	return len(s) == 0 || stringsContains(j.String(), s)
+}
+
+func stringsContains(haystack, needle string) bool {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if haystack[i:i+len(needle)] == needle {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,73 @@
+package reg
+
+import (
+	"bufio"
+	"io"
+	"strings"
+
+	"moira/internal/kerberos"
+	"moira/internal/mrerr"
+	"moira/internal/queries"
+)
+
+// TapeEntry is one student on the Registrar's list, obtained "shortly
+// before registration day each term".
+type TapeEntry struct {
+	First  string
+	Last   string
+	Middle string
+	ID     string // full ID number, e.g. 123-45-6789
+	Class  string // academic year
+}
+
+// ParseTape reads a registrar tape in colon-separated form:
+// last:first:middle:id:class, one student per line.
+func ParseTape(r io.Reader) ([]TapeEntry, error) {
+	var out []TapeEntry
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, ":")
+		if len(parts) != 5 {
+			return nil, mrerr.MrArgs
+		}
+		out = append(out, TapeEntry{
+			Last: parts[0], First: parts[1], Middle: parts[2],
+			ID: parts[3], Class: parts[4],
+		})
+	}
+	return out, sc.Err()
+}
+
+// LoadTape adds each student who does not already have an account to the
+// users relation with a unique userid, no login name, and the encrypted
+// form of the ID number — exactly the pre-registration state of section
+// 5.10. It returns how many entries were added and how many skipped as
+// already present.
+func LoadTape(cx *queries.Context, entries []TapeEntry) (added, skipped int, err error) {
+	for _, e := range entries {
+		hash := kerberos.HashMITID(e.ID, e.First, e.Last)
+		exists := false
+		err := queries.Execute(cx, "get_user_by_mitid", []string{hash},
+			func([]string) error { exists = true; return nil })
+		if err != nil && err != mrerr.MrNoMatch {
+			return added, skipped, err
+		}
+		if exists {
+			skipped++
+			continue
+		}
+		err = queries.Execute(cx, "add_user", []string{
+			queries.UniqueLogin, queries.UniqueUID, "/bin/csh",
+			e.Last, e.First, e.Middle, "0", hash, e.Class,
+		}, func([]string) error { return nil })
+		if err != nil {
+			return added, skipped, err
+		}
+		added++
+	}
+	return added, skipped, nil
+}

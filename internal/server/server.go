@@ -1,0 +1,342 @@
+// Package server implements the Moira server (section 5.4): a single
+// process in front of the database, listening on a well-known TCP port
+// and processing RPC requests on every connection it accepts.
+//
+// The original used GDB's non-blocking I/O to multiplex connections in
+// one process; here each connection gets a goroutine, and the database
+// lock in the query layer provides the same one-backend serialization.
+// Crucially — and this was the paper's stated performance motivation over
+// Athenareg — the expensive database backend is started once at daemon
+// startup, not once per client connection. The AthenaregMode flag
+// resurrects the old behaviour for the comparison benchmark.
+package server
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"moira/internal/clock"
+	"moira/internal/db"
+	"moira/internal/kerberos"
+	"moira/internal/mrerr"
+	"moira/internal/protocol"
+	"moira/internal/queries"
+
+	"bufio"
+)
+
+// Config configures a Server.
+type Config struct {
+	DB *db.DB
+
+	// Verifier checks client authenticators. With a nil verifier every
+	// Authenticate request fails; unauthenticated queries still work.
+	Verifier *kerberos.Verifier
+
+	// Clock for session timestamps; nil means the system clock.
+	Clock clock.Clock
+
+	// Logf receives server log lines; nil discards them.
+	Logf func(format string, args ...any)
+
+	// BackendStartup is the simulated cost of starting the database
+	// backend subprocess (the heavyweight INGRES spawn). In the normal
+	// mode it is paid once, in New. In AthenaregMode it is paid again on
+	// every accepted connection, as Moira's predecessor did.
+	BackendStartup time.Duration
+	AthenaregMode  bool
+
+	// TriggerDCM is invoked by an authorized Trigger_DCM request and by
+	// the set_server_host_override query.
+	TriggerDCM func()
+
+	// Router, when set, resolves qualified query handles
+	// ("archive:get_user_by_login") onto attached secondary databases
+	// (section 5.2.D). nil serves only the primary DB.
+	Router *queries.Router
+}
+
+// Server is a running Moira server.
+type Server struct {
+	cfg Config
+	clk clock.Clock
+
+	ln net.Listener
+	wg sync.WaitGroup
+
+	mu       sync.Mutex
+	sessions map[int]*session
+	nextID   int
+	closed   bool
+}
+
+type session struct {
+	id        int
+	principal string
+	app       string
+	addr      string
+	port      int
+	connected int64
+}
+
+// New creates a server and pays the one-time backend startup cost.
+func New(cfg Config) *Server {
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.System
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if !cfg.AthenaregMode && cfg.BackendStartup > 0 {
+		time.Sleep(cfg.BackendStartup)
+	}
+	return &Server{cfg: cfg, clk: clk, sessions: make(map[int]*session)}
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0") and starts accepting
+// connections in the background. It returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr(), nil
+}
+
+// Addr returns the listener address, or nil before Listen.
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting and waits for in-flight connections to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		if s.cfg.AthenaregMode && s.cfg.BackendStartup > 0 {
+			// The predecessor forked an INGRES backend per client.
+			time.Sleep(s.cfg.BackendStartup)
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// SessionInfos lists the connected clients for the _list_users query.
+func (s *Server) SessionInfos() []queries.SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]queries.SessionInfo, 0, len(s.sessions))
+	for _, ses := range s.sessions {
+		out = append(out, queries.SessionInfo{
+			Principal:   ses.principal,
+			HostAddress: ses.addr,
+			Port:        ses.port,
+			ConnectTime: ses.connected,
+			ClientNum:   ses.id,
+		})
+	}
+	return out
+}
+
+func (s *Server) addSession(conn net.Conn) *session {
+	host, port := "", 0
+	if tcp, ok := conn.RemoteAddr().(*net.TCPAddr); ok {
+		host = tcp.IP.String()
+		port = tcp.Port
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	ses := &session{id: s.nextID, addr: host, port: port, connected: s.clk.Now().Unix()}
+	s.sessions[ses.id] = ses
+	return ses
+}
+
+func (s *Server) dropSession(ses *session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.sessions, ses.id)
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	ses := s.addSession(conn)
+	defer s.dropSession(ses)
+
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+
+	cx := &queries.Context{
+		DB:         s.cfg.DB,
+		Sessions:   s.SessionInfos,
+		TriggerDCM: s.cfg.TriggerDCM,
+	}
+	// Section 5.5: access checks commonly run twice (Access request,
+	// then the Query itself); the per-connection cache absorbs the
+	// second one.
+	cx.EnableAccessCache()
+
+	reply := func(code mrerr.Code, fields []string) error {
+		rep := &protocol.Reply{Version: protocol.Version, Code: int32(code)}
+		if fields != nil {
+			rep.Fields = protocol.BytesArgs(fields)
+		}
+		if err := protocol.WriteReply(bw, rep); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+
+	for {
+		req, err := protocol.ReadRequest(br)
+		if err != nil {
+			return // EOF or protocol garbage: drop the connection
+		}
+		if req.Version != protocol.Version {
+			if reply(mrerr.MrVersionMismatch, nil) != nil {
+				return
+			}
+			continue
+		}
+		switch req.Op {
+		case protocol.OpNoop:
+			if reply(mrerr.Success, nil) != nil {
+				return
+			}
+
+		case protocol.OpAuth:
+			code := s.authenticate(cx, ses, req)
+			if reply(code, nil) != nil {
+				return
+			}
+
+		case protocol.OpQuery:
+			if len(req.Args) < 1 {
+				if reply(mrerr.MrArgs, nil) != nil {
+					return
+				}
+				continue
+			}
+			args := req.StringArgs()
+			emitErr := false
+			emitFn := func(tuple []string) error {
+				if e := reply(mrerr.MrMoreData, tuple); e != nil {
+					emitErr = true
+					return e
+				}
+				return nil
+			}
+			var err error
+			if s.cfg.Router != nil {
+				err = queries.ExecuteRouted(cx, s.cfg.Router, args[0], args[1:], emitFn)
+			} else {
+				err = queries.Execute(cx, args[0], args[1:], emitFn)
+			}
+			if emitErr {
+				return
+			}
+			if reply(mrerr.CodeOf(err), nil) != nil {
+				return
+			}
+
+		case protocol.OpAccess:
+			if len(req.Args) < 1 {
+				if reply(mrerr.MrArgs, nil) != nil {
+					return
+				}
+				continue
+			}
+			args := req.StringArgs()
+			var err error
+			if s.cfg.Router != nil {
+				err = queries.CheckAccessRouted(cx, s.cfg.Router, args[0], args[1:])
+			} else {
+				err = queries.CheckAccess(cx, args[0], args[1:])
+			}
+			if reply(mrerr.CodeOf(err), nil) != nil {
+				return
+			}
+
+		case protocol.OpTriggerDCM:
+			err := queries.CheckAccess(cx, queries.TriggerDCMCapability, nil)
+			if err == nil && s.cfg.TriggerDCM != nil {
+				s.cfg.TriggerDCM()
+			}
+			if reply(mrerr.CodeOf(err), nil) != nil {
+				return
+			}
+
+		case protocol.OpShutdown:
+			err := queries.CheckAccess(cx, queries.TriggerDCMCapability, nil)
+			if reply(mrerr.CodeOf(err), nil) != nil {
+				return
+			}
+			if err == nil {
+				s.cfg.Logf("shutdown requested by %s", cx.Principal)
+				go s.Close()
+				return
+			}
+
+		default:
+			if reply(mrerr.MrUnknownProc, nil) != nil {
+				return
+			}
+		}
+	}
+}
+
+// authenticate processes an Authenticate request: one argument, a
+// Kerberos authenticator payload. All requests received afterwards are
+// performed on behalf of the verified principal.
+func (s *Server) authenticate(cx *queries.Context, ses *session, req *protocol.Request) mrerr.Code {
+	if s.cfg.Verifier == nil {
+		return mrerr.KrbNoSrvtab
+	}
+	if len(req.Args) != 1 {
+		return mrerr.MrArgs
+	}
+	payload, err := kerberos.UnmarshalAuthPayload(req.Args[0])
+	if err != nil {
+		return mrerr.CodeOf(err)
+	}
+	principal, app, err := s.cfg.Verifier.Verify(payload)
+	if err != nil {
+		return mrerr.CodeOf(err)
+	}
+	cx.Principal = principal
+	cx.App = app
+	cx.ResolveUser()
+	s.mu.Lock()
+	ses.principal = principal
+	ses.app = app
+	s.mu.Unlock()
+	s.cfg.Logf("authenticated %s (%s) from %s", principal, app, ses.addr)
+	return mrerr.Success
+}

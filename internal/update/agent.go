@@ -1,0 +1,517 @@
+package update
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"moira/internal/kerberos"
+	"moira/internal/mrerr"
+	"moira/internal/protocol"
+)
+
+// Protocol opcodes for the update protocol (distinct from the Moira
+// query protocol's range).
+const (
+	OpUAuth    uint16 = 20 // args: kerberos auth payload
+	OpUXfer    uint16 = 21 // args: target path, sha256 hex, file data
+	OpUScript  uint16 = 22 // args: instruction lines
+	OpUExecute uint16 = 23 // no args; runs the staged script
+)
+
+// Suffixes used by the atomic installation dance.
+const (
+	updateSuffix = ".moira_update"
+	backupSuffix = ".moira_backup"
+)
+
+// CommandFunc is a registered handler for the "exec" instruction. The
+// original ran shell commands on the target host; here target services
+// (the NFS host simulation, the hesiod restart script) register Go
+// handlers under command names.
+type CommandFunc func(a *Agent, args []string) error
+
+// Agent is the update daemon running on one managed host. Its Root
+// directory is the host's private filesystem.
+type Agent struct {
+	Host string
+	Root string
+
+	// Verifier authenticates the DCM; nil accepts unauthenticated pushes
+	// (used only in tests).
+	Verifier *kerberos.Verifier
+
+	// ReadTimeout bounds each frame read, so "network lossage and
+	// machine crashes" cannot hang the agent (section 5.9, timeouts on
+	// both sides).
+	ReadTimeout time.Duration
+
+	// BusyWait bounds how long an incoming update waits for a previous
+	// update on this host to finish before being rejected with UpdBusy.
+	BusyWait time.Duration
+
+	// Signals records pids signalled by the "signal" instruction.
+	mu         sync.Mutex
+	signals    []int
+	commands   map[string]CommandFunc
+	crashPoint func(stage string) bool
+	sem        chan struct{}
+
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+// NewAgent creates an update agent for a host rooted at dir.
+func NewAgent(host, dir string, verifier *kerberos.Verifier) *Agent {
+	return &Agent{
+		Host: host, Root: dir, Verifier: verifier,
+		ReadTimeout: 30 * time.Second,
+		BusyWait:    5 * time.Second,
+		commands:    make(map[string]CommandFunc),
+		sem:         make(chan struct{}, 1),
+	}
+}
+
+// RegisterCommand installs a handler for "exec name ...".
+func (a *Agent) RegisterCommand(name string, fn CommandFunc) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.commands[name] = fn
+}
+
+// ExecCommand invokes a registered command directly, as local tooling on
+// the host (or a test) would; the update protocol's "exec" instruction
+// goes through the same handlers.
+func (a *Agent) ExecCommand(name string, args []string) error {
+	a.mu.Lock()
+	fn := a.commands[name]
+	a.mu.Unlock()
+	if fn == nil {
+		return mrerr.UpdBadInstr
+	}
+	return fn(a, args)
+}
+
+// Signals returns the pids signalled so far.
+func (a *Agent) Signals() []int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]int, len(a.signals))
+	copy(out, a.signals)
+	return out
+}
+
+// Listen binds addr and serves update connections in the background.
+func (a *Agent) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	a.ln = ln
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			a.wg.Add(1)
+			go func() {
+				defer a.wg.Done()
+				a.serve(conn)
+			}()
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// Addr returns the bound address.
+func (a *Agent) Addr() net.Addr {
+	if a.ln == nil {
+		return nil
+	}
+	return a.ln.Addr()
+}
+
+// Close stops the agent.
+func (a *Agent) Close() error {
+	var err error
+	if a.ln != nil {
+		err = a.ln.Close()
+	}
+	a.wg.Wait()
+	return err
+}
+
+// path resolves a target-relative path inside the agent root, rejecting
+// escapes.
+func (a *Agent) path(p string) (string, error) {
+	clean := filepath.Join(a.Root, filepath.FromSlash(strings.TrimPrefix(p, "/")))
+	if !strings.HasPrefix(clean, filepath.Clean(a.Root)+string(os.PathSeparator)) &&
+		clean != filepath.Clean(a.Root) {
+		return "", mrerr.UpdBadInstr
+	}
+	return clean, nil
+}
+
+// ReadHostFile reads a file from the host's private filesystem, for
+// the services (and tests) running on this host.
+func (a *Agent) ReadHostFile(p string) ([]byte, error) {
+	fp, err := a.path(p)
+	if err != nil {
+		return nil, err
+	}
+	return os.ReadFile(fp)
+}
+
+// RenameHostFile atomically renames one host file to another, for
+// registered commands that perform their own controlled switchover (the
+// mailhub's aliases activation).
+func (a *Agent) RenameHostFile(oldPath, newPath string) error {
+	op, err := a.path(oldPath)
+	if err != nil {
+		return err
+	}
+	np, err := a.path(newPath)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(np), 0o755); err != nil {
+		return err
+	}
+	return os.Rename(op, np)
+}
+
+// WriteHostFile writes a file into the host's private filesystem.
+func (a *Agent) WriteHostFile(p string, data []byte) error {
+	fp, err := a.path(p)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(fp), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(fp, data, 0o644)
+}
+
+type updateSession struct {
+	agent  *Agent
+	authed bool
+	target string
+	script []string
+	staged bool
+}
+
+// SetCrashPoint installs (or clears, with nil) a crash-injection hook:
+// it is consulted with a stage label, and returning true makes the agent
+// drop the connection there, simulating a server crash mid-update for
+// the recovery tests.
+func (a *Agent) SetCrashPoint(fn func(stage string) bool) {
+	a.mu.Lock()
+	a.crashPoint = fn
+	a.mu.Unlock()
+}
+
+func (a *Agent) crash(conn net.Conn, stage string) bool {
+	a.mu.Lock()
+	fn := a.crashPoint
+	a.mu.Unlock()
+	if fn != nil && fn(stage) {
+		conn.Close()
+		return true
+	}
+	return false
+}
+
+// lock marks the host busy for the duration of one update, implementing
+// the "only one update at a time per host" rule. It waits up to BusyWait
+// for a previous update (or its connection teardown) to finish.
+func (a *Agent) lock() bool {
+	select {
+	case a.sem <- struct{}{}:
+		return true
+	default:
+	}
+	if a.BusyWait <= 0 {
+		return false
+	}
+	select {
+	case a.sem <- struct{}{}:
+		return true
+	case <-time.After(a.BusyWait):
+		return false
+	}
+}
+
+func (a *Agent) unlock() {
+	<-a.sem
+}
+
+func (a *Agent) serve(conn net.Conn) {
+	defer conn.Close()
+	if !a.lock() {
+		bw := bufio.NewWriter(conn)
+		protocol.WriteReply(bw, &protocol.Reply{Version: protocol.Version, Code: int32(mrerr.UpdBusy)})
+		bw.Flush()
+		return
+	}
+	defer a.unlock()
+
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	ses := &updateSession{agent: a, authed: a.Verifier == nil}
+
+	reply := func(code mrerr.Code) error {
+		if err := protocol.WriteReply(bw, &protocol.Reply{Version: protocol.Version, Code: int32(code)}); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+
+	for {
+		if a.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(a.ReadTimeout))
+		}
+		req, err := protocol.ReadRequest(br)
+		if err != nil {
+			return
+		}
+		var code mrerr.Code
+		switch req.Op {
+		case OpUAuth:
+			code = ses.auth(req)
+		case OpUXfer:
+			if a.crash(conn, "before-xfer") {
+				return
+			}
+			code = ses.xfer(req)
+			if a.crash(conn, "after-xfer") {
+				return
+			}
+		case OpUScript:
+			code = ses.loadScript(req)
+		case OpUExecute:
+			if a.crash(conn, "before-execute") {
+				return
+			}
+			code = ses.execute(conn)
+			if code == mrerr.Code(-1) {
+				return // crashed mid-execution
+			}
+		default:
+			code = mrerr.MrUnknownProc
+		}
+		if reply(code) != nil {
+			return
+		}
+	}
+}
+
+func (s *updateSession) auth(req *protocol.Request) mrerr.Code {
+	if s.agent.Verifier == nil {
+		return mrerr.Success
+	}
+	if len(req.Args) != 1 {
+		return mrerr.MrArgs
+	}
+	payload, err := kerberos.UnmarshalAuthPayload(req.Args[0])
+	if err != nil {
+		return mrerr.UpdAuthFailed
+	}
+	if _, _, err := s.agent.Verifier.Verify(payload); err != nil {
+		return mrerr.UpdAuthFailed
+	}
+	s.authed = true
+	return mrerr.Success
+}
+
+// xfer stages the transferred data file at the target path. The file
+// transfer includes a checksum to insure data integrity; the data is
+// flushed to disk before the reply ("flush all data on the server to
+// disk").
+func (s *updateSession) xfer(req *protocol.Request) mrerr.Code {
+	if !s.authed {
+		return mrerr.UpdAuthFailed
+	}
+	if len(req.Args) != 3 {
+		return mrerr.MrArgs
+	}
+	target := string(req.Args[0])
+	sum := string(req.Args[1])
+	data := req.Args[2]
+	got := sha256.Sum256(data)
+	if hex.EncodeToString(got[:]) != sum {
+		return mrerr.UpdChecksum
+	}
+	fp, err := s.agent.path(target)
+	if err != nil {
+		return mrerr.UpdBadInstr
+	}
+	if err := os.MkdirAll(filepath.Dir(fp), 0o755); err != nil {
+		return mrerr.MrInternal
+	}
+	// A stale .moira_update from a crashed run "will be deleted (as it
+	// may be incomplete) when the next update starts".
+	matches, _ := filepath.Glob(fp + "*" + updateSuffix)
+	for _, m := range matches {
+		os.Remove(m)
+	}
+	f, err := os.Create(fp)
+	if err != nil {
+		return mrerr.MrInternal
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return mrerr.MrInternal
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return mrerr.MrInternal
+	}
+	if err := f.Close(); err != nil {
+		return mrerr.MrInternal
+	}
+	s.target = target
+	s.staged = true
+	return mrerr.Success
+}
+
+func (s *updateSession) loadScript(req *protocol.Request) mrerr.Code {
+	if !s.authed {
+		return mrerr.UpdAuthFailed
+	}
+	s.script = req.StringArgs()
+	return mrerr.Success
+}
+
+// execute runs the staged instruction sequence. A crash injected between
+// instructions returns the sentinel -1 so serve drops the connection.
+func (s *updateSession) execute(conn net.Conn) mrerr.Code {
+	if !s.authed {
+		return mrerr.UpdAuthFailed
+	}
+	if s.script == nil {
+		return mrerr.UpdNoFile
+	}
+	for i, line := range s.script {
+		if s.agent.crash(conn, fmt.Sprintf("instr-%d", i)) {
+			return mrerr.Code(-1)
+		}
+		if code := s.runInstruction(line); code != mrerr.Success {
+			return code
+		}
+	}
+	return mrerr.Success
+}
+
+func (s *updateSession) runInstruction(line string) mrerr.Code {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return mrerr.Success
+	}
+	a := s.agent
+	switch fields[0] {
+	case "extract": // extract <member> <dest>
+		if len(fields) != 3 || !s.staged {
+			return mrerr.UpdBadInstr
+		}
+		archive, err := a.ReadHostFile(s.target)
+		if err != nil {
+			return mrerr.UpdNoFile
+		}
+		data, err := ExtractMember(archive, fields[1])
+		if err != nil {
+			return mrerr.UpdNoFile
+		}
+		if err := a.WriteHostFile(fields[2]+updateSuffix, data); err != nil {
+			if code, ok := err.(mrerr.Code); ok {
+				return code
+			}
+			return mrerr.MrInternal
+		}
+		return mrerr.Success
+
+	case "install": // install <path>: atomic rename of <path>.moira_update
+		if len(fields) != 2 {
+			return mrerr.UpdBadInstr
+		}
+		fp, err := a.path(fields[1])
+		if err != nil {
+			return mrerr.UpdBadInstr
+		}
+		if _, err := os.Stat(fp + updateSuffix); err != nil {
+			return mrerr.UpdNoFile
+		}
+		// Keep the old file for revert; both stay in the same directory
+		// so the renames never cross a partition.
+		if _, err := os.Stat(fp); err == nil {
+			if err := os.Rename(fp, fp+backupSuffix); err != nil {
+				return mrerr.UpdRename
+			}
+		}
+		if err := os.Rename(fp+updateSuffix, fp); err != nil {
+			return mrerr.UpdRename
+		}
+		return mrerr.Success
+
+	case "revert": // revert <path>: put the old file back
+		if len(fields) != 2 {
+			return mrerr.UpdBadInstr
+		}
+		fp, err := a.path(fields[1])
+		if err != nil {
+			return mrerr.UpdBadInstr
+		}
+		if _, err := os.Stat(fp + backupSuffix); err != nil {
+			return mrerr.UpdNoRevert
+		}
+		if err := os.Rename(fp+backupSuffix, fp); err != nil {
+			return mrerr.UpdRename
+		}
+		return mrerr.Success
+
+	case "signal": // signal <pidfile>
+		if len(fields) != 2 {
+			return mrerr.UpdBadInstr
+		}
+		data, err := a.ReadHostFile(fields[1])
+		if err != nil {
+			return mrerr.UpdNoFile
+		}
+		pid, err := strconv.Atoi(strings.TrimSpace(string(data)))
+		if err != nil {
+			return mrerr.UpdBadInstr
+		}
+		a.mu.Lock()
+		a.signals = append(a.signals, pid)
+		a.mu.Unlock()
+		return mrerr.Success
+
+	case "exec": // exec <command> [args...]
+		if len(fields) < 2 {
+			return mrerr.UpdBadInstr
+		}
+		a.mu.Lock()
+		fn := a.commands[fields[1]]
+		a.mu.Unlock()
+		if fn == nil {
+			return mrerr.UpdBadInstr
+		}
+		if err := fn(a, fields[2:]); err != nil {
+			return mrerr.UpdScriptError
+		}
+		return mrerr.Success
+
+	default:
+		return mrerr.UpdBadInstr
+	}
+}

@@ -1,0 +1,110 @@
+package update
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"net"
+	"time"
+
+	"moira/internal/clock"
+	"moira/internal/kerberos"
+	"moira/internal/mrerr"
+	"moira/internal/protocol"
+)
+
+// Push is the DCM side of the update protocol: one complete update of a
+// single host.
+type Push struct {
+	// Addr is the host's update agent address.
+	Addr string
+	// Target is where on the host to deposit the data file (the target
+	// field of the service record).
+	Target string
+	// Data is the file contents (usually a tar bundle).
+	Data []byte
+	// Script is the installation instruction sequence (the script field
+	// of the service record, resolved to its lines).
+	Script []string
+	// Creds authenticate the DCM to the agent; nil only for tests
+	// against a verifier-less agent.
+	Creds *kerberos.Credentials
+	// Clock drives the authenticator timestamp; nil = system clock.
+	Clock clock.Clock
+	// Timeout bounds the whole update; "if any single operation takes
+	// longer than a reasonable amount of time, the connection is closed,
+	// and the installation assumed to have failed."
+	Timeout time.Duration
+}
+
+// Run performs the update: transfer phase (auth, data file with
+// checksum, script), then execution phase, then confirmation. The error
+// is nil on success, or a code the DCM classifies as soft
+// (UpdUnreachable, UpdTimeout — retry later) or hard (everything else).
+func (p *Push) Run() error {
+	timeout := p.Timeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", p.Addr, timeout)
+	if err != nil {
+		return mrerr.UpdUnreachable
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(timeout)
+	conn.SetDeadline(deadline)
+
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+
+	call := func(op uint16, args [][]byte) error {
+		if err := protocol.WriteRequest(bw, &protocol.Request{Version: protocol.Version, Op: op, Args: args}); err != nil {
+			return ioErr(err)
+		}
+		if err := bw.Flush(); err != nil {
+			return ioErr(err)
+		}
+		rep, err := protocol.ReadReply(br)
+		if err != nil {
+			return ioErr(err)
+		}
+		return mrerr.Code(rep.Code).OrNil()
+	}
+
+	// A. Transfer phase.
+	if p.Creds != nil {
+		payload := kerberos.BuildAuth(p.Creds, "dcm", p.Clock)
+		if err := call(OpUAuth, [][]byte{payload.Marshal()}); err != nil {
+			return err
+		}
+	}
+	sum := sha256.Sum256(p.Data)
+	if err := call(OpUXfer, [][]byte{
+		[]byte(p.Target), []byte(hex.EncodeToString(sum[:])), p.Data,
+	}); err != nil {
+		return err
+	}
+	if err := call(OpUScript, protocol.BytesArgs(p.Script)); err != nil {
+		return err
+	}
+
+	// B. Execution phase + C. confirmation.
+	return call(OpUExecute, nil)
+}
+
+// ioErr classifies a transport failure: deadline exceeded is a timeout,
+// anything else (connection reset by a crashed agent) is unreachable.
+// Both are soft errors to the DCM.
+func ioErr(err error) error {
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		return mrerr.UpdTimeout
+	}
+	return mrerr.UpdUnreachable
+}
+
+// IsSoftError reports whether an update error should be retried later
+// rather than recorded as a hard failure (section 5.9 trouble recovery:
+// crashes and network loss are retried; script failures are hard).
+func IsSoftError(err error) bool {
+	return err == mrerr.UpdUnreachable || err == mrerr.UpdTimeout || err == mrerr.UpdBusy
+}

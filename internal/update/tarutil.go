@@ -1,0 +1,81 @@
+// Package update implements the Moira-to-server update protocol
+// (section 5.9): the reliable, atomic mechanism by which the DCM
+// delivers generated configuration files to managed hosts and runs the
+// installation instruction sequence there.
+//
+// The protocol has two phases. The transfer phase authenticates, ships
+// the data file (usually a tar bundle) with a checksum, and ships the
+// installation script. The execution phase runs the script: extracting
+// members from the tar, swapping files in with atomic renames, reverting
+// erroneous installations, signalling daemons, and running registered
+// commands. All steps are idempotent, so "extra installations are not
+// harmful" and a crashed update is simply retried.
+package update
+
+import (
+	"archive/tar"
+	"bytes"
+	"io"
+	"sort"
+
+	"moira/internal/mrerr"
+)
+
+// BuildTar packs the files (name -> content) into a tar archive with
+// deterministic member order.
+func BuildTar(files map[string][]byte) ([]byte, error) {
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var buf bytes.Buffer
+	tw := tar.NewWriter(&buf)
+	for _, n := range names {
+		hdr := &tar.Header{Name: n, Mode: 0o644, Size: int64(len(files[n]))}
+		if err := tw.WriteHeader(hdr); err != nil {
+			return nil, err
+		}
+		if _, err := tw.Write(files[n]); err != nil {
+			return nil, err
+		}
+	}
+	if err := tw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ExtractMember pulls one member out of a tar archive. The instruction
+// sequence extracts "only the ones that are needed ... one at a time".
+func ExtractMember(archive []byte, name string) ([]byte, error) {
+	tr := tar.NewReader(bytes.NewReader(archive))
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			return nil, mrerr.UpdNoFile
+		}
+		if err != nil {
+			return nil, err
+		}
+		if hdr.Name == name {
+			return io.ReadAll(tr)
+		}
+	}
+}
+
+// ListTar returns the member names of a tar archive in order.
+func ListTar(archive []byte) ([]string, error) {
+	tr := tar.NewReader(bytes.NewReader(archive))
+	var names []string
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			return names, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, hdr.Name)
+	}
+}

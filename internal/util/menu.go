@@ -1,0 +1,92 @@
+package util
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Menu is the simple menu package used by some of the Moira clients
+// (section 5.6.3). A menu is a titled list of items; each item has a key,
+// a description, and an action. Submenus nest by making the action run
+// another menu.
+type Menu struct {
+	Title string
+	Items []MenuItem
+
+	in  *bufio.Scanner
+	out io.Writer
+}
+
+// MenuItem is one selectable entry in a menu.
+type MenuItem struct {
+	Key    string            // what the user types to select it
+	Desc   string            // one-line description
+	Action func(*Menu) error // invoked on selection; nil items just print
+}
+
+// NewMenu creates a menu reading selections from in and printing to out.
+func NewMenu(title string, in io.Reader, out io.Writer) *Menu {
+	return &Menu{Title: title, in: bufio.NewScanner(in), out: out}
+}
+
+// Add appends an item to the menu and returns the menu for chaining.
+func (m *Menu) Add(key, desc string, action func(*Menu) error) *Menu {
+	m.Items = append(m.Items, MenuItem{Key: key, Desc: desc, Action: action})
+	return m
+}
+
+// Printf writes formatted output to the menu's writer.
+func (m *Menu) Printf(format string, args ...any) {
+	fmt.Fprintf(m.out, format, args...)
+}
+
+// Prompt prints a prompt and reads one trimmed line; ok is false at EOF.
+func (m *Menu) Prompt(prompt string) (string, bool) {
+	fmt.Fprintf(m.out, "%s", prompt)
+	if !m.in.Scan() {
+		return "", false
+	}
+	return TrimWhitespace(m.in.Text()), true
+}
+
+// Show prints the menu once.
+func (m *Menu) Show() {
+	fmt.Fprintf(m.out, "\n%s\n", m.Title)
+	for _, it := range m.Items {
+		fmt.Fprintf(m.out, "  %-12s %s\n", it.Key, it.Desc)
+	}
+	fmt.Fprintf(m.out, "  %-12s %s\n", "quit", "leave this menu")
+}
+
+// Run displays the menu and dispatches selections until the user enters
+// "quit" or input is exhausted. Errors from actions are printed, not
+// fatal, mirroring the original clients.
+func (m *Menu) Run() error {
+	for {
+		m.Show()
+		line, ok := m.Prompt("> ")
+		if !ok {
+			return nil
+		}
+		if line == "quit" || line == "q" {
+			return nil
+		}
+		found := false
+		for _, it := range m.Items {
+			if strings.EqualFold(it.Key, line) {
+				found = true
+				if it.Action != nil {
+					if err := it.Action(m); err != nil {
+						fmt.Fprintf(m.out, "error: %v\n", err)
+					}
+				}
+				break
+			}
+		}
+		if !found && line != "" {
+			fmt.Fprintf(m.out, "unknown selection %q\n", line)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Package util provides the miscellaneous routines the Moira library
+// documents in section 5.6.3: string utilities, hostname canonicalization,
+// flag/string conversion, a hash table, and a simple queue. The menu
+// package used by the interactive clients lives in menu.go.
+package util
+
+import (
+	"strings"
+)
+
+// TrimWhitespace returns s with leading and trailing ASCII whitespace
+// removed, matching the C library's trim routine.
+func TrimWhitespace(s string) string {
+	return strings.Trim(s, " \t\r\n\v\f")
+}
+
+// Save returns a copy of s. In C this mattered for ownership; in Go it
+// exists so callers holding subslices of large buffers can detach them.
+func Save(s string) string {
+	return strings.Clone(s)
+}
+
+// CanonicalizeHostname converts a hostname to its canonical Moira form:
+// upper case, trimmed, with any trailing dot removed. Machine names in the
+// Moira database are case insensitive and stored in upper case.
+func CanonicalizeHostname(name string) string {
+	name = TrimWhitespace(name)
+	name = strings.TrimSuffix(name, ".")
+	return strings.ToUpper(name)
+}
+
+// Flag name/bit pairs used by FlagsToString and StringToFlags. These are
+// the NFSPHYS status bits from section 6 (MR_FS_STUDENT etc.).
+const (
+	FSStudent = 1 << 0 // bit 0: student lockers
+	FSFaculty = 1 << 1 // bit 1: faculty lockers
+	FSStaff   = 1 << 2 // bit 2: staff lockers
+	FSMisc    = 1 << 3 // bit 3: miscellaneous
+)
+
+var fsFlagNames = []struct {
+	bit  int
+	name string
+}{
+	{FSStudent, "student"},
+	{FSFaculty, "faculty"},
+	{FSStaff, "staff"},
+	{FSMisc, "misc"},
+}
+
+// FlagsToString converts an NFSPHYS status bit field into a human-readable
+// comma-separated string, e.g. 3 -> "student,faculty". Zero yields "none".
+func FlagsToString(flags int) string {
+	var parts []string
+	for _, f := range fsFlagNames {
+		if flags&f.bit != 0 {
+			parts = append(parts, f.name)
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// StringToFlags converts a comma-separated flag string back into the bit
+// field. Unknown names are ignored; "none" or "" yield zero.
+func StringToFlags(s string) int {
+	flags := 0
+	for _, part := range strings.Split(s, ",") {
+		part = strings.ToLower(TrimWhitespace(part))
+		for _, f := range fsFlagNames {
+			if part == f.name {
+				flags |= f.bit
+			}
+		}
+	}
+	return flags
+}
+
+// Queue is the simple FIFO queue abstraction from the Moira library.
+// The zero value is an empty queue ready to use.
+type Queue[T any] struct {
+	items []T
+	head  int
+}
+
+// Enqueue appends v to the tail of the queue.
+func (q *Queue[T]) Enqueue(v T) { q.items = append(q.items, v) }
+
+// Dequeue removes and returns the head of the queue. The second return is
+// false if the queue is empty.
+func (q *Queue[T]) Dequeue() (T, bool) {
+	var zero T
+	if q.head >= len(q.items) {
+		return zero, false
+	}
+	v := q.items[q.head]
+	q.items[q.head] = zero // release reference
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return v, true
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) - q.head }
+
+// HashTable is the Moira library's string-keyed hash table abstraction.
+// Go has maps, but the original exposes explicit Store/Lookup/Delete and
+// an Each iterator, which several clients and the DCM use; we keep that
+// interface.
+type HashTable[V any] struct {
+	m map[string]V
+}
+
+// NewHashTable returns an empty hash table.
+func NewHashTable[V any]() *HashTable[V] {
+	return &HashTable[V]{m: make(map[string]V)}
+}
+
+// Store inserts or replaces the value for key.
+func (h *HashTable[V]) Store(key string, v V) { h.m[key] = v }
+
+// Lookup returns the value for key and whether it was present.
+func (h *HashTable[V]) Lookup(key string) (V, bool) {
+	v, ok := h.m[key]
+	return v, ok
+}
+
+// Delete removes key if present.
+func (h *HashTable[V]) Delete(key string) { delete(h.m, key) }
+
+// Len reports the number of stored entries.
+func (h *HashTable[V]) Len() int { return len(h.m) }
+
+// Each calls fn for every key/value pair; iteration order is unspecified.
+// If fn returns false, iteration stops.
+func (h *HashTable[V]) Each(fn func(key string, v V) bool) {
+	for k, v := range h.m {
+		if !fn(k, v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package util
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrimWhitespace(t *testing.T) {
+	cases := map[string]string{
+		"  hello  ":     "hello",
+		"\tfoo bar\n":   "foo bar",
+		"":              "",
+		"   ":           "",
+		"no-trim":       "no-trim",
+		"\v\fmixed\r\n": "mixed",
+	}
+	for in, want := range cases {
+		if got := TrimWhitespace(in); got != want {
+			t.Errorf("TrimWhitespace(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCanonicalizeHostname(t *testing.T) {
+	cases := map[string]string{
+		"bitsy.mit.edu":    "BITSY.MIT.EDU",
+		"  Suomi.MIT.EDU.": "SUOMI.MIT.EDU",
+		"E40-PO":           "E40-PO",
+		"toto.mit.edu.":    "TOTO.MIT.EDU",
+	}
+	for in, want := range cases {
+		if got := CanonicalizeHostname(in); got != want {
+			t.Errorf("CanonicalizeHostname(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCanonicalizeIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := CanonicalizeHostname(s)
+		return CanonicalizeHostname(once) == once
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlagsRoundTrip(t *testing.T) {
+	for flags := 0; flags < 16; flags++ {
+		s := FlagsToString(flags)
+		if got := StringToFlags(s); got != flags {
+			t.Errorf("round trip %d -> %q -> %d", flags, s, got)
+		}
+	}
+}
+
+func TestFlagsToStringNames(t *testing.T) {
+	if got := FlagsToString(FSStudent | FSStaff); got != "student,staff" {
+		t.Errorf("FlagsToString = %q", got)
+	}
+	if got := FlagsToString(0); got != "none" {
+		t.Errorf("FlagsToString(0) = %q", got)
+	}
+	if got := StringToFlags(" Student , MISC "); got != FSStudent|FSMisc {
+		t.Errorf("StringToFlags mixed case = %d", got)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	var q Queue[int]
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("empty queue dequeued a value")
+	}
+	for i := 0; i < 100; i++ {
+		q.Enqueue(i)
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", q.Len())
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := q.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("Dequeue %d = (%d, %v)", i, v, ok)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len after drain = %d", q.Len())
+	}
+}
+
+func TestQueueInterleaved(t *testing.T) {
+	var q Queue[string]
+	q.Enqueue("a")
+	q.Enqueue("b")
+	if v, _ := q.Dequeue(); v != "a" {
+		t.Fatalf("got %q", v)
+	}
+	q.Enqueue("c")
+	if v, _ := q.Dequeue(); v != "b" {
+		t.Fatalf("got %q", v)
+	}
+	if v, _ := q.Dequeue(); v != "c" {
+		t.Fatalf("got %q", v)
+	}
+}
+
+func TestHashTable(t *testing.T) {
+	h := NewHashTable[int]()
+	h.Store("one", 1)
+	h.Store("two", 2)
+	h.Store("one", 11) // replace
+	if v, ok := h.Lookup("one"); !ok || v != 11 {
+		t.Errorf("Lookup(one) = (%d, %v)", v, ok)
+	}
+	if _, ok := h.Lookup("three"); ok {
+		t.Error("Lookup(three) should miss")
+	}
+	if h.Len() != 2 {
+		t.Errorf("Len = %d", h.Len())
+	}
+	h.Delete("one")
+	if _, ok := h.Lookup("one"); ok {
+		t.Error("Delete failed")
+	}
+	sum := 0
+	h.Each(func(k string, v int) bool { sum += v; return true })
+	if sum != 2 {
+		t.Errorf("Each sum = %d", sum)
+	}
+}
+
+func TestMenuRun(t *testing.T) {
+	in := strings.NewReader("hello\nbogus\nquit\n")
+	var out strings.Builder
+	ran := false
+	m := NewMenu("Test Menu", in, &out)
+	m.Add("hello", "say hello", func(m *Menu) error {
+		ran = true
+		m.Printf("hi there\n")
+		return nil
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("action did not run")
+	}
+	s := out.String()
+	for _, want := range []string{"Test Menu", "hi there", "unknown selection"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Package wildcard implements the QUEL-style wildcard matching used by
+// Moira's retrieval queries. A pattern may contain '*' (match any run of
+// characters, including empty) and '?' (match exactly one character); all
+// other characters match themselves. Matching is case sensitive; callers
+// that need case-insensitive matching (machine names, service names)
+// upper-case both sides first.
+package wildcard
+
+// HasWildcards reports whether the pattern contains any wildcard
+// metacharacters. Queries that forbid wildcards for unprivileged callers
+// use this to decide whether to reject the argument.
+func HasWildcards(pattern string) bool {
+	for i := 0; i < len(pattern); i++ {
+		if pattern[i] == '*' || pattern[i] == '?' {
+			return true
+		}
+	}
+	return false
+}
+
+// Match reports whether name matches pattern. The implementation is the
+// standard two-pointer glob algorithm: linear in len(name) with
+// backtracking only to the most recent '*'.
+func Match(pattern, name string) bool {
+	var pi, ni int
+	star := -1
+	mark := 0
+	for ni < len(name) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '?' || pattern[pi] == name[ni]):
+			pi++
+			ni++
+		case pi < len(pattern) && pattern[pi] == '*':
+			star = pi
+			mark = ni
+			pi++
+		case star >= 0:
+			pi = star + 1
+			mark++
+			ni = mark
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '*' {
+		pi++
+	}
+	return pi == len(pattern)
+}
+
+// Filter returns the elements of names matching pattern, in order.
+func Filter(pattern string, names []string) []string {
+	var out []string
+	for _, n := range names {
+		if Match(pattern, n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}

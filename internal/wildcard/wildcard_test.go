@@ -1,0 +1,103 @@
+package wildcard
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatch(t *testing.T) {
+	cases := []struct {
+		pattern, name string
+		want          bool
+	}{
+		{"*", "", true},
+		{"*", "anything", true},
+		{"", "", true},
+		{"", "x", false},
+		{"abc", "abc", true},
+		{"abc", "abd", false},
+		{"a*c", "abc", true},
+		{"a*c", "ac", true},
+		{"a*c", "abdc", true},
+		{"a*c", "abcd", false},
+		{"?", "x", true},
+		{"?", "", false},
+		{"?", "xy", false},
+		{"a?c", "abc", true},
+		{"a?c", "ac", false},
+		{"*mit*", "e40-po.mit.edu", true},
+		{"*.mit.edu", "bitsy.mit.edu", true},
+		{"*.mit.edu", "bitsy.mit.com", false},
+		{"ab*cd*ef", "abXcdYefZef", true},
+		{"ab*cd*ef", "abXcdYef", true},
+		{"ab*cd*ef", "abXef", false},
+		{"**", "x", true},
+		{"*?", "", false},
+		{"*?", "a", true},
+	}
+	for _, c := range cases {
+		if got := Match(c.pattern, c.name); got != c.want {
+			t.Errorf("Match(%q, %q) = %v, want %v", c.pattern, c.name, got, c.want)
+		}
+	}
+}
+
+func TestHasWildcards(t *testing.T) {
+	if HasWildcards("plain.name") {
+		t.Error("plain.name should have no wildcards")
+	}
+	if !HasWildcards("a*b") || !HasWildcards("a?b") {
+		t.Error("wildcards not detected")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	names := []string{"alpha", "beta", "alphabet", "gamma"}
+	got := Filter("alpha*", names)
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "alphabet" {
+		t.Errorf("Filter = %v", got)
+	}
+	if Filter("zzz", names) != nil {
+		t.Error("Filter of no matches should be nil")
+	}
+}
+
+// Property: every literal string matches itself.
+func TestPropertySelfMatch(t *testing.T) {
+	f := func(s string) bool {
+		if strings.ContainsAny(s, "*?") {
+			return true // skip strings containing metacharacters
+		}
+		return Match(s, s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: "*" matches everything and prefix-star patterns match
+// anything with that prefix.
+func TestPropertyStar(t *testing.T) {
+	f := func(s string) bool {
+		if !Match("*", s) {
+			return false
+		}
+		if strings.ContainsAny(s, "*?") {
+			return true
+		}
+		return Match(s+"*", s) && Match(s+"*", s+"suffix") && Match("*"+s, "prefix"+s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMatchBacktrack(b *testing.B) {
+	pattern := "a*a*a*a*b"
+	name := strings.Repeat("a", 60)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Match(pattern, name)
+	}
+}

@@ -1,0 +1,237 @@
+// Package zephyr is a from-scratch simulation of the Athena notification
+// service, sufficient for the two ways Moira touches it: the DCM sends
+// failure notices to class MOIRA instance DCM, and Moira propagates
+// access control lists for restricted classes to the zephyr servers
+// (section 5.8.2, service ZEPHYR).
+//
+// The broker delivers notices to subscribers by (class, instance), with
+// "*" as the wildcard instance, and enforces per-class transmit and
+// subscribe ACLs loaded from the same *.acl files the DCM installs.
+package zephyr
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"moira/internal/clock"
+	"moira/internal/mrerr"
+)
+
+// Notice is one zephyrgram.
+type Notice struct {
+	Class    string
+	Instance string
+	Sender   string
+	Message  string
+	Time     int64
+}
+
+// ACL is the access control state for one class. A nil entry list means
+// the function is unrestricted (the class has no ACL installed); an
+// entry "*.*@*" also matches everyone.
+type ACL struct {
+	Xmt []string // who may transmit
+	Sub []string // who may subscribe
+}
+
+// aclAllows applies zephyr ACL matching: nil list = unrestricted;
+// otherwise the principal must appear, or a wildcard entry must.
+func aclAllows(entries []string, principal string) bool {
+	if entries == nil {
+		return true
+	}
+	for _, e := range entries {
+		if e == principal || e == "*" || e == "*.*@*" {
+			return true
+		}
+	}
+	return false
+}
+
+// Subscription is a live subscription; receive from C.
+type Subscription struct {
+	C      chan Notice
+	broker *Broker
+	key    subKey
+	idx    int
+}
+
+type subKey struct {
+	class    string
+	instance string
+}
+
+// Broker is the in-process zephyr server.
+type Broker struct {
+	clk clock.Clock
+
+	mu   sync.Mutex
+	subs map[subKey][]*Subscription
+	acls map[string]*ACL
+	// Log keeps every accepted notice, for inspection by tests and the
+	// dcm's operators.
+	log []Notice
+}
+
+// NewBroker creates a broker; clk may be nil for the system clock.
+func NewBroker(clk clock.Clock) *Broker {
+	if clk == nil {
+		clk = clock.System
+	}
+	return &Broker{clk: clk, subs: make(map[subKey][]*Subscription), acls: make(map[string]*ACL)}
+}
+
+// SetACL installs the ACL for a class, replacing any previous one.
+// Passing nil lists makes the corresponding function unrestricted.
+func (b *Broker) SetACL(class string, acl *ACL) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if acl == nil {
+		delete(b.acls, class)
+		return
+	}
+	b.acls[class] = acl
+}
+
+// ACLOf returns the installed ACL for a class, or nil.
+func (b *Broker) ACLOf(class string) *ACL {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.acls[class]
+}
+
+// LoadACLDir reads every <class>.<func>.acl file in dir, in the format
+// the DCM installs (one entry per line), and installs the results.
+// Recognized functions are "xmt" and "sub"; other ACL files (iws, iui)
+// are accepted and ignored by the broker, as the original servers'
+// instance controls are out of scope here.
+func (b *Broker) LoadACLDir(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	byClass := map[string]*ACL{}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".acl") || e.IsDir() {
+			continue
+		}
+		parts := strings.Split(strings.TrimSuffix(name, ".acl"), ".")
+		if len(parts) < 2 {
+			continue
+		}
+		class := strings.Join(parts[:len(parts)-1], ".")
+		fn := parts[len(parts)-1]
+		lines, err := readLines(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		a := byClass[class]
+		if a == nil {
+			a = &ACL{}
+			byClass[class] = a
+		}
+		switch fn {
+		case "xmt":
+			a.Xmt = lines
+		case "sub":
+			a.Sub = lines
+		}
+	}
+	for class, a := range byClass {
+		b.SetACL(class, a)
+	}
+	return nil
+}
+
+func readLines(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	lines := []string{} // non-nil even if empty: an empty ACL denies all
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" {
+			lines = append(lines, line)
+		}
+	}
+	return lines, sc.Err()
+}
+
+// Subscribe registers interest in (class, instance); instance "*"
+// receives every instance of the class. It fails with MR_PERM if the
+// class's subscribe ACL excludes the principal.
+func (b *Broker) Subscribe(class, instance, principal string) (*Subscription, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if a := b.acls[class]; a != nil && !aclAllows(a.Sub, principal) {
+		return nil, mrerr.MrPerm
+	}
+	key := subKey{class, instance}
+	sub := &Subscription{C: make(chan Notice, 64), broker: b, key: key}
+	sub.idx = len(b.subs[key])
+	b.subs[key] = append(b.subs[key], sub)
+	return sub, nil
+}
+
+// Cancel removes the subscription.
+func (s *Subscription) Cancel() {
+	b := s.broker
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	list := b.subs[s.key]
+	for i, sub := range list {
+		if sub == s {
+			b.subs[s.key] = append(list[:i], list[i+1:]...)
+			return
+		}
+	}
+}
+
+// Send transmits a notice. It fails with MR_PERM if the class's transmit
+// ACL excludes the sender. Delivery is best-effort: subscribers with
+// full channels miss the notice, as UDP zephyr would drop it.
+func (b *Broker) Send(class, instance, sender, message string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if a := b.acls[class]; a != nil && !aclAllows(a.Xmt, sender) {
+		return mrerr.MrPerm
+	}
+	n := Notice{Class: class, Instance: instance, Sender: sender,
+		Message: message, Time: b.clk.Now().Unix()}
+	b.log = append(b.log, n)
+	deliver := func(key subKey) {
+		for _, sub := range b.subs[key] {
+			select {
+			case sub.C <- n:
+			default:
+			}
+		}
+	}
+	deliver(subKey{class, instance})
+	if instance != "*" {
+		deliver(subKey{class, "*"})
+	}
+	return nil
+}
+
+// Log returns a copy of every accepted notice so far.
+func (b *Broker) Log() []Notice {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Notice, len(b.log))
+	copy(out, b.log)
+	return out
+}
+
+// String renders a notice for operator logs.
+func (n Notice) String() string {
+	return fmt.Sprintf("[%d] %s/%s from %s: %s", n.Time, n.Class, n.Instance, n.Sender, n.Message)
+}
