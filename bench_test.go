@@ -158,6 +158,66 @@ func BenchmarkDCMChanged(b *testing.B) {
 	}
 }
 
+// --- C-P: parallel propagation (section 5.7 "forks a child" per server) ---
+
+// benchDCMPropagation measures one full DCM pass over a fleet of slow
+// hosts: 8 NFS servers (plus hesiod, the mailhub, and zephyr), each
+// update agent injecting 20ms of real service delay. The sequential
+// variant pins both worker pools to 1; the parallel variant uses the
+// package defaults. The wall-clock ratio is the result.
+func benchDCMPropagation(b *testing.B, parSvc, parHosts int) {
+	clk := clock.NewFake(time.Unix(600000000, 0))
+	cfg := workload.Scaled(100)
+	cfg.NFSServers = 8
+	// One zephyr host: replicated services are pushed sequentially by
+	// design, so a longer chain would measure that policy, not the pool.
+	cfg.ZephyrServers = 1
+	sys, err := core.Boot(core.Options{
+		Clock:               clk,
+		Workload:            &cfg,
+		DCMParallelServices: parSvc,
+		DCMParallelHosts:    parHosts,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(sys.Close)
+
+	const hostLatency = 20 * time.Millisecond
+	for _, a := range sys.Agents {
+		a.SetLatency(hostLatency)
+	}
+	// Settle the initial propagation outside the timer.
+	if _, err := sys.RunDCM(); err != nil {
+		b.Fatal(err)
+	}
+	dc := sys.Direct("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		login := fmt.Sprintf("par%06d", i)
+		err := dc.Query("add_user",
+			[]string{login, "-1", "/bin/csh", "Par", "User", "", "1", "", "STAFF"}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		clk.Advance(25 * time.Hour)
+		b.StartTimer()
+		stats, err := sys.RunDCM()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.HostsUpdated < 8 || stats.HostHardFails != 0 {
+			b.Fatalf("pass did not push the fleet: %+v", stats)
+		}
+	}
+}
+
+func BenchmarkDCMParallel(b *testing.B) {
+	b.Run("sequential", func(b *testing.B) { benchDCMPropagation(b, 1, 1) })
+	b.Run("parallel", func(b *testing.B) { benchDCMPropagation(b, 0, 0) })
+}
+
 // --- C-B2: backup and restore ---
 
 func BenchmarkBackup(b *testing.B) {

@@ -23,17 +23,32 @@ import (
 
 func main() {
 	var (
-		users   = flag.Int("users", 1000, "synthetic population size")
-		passes  = flag.Int("passes", 6, "number of DCM passes to run")
-		advance = flag.Duration("advance", 3*time.Hour, "simulated time between passes")
-		mutate  = flag.Bool("mutate", true, "apply a database change before every other pass")
-		check   = flag.Bool("check", false, "dcm_maint mode: verify every enabled service has a generator and script, then exit")
+		users    = flag.Int("users", 1000, "synthetic population size")
+		passes   = flag.Int("passes", 6, "number of DCM passes to run")
+		advance  = flag.Duration("advance", 3*time.Hour, "simulated time between passes")
+		mutate   = flag.Bool("mutate", true, "apply a database change before every other pass")
+		check    = flag.Bool("check", false, "dcm_maint mode: verify every enabled service has a generator and script, then exit")
+		parSvc   = flag.Int("parallel-services", 0, "concurrent service cycles (0 = default, 1 = sequential)")
+		parHosts = flag.Int("parallel-hosts", 0, "concurrent host pushes per service (0 = default, 1 = sequential)")
+		retries  = flag.Int("retries", 0, "in-pass soft-failure retries per host (0 = default, negative = none)")
+		latency  = flag.Duration("host-latency", 0, "inject this much real service delay into every update agent (demo of the parallel push)")
+		verbose  = flag.Bool("v", false, "log every DCM action")
 	)
 	flag.Parse()
 
 	clk := clock.NewFake(time.Unix(600000000, 0))
 	cfg := workload.Scaled(*users)
-	sys, err := core.Boot(core.Options{Clock: clk, Workload: &cfg})
+	opts := core.Options{
+		Clock:               clk,
+		Workload:            &cfg,
+		DCMParallelServices: *parSvc,
+		DCMParallelHosts:    *parHosts,
+		DCMMaxRetries:       *retries,
+	}
+	if *verbose {
+		opts.Logf = log.Printf
+	}
+	sys, err := core.Boot(opts)
 	if err != nil {
 		log.Fatalf("dcm: boot: %v", err)
 	}
@@ -43,26 +58,37 @@ func main() {
 		runCheck(sys)
 		return
 	}
+	if *latency > 0 {
+		for _, a := range sys.Agents {
+			a.SetLatency(*latency)
+		}
+	}
 
 	fmt.Printf("dcm: %d users, %d managed hosts, advancing %v per pass\n\n",
 		*users, len(sys.Agents), *advance)
-	fmt.Printf("%4s  %-9s %9s %9s %6s %6s %8s %10s\n",
-		"pass", "sim-time", "generated", "no-change", "hosts", "fails", "files", "bytes")
+	fmt.Printf("%4s  %-9s %9s %9s %6s %6s %7s %8s %10s %9s\n",
+		"pass", "sim-time", "generated", "no-change", "hosts", "fails", "retries", "files", "bytes", "wall")
 
 	mutator := newMutator(sys)
 	for i := 0; i < *passes; i++ {
 		if *mutate && i%2 == 1 {
 			mutator.mutate(i)
 		}
+		start := time.Now()
 		stats, err := sys.RunDCM()
 		if err != nil {
 			log.Fatalf("dcm: pass %d: %v", i+1, err)
 		}
-		fmt.Printf("%4d  %-9s %9d %9d %6d %6d %8d %10d\n",
+		wall := time.Since(start)
+		fmt.Printf("%4d  %-9s %9d %9d %6d %6d %7d %8d %10d %9s\n",
 			i+1, clk.Now().UTC().Format("15:04:05"),
 			stats.Generated, stats.NoChange, stats.HostsUpdated,
-			stats.HostSoftFails+stats.HostHardFails,
-			stats.FilesPropagated, stats.BytesPropagated)
+			stats.HostSoftFails+stats.HostHardFails, stats.Retries,
+			stats.FilesPropagated, stats.BytesPropagated,
+			wall.Round(time.Millisecond))
+		if stats.HostsConsidered > 0 {
+			fmt.Printf("      push latency: %s\n", stats.PushLatency.String())
+		}
 		clk.Advance(*advance)
 	}
 }

@@ -180,6 +180,9 @@ func TestBinaryDCMPasses(t *testing.T) {
 	if !strings.Contains(s, "pass") || !strings.Contains(s, "added user") {
 		t.Errorf("dcm output:\n%s", firstN(s, 600))
 	}
+	if !strings.Contains(s, "retries") || !strings.Contains(s, "push latency") {
+		t.Errorf("dcm output missing parallel-pass stats:\n%s", firstN(s, 600))
+	}
 }
 
 func firstN(s string, n int) string {

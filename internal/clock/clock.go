@@ -14,11 +14,37 @@ type Clock interface {
 	Now() time.Time
 }
 
+// Sleeper is implemented by clocks that have their own notion of
+// waiting. The DCM's retry backoff sleeps through this interface so a
+// fake clock can satisfy the wait in virtual time and keep tests
+// deterministic and instant.
+type Sleeper interface {
+	Sleep(d time.Duration)
+}
+
+// Sleep pauses for d according to clk: a clock implementing Sleeper
+// waits in its own time (the Fake advances virtually and returns at
+// once), anything else falls back to a real time.Sleep. d <= 0 returns
+// immediately.
+func Sleep(clk Clock, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if s, ok := clk.(Sleeper); ok {
+		s.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
 // Real is a Clock backed by the system clock.
 type Real struct{}
 
 // Now returns the current system time.
 func (Real) Now() time.Time { return time.Now() }
+
+// Sleep blocks for d of real time.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
 
 // System is a shared real clock.
 var System Clock = Real{}
@@ -26,8 +52,9 @@ var System Clock = Real{}
 // Fake is a settable clock for tests. The zero value starts at the Unix
 // epoch; use NewFake to start elsewhere.
 type Fake struct {
-	mu  sync.Mutex
-	now time.Time
+	mu    sync.Mutex
+	now   time.Time
+	slept time.Duration
 }
 
 // NewFake returns a Fake clock set to t.
@@ -53,4 +80,27 @@ func (f *Fake) Advance(d time.Duration) time.Time {
 	defer f.mu.Unlock()
 	f.now = f.now.Add(d)
 	return f.now
+}
+
+// Sleep satisfies the wait in virtual time: the clock jumps forward by
+// d and the caller resumes immediately. Concurrent sleepers each
+// advance the clock, so virtual waits accumulate rather than overlap —
+// coarse, but deterministic, which is what the backoff tests need.
+func (f *Fake) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+	f.slept += d
+}
+
+// Slept reports the total virtual time spent in Sleep, letting tests
+// assert on accumulated backoff waits without caring how the schedule
+// interleaved.
+func (f *Fake) Slept() time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.slept
 }

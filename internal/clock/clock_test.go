@@ -30,6 +30,40 @@ func TestFakeClock(t *testing.T) {
 	}
 }
 
+func TestSleepOnFakeIsVirtual(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	start := time.Now()
+	Sleep(f, time.Hour)
+	if real := time.Since(start); real > time.Second {
+		t.Errorf("fake sleep took %v of real time", real)
+	}
+	if f.Now().Unix() != 3600 {
+		t.Errorf("clock after sleep = %d", f.Now().Unix())
+	}
+	if f.Slept() != time.Hour {
+		t.Errorf("Slept() = %v", f.Slept())
+	}
+	// Advance is not counted as sleeping.
+	f.Advance(time.Minute)
+	if f.Slept() != time.Hour {
+		t.Errorf("Slept() after Advance = %v", f.Slept())
+	}
+	// Non-positive waits are no-ops.
+	Sleep(f, 0)
+	Sleep(f, -time.Second)
+	if f.Slept() != time.Hour {
+		t.Errorf("Slept() after zero sleeps = %v", f.Slept())
+	}
+}
+
+func TestSleepOnRealBlocks(t *testing.T) {
+	start := time.Now()
+	Sleep(System, 10*time.Millisecond)
+	if real := time.Since(start); real < 10*time.Millisecond {
+		t.Errorf("real sleep returned after %v", real)
+	}
+}
+
 func TestFakeClockConcurrent(t *testing.T) {
 	f := NewFake(time.Unix(0, 0))
 	done := make(chan struct{})

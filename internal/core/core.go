@@ -58,6 +58,14 @@ type Options struct {
 
 	// Logf receives log lines from all components; nil discards.
 	Logf func(format string, args ...any)
+
+	// DCMParallelServices, DCMParallelHosts, and DCMMaxRetries tune the
+	// DCM's worker pools and in-pass soft-failure retries; zero values
+	// take the dcm package defaults, 1/1 forces a fully sequential
+	// pass, and a negative retry count disables in-pass retries.
+	DCMParallelServices int
+	DCMParallelHosts    int
+	DCMMaxRetries       int
 }
 
 // System is a running Moira installation.
@@ -189,8 +197,11 @@ func Boot(opts Options) (*System, error) {
 		Notify: func(class, instance, msg string) {
 			s.Broker.Send(class, instance, DCMPrincipal, msg)
 		},
-		Logf:        logf,
-		PushTimeout: 30 * time.Second,
+		Logf:                logf,
+		PushTimeout:         30 * time.Second,
+		MaxParallelServices: opts.DCMParallelServices,
+		MaxParallelHosts:    opts.DCMParallelHosts,
+		MaxRetries:          opts.DCMMaxRetries,
 	})
 
 	// The registration server.

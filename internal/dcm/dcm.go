@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"moira/internal/clock"
@@ -65,34 +66,48 @@ type Config struct {
 	// the DCM exits quietly.
 	DisablePath string
 
-	// PushTimeout bounds each host update.
+	// PushTimeout bounds each host update attempt.
 	PushTimeout time.Duration
+
+	// MaxParallelServices bounds how many service cycles run
+	// concurrently in one pass; 0 means DefaultMaxParallelServices,
+	// 1 runs the pass fully sequentially.
+	MaxParallelServices int
+
+	// MaxParallelHosts bounds concurrent host pushes within one
+	// service. Replicated services ignore it: the paper's semantics —
+	// hosts updated in order, a hard failure stops the remaining
+	// hosts — require a sequential scan. 0 means
+	// DefaultMaxParallelHosts.
+	MaxParallelHosts int
+
+	// MaxRetries is how many times a soft-failing host push is retried
+	// within the same pass (with backoff) before being recorded as a
+	// soft failure for the next pass. 0 means DefaultMaxRetries;
+	// negative disables in-pass retries.
+	MaxRetries int
+
+	// Backoff is the retry delay schedule; the zero value means
+	// DefaultBackoff.
+	Backoff BackoffPolicy
+
+	// BackoffSeed seeds the jitter source so tests can pin the
+	// schedule; 0 means a fixed default seed.
+	BackoffSeed int64
 }
+
+// Worker-pool and retry defaults, used when the Config fields are zero.
+const (
+	DefaultMaxParallelServices = 4
+	DefaultMaxParallelHosts    = 8
+	DefaultMaxRetries          = 2
+)
 
 // DCM is a data control manager instance.
 type DCM struct {
 	cfg Config
 	clk clock.Clock
-}
-
-// CycleStats summarizes one DCM pass; the Table G harness and the
-// benchmarks read these.
-type CycleStats struct {
-	ServicesScanned int
-	ServicesDue     int
-	Generated       int
-	NoChange        int
-	GenHardErrors   int
-
-	HostsConsidered int
-	HostsUpdated    int
-	HostSoftFails   int
-	HostHardFails   int
-
-	FilesGenerated  int
-	FilesPropagated int
-	BytesGenerated  int
-	BytesPropagated int
+	rnd *lockedRand
 }
 
 // New creates a DCM.
@@ -112,7 +127,35 @@ func New(cfg Config) *DCM {
 	if cfg.PushTimeout == 0 {
 		cfg.PushTimeout = 30 * time.Second
 	}
-	return &DCM{cfg: cfg, clk: cfg.Clock}
+	if cfg.Backoff.zero() {
+		cfg.Backoff = DefaultBackoff
+	}
+	return &DCM{cfg: cfg, clk: cfg.Clock, rnd: newLockedRand(cfg.BackoffSeed)}
+}
+
+func (m *DCM) maxParallelServices() int {
+	if m.cfg.MaxParallelServices <= 0 {
+		return DefaultMaxParallelServices
+	}
+	return m.cfg.MaxParallelServices
+}
+
+func (m *DCM) maxParallelHosts() int {
+	if m.cfg.MaxParallelHosts <= 0 {
+		return DefaultMaxParallelHosts
+	}
+	return m.cfg.MaxParallelHosts
+}
+
+func (m *DCM) maxRetries() int {
+	switch {
+	case m.cfg.MaxRetries < 0:
+		return 0
+	case m.cfg.MaxRetries == 0:
+		return DefaultMaxRetries
+	default:
+		return m.cfg.MaxRetries
+	}
 }
 
 // DefaultScripts builds installation scripts for the standard services.
@@ -163,7 +206,10 @@ type serviceSnapshot struct {
 }
 
 // RunOnce performs one complete DCM pass: the service scan and the host
-// scan of section 5.7.1.
+// scan of section 5.7.1. Independent service cycles run concurrently on
+// a bounded worker pool (the in-process analogue of the original's
+// fork-per-server), so one slow or unreachable service cannot stall the
+// whole distribution pass.
 func (m *DCM) RunOnce() (*CycleStats, error) {
 	// On startup the DCM first checks for the disable file.
 	if m.cfg.DisablePath != "" {
@@ -193,8 +239,10 @@ func (m *DCM) RunOnce() (*CycleStats, error) {
 	})
 	d.UnlockShared()
 
+	sem := make(chan struct{}, m.maxParallelServices())
+	var wg sync.WaitGroup
 	for _, snap := range services {
-		stats.ServicesScanned++
+		stats.add(func(s *CycleStats) { s.ServicesScanned++ })
 		// Initial filter: enabled, no hard errors, non-zero interval,
 		// and a generator module exists.
 		generator := m.cfg.Generators[snap.Name]
@@ -205,9 +253,18 @@ func (m *DCM) RunOnce() (*CycleStats, error) {
 			m.cfg.Logf("dcm: %s: update already in progress, skipping", snap.Name)
 			continue
 		}
-		stats.ServicesDue++
-		m.serviceCycle(&snap, generator, stats)
+		stats.add(func(s *CycleStats) { s.ServicesDue++ })
+		snap := snap
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			m.serviceCycle(&snap, generator, stats)
+		}()
 	}
+	wg.Wait()
+	m.cfg.Logf("dcm: pass complete: %s", stats.Summary())
 	return stats, nil
 }
 
@@ -222,14 +279,22 @@ func (m *DCM) serviceCycle(snap *serviceSnapshot, generator gen.Func, stats *Cyc
 
 	genDue := now >= snap.DFCheck+int64(snap.UpdateInt)*60
 	if genDue {
-		m.setServiceFlags(name, func(s *db.Server) { s.InProgress = true })
+		// Claim the service atomically: if a concurrent pass (or
+		// another DCM instance) set InProgress since our snapshot, it
+		// owns this cycle and we back off.
+		if !m.claimService(name) {
+			m.cfg.Logf("dcm: %s: claimed by a concurrent pass, skipping", name)
+			return
+		}
 		res, err := generator(d, m.genSeq(name))
 		switch {
 		case err == nil:
 			result = res
-			stats.Generated++
-			stats.FilesGenerated += res.NumFiles
-			stats.BytesGenerated += res.TotalBytes
+			stats.add(func(s *CycleStats) {
+				s.Generated++
+				s.FilesGenerated += res.NumFiles
+				s.BytesGenerated += res.TotalBytes
+			})
 			m.setServiceFlags(name, func(s *db.Server) {
 				s.DFGen, s.DFCheck = now, now
 				s.InProgress = false
@@ -238,7 +303,7 @@ func (m *DCM) serviceCycle(snap *serviceSnapshot, generator gen.Func, stats *Cyc
 			snap.DFGen, snap.DFCheck = now, now
 			m.cfg.Logf("dcm: %s: generated %d files (%d bytes)", name, res.NumFiles, res.TotalBytes)
 		case err == mrerr.MrNoChange:
-			stats.NoChange++
+			stats.add(func(s *CycleStats) { s.NoChange++ })
 			m.setServiceFlags(name, func(s *db.Server) {
 				s.DFCheck = now
 				s.InProgress = false
@@ -247,7 +312,7 @@ func (m *DCM) serviceCycle(snap *serviceSnapshot, generator gen.Func, stats *Cyc
 			m.cfg.Logf("dcm: %s: no change", name)
 		default:
 			// Hard generation error: record and zephyr-notify.
-			stats.GenHardErrors++
+			stats.add(func(s *CycleStats) { s.GenHardErrors++ })
 			code := int(mrerr.CodeOf(err))
 			msg := err.Error()
 			m.setServiceFlags(name, func(s *db.Server) {
@@ -278,14 +343,36 @@ func (m *DCM) serviceCycle(snap *serviceSnapshot, generator gen.Func, stats *Cyc
 		result = res
 	}
 
-	for _, h := range hosts {
-		stats.HostsConsidered++
-		if !m.updateHost(snap, h, result, stats) && snap.Type == db.ServiceReplicated {
-			// A hard failure on a replicated service stops updates to
-			// the service's remaining hosts.
-			break
+	// Replicated services keep the paper's ordered scan: every host
+	// carries the same data, and a hard failure must stop updates to the
+	// remaining hosts at a well-defined point rather than leaving an
+	// arbitrary subset updated. Unique services push their hosts
+	// concurrently on a bounded pool — each host holds different data,
+	// so failures are independent.
+	if snap.Type == db.ServiceReplicated {
+		for _, h := range hosts {
+			if !m.updateHost(snap, h, result, stats) {
+				// A hard failure on a replicated service stops updates
+				// to the service's remaining hosts.
+				break
+			}
 		}
+		return
 	}
+
+	sem := make(chan struct{}, m.maxParallelHosts())
+	var wg sync.WaitGroup
+	for _, h := range hosts {
+		h := h
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			m.updateHost(snap, h, result, stats)
+		}()
+	}
+	wg.Wait()
 }
 
 type hostSnapshot struct {
@@ -315,10 +402,12 @@ func (m *DCM) hostsNeedingUpdate(snap *serviceSnapshot) []hostSnapshot {
 	return out
 }
 
-// updateHost pushes the service's files to one host. It returns false on
-// a hard failure (the replicated-service abort signal).
+// updateHost pushes the service's files to one host, retrying soft
+// failures within the pass under the backoff policy. It returns false
+// on a hard failure (the replicated-service abort signal).
 func (m *DCM) updateHost(snap *serviceSnapshot, h hostSnapshot, result *gen.Result, stats *CycleStats) bool {
 	name := snap.Name
+	stats.add(func(s *CycleStats) { s.HostsConsidered++ })
 	data := result.Common
 	if data == nil {
 		data = result.PerHost[h.name]
@@ -328,39 +417,33 @@ func (m *DCM) updateHost(snap *serviceSnapshot, h hostSnapshot, result *gen.Resu
 		return true
 	}
 
-	m.setHostFlags(name, h.machID, func(sh *db.ServerHost) { sh.InProgress = true })
-	now := m.clk.Now().Unix()
-
-	var pushErr error
-	addr, ok := m.cfg.Resolve(h.name)
-	if !ok {
-		pushErr = mrerr.UpdUnreachable
-	} else {
-		script := m.cfg.Scripts[name]
-		var lines []string
-		if script != nil {
-			lines = script(&snap.Server, h.name, data)
-		}
-		var creds *kerberos.Credentials
-		if m.cfg.Creds != nil {
-			creds = m.cfg.Creds()
-		}
-		p := &update.Push{
-			Addr: addr, Target: snap.TargetFile, Data: data, Script: lines,
-			Creds: creds, Clock: m.clk, Timeout: m.cfg.PushTimeout,
-		}
-		pushErr = p.Run()
+	if !m.claimHost(snap, h.machID) {
+		// A concurrent worker claimed (or already finished) this host
+		// between the eligibility scan and now; pushing again would
+		// double-update it.
+		stats.add(func(s *CycleStats) { s.HostsSkippedBusy++ })
+		m.cfg.Logf("dcm: %s: %s claimed by a concurrent pass, skipping", name, h.name)
+		return true
 	}
+
+	pushErr := m.pushOnce(snap, h, data, stats)
+	for attempt := 1; pushErr != nil && update.IsSoftError(pushErr) && attempt <= m.maxRetries(); attempt++ {
+		delay := m.rnd.delay(m.cfg.Backoff, attempt)
+		m.cfg.Logf("dcm: %s: soft failure on %s: %v (retry %d in %v)",
+			name, h.name, pushErr, attempt, delay)
+		stats.add(func(s *CycleStats) { s.Retries++ })
+		clock.Sleep(m.clk, delay)
+		pushErr = m.pushOnce(snap, h, data, stats)
+	}
+	now := m.clk.Now().Unix()
 
 	switch {
 	case pushErr == nil:
-		stats.HostsUpdated++
-		stats.FilesPropagated += result.NumFiles
-		if result.Common != nil {
-			stats.BytesPropagated += len(data)
-		} else {
-			stats.BytesPropagated += len(data)
-		}
+		stats.add(func(s *CycleStats) {
+			s.HostsUpdated++
+			s.FilesPropagated += result.NumFiles
+			s.BytesPropagated += len(data)
+		})
 		m.setHostFlags(name, h.machID, func(sh *db.ServerHost) {
 			sh.Success = true
 			sh.Override = false
@@ -372,18 +455,18 @@ func (m *DCM) updateHost(snap *serviceSnapshot, h hostSnapshot, result *gen.Resu
 		return true
 
 	case update.IsSoftError(pushErr):
-		stats.HostSoftFails++
+		stats.add(func(s *CycleStats) { s.HostSoftFails++ })
 		msg := pushErr.Error()
 		m.setHostFlags(name, h.machID, func(sh *db.ServerHost) {
 			sh.InProgress = false
 			sh.LastTry = now
 			sh.HostErrMsg = msg
 		})
-		m.cfg.Logf("dcm: %s: soft failure on %s: %s (will retry)", name, h.name, msg)
+		m.cfg.Logf("dcm: %s: soft failure on %s: %s (will retry next pass)", name, h.name, msg)
 		return true
 
 	default:
-		stats.HostHardFails++
+		stats.add(func(s *CycleStats) { s.HostHardFails++ })
 		code := int(mrerr.CodeOf(pushErr))
 		msg := pushErr.Error()
 		m.setHostFlags(name, h.machID, func(sh *db.ServerHost) {
@@ -407,6 +490,71 @@ func (m *DCM) updateHost(snap *serviceSnapshot, h hostSnapshot, result *gen.Resu
 		}
 		return false
 	}
+}
+
+// pushOnce performs a single update attempt against one host and
+// records its wall-clock latency.
+func (m *DCM) pushOnce(snap *serviceSnapshot, h hostSnapshot, data []byte, stats *CycleStats) error {
+	start := time.Now()
+	defer func() {
+		d := time.Since(start)
+		stats.add(func(s *CycleStats) { s.PushLatency.Observe(d) })
+	}()
+
+	addr, ok := m.cfg.Resolve(h.name)
+	if !ok {
+		return mrerr.UpdUnreachable
+	}
+	script := m.cfg.Scripts[snap.Name]
+	var lines []string
+	if script != nil {
+		lines = script(&snap.Server, h.name, data)
+	}
+	var creds *kerberos.Credentials
+	if m.cfg.Creds != nil {
+		creds = m.cfg.Creds()
+	}
+	p := &update.Push{
+		Addr: addr, Target: snap.TargetFile, Data: data, Script: lines,
+		Creds: creds, Clock: m.clk, Timeout: m.cfg.PushTimeout,
+	}
+	return p.Run()
+}
+
+// claimHost atomically transitions one serverhost row to InProgress,
+// re-checking eligibility under the exclusive lock. This closes the
+// TOCTOU window between hostsNeedingUpdate's shared-lock scan and the
+// push: a host another worker marked InProgress (or finished updating)
+// in the meantime is skipped instead of being pushed twice.
+func (m *DCM) claimHost(snap *serviceSnapshot, machID int) bool {
+	d := m.cfg.DB
+	d.LockExclusive()
+	defer d.UnlockExclusive()
+	sh, ok := d.ServerHost(snap.Name, machID)
+	if !ok || sh.InProgress || !sh.Enable || sh.HostError != 0 {
+		return false
+	}
+	if sh.LastSuccess >= snap.DFGen && !sh.Override {
+		return false // a concurrent pass already delivered this generation
+	}
+	sh.InProgress = true
+	d.NoteUpdateInternal(db.TServerHosts)
+	return true
+}
+
+// claimService atomically marks a service's generation in progress,
+// failing if another worker holds it.
+func (m *DCM) claimService(name string) bool {
+	d := m.cfg.DB
+	d.LockExclusive()
+	defer d.UnlockExclusive()
+	s, ok := d.ServerByName(name)
+	if !ok || s.InProgress || s.HardError != 0 {
+		return false
+	}
+	s.InProgress = true
+	d.NoteUpdateInternal(db.TServers)
+	return true
 }
 
 // genSeq reads the stored change sequence of the last successful

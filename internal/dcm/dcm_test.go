@@ -2,6 +2,7 @@ package dcm
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -32,16 +33,24 @@ type world struct {
 	hub      *mailhub.Hub
 	broker   *zephyr.Broker
 	notices  *zephyr.Subscription
-	mails    []string
+
+	// mu guards mails: the Mail callback now fires from concurrent
+	// host workers.
+	mu    sync.Mutex
+	mails []string
 
 	dcm *DCM
 }
 
 func newWorld(t *testing.T, users int) *world {
+	return newWorldCfg(t, workload.Scaled(users))
+}
+
+func newWorldCfg(t *testing.T, cfg workload.Config) *world {
 	t.Helper()
 	clk := clock.NewFake(time.Unix(600000000, 0))
 	d := queries.NewBootstrappedDB(clk)
-	_, hosts, err := workload.Populate(d, workload.Scaled(users))
+	_, hosts, err := workload.Populate(d, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,10 +104,29 @@ func newWorld(t *testing.T, users int) *world {
 		Notify: func(class, instance, msg string) {
 			w.broker.Send(class, instance, "dcm", msg)
 		},
-		Mail:        func(subject, body string) { w.mails = append(w.mails, subject) },
+		Mail: func(subject, body string) {
+			w.mu.Lock()
+			w.mails = append(w.mails, subject)
+			w.mu.Unlock()
+		},
 		PushTimeout: 5 * time.Second,
 	})
 	return w
+}
+
+// reconfig rebuilds the world's DCM with tweaks applied to its config
+// (worker-pool sizes, retry counts, backoff schedules).
+func (w *world) reconfig(fn func(*Config)) {
+	cfg := w.dcm.cfg
+	fn(&cfg)
+	w.dcm = New(cfg)
+}
+
+// numMails reads the mail count under the lock.
+func (w *world) numMails() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.mails)
 }
 
 func (w *world) run() *CycleStats {
@@ -364,7 +392,7 @@ func TestHardFailureNotifiesAndStops(t *testing.T) {
 	default:
 		t.Error("no zephyrgram on hard failure")
 	}
-	if len(w.mails) == 0 {
+	if w.numMails() == 0 {
 		t.Error("no failure mail sent")
 	}
 

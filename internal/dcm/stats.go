@@ -1,0 +1,128 @@
+package dcm
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// LatencyBuckets are the upper bounds of the push-latency histogram;
+// observations above the last bound land in an overflow bucket.
+var LatencyBuckets = []time.Duration{
+	time.Millisecond,
+	5 * time.Millisecond,
+	20 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	500 * time.Millisecond,
+	2 * time.Second,
+}
+
+// LatencyHistogram accumulates per-attempt host push durations (real
+// wall-clock, independent of the injected logical clock) for one pass.
+type LatencyHistogram struct {
+	Counts   [8]int // one per LatencyBuckets entry, plus overflow
+	N        int
+	Sum      time.Duration
+	Min, Max time.Duration
+}
+
+// Observe records one push attempt's duration.
+func (h *LatencyHistogram) Observe(d time.Duration) {
+	i := 0
+	for i < len(LatencyBuckets) && d > LatencyBuckets[i] {
+		i++
+	}
+	h.Counts[i]++
+	h.N++
+	h.Sum += d
+	if h.N == 1 || d < h.Min {
+		h.Min = d
+	}
+	if d > h.Max {
+		h.Max = d
+	}
+}
+
+// String renders the histogram for logs: count, min/avg/max, and the
+// per-bucket tallies.
+func (h *LatencyHistogram) String() string {
+	if h.N == 0 {
+		return "no pushes"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d min=%v avg=%v max=%v [",
+		h.N, h.Min.Round(time.Microsecond),
+		(h.Sum / time.Duration(h.N)).Round(time.Microsecond),
+		h.Max.Round(time.Microsecond))
+	for i, c := range h.Counts {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if i < len(LatencyBuckets) {
+			fmt.Fprintf(&b, "≤%v:%d", LatencyBuckets[i], c)
+		} else {
+			fmt.Fprintf(&b, ">%v:%d", LatencyBuckets[len(LatencyBuckets)-1], c)
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// CycleStats summarizes one DCM pass; the Table G harness and the
+// benchmarks read these. The fields are plain so existing readers keep
+// working; during a pass the concurrent service and host workers
+// mutate them only through add, which serializes on the internal
+// mutex. Reading the fields after RunOnce returns is safe (the workers
+// have been joined).
+type CycleStats struct {
+	ServicesScanned int
+	ServicesDue     int
+	Generated       int
+	NoChange        int
+	GenHardErrors   int
+
+	HostsConsidered int
+	HostsUpdated    int
+	HostSoftFails   int
+	HostHardFails   int
+
+	// HostsSkippedBusy counts hosts that passed the eligibility scan
+	// but lost the atomic claim to a concurrent worker (another pass or
+	// DCM instance already had them InProgress or freshly updated).
+	HostsSkippedBusy int
+
+	// Retries counts soft-failure retry attempts across all hosts.
+	Retries int
+
+	FilesGenerated  int
+	FilesPropagated int
+	BytesGenerated  int
+	BytesPropagated int
+
+	// PushLatency is the distribution of individual push-attempt
+	// durations for this pass.
+	PushLatency LatencyHistogram
+
+	mu sync.Mutex
+}
+
+// add applies a mutation under the stats lock.
+func (s *CycleStats) add(fn func(*CycleStats)) {
+	s.mu.Lock()
+	fn(s)
+	s.mu.Unlock()
+}
+
+// Summary formats the pass outcome on one line for logs.
+func (s *CycleStats) Summary() string {
+	return fmt.Sprintf(
+		"services scanned=%d due=%d generated=%d nochange=%d genfail=%d; "+
+			"hosts considered=%d updated=%d soft=%d hard=%d busy=%d retries=%d; "+
+			"bytes gen=%d prop=%d; latency %s",
+		s.ServicesScanned, s.ServicesDue, s.Generated, s.NoChange, s.GenHardErrors,
+		s.HostsConsidered, s.HostsUpdated, s.HostSoftFails, s.HostHardFails,
+		s.HostsSkippedBusy, s.Retries,
+		s.BytesGenerated, s.BytesPropagated, s.PushLatency.String())
+}

@@ -63,6 +63,7 @@ type Agent struct {
 	signals    []int
 	commands   map[string]CommandFunc
 	crashPoint func(stage string) bool
+	latency    time.Duration
 	sem        chan struct{}
 
 	ln net.Listener
@@ -221,6 +222,17 @@ func (a *Agent) SetCrashPoint(fn func(stage string) bool) {
 	a.mu.Unlock()
 }
 
+// SetLatency sets a simulated service delay: each incoming update
+// connection sleeps this long (of real time) after acquiring the host
+// lock, modeling the slow or distant servers whose updates section 5.7
+// forks children for so they cannot stall a whole distribution pass.
+// Benchmarks and the parallel-DCM stress tests use it.
+func (a *Agent) SetLatency(d time.Duration) {
+	a.mu.Lock()
+	a.latency = d
+	a.mu.Unlock()
+}
+
 func (a *Agent) crash(conn net.Conn, stage string) bool {
 	a.mu.Lock()
 	fn := a.crashPoint
@@ -265,6 +277,13 @@ func (a *Agent) serve(conn net.Conn) {
 		return
 	}
 	defer a.unlock()
+
+	a.mu.Lock()
+	lat := a.latency
+	a.mu.Unlock()
+	if lat > 0 {
+		time.Sleep(lat)
+	}
 
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
