@@ -316,6 +316,33 @@ func BenchmarkNoopRPC(b *testing.B) {
 	}
 }
 
+// --- C-SQ: full server query round trip (wire protocol + metrics) ---
+
+// BenchmarkServerQuery measures one authenticated-path query over the
+// real wire protocol, including the per-request metric and trace-ring
+// bookkeeping added by the observability layer.
+func BenchmarkServerQuery(b *testing.B) {
+	d := queries.NewBootstrappedDB(nil)
+	srv := server.New(server.Config{DB: d})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	c, err := client.Dial(addr.String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Disconnect() })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.QueryAll("get_value", "def_quota"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- C-Q: query dispatch across handle classes ---
 
 func BenchmarkQueryDispatch(b *testing.B) {

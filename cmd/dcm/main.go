@@ -8,9 +8,12 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"time"
 
 	"moira/internal/clock"
@@ -33,6 +36,7 @@ func main() {
 		retries  = flag.Int("retries", 0, "in-pass soft-failure retries per host (0 = default, negative = none)")
 		latency  = flag.Duration("host-latency", 0, "inject this much real service delay into every update agent (demo of the parallel push)")
 		verbose  = flag.Bool("v", false, "log every DCM action")
+		debug    = flag.String("debug-addr", "", "serve expvar and pprof on this HTTP address")
 	)
 	flag.Parse()
 
@@ -53,6 +57,16 @@ func main() {
 		log.Fatalf("dcm: boot: %v", err)
 	}
 	defer sys.Close()
+
+	if *debug != "" {
+		expvar.Publish("moira", expvar.Func(func() any { return sys.Registry.Snapshot() }))
+		go func() {
+			if err := http.ListenAndServe(*debug, nil); err != nil {
+				log.Printf("dcm: debug server: %v", err)
+			}
+		}()
+		log.Printf("dcm: expvar+pprof on http://%s/debug/", *debug)
+	}
 
 	if *check {
 		runCheck(sys)

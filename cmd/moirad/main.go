@@ -14,9 +14,12 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -28,6 +31,7 @@ import (
 	"moira/internal/mrerr"
 	"moira/internal/queries"
 	"moira/internal/server"
+	"moira/internal/stats"
 	"moira/internal/workload"
 )
 
@@ -40,6 +44,7 @@ func main() {
 		journal  = flag.String("journal", "", "append the change journal to this file")
 		dcmEvery = flag.Duration("dcm-interval", 15*time.Minute, "wall-clock DCM pass interval in --demo mode")
 		verbose  = flag.Bool("v", false, "log requests")
+		debug    = flag.String("debug-addr", "", "serve expvar and pprof on this HTTP address")
 	)
 	flag.Parse()
 
@@ -49,7 +54,7 @@ func main() {
 	}
 
 	if *demo {
-		runDemo(*users, *dcmEvery, logf)
+		runDemo(*users, *dcmEvery, *debug, logf)
 		return
 	}
 
@@ -78,18 +83,20 @@ func main() {
 	if err != nil {
 		log.Fatalf("moirad: listen: %v", err)
 	}
+	serveDebug(*debug, srv.Registry())
 	log.Printf("moirad: serving %d query handles on %s (unauthenticated mode)", queries.Count(), bound)
 	waitForSignal()
 	srv.Close()
 }
 
-func runDemo(users int, dcmEvery time.Duration, logf func(string, ...any)) {
+func runDemo(users int, dcmEvery time.Duration, debug string, logf func(string, ...any)) {
 	cfg := workload.Scaled(users)
 	sys, err := core.Boot(core.Options{Workload: &cfg, EnableReg: true, Logf: logf})
 	if err != nil {
 		log.Fatalf("moirad: boot: %v", err)
 	}
 	defer sys.Close()
+	serveDebug(debug, sys.Registry)
 
 	log.Printf("moirad: demo system up")
 	log.Printf("  moira server: %s", sys.ServerAddr)
@@ -132,6 +139,21 @@ func (r dcmRunner) loop(interval time.Duration, trigger <-chan struct{}, stop <-
 			log.Printf("moirad: dcm: generated %d, updated %d hosts", stats.Generated, stats.HostsUpdated)
 		}
 	}
+}
+
+// serveDebug exposes the registry as the expvar "moira" variable plus
+// the stdlib pprof handlers on addr; empty addr disables it.
+func serveDebug(addr string, reg *stats.Registry) {
+	if addr == "" {
+		return
+	}
+	expvar.Publish("moira", expvar.Func(func() any { return reg.Snapshot() }))
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			log.Printf("moirad: debug server: %v", err)
+		}
+	}()
+	log.Printf("moirad: expvar+pprof on http://%s/debug/", addr)
 }
 
 // waitForSignal blocks until SIGINT or SIGTERM.

@@ -1,0 +1,179 @@
+// Command moirastat inspects a running Moira server's observability
+// surface over the ordinary query protocol: the `_stats` admin handle
+// (the metric registry: request, error, and latency series from the
+// server, per-table op counts from the database, cumulative DCM and
+// update-agent series) and the `_trace` handle (the recent-request
+// ring, for following one trace ID through the system).
+//
+//	moirastat -addr 127.0.0.1:7760              # one-shot dump
+//	moirastat -addr ... -interval 2s -count 10  # watch counter deltas
+//	moirastat -addr ... -trace '*'              # recent requests
+//	moirastat -addr ... -trace t1a2b3c4d-7      # one trace ID
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"moira/internal/client"
+	"moira/internal/mrerr"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7760", "Moira server address")
+		interval = flag.Duration("interval", 0, "watch mode: poll every interval and print counter deltas")
+		count    = flag.Int("count", 0, "watch mode: stop after this many polls (0 = forever)")
+		trace    = flag.String("trace", "", "dump the request trace ring instead ('*' for all, or one trace ID)")
+	)
+	flag.Parse()
+
+	c, err := client.Dial(*addr)
+	if err != nil {
+		log.Fatalf("moirastat: %v", err)
+	}
+	defer c.Disconnect()
+
+	switch {
+	case *trace != "":
+		dumpTrace(c, *trace)
+	case *interval > 0:
+		watch(c, *interval, *count)
+	default:
+		rows, err := fetch(c)
+		if err != nil {
+			log.Fatalf("moirastat: _stats: %v", err)
+		}
+		printGrouped(rows)
+	}
+}
+
+// row is one `_stats` tuple.
+type row struct {
+	kind, name, value string
+}
+
+func fetch(c *client.Client) ([]row, error) {
+	var rows []row
+	err := c.Query("_stats", nil, func(t []string) error {
+		if len(t) == 3 {
+			rows = append(rows, row{t[0], t[1], t[2]})
+		}
+		return nil
+	})
+	return rows, err
+}
+
+// printGrouped prints the metrics grouped by their first dotted segment
+// (server, db, dcm, update), counters and gauges in columns, histograms
+// on their own lines.
+func printGrouped(rows []row) {
+	groups := make(map[string][]row)
+	var order []string
+	for _, r := range rows {
+		g := r.name
+		if i := strings.IndexByte(g, '.'); i >= 0 {
+			g = g[:i]
+		}
+		if _, ok := groups[g]; !ok {
+			order = append(order, g)
+		}
+		groups[g] = append(groups[g], r)
+	}
+	sort.Strings(order)
+	for _, g := range order {
+		fmt.Printf("%s:\n", g)
+		width := 0
+		for _, r := range groups[g] {
+			if len(r.name) > width {
+				width = len(r.name)
+			}
+		}
+		for _, r := range groups[g] {
+			switch r.kind {
+			case "histogram":
+				fmt.Printf("  %-*s  %s\n", width, r.name, r.value)
+			case "gauge":
+				fmt.Printf("  %-*s  %s (gauge)\n", width, r.name, r.value)
+			default:
+				fmt.Printf("  %-*s  %s\n", width, r.name, r.value)
+			}
+		}
+	}
+}
+
+// watch polls `_stats` and prints, for each interval, the counters that
+// moved and current gauge values.
+func watch(c *client.Client, interval time.Duration, count int) {
+	prev := map[string]int64{}
+	first := true
+	for n := 0; count == 0 || n < count; n++ {
+		rows, err := fetch(c)
+		if err != nil {
+			log.Fatalf("moirastat: _stats: %v", err)
+		}
+		cur := map[string]int64{}
+		var lines []string
+		for _, r := range rows {
+			if r.kind == "histogram" {
+				continue
+			}
+			v, err := strconv.ParseInt(r.value, 10, 64)
+			if err != nil {
+				continue
+			}
+			cur[r.name] = v
+			if r.kind == "gauge" {
+				lines = append(lines, fmt.Sprintf("  %s = %d", r.name, v))
+				continue
+			}
+			if d := v - prev[r.name]; !first && d != 0 {
+				lines = append(lines, fmt.Sprintf("  %s +%d", r.name, d))
+			}
+		}
+		if !first {
+			fmt.Printf("-- %s --\n", time.Now().Format("15:04:05"))
+			sort.Strings(lines)
+			for _, l := range lines {
+				fmt.Println(l)
+			}
+		}
+		prev = cur
+		first = false
+		if count != 0 && n == count-1 {
+			break
+		}
+		time.Sleep(interval)
+	}
+}
+
+// dumpTrace prints the server's recent-request ring, oldest first.
+func dumpTrace(c *client.Client, id string) {
+	fmt.Printf("%-19s  %-16s  %-12s  %-24s  %-12s  %6s  %s\n",
+		"time", "trace", "op", "handle", "principal", "status", "latency")
+	err := c.Query("_trace", []string{id}, func(t []string) error {
+		if len(t) != 7 {
+			return nil
+		}
+		ts := t[0]
+		if sec, err := strconv.ParseInt(t[0], 10, 64); err == nil {
+			ts = time.Unix(sec, 0).Format("2006-01-02 15:04:05")
+		}
+		fmt.Printf("%-19s  %-16s  %-12s  %-24s  %-12s  %6s  %s\n",
+			ts, t[1], t[2], t[3], t[4], t[5], t[6])
+		return nil
+	})
+	if err == mrerr.MrNoMatch {
+		fmt.Fprintf(os.Stderr, "moirastat: no trace entries match %q\n", id)
+		os.Exit(1)
+	}
+	if err != nil {
+		log.Fatalf("moirastat: _trace: %v", err)
+	}
+}

@@ -32,7 +32,7 @@ func toolPath(t *testing.T, name string) string {
 		} else {
 			builtTools.dir = dir
 			cmd := exec.Command("go", "build", "-o", dir,
-				"./cmd/moirad", "./cmd/mrtest", "./cmd/mrbackup", "./cmd/mrrestore", "./cmd/tableg", "./cmd/dcm")
+				"./cmd/moirad", "./cmd/mrtest", "./cmd/mrbackup", "./cmd/mrrestore", "./cmd/tableg", "./cmd/dcm", "./cmd/moirastat")
 			if out, err := cmd.CombinedOutput(); err != nil {
 				builtTools.err = fmt.Errorf("go build: %v\n%s", err, out)
 			}
@@ -183,6 +183,113 @@ func TestBinaryDCMPasses(t *testing.T) {
 	if !strings.Contains(s, "retries") || !strings.Contains(s, "push latency") {
 		t.Errorf("dcm output missing parallel-pass stats:\n%s", firstN(s, 600))
 	}
+}
+
+// TestBinaryMoirastatSmoke boots a demo moirad, drives a known script
+// of queries through mrtest, and checks the moirastat binary reports
+// counters exactly matching the script.
+func TestBinaryMoirastatSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary build in -short mode")
+	}
+	addr := freePort(t)
+	daemon := exec.Command(toolPath(t, "moirad"), "-addr", addr)
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		daemon.Process.Kill()
+		daemon.Wait()
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		c, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			c.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("moirad never came up")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// The script: 2x _list_queries, 1x get_value, 1x failing query.
+	script := [][]string{
+		{"-q", "_list_queries"},
+		{"-q", "_list_queries"},
+		{"-q", "get_value", "def_quota"},
+		{"-q", "no_such_query"},
+	}
+	for _, q := range script {
+		args := append([]string{"-addr", addr}, q...)
+		out, err := exec.Command(toolPath(t, "mrtest"), args...).CombinedOutput()
+		if q[1] == "no_such_query" {
+			if err == nil {
+				t.Fatalf("bogus query succeeded:\n%s", out)
+			}
+		} else if err != nil {
+			t.Fatalf("mrtest %v: %v\n%s", q, err, out)
+		}
+	}
+
+	// The counters the script must have produced. Metrics are recorded
+	// just after each reply is sent, so poll briefly for the last one.
+	want := map[string]string{
+		"server.requests.query":       "4",
+		"server.handle._list_queries": "2",
+		"server.handle.get_value":     "1",
+		"server.handle.no_such_query": "1",
+		"server.errors.650246":        "1", // MR_NO_HANDLE
+		"server.sessions.active":      "1", // moirastat itself
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	var got map[string]string
+	for {
+		out, err := exec.Command(toolPath(t, "moirastat"), "-addr", addr).CombinedOutput()
+		if err != nil {
+			t.Fatalf("moirastat: %v\n%s", err, out)
+		}
+		got = parseMoirastat(string(out))
+		match := true
+		for name, v := range want {
+			if got[name] != v {
+				match = false
+			}
+		}
+		if match {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("counters never matched script: want %v\ngot %v", want, got)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if _, ok := got["server.latency.query"]; !ok {
+		t.Errorf("moirastat output missing latency histogram: %v", got)
+	}
+
+	// The trace dump surface answers too.
+	out, err := exec.Command(toolPath(t, "moirastat"), "-addr", addr, "-trace", "*").CombinedOutput()
+	if err != nil {
+		t.Fatalf("moirastat -trace: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "_list_queries") {
+		t.Errorf("trace dump missing script queries:\n%s", firstN(string(out), 600))
+	}
+}
+
+// parseMoirastat extracts "name value..." pairs from moirastat's
+// grouped output.
+func parseMoirastat(s string) map[string]string {
+	m := make(map[string]string)
+	for _, line := range strings.Split(s, "\n") {
+		f := strings.Fields(line)
+		if len(f) >= 2 && strings.Contains(f[0], ".") {
+			m[f[0]] = f[1]
+		}
+	}
+	return m
 }
 
 func firstN(s string, n int) string {

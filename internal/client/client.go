@@ -41,11 +41,14 @@ type Conn interface {
 
 // Client is an RPC connection to a Moira server.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
-	clk  clock.Clock
+	mu      sync.Mutex
+	conn    net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	clk     clock.Clock
+	version uint16 // negotiated protocol version
+	trace   string // pinned trace ID; "" mints a fresh one per request
+	last    string // trace ID stamped on the most recent request
 }
 
 // Dial implements mr_connect: it connects to the Moira server at addr.
@@ -68,22 +71,66 @@ func DialTimeout(addr string, timeout time.Duration, clk clock.Clock) (*Client, 
 		return nil, mrerr.MrConnRefused
 	}
 	return &Client{
-		conn: conn,
-		br:   bufio.NewReader(conn),
-		bw:   bufio.NewWriter(conn),
-		clk:  clk,
+		conn:    conn,
+		br:      bufio.NewReader(conn),
+		bw:      bufio.NewWriter(conn),
+		clk:     clk,
+		version: protocol.Version,
 	}, nil
+}
+
+// SetTraceID pins a trace ID for all subsequent requests on this
+// connection; the empty string restores the default of minting a fresh
+// ID per request.
+func (c *Client) SetTraceID(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.trace = id
+}
+
+// LastTraceID reports the trace ID stamped on the most recent request,
+// so a caller can correlate its RPC with server-side logs.
+func (c *Client) LastTraceID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.last
 }
 
 // roundTrip sends one request and reads reply frames until the final
 // (non-MR_MORE_DATA) frame, passing tuples to cb (which may be nil).
+// Version skew is handled here: the client opens at protocol.Version
+// and, if the server answers MR_VERSION_MISMATCH, falls back to
+// protocol.MinVersion and resends once — the version-2 frame layout is
+// parseable by version-1 servers, so the connection survives the probe.
 func (c *Client) roundTrip(req *protocol.Request, cb TupleFunc) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	for {
+		err := c.sendRecv(req, cb)
+		if err == mrerr.MrVersionMismatch && c.conn != nil && c.version > protocol.MinVersion {
+			c.version = protocol.MinVersion
+			continue
+		}
+		return err
+	}
+}
+
+// sendRecv does one request/reply exchange; callers hold c.mu.
+func (c *Client) sendRecv(req *protocol.Request, cb TupleFunc) error {
 	if c.conn == nil {
 		return mrerr.MrNotConnected
 	}
-	req.Version = protocol.Version
+	req.Version = c.version
+	if c.version >= 2 {
+		if req.TraceID == "" {
+			if c.trace != "" {
+				req.TraceID = c.trace
+			} else {
+				req.TraceID = protocol.NewTraceID()
+			}
+		}
+		c.last = req.TraceID
+	}
 	if err := protocol.WriteRequest(c.bw, req); err != nil {
 		c.abort()
 		return mrerr.MrAborted
@@ -99,7 +146,7 @@ func (c *Client) roundTrip(req *protocol.Request, cb TupleFunc) error {
 			c.abort()
 			return mrerr.MrAborted
 		}
-		if rep.Version != protocol.Version {
+		if rep.Version < protocol.MinVersion || rep.Version > protocol.Version {
 			c.abort()
 			return mrerr.MrVersionMismatch
 		}

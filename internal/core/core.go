@@ -23,6 +23,7 @@ import (
 	"moira/internal/queries"
 	"moira/internal/reg"
 	"moira/internal/server"
+	"moira/internal/stats"
 	"moira/internal/update"
 	"moira/internal/workload"
 	"moira/internal/zephyr"
@@ -74,6 +75,11 @@ type System struct {
 	KDC *kerberos.KDC
 	Clk clock.Clock
 
+	// Registry is the system-wide metrics registry: the server, the
+	// DCM, the database, and every update agent count into it, and the
+	// `_stats` query handle serves it.
+	Registry *stats.Registry
+
 	Server     *server.Server
 	ServerAddr string
 
@@ -115,6 +121,7 @@ func Boot(opts Options) (*System, error) {
 
 	s := &System{
 		Clk:       clk,
+		Registry:  stats.NewRegistry(),
 		DB:        queries.NewBootstrappedDB(clk),
 		KDC:       kerberos.NewKDC(realm, clk),
 		Broker:    zephyr.NewBroker(clk),
@@ -160,10 +167,11 @@ func Boot(opts Options) (*System, error) {
 		Verifier: kerberos.NewVerifier(MoiraServicePrincipal, srvKey, clk),
 		Clock:    clk,
 		Logf:     logf,
-		TriggerDCM: func() {
+		Stats:    s.Registry,
+		TriggerDCM: func(trace string) {
 			if s.DCM != nil {
 				go func() {
-					if _, err := s.DCM.RunOnce(); err != nil {
+					if _, err := s.DCM.RunOnceTraced(trace); err != nil {
 						s.logf("core: triggered dcm: %v", err)
 					}
 				}()
@@ -198,6 +206,7 @@ func Boot(opts Options) (*System, error) {
 			s.Broker.Send(class, instance, DCMPrincipal, msg)
 		},
 		Logf:                logf,
+		Stats:               s.Registry,
 		PushTimeout:         30 * time.Second,
 		MaxParallelServices: opts.DCMParallelServices,
 		MaxParallelHosts:    opts.DCMParallelHosts,
@@ -254,6 +263,7 @@ func (s *System) setupHosts(root string) error {
 			return nil, err
 		}
 		a := update.NewAgent(name, dir, kerberos.NewVerifier(UpdateServicePrincipal, updKey, s.Clk))
+		a.BindStats(s.Registry)
 		addr, err := a.Listen("127.0.0.1:0")
 		if err != nil {
 			return nil, err
@@ -381,6 +391,11 @@ func (s *System) ClientAs(login, password, app string) (*client.Client, error) {
 // RunDCM performs one DCM pass.
 func (s *System) RunDCM() (*dcm.CycleStats, error) {
 	return s.DCM.RunOnce()
+}
+
+// RunDCMTraced performs one DCM pass tagged with a trace ID.
+func (s *System) RunDCMTraced(trace string) (*dcm.CycleStats, error) {
+	return s.DCM.RunOnceTraced(trace)
 }
 
 func randomPassword() string {

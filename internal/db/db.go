@@ -5,9 +5,11 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"moira/internal/clock"
 	"moira/internal/mrerr"
+	"moira/internal/stats"
 )
 
 // Table names, used for TBLSTATS and the backup file set.
@@ -92,6 +94,18 @@ type DB struct {
 	tableSeq   map[string]int64
 
 	journal io.Writer
+
+	// ops mirrors the per-table op counts from TBLSTATS into atomics
+	// under their own lock, so a stats snapshot taken while a query
+	// holds the shared DB lock (the `_stats` handle does exactly that)
+	// never touches d.mu.
+	opsMu sync.Mutex
+	ops   map[string]*tableOps
+}
+
+// tableOps is the lock-free mirror of one TblStat row's counts.
+type tableOps struct {
+	appends, updates, deletes atomic.Int64
 }
 
 // New creates an empty database with the standard Values hints loaded.
@@ -124,9 +138,11 @@ func New(clk clock.Clock) *DB {
 		values:       make(map[string]int),
 		stats:        make(map[string]*TblStat),
 		tableSeq:     make(map[string]int64),
+		ops:          make(map[string]*tableOps),
 	}
 	for _, t := range AllTables {
 		d.stats[t] = &TblStat{Table: t}
+		d.ops[t] = &tableOps{}
 	}
 	// ID allocation hints and server state, as loaded by the db creation
 	// scripts in the original.
@@ -204,11 +220,46 @@ func (d *DB) note(s *TblStat) {
 	d.tableSeq[s.Table] = d.seqCounter
 }
 
+// opsFor returns table's atomic op-count mirror, creating it if needed.
+func (d *DB) opsFor(table string) *tableOps {
+	d.opsMu.Lock()
+	defer d.opsMu.Unlock()
+	o, ok := d.ops[table]
+	if !ok {
+		o = &tableOps{}
+		d.ops[table] = o
+	}
+	return o
+}
+
+// BindStats publishes the per-table operation counts into reg as
+// counters named db.<table>.appends/.updates/.deletes. The group
+// callback reads only the atomic mirror — never the DB lock — so it is
+// safe to snapshot from inside a query transaction.
+func (d *DB) BindStats(reg *stats.Registry) {
+	reg.AddGroup(func(emit func(string, int64)) {
+		d.opsMu.Lock()
+		defer d.opsMu.Unlock()
+		for t, o := range d.ops {
+			if a := o.appends.Load(); a > 0 {
+				emit("db."+t+".appends", a)
+			}
+			if u := o.updates.Load(); u > 0 {
+				emit("db."+t+".updates", u)
+			}
+			if del := o.deletes.Load(); del > 0 {
+				emit("db."+t+".deletes", del)
+			}
+		}
+	})
+}
+
 // NoteAppend records an append to table.
 func (d *DB) NoteAppend(table string) {
 	s := d.stat(table)
 	s.Appends++
 	d.note(s)
+	d.opsFor(table).appends.Add(1)
 }
 
 // NoteUpdate records an update to table.
@@ -216,6 +267,7 @@ func (d *DB) NoteUpdate(table string) {
 	s := d.stat(table)
 	s.Updates++
 	d.note(s)
+	d.opsFor(table).updates.Add(1)
 }
 
 // NoteDelete records a delete from table.
@@ -223,6 +275,7 @@ func (d *DB) NoteDelete(table string) {
 	s := d.stat(table)
 	s.Deletes++
 	d.note(s)
+	d.opsFor(table).deletes.Add(1)
 }
 
 // NoteUpdateInternal records an update that must NOT count as a data
@@ -233,6 +286,7 @@ func (d *DB) NoteDelete(table string) {
 // hesiod sloc data forever.
 func (d *DB) NoteUpdateInternal(table string) {
 	d.stat(table).Updates++
+	d.opsFor(table).updates.Add(1)
 }
 
 // SeqOf returns the largest change-sequence number across the named

@@ -16,46 +16,63 @@ import (
 //
 // so a restore can be rolled forward by re-executing the journal (see
 // queries.ReplayJournal).
+//
+// Version 2 of the layout adds the request's trace ID, marked by a
+// literal "v2" first field (timestamps are numeric, so the layouts
+// cannot collide):
+//
+//	v2:timestamp:principal:application:trace:query:arg1:arg2:...
+//
+// ParseJournalLine accepts both layouts, so journals spanning the
+// upgrade replay cleanly.
 
 // JournalRecord is one parsed journal line.
 type JournalRecord struct {
 	Time      int64
 	Principal string
 	App       string
+	Trace     string // trace ID of the originating request; "" in v1 lines
 	Query     string
 	Args      []string
 }
 
 // JournalQuery appends one successful mutating query to the journal.
 // Caller holds the exclusive lock (it runs inside the query transaction).
-func (d *DB) JournalQuery(principal, app, query string, args []string) {
+func (d *DB) JournalQuery(principal, app, trace, query string, args []string) {
 	if d.journal == nil {
 		return
 	}
 	row := append([]string{
-		strconv.FormatInt(d.Now(), 10), principal, app, query,
+		"v2", strconv.FormatInt(d.Now(), 10), principal, app, trace, query,
 	}, args...)
 	fmt.Fprintln(d.journal, EncodeRow(row))
 }
 
-// ParseJournalLine decodes one journal line.
+// ParseJournalLine decodes one journal line, in either layout.
 func ParseJournalLine(line string) (*JournalRecord, error) {
 	fields, err := DecodeRow(line)
 	if err != nil {
 		return nil, err
 	}
-	if len(fields) < 4 {
-		return nil, fmt.Errorf("db: journal line has %d fields", len(fields))
+	rec := &JournalRecord{}
+	if len(fields) > 0 && fields[0] == "v2" {
+		if len(fields) < 6 {
+			return nil, fmt.Errorf("db: v2 journal line has %d fields", len(fields))
+		}
+		rec.Principal, rec.App, rec.Trace = fields[2], fields[3], fields[4]
+		rec.Query, rec.Args = fields[5], fields[6:]
+		fields = fields[1:] // timestamp is now fields[0]
+	} else {
+		if len(fields) < 4 {
+			return nil, fmt.Errorf("db: journal line has %d fields", len(fields))
+		}
+		rec.Principal, rec.App = fields[1], fields[2]
+		rec.Query, rec.Args = fields[3], fields[4:]
 	}
 	ts, err := strconv.ParseInt(fields[0], 10, 64)
 	if err != nil {
 		return nil, fmt.Errorf("db: journal timestamp %q", fields[0])
 	}
-	return &JournalRecord{
-		Time:      ts,
-		Principal: fields[1],
-		App:       fields[2],
-		Query:     fields[3],
-		Args:      fields[4:],
-	}, nil
+	rec.Time = ts
+	return rec, nil
 }

@@ -21,6 +21,7 @@ import (
 	"moira/internal/gen"
 	"moira/internal/kerberos"
 	"moira/internal/mrerr"
+	"moira/internal/stats"
 	"moira/internal/update"
 )
 
@@ -94,6 +95,11 @@ type Config struct {
 	// BackoffSeed seeds the jitter source so tests can pin the
 	// schedule; 0 means a fixed default seed.
 	BackoffSeed int64
+
+	// Stats, when set, receives cumulative dcm.* series (pass counts,
+	// host outcomes, bytes, push latency) folded in at the end of every
+	// pass; per-pass numbers stay in CycleStats.
+	Stats *stats.Registry
 }
 
 // Worker-pool and retry defaults, used when the Config fields are zero.
@@ -211,6 +217,13 @@ type serviceSnapshot struct {
 // fork-per-server), so one slow or unreachable service cannot stall the
 // whole distribution pass.
 func (m *DCM) RunOnce() (*CycleStats, error) {
+	return m.RunOnceTraced("")
+}
+
+// RunOnceTraced is RunOnce carrying the trace ID of the request that
+// triggered the pass; it is threaded into the pass's log lines so a
+// client-issued trace can be followed from query to host install.
+func (m *DCM) RunOnceTraced(trace string) (*CycleStats, error) {
 	// On startup the DCM first checks for the disable file.
 	if m.cfg.DisablePath != "" {
 		if _, err := os.Stat(m.cfg.DisablePath); err == nil {
@@ -218,6 +231,7 @@ func (m *DCM) RunOnce() (*CycleStats, error) {
 		}
 	}
 	d := m.cfg.DB
+	started := time.Now()
 
 	// Then it retrieves dcm_enable from the values relation.
 	d.LockShared()
@@ -228,7 +242,7 @@ func (m *DCM) RunOnce() (*CycleStats, error) {
 		return nil, mrerr.MrDCMDisabled
 	}
 
-	stats := &CycleStats{}
+	stats := &CycleStats{Trace: trace}
 
 	// Snapshot the services table.
 	var services []serviceSnapshot
@@ -264,8 +278,18 @@ func (m *DCM) RunOnce() (*CycleStats, error) {
 		}()
 	}
 	wg.Wait()
-	m.cfg.Logf("dcm: pass complete: %s", stats.Summary())
+	stats.publish(m.cfg.Stats, time.Since(started))
+	m.cfg.Logf("dcm: pass complete:%s %s", traceSuffix(trace), stats.Summary())
 	return stats, nil
+}
+
+// traceSuffix formats a trace ID for appending to a log line; empty
+// traces render as nothing.
+func traceSuffix(trace string) string {
+	if trace == "" {
+		return ""
+	}
+	return " trace=" + trace
 }
 
 // serviceCycle regenerates one service's files if due, then scans its
@@ -429,8 +453,8 @@ func (m *DCM) updateHost(snap *serviceSnapshot, h hostSnapshot, result *gen.Resu
 	pushErr := m.pushOnce(snap, h, data, stats)
 	for attempt := 1; pushErr != nil && update.IsSoftError(pushErr) && attempt <= m.maxRetries(); attempt++ {
 		delay := m.rnd.delay(m.cfg.Backoff, attempt)
-		m.cfg.Logf("dcm: %s: soft failure on %s: %v (retry %d in %v)",
-			name, h.name, pushErr, attempt, delay)
+		m.cfg.Logf("dcm: %s: soft failure on %s: %v (retry %d in %v)%s",
+			name, h.name, pushErr, attempt, delay, traceSuffix(stats.Trace))
 		stats.add(func(s *CycleStats) { s.Retries++ })
 		clock.Sleep(m.clk, delay)
 		pushErr = m.pushOnce(snap, h, data, stats)
@@ -451,7 +475,7 @@ func (m *DCM) updateHost(snap *serviceSnapshot, h hostSnapshot, result *gen.Resu
 			sh.LastTry, sh.LastSuccess = now, now
 			sh.HostError, sh.HostErrMsg = 0, ""
 		})
-		m.cfg.Logf("dcm: %s: updated %s", name, h.name)
+		m.cfg.Logf("dcm: %s: updated %s%s", name, h.name, traceSuffix(stats.Trace))
 		return true
 
 	case update.IsSoftError(pushErr):
@@ -462,7 +486,7 @@ func (m *DCM) updateHost(snap *serviceSnapshot, h hostSnapshot, result *gen.Resu
 			sh.LastTry = now
 			sh.HostErrMsg = msg
 		})
-		m.cfg.Logf("dcm: %s: soft failure on %s: %s (will retry next pass)", name, h.name, msg)
+		m.cfg.Logf("dcm: %s: soft failure on %s: %s (will retry next pass)%s", name, h.name, msg, traceSuffix(stats.Trace))
 		return true
 
 	default:
@@ -476,7 +500,7 @@ func (m *DCM) updateHost(snap *serviceSnapshot, h hostSnapshot, result *gen.Resu
 			sh.HostError = code
 			sh.HostErrMsg = msg
 		})
-		m.notify(fmt.Sprintf("service %s host %s: update failed: %s", name, h.name, msg))
+		m.notify(fmt.Sprintf("service %s host %s: update failed: %s%s", name, h.name, msg, traceSuffix(stats.Trace)))
 		if m.cfg.Mail != nil {
 			m.cfg.Mail(
 				fmt.Sprintf("DCM hard failure: %s on %s", name, h.name),
@@ -517,6 +541,7 @@ func (m *DCM) pushOnce(snap *serviceSnapshot, h hostSnapshot, data []byte, stats
 	p := &update.Push{
 		Addr: addr, Target: snap.TargetFile, Data: data, Script: lines,
 		Creds: creds, Clock: m.clk, Timeout: m.cfg.PushTimeout,
+		Trace: stats.Trace,
 	}
 	return p.Run()
 }

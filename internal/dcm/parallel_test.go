@@ -41,8 +41,8 @@ func TestStressManyHostsParallel(t *testing.T) {
 		t.Errorf("counters do not balance: considered=%d, outcomes sum to %d (%+v)",
 			stats.HostsConsidered, got, stats)
 	}
-	if stats.PushLatency.N < 50 {
-		t.Errorf("latency histogram observed %d pushes, want >= 50", stats.PushLatency.N)
+	if n := stats.PushLatency.Count(); n < 50 {
+		t.Errorf("latency histogram observed %d pushes, want >= 50", n)
 	}
 	for name, host := range w.nfsHosts {
 		if host.Installs() != 1 {

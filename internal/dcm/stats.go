@@ -2,73 +2,23 @@ package dcm
 
 import (
 	"fmt"
-	"strings"
 	"sync"
 	"time"
+
+	"moira/internal/stats"
 )
 
 // LatencyBuckets are the upper bounds of the push-latency histogram;
-// observations above the last bound land in an overflow bucket.
-var LatencyBuckets = []time.Duration{
-	time.Millisecond,
-	5 * time.Millisecond,
-	20 * time.Millisecond,
-	50 * time.Millisecond,
-	100 * time.Millisecond,
-	500 * time.Millisecond,
-	2 * time.Second,
-}
+// observations above the last bound land in an overflow bucket. They are
+// the tree-wide default buckets (the DCM's were adopted as the default
+// when the histogram moved to the stats package).
+var LatencyBuckets = stats.DefaultBuckets
 
 // LatencyHistogram accumulates per-attempt host push durations (real
 // wall-clock, independent of the injected logical clock) for one pass.
-type LatencyHistogram struct {
-	Counts   [8]int // one per LatencyBuckets entry, plus overflow
-	N        int
-	Sum      time.Duration
-	Min, Max time.Duration
-}
-
-// Observe records one push attempt's duration.
-func (h *LatencyHistogram) Observe(d time.Duration) {
-	i := 0
-	for i < len(LatencyBuckets) && d > LatencyBuckets[i] {
-		i++
-	}
-	h.Counts[i]++
-	h.N++
-	h.Sum += d
-	if h.N == 1 || d < h.Min {
-		h.Min = d
-	}
-	if d > h.Max {
-		h.Max = d
-	}
-}
-
-// String renders the histogram for logs: count, min/avg/max, and the
-// per-bucket tallies.
-func (h *LatencyHistogram) String() string {
-	if h.N == 0 {
-		return "no pushes"
-	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "n=%d min=%v avg=%v max=%v [",
-		h.N, h.Min.Round(time.Microsecond),
-		(h.Sum / time.Duration(h.N)).Round(time.Microsecond),
-		h.Max.Round(time.Microsecond))
-	for i, c := range h.Counts {
-		if i > 0 {
-			b.WriteByte(' ')
-		}
-		if i < len(LatencyBuckets) {
-			fmt.Fprintf(&b, "≤%v:%d", LatencyBuckets[i], c)
-		} else {
-			fmt.Fprintf(&b, ">%v:%d", LatencyBuckets[len(LatencyBuckets)-1], c)
-		}
-	}
-	b.WriteByte(']')
-	return b.String()
-}
+// It is the shared stats.Histogram; the name survives for the DCM's
+// public API.
+type LatencyHistogram = stats.Histogram
 
 // CycleStats summarizes one DCM pass; the Table G harness and the
 // benchmarks read these. The fields are plain so existing readers keep
@@ -77,6 +27,10 @@ func (h *LatencyHistogram) String() string {
 // mutex. Reading the fields after RunOnce returns is safe (the workers
 // have been joined).
 type CycleStats struct {
+	// Trace is the trace ID of the request that triggered this pass
+	// ("" for scheduled passes), threaded through to push logs.
+	Trace string
+
 	ServicesScanned int
 	ServicesDue     int
 	Generated       int
@@ -125,4 +79,39 @@ func (s *CycleStats) Summary() string {
 		s.HostsConsidered, s.HostsUpdated, s.HostSoftFails, s.HostHardFails,
 		s.HostsSkippedBusy, s.Retries,
 		s.BytesGenerated, s.BytesPropagated, s.PushLatency.String())
+}
+
+// publish folds the pass's results into the cumulative registry as
+// dcm.* counters and the cumulative push-latency histogram.
+func (s *CycleStats) publish(reg *stats.Registry, d time.Duration) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("dcm.passes").Inc()
+	for _, c := range []struct {
+		name string
+		v    int
+	}{
+		{"dcm.services.scanned", s.ServicesScanned},
+		{"dcm.services.due", s.ServicesDue},
+		{"dcm.services.generated", s.Generated},
+		{"dcm.services.nochange", s.NoChange},
+		{"dcm.services.genfail", s.GenHardErrors},
+		{"dcm.hosts.considered", s.HostsConsidered},
+		{"dcm.hosts.updated", s.HostsUpdated},
+		{"dcm.hosts.softfail", s.HostSoftFails},
+		{"dcm.hosts.hardfail", s.HostHardFails},
+		{"dcm.hosts.busy", s.HostsSkippedBusy},
+		{"dcm.hosts.retries", s.Retries},
+		{"dcm.files.generated", s.FilesGenerated},
+		{"dcm.files.propagated", s.FilesPropagated},
+		{"dcm.bytes.generated", s.BytesGenerated},
+		{"dcm.bytes.propagated", s.BytesPropagated},
+	} {
+		if c.v != 0 {
+			reg.Counter(c.name).Add(int64(c.v))
+		}
+	}
+	reg.Histogram("dcm.pass.duration").Observe(d)
+	reg.Histogram("dcm.push.latency").Merge(s.PushLatency.Snapshot())
 }

@@ -13,15 +13,25 @@ package protocol
 
 import (
 	"bufio"
+	"crypto/rand"
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"moira/internal/mrerr"
 )
 
-// Version is the protocol version this implementation speaks.
-const Version uint16 = 1
+// Version is the protocol version this implementation speaks. Version 2
+// adds a per-request trace ID, carried as an extra counted string
+// prepended to the argument list — the frame layout is unchanged, so a
+// version-1 peer parses a version-2 frame cleanly and can answer
+// MR_VERSION_MISMATCH without desynchronizing the stream.
+const Version uint16 = 2
+
+// MinVersion is the oldest protocol version this implementation still
+// accepts; clients fall back to it when a server rejects Version.
+const MinVersion uint16 = 1
 
 // Port is the well-known Moira server port ("T.B.S." in the paper; this
 // implementation settles it).
@@ -63,10 +73,13 @@ const (
 	MaxFields = 4096     // counted strings per frame
 )
 
-// Request is one client-to-server message.
+// Request is one client-to-server message. TraceID, when non-empty and
+// Version >= 2, rides in front of Args on the wire; version-1 requests
+// cannot carry one.
 type Request struct {
 	Version uint16
 	Op      uint16
+	TraceID string
 	Args    [][]byte
 }
 
@@ -162,25 +175,38 @@ func readFrame(r io.Reader, headLen int) (head []byte, fields [][]byte, err erro
 	return head, fields, nil
 }
 
-// WriteRequest sends one request frame.
+// WriteRequest sends one request frame. A version >= 2 request carries
+// its trace ID (possibly empty) as the first counted string.
 func WriteRequest(w io.Writer, req *Request) error {
 	var head [4]byte
 	binary.BigEndian.PutUint16(head[0:2], req.Version)
 	binary.BigEndian.PutUint16(head[2:4], req.Op)
-	return writeFrame(w, head[:], req.Args)
+	args := req.Args
+	if req.Version >= 2 {
+		args = make([][]byte, 0, len(req.Args)+1)
+		args = append(args, []byte(req.TraceID))
+		args = append(args, req.Args...)
+	}
+	return writeFrame(w, head[:], args)
 }
 
-// ReadRequest reads one request frame.
+// ReadRequest reads one request frame, splitting off the trace ID when
+// the peer spoke version 2 or later.
 func ReadRequest(r *bufio.Reader) (*Request, error) {
 	head, fields, err := readFrame(r, 4)
 	if err != nil {
 		return nil, err
 	}
-	return &Request{
+	req := &Request{
 		Version: binary.BigEndian.Uint16(head[0:2]),
 		Op:      binary.BigEndian.Uint16(head[2:4]),
 		Args:    fields,
-	}, nil
+	}
+	if req.Version >= 2 && len(fields) > 0 {
+		req.TraceID = string(fields[0])
+		req.Args = fields[1:]
+	}
+	return req, nil
 }
 
 // WriteReply sends one reply frame.
@@ -212,4 +238,24 @@ func BytesArgs(args []string) [][]byte {
 		out[i] = []byte(a)
 	}
 	return out
+}
+
+// Trace IDs: a random per-process prefix plus a sequence number keeps
+// IDs globally unique without paying for crypto randomness per request.
+var (
+	tracePrefix = func() string {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			// Fall back to a fixed prefix; IDs stay process-unique.
+			return "t00000000"
+		}
+		return fmt.Sprintf("t%08x", binary.BigEndian.Uint32(b[:]))
+	}()
+	traceSeq atomic.Uint64
+)
+
+// NewTraceID returns a fresh trace ID, unique across processes with
+// overwhelming probability and cheap enough to mint per request.
+func NewTraceID() string {
+	return fmt.Sprintf("%s-%d", tracePrefix, traceSeq.Add(1))
 }

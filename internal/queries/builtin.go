@@ -82,7 +82,7 @@ func init() {
 		Name: TriggerDCMCapability, Short: "tdcm", Kind: Update,
 		Handler: func(cx *Context, args []string, emit EmitFunc) error {
 			if cx.TriggerDCM != nil {
-				cx.TriggerDCM()
+				cx.TriggerDCM(cx.TraceID)
 			}
 			return nil
 		},

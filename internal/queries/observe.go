@@ -1,0 +1,65 @@
+package queries
+
+// The observability admin handles, served like any other query handle
+// (the paper's idiom: everything goes through a predefined query).
+// `_stats` returns the server's metric registry as (kind, name, value)
+// tuples; `_trace` returns recent requests from the server's trace ring.
+// Both are retrieves, so they run under the shared lock — the registry
+// snapshot must not (and does not) touch the database lock.
+
+import (
+	"strconv"
+
+	"moira/internal/mrerr"
+)
+
+func init() {
+	register(&Query{
+		Name: "_stats", Short: "_sts", Kind: Retrieve,
+		Returns: []string{"kind", "name", "value"},
+		Access:  accessAnyone,
+		Handler: func(cx *Context, args []string, emit EmitFunc) error {
+			if cx.Stats == nil {
+				return mrerr.MrNoMatch
+			}
+			for _, ln := range cx.Stats.Snapshot().Lines() {
+				if err := emit([]string{ln.Kind, ln.Name, ln.Value}); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+
+	register(&Query{
+		Name: "_trace", Short: "_trc", Kind: Retrieve,
+		Args: []string{"trace_id"},
+		Returns: []string{"time", "trace_id", "op", "query_handle",
+			"kerberos_principal", "status", "latency"},
+		Access: accessAnyone,
+		Handler: func(cx *Context, args []string, emit EmitFunc) error {
+			if cx.Traces == nil {
+				return mrerr.MrNoMatch
+			}
+			matched := false
+			for _, e := range cx.Traces() {
+				if args[0] != "*" && e.Trace != args[0] {
+					continue
+				}
+				matched = true
+				err := emit([]string{
+					strconv.FormatInt(e.Time, 10), e.Trace, e.Op, e.Handle,
+					e.Principal, strconv.FormatInt(int64(e.Code), 10),
+					e.Latency.String(),
+				})
+				if err != nil {
+					return err
+				}
+			}
+			if !matched {
+				return mrerr.MrNoMatch
+			}
+			return nil
+		},
+	})
+}

@@ -21,6 +21,7 @@ import (
 	"moira/internal/acl"
 	"moira/internal/db"
 	"moira/internal/mrerr"
+	"moira/internal/stats"
 )
 
 // Kind classifies a query; it decides the lock mode and default checks.
@@ -79,7 +80,19 @@ type Context struct {
 
 	// TriggerDCM, when set by the server, is invoked by the
 	// set_server_host_override query ("and start a new DCM running").
-	TriggerDCM func()
+	// The argument is the trace ID of the originating request, so the
+	// resulting DCM pass can be correlated with it.
+	TriggerDCM func(trace string)
+
+	// TraceID is the trace ID of the request being served, stamped by
+	// the client ("" for v1 clients); journaled with mutations.
+	TraceID string
+
+	// Stats, when set by the server, backs the _stats query handle.
+	Stats *stats.Registry
+
+	// Traces, when set by the server, backs the _trace query handle.
+	Traces func() []stats.TraceEntry
 
 	// cache memoizes successful access checks (section 5.5); see
 	// accesscache.go. nil means caching is off.
@@ -213,7 +226,7 @@ func Execute(cx *Context, name string, args []string, emit EmitFunc) error {
 		return err
 	}
 	if q.Kind != Retrieve {
-		cx.DB.JournalQuery(cx.Principal, cx.App, q.Name, args)
+		cx.DB.JournalQuery(cx.Principal, cx.App, cx.TraceID, q.Name, args)
 	}
 	return nil
 }

@@ -535,7 +535,7 @@ func TestServerQueries(t *testing.T) {
 func TestServerHostOverrideTriggersDCM(t *testing.T) {
 	f := newFixture(t)
 	triggered := false
-	f.priv.TriggerDCM = func() { triggered = true }
+	f.priv.TriggerDCM = func(string) { triggered = true }
 	f.mustRun(t, f.priv, "set_server_host_override", "POP", "E40-PO.MIT.EDU")
 	if !triggered {
 		t.Error("set_server_host_override did not trigger the DCM")

@@ -55,7 +55,7 @@ func ReplayJournal(d *db.DB, r io.Reader, since int64, logf func(string, ...any)
 		// Replay runs privileged: the original execution already passed
 		// its access check, and list memberships may since have changed.
 		// The original principal is preserved for the mod-by audit trail.
-		cx := &Context{DB: d, Principal: rec.Principal, App: rec.App, Privileged: true}
+		cx := &Context{DB: d, Principal: rec.Principal, App: rec.App, TraceID: rec.Trace, Privileged: true}
 		err = Execute(cx, rec.Query, rec.Args, discard)
 		switch {
 		case err == nil:

@@ -95,6 +95,9 @@ func ExecuteRouted(cx *Context, r *Router, handle string, args []string, emit Em
 		Privileged: cx.Privileged,
 		Sessions:   cx.Sessions,
 		TriggerDCM: cx.TriggerDCM,
+		TraceID:    cx.TraceID,
+		Stats:      cx.Stats,
+		Traces:     cx.Traces,
 	}
 	routed.ResolveUser()
 	return Execute(routed, query, args, emit)

@@ -493,7 +493,7 @@ func init() {
 			sh.Mod = cx.modInfo()
 			d.NoteUpdate(db.TServerHosts)
 			if cx.TriggerDCM != nil {
-				cx.TriggerDCM()
+				cx.TriggerDCM(cx.TraceID)
 			}
 			return nil
 		},

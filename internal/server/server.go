@@ -13,6 +13,7 @@ package server
 
 import (
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 	"moira/internal/mrerr"
 	"moira/internal/protocol"
 	"moira/internal/queries"
+	"moira/internal/stats"
 
 	"bufio"
 )
@@ -48,19 +50,28 @@ type Config struct {
 	AthenaregMode  bool
 
 	// TriggerDCM is invoked by an authorized Trigger_DCM request and by
-	// the set_server_host_override query.
-	TriggerDCM func()
+	// the set_server_host_override query; it receives the trace ID of
+	// the originating request so the DCM pass can be correlated.
+	TriggerDCM func(trace string)
 
 	// Router, when set, resolves qualified query handles
 	// ("archive:get_user_by_login") onto attached secondary databases
 	// (section 5.2.D). nil serves only the primary DB.
 	Router *queries.Router
+
+	// Stats receives the server's metrics (request, error, and latency
+	// series per opcode and query handle, plus the DB's per-table op
+	// counts). nil means a fresh private registry, still served by the
+	// `_stats` handle and Registry.
+	Stats *stats.Registry
 }
 
 // Server is a running Moira server.
 type Server struct {
-	cfg Config
-	clk clock.Clock
+	cfg    Config
+	clk    clock.Clock
+	reg    *stats.Registry
+	traces *stats.TraceLog
 
 	ln net.Listener
 	wg sync.WaitGroup
@@ -92,8 +103,28 @@ func New(cfg Config) *Server {
 	if !cfg.AthenaregMode && cfg.BackendStartup > 0 {
 		time.Sleep(cfg.BackendStartup)
 	}
-	return &Server{cfg: cfg, clk: clk, sessions: make(map[int]*session)}
+	reg := cfg.Stats
+	if reg == nil {
+		reg = stats.NewRegistry()
+	}
+	if cfg.DB != nil {
+		cfg.DB.BindStats(reg)
+	}
+	return &Server{
+		cfg:      cfg,
+		clk:      clk,
+		reg:      reg,
+		traces:   stats.NewTraceLog(0),
+		sessions: make(map[int]*session),
+	}
 }
+
+// Registry returns the server's metric registry (the one the `_stats`
+// handle serves).
+func (s *Server) Registry() *stats.Registry { return s.reg }
+
+// Traces returns the recent-request trace ring, oldest first.
+func (s *Server) Traces() []stats.TraceEntry { return s.traces.Entries() }
 
 // Listen binds addr (e.g. "127.0.0.1:0") and starts accepting
 // connections in the background. It returns the bound address.
@@ -176,6 +207,7 @@ func (s *Server) addSession(conn net.Conn) *session {
 	s.nextID++
 	ses := &session{id: s.nextID, addr: host, port: port, connected: s.clk.Now().Unix()}
 	s.sessions[ses.id] = ses
+	s.reg.Gauge("server.sessions.active").Add(1)
 	return ses
 }
 
@@ -183,6 +215,7 @@ func (s *Server) dropSession(ses *session) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.sessions, ses.id)
+	s.reg.Gauge("server.sessions.active").Add(-1)
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -197,14 +230,19 @@ func (s *Server) serveConn(conn net.Conn) {
 		DB:         s.cfg.DB,
 		Sessions:   s.SessionInfos,
 		TriggerDCM: s.cfg.TriggerDCM,
+		Stats:      s.reg,
+		Traces:     s.traces.Entries,
 	}
 	// Section 5.5: access checks commonly run twice (Access request,
 	// then the Query itself); the per-connection cache absorbs the
 	// second one.
 	cx.EnableAccessCache()
 
+	// Replies mirror the version the client spoke (within the supported
+	// range), so a version-1 client keeps getting version-1 replies.
+	repVersion := protocol.Version
 	reply := func(code mrerr.Code, fields []string) error {
-		rep := &protocol.Reply{Version: protocol.Version, Code: int32(code)}
+		rep := &protocol.Reply{Version: repVersion, Code: int32(code)}
 		if fields != nil {
 			rep.Fields = protocol.BytesArgs(fields)
 		}
@@ -219,32 +257,36 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return // EOF or protocol garbage: drop the connection
 		}
-		if req.Version != protocol.Version {
-			if reply(mrerr.MrVersionMismatch, nil) != nil {
-				return
-			}
-			continue
-		}
-		switch req.Op {
-		case protocol.OpNoop:
-			if reply(mrerr.Success, nil) != nil {
-				return
-			}
-
-		case protocol.OpAuth:
-			code := s.authenticate(cx, ses, req)
+		start := s.clk.Now()
+		repVersion = req.Version
+		if req.Version < protocol.MinVersion || req.Version > protocol.Version {
+			repVersion = protocol.Version
+			code := mrerr.MrVersionMismatch
 			if reply(code, nil) != nil {
 				return
 			}
+			s.observe(req, ses, cx.Principal, "", code, s.clk.Now().Sub(start))
+			continue
+		}
+		cx.TraceID = req.TraceID
+
+		var code mrerr.Code
+		handle := ""
+		shutdown := false
+		switch req.Op {
+		case protocol.OpNoop:
+			code = mrerr.Success
+
+		case protocol.OpAuth:
+			code = s.authenticate(cx, ses, req)
 
 		case protocol.OpQuery:
 			if len(req.Args) < 1 {
-				if reply(mrerr.MrArgs, nil) != nil {
-					return
-				}
-				continue
+				code = mrerr.MrArgs
+				break
 			}
 			args := req.StringArgs()
+			handle = handleName(args[0])
 			emitErr := false
 			emitFn := func(tuple []string) error {
 				if e := reply(mrerr.MrMoreData, tuple); e != nil {
@@ -260,56 +302,89 @@ func (s *Server) serveConn(conn net.Conn) {
 				err = queries.Execute(cx, args[0], args[1:], emitFn)
 			}
 			if emitErr {
+				s.observe(req, ses, cx.Principal, handle, mrerr.MrAborted, s.clk.Now().Sub(start))
 				return
 			}
-			if reply(mrerr.CodeOf(err), nil) != nil {
-				return
-			}
+			code = mrerr.CodeOf(err)
 
 		case protocol.OpAccess:
 			if len(req.Args) < 1 {
-				if reply(mrerr.MrArgs, nil) != nil {
-					return
-				}
-				continue
+				code = mrerr.MrArgs
+				break
 			}
 			args := req.StringArgs()
+			handle = handleName(args[0])
 			var err error
 			if s.cfg.Router != nil {
 				err = queries.CheckAccessRouted(cx, s.cfg.Router, args[0], args[1:])
 			} else {
 				err = queries.CheckAccess(cx, args[0], args[1:])
 			}
-			if reply(mrerr.CodeOf(err), nil) != nil {
-				return
-			}
+			code = mrerr.CodeOf(err)
 
 		case protocol.OpTriggerDCM:
 			err := queries.CheckAccess(cx, queries.TriggerDCMCapability, nil)
 			if err == nil && s.cfg.TriggerDCM != nil {
-				s.cfg.TriggerDCM()
+				s.cfg.TriggerDCM(req.TraceID)
 			}
-			if reply(mrerr.CodeOf(err), nil) != nil {
-				return
-			}
+			code = mrerr.CodeOf(err)
 
 		case protocol.OpShutdown:
 			err := queries.CheckAccess(cx, queries.TriggerDCMCapability, nil)
-			if reply(mrerr.CodeOf(err), nil) != nil {
-				return
-			}
-			if err == nil {
-				s.cfg.Logf("shutdown requested by %s", cx.Principal)
-				go s.Close()
-				return
-			}
+			code = mrerr.CodeOf(err)
+			shutdown = err == nil
 
 		default:
-			if reply(mrerr.MrUnknownProc, nil) != nil {
-				return
-			}
+			code = mrerr.MrUnknownProc
+		}
+
+		if reply(code, nil) != nil {
+			return
+		}
+		s.observe(req, ses, cx.Principal, handle, code, s.clk.Now().Sub(start))
+		if shutdown {
+			s.cfg.Logf("shutdown requested by %s", cx.Principal)
+			go s.Close()
+			return
 		}
 	}
+}
+
+// handleName canonicalizes a query handle to its long name for metrics
+// (clients may use short tags); routed or unknown handles pass through.
+func handleName(name string) string {
+	if q, ok := queries.Lookup(name); ok {
+		return q.Name
+	}
+	return name
+}
+
+// observe records one completed request in the metric registry, the
+// trace ring, and (when verbose) the server log.
+func (s *Server) observe(req *protocol.Request, ses *session, principal, handle string, code mrerr.Code, latency time.Duration) {
+	op := protocol.OpName(req.Op)
+	s.reg.Counter("server.requests." + op).Inc()
+	s.reg.Histogram("server.latency." + op).Observe(latency)
+	if handle != "" {
+		s.reg.Counter("server.handle." + handle).Inc()
+	}
+	if code != mrerr.Success {
+		s.reg.Counter("server.errors." + strconv.FormatInt(int64(code), 10)).Inc()
+		if req.Op == protocol.OpAuth {
+			s.reg.Counter("server.auth.failures").Inc()
+		}
+	}
+	s.traces.Add(stats.TraceEntry{
+		Time:      s.clk.Now().Unix(),
+		Trace:     req.TraceID,
+		Op:        op,
+		Handle:    handle,
+		Principal: principal,
+		Code:      int32(code),
+		Latency:   latency,
+	})
+	s.cfg.Logf("request client=%d op=%s handle=%s principal=%s code=%d latency=%v trace=%s",
+		ses.id, op, handle, principal, int32(code), latency, req.TraceID)
 }
 
 // authenticate processes an Authenticate request: one argument, a

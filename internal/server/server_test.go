@@ -2,7 +2,9 @@ package server
 
 import (
 	"bufio"
+	"fmt"
 	"net"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -24,6 +26,17 @@ type world struct {
 	srv      *Server
 	addr     string
 	dcmFired atomic.Int32
+	dcmTrace atomic.Value // string: trace ID of the last TriggerDCM
+
+	logMu sync.Mutex
+	logs  []string
+}
+
+// logLines returns a copy of everything the server logged so far.
+func (w *world) logLines() []string {
+	w.logMu.Lock()
+	defer w.logMu.Unlock()
+	return append([]string(nil), w.logs...)
 }
 
 const serverPrincipal = "moira.server"
@@ -45,7 +58,12 @@ func newWorld(t *testing.T) *world {
 		DB:         d,
 		Verifier:   kerberos.NewVerifier(serverPrincipal, key, clk),
 		Clock:      clk,
-		TriggerDCM: func() { w.dcmFired.Add(1) },
+		TriggerDCM: func(trace string) { w.dcmTrace.Store(trace); w.dcmFired.Add(1) },
+		Logf: func(format string, args ...any) {
+			w.logMu.Lock()
+			w.logs = append(w.logs, fmt.Sprintf(format, args...))
+			w.logMu.Unlock()
+		},
 	})
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {

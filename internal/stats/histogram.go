@@ -1,0 +1,184 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultBuckets are the upper bounds of a duration histogram;
+// observations above the last bound land in an overflow bucket. They
+// were chosen for host-push latencies (the DCM's original histogram)
+// and suit RPC latencies equally well.
+var DefaultBuckets = []time.Duration{
+	time.Millisecond,
+	5 * time.Millisecond,
+	20 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	500 * time.Millisecond,
+	2 * time.Second,
+}
+
+// Histogram accumulates a duration distribution: per-bucket tallies plus
+// count, sum, min, and max. The zero value is a histogram over
+// DefaultBuckets; all methods are safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets []time.Duration
+	counts  []int64
+	n       int64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+// NewHistogram creates a histogram over the given bucket upper bounds
+// (which must be ascending); nil means DefaultBuckets.
+func NewHistogram(buckets []time.Duration) *Histogram {
+	h := &Histogram{}
+	if buckets != nil {
+		h.buckets = buckets
+		h.counts = make([]int64, len(buckets)+1)
+	}
+	return h
+}
+
+// init installs the default buckets on first use of a zero-value
+// histogram; the caller holds h.mu.
+func (h *Histogram) init() {
+	if h.buckets == nil {
+		h.buckets = DefaultBuckets
+		h.counts = make([]int64, len(DefaultBuckets)+1)
+	}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.init()
+	i := 0
+	for i < len(h.buckets) && d > h.buckets[i] {
+		i++
+	}
+	h.counts[i]++
+	h.n++
+	h.sum += d
+	if h.n == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Merge folds a snapshot's observations into h bucket-for-bucket (the
+// bucket bounds must match); it is how a per-pass histogram joins a
+// cumulative series.
+func (h *Histogram) Merge(s HistogramSnapshot) {
+	if s.N == 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.init()
+	for i, c := range s.Counts {
+		if i < len(h.counts) {
+			h.counts[i] += c
+		}
+	}
+	if h.n == 0 || s.Min < h.min {
+		h.min = s.Min
+	}
+	if s.Max > h.max {
+		h.max = s.Max
+	}
+	h.n += s.N
+	h.sum += s.Sum
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.init()
+	s := HistogramSnapshot{
+		Buckets: h.buckets,
+		Counts:  append([]int64(nil), h.counts...),
+		N:       h.n,
+		Sum:     h.sum,
+		Min:     h.min,
+		Max:     h.max,
+	}
+	return s
+}
+
+// String renders the histogram for logs; see HistogramSnapshot.String.
+func (h *Histogram) String() string { return h.Snapshot().String() }
+
+// HistogramSnapshot is a histogram's state at one instant, as plain
+// copyable data.
+type HistogramSnapshot struct {
+	Buckets []time.Duration
+	Counts  []int64
+	N       int64
+	Sum     time.Duration
+	Min     time.Duration
+	Max     time.Duration
+}
+
+// Sub returns the observations recorded between prev and s: counts, N,
+// and Sum are subtracted; Min and Max keep s's cumulative values (the
+// extremes of an interval are not recoverable from two snapshots).
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	d := HistogramSnapshot{
+		Buckets: s.Buckets,
+		Counts:  append([]int64(nil), s.Counts...),
+		N:       s.N - prev.N,
+		Sum:     s.Sum - prev.Sum,
+		Min:     s.Min,
+		Max:     s.Max,
+	}
+	for i := range d.Counts {
+		if i < len(prev.Counts) {
+			d.Counts[i] -= prev.Counts[i]
+		}
+	}
+	return d
+}
+
+// String renders the snapshot on one line: count, min/avg/max, and the
+// per-bucket tallies. The format — including the "no pushes" empty
+// case — is kept byte-identical to the DCM's original LatencyHistogram
+// so cmd/dcm's pass report is stable across the migration.
+func (s HistogramSnapshot) String() string {
+	if s.N == 0 {
+		return "no pushes"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d min=%v avg=%v max=%v [",
+		s.N, s.Min.Round(time.Microsecond),
+		(s.Sum / time.Duration(s.N)).Round(time.Microsecond),
+		s.Max.Round(time.Microsecond))
+	for i, c := range s.Counts {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if i < len(s.Buckets) {
+			fmt.Fprintf(&b, "≤%v:%d", s.Buckets[i], c)
+		} else {
+			fmt.Fprintf(&b, ">%v:%d", s.Buckets[len(s.Buckets)-1], c)
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}

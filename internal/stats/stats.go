@@ -1,0 +1,227 @@
+// Package stats is the shared observability layer: lock-cheap counters,
+// gauges, and duration histograms collected in a named registry, with
+// point-in-time snapshots, snapshot deltas, and a stable text rendering.
+//
+// Every layer of the reproduction publishes into one registry — the
+// Moira server records per-opcode and per-query-handle request counts
+// and latencies, the database its per-table operation counts, the DCM
+// its cumulative pass series, the update agents their transfer tallies —
+// and the `_stats` admin query handle plus cmd/moirastat read it back
+// out. The paper's operational story (one server, one DCM, all of
+// Athena) only works if that one server can be asked what it is doing;
+// this package is that answer for the reproduction.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing count. The zero value is ready
+// to use; all methods are safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous value that can move both ways (active
+// sessions, queue depth). The zero value is ready to use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// GroupFunc supplies a batch of named cumulative values at snapshot
+// time; it is how a subsystem with its own internal tallies (the
+// database's per-table op counts) joins a registry without routing
+// every increment through it. The values it emits are treated as
+// counters for delta purposes. It must not block and must be safe to
+// call from any goroutine.
+type GroupFunc func(emit func(name string, value int64))
+
+// Registry is a named collection of metrics. Metric constructors are
+// get-or-create, so independent call sites may name the same metric;
+// names are conventionally dotted paths ("server.requests.query").
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	groups   []GroupFunc
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c := r.counters[name]; c != nil {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g := r.gauges[name]; g != nil {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named duration histogram with the default
+// buckets, creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h := r.hists[name]; h != nil {
+		return h
+	}
+	h = &Histogram{}
+	r.hists[name] = h
+	return h
+}
+
+// AddGroup registers a snapshot-time value source.
+func (r *Registry) AddGroup(fn GroupFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.groups = append(r.groups, fn)
+}
+
+// Snapshot captures every metric's current value. Group values land in
+// Counters. The snapshot is a plain value: safe to keep, diff, or
+// marshal (expvar publishes it as JSON).
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	r.mu.RLock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	groups := r.groups
+	r.mu.RUnlock()
+	for _, fn := range groups {
+		fn(func(name string, v int64) { s.Counters[name] = v })
+	}
+	return s
+}
+
+// Snapshot is the state of a registry at one instant.
+type Snapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Delta returns the change from prev to s: counters and histograms are
+// subtracted (a counter absent from prev counts from zero), gauges keep
+// their current value (an instantaneous reading has no meaningful
+// difference).
+func (s *Snapshot) Delta(prev *Snapshot) *Snapshot {
+	d := &Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for name, v := range s.Counters {
+		d.Counters[name] = v - prev.Counters[name]
+	}
+	for name, v := range s.Gauges {
+		d.Gauges[name] = v
+	}
+	for name, h := range s.Histograms {
+		d.Histograms[name] = h.Sub(prev.Histograms[name])
+	}
+	return d
+}
+
+// Line is one rendered metric: its kind ("counter", "gauge",
+// "histogram"), name, and value rendered as a string.
+type Line struct {
+	Kind, Name, Value string
+}
+
+// Lines renders the snapshot as one Line per metric, sorted by name.
+// This is the `_stats` query handle's tuple set.
+func (s *Snapshot) Lines() []Line {
+	out := make([]Line, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for name, v := range s.Counters {
+		out = append(out, Line{"counter", name, strconv.FormatInt(v, 10)})
+	}
+	for name, v := range s.Gauges {
+		out = append(out, Line{"gauge", name, strconv.FormatInt(v, 10)})
+	}
+	for name, h := range s.Histograms {
+		out = append(out, Line{"histogram", name, h.String()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Render writes the snapshot as "kind name value" lines sorted by name.
+func (s *Snapshot) Render(w io.Writer) error {
+	for _, ln := range s.Lines() {
+		if _, err := fmt.Fprintf(w, "%s %s %s\n", ln.Kind, ln.Name, ln.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"sync"
+	"time"
+)
+
+// TraceEntry is one recorded request: who asked for what, with which
+// trace ID, and how it went. The Moira server records one per RPC; the
+// update agents record one per install. The `_trace` admin handle and
+// cmd/moirastat read them back.
+type TraceEntry struct {
+	Time      int64  // unix seconds
+	Trace     string // trace ID stamped by the client ("" if none)
+	Op        string // protocol opcode name, or "install" on an agent
+	Handle    string // query handle (or install target)
+	Principal string // authenticated principal ("" if anonymous)
+	Code      int32  // final mrerr code
+	Latency   time.Duration
+}
+
+// DefaultTraceLogSize bounds the per-server request trace ring.
+const DefaultTraceLogSize = 256
+
+// TraceLog is a fixed-size ring of recent TraceEntries, safe for
+// concurrent use.
+type TraceLog struct {
+	mu   sync.Mutex
+	buf  []TraceEntry
+	next int
+	full bool
+}
+
+// NewTraceLog creates a ring holding the last n entries; n <= 0 means
+// DefaultTraceLogSize.
+func NewTraceLog(n int) *TraceLog {
+	if n <= 0 {
+		n = DefaultTraceLogSize
+	}
+	return &TraceLog{buf: make([]TraceEntry, n)}
+}
+
+// Add records one entry, evicting the oldest when full.
+func (l *TraceLog) Add(e TraceEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buf[l.next] = e
+	l.next++
+	if l.next == len(l.buf) {
+		l.next = 0
+		l.full = true
+	}
+}
+
+// Entries returns the recorded entries, oldest first.
+func (l *TraceLog) Entries() []TraceEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.full {
+		return append([]TraceEntry(nil), l.buf[:l.next]...)
+	}
+	out := make([]TraceEntry, 0, len(l.buf))
+	out = append(out, l.buf[l.next:]...)
+	out = append(out, l.buf[:l.next]...)
+	return out
+}

@@ -16,6 +16,7 @@ import (
 	"moira/internal/kerberos"
 	"moira/internal/mrerr"
 	"moira/internal/protocol"
+	"moira/internal/stats"
 )
 
 // Protocol opcodes for the update protocol (distinct from the Moira
@@ -68,6 +69,9 @@ type Agent struct {
 
 	ln net.Listener
 	wg sync.WaitGroup
+
+	reg    *stats.Registry
+	traces *stats.TraceLog
 }
 
 // NewAgent creates an update agent for a host rooted at dir.
@@ -78,8 +82,22 @@ func NewAgent(host, dir string, verifier *kerberos.Verifier) *Agent {
 		BusyWait:    5 * time.Second,
 		commands:    make(map[string]CommandFunc),
 		sem:         make(chan struct{}, 1),
+		reg:         stats.NewRegistry(),
+		traces:      stats.NewTraceLog(0),
 	}
 }
+
+// BindStats redirects the agent's update.* counters (xfers, installs,
+// bytes) into reg, typically a system-wide registry shared with the
+// Moira server. Call before Listen.
+func (a *Agent) BindStats(reg *stats.Registry) { a.reg = reg }
+
+// Registry returns the registry the agent counts into.
+func (a *Agent) Registry() *stats.Registry { return a.reg }
+
+// Traces returns the agent's recent installs, oldest first, each tagged
+// with the trace ID the DCM's push carried.
+func (a *Agent) Traces() []stats.TraceEntry { return a.traces.Entries() }
 
 // RegisterCommand installs a handler for "exec name ...".
 func (a *Agent) RegisterCommand(name string, fn CommandFunc) {
@@ -210,6 +228,7 @@ type updateSession struct {
 	target string
 	script []string
 	staged bool
+	trace  string // trace ID carried by the push's requests
 }
 
 // SetCrashPoint installs (or clears, with nil) a crash-injection hook:
@@ -289,8 +308,10 @@ func (a *Agent) serve(conn net.Conn) {
 	bw := bufio.NewWriter(conn)
 	ses := &updateSession{agent: a, authed: a.Verifier == nil}
 
+	// Replies mirror the version the pusher spoke, like the Moira server.
+	repVersion := protocol.Version
 	reply := func(code mrerr.Code) error {
-		if err := protocol.WriteReply(bw, &protocol.Reply{Version: protocol.Version, Code: int32(code)}); err != nil {
+		if err := protocol.WriteReply(bw, &protocol.Reply{Version: repVersion, Code: int32(code)}); err != nil {
 			return err
 		}
 		return bw.Flush()
@@ -303,6 +324,17 @@ func (a *Agent) serve(conn net.Conn) {
 		req, err := protocol.ReadRequest(br)
 		if err != nil {
 			return
+		}
+		repVersion = req.Version
+		if req.Version < protocol.MinVersion || req.Version > protocol.Version {
+			repVersion = protocol.Version
+			if reply(mrerr.MrVersionMismatch) != nil {
+				return
+			}
+			continue
+		}
+		if req.TraceID != "" {
+			ses.trace = req.TraceID
 		}
 		var code mrerr.Code
 		switch req.Op {
@@ -322,10 +354,23 @@ func (a *Agent) serve(conn net.Conn) {
 			if a.crash(conn, "before-execute") {
 				return
 			}
+			start := time.Now()
 			code = ses.execute(conn)
 			if code == mrerr.Code(-1) {
 				return // crashed mid-execution
 			}
+			if code == mrerr.Success {
+				a.reg.Counter("update.installs").Inc()
+			}
+			a.traces.Add(stats.TraceEntry{
+				Time:      time.Now().Unix(),
+				Trace:     ses.trace,
+				Op:        "install",
+				Handle:    ses.target,
+				Principal: a.Host,
+				Code:      int32(code),
+				Latency:   time.Since(start),
+			})
 		default:
 			code = mrerr.MrUnknownProc
 		}
@@ -401,6 +446,8 @@ func (s *updateSession) xfer(req *protocol.Request) mrerr.Code {
 	}
 	s.target = target
 	s.staged = true
+	s.agent.reg.Counter("update.xfers").Inc()
+	s.agent.reg.Counter("update.bytes").Add(int64(len(data)))
 	return mrerr.Success
 }
 

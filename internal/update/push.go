@@ -35,6 +35,10 @@ type Push struct {
 	// longer than a reasonable amount of time, the connection is closed,
 	// and the installation assumed to have failed."
 	Timeout time.Duration
+	// Trace is the trace ID of the request that triggered this update
+	// ("" for scheduled passes); stamped on every protocol request so
+	// the agent can record it against the install.
+	Trace string
 }
 
 // Run performs the update: transfer phase (auth, data file with
@@ -58,7 +62,7 @@ func (p *Push) Run() error {
 	bw := bufio.NewWriter(conn)
 
 	call := func(op uint16, args [][]byte) error {
-		if err := protocol.WriteRequest(bw, &protocol.Request{Version: protocol.Version, Op: op, Args: args}); err != nil {
+		if err := protocol.WriteRequest(bw, &protocol.Request{Version: protocol.Version, Op: op, TraceID: p.Trace, Args: args}); err != nil {
 			return ioErr(err)
 		}
 		if err := bw.Flush(); err != nil {
