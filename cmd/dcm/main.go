@@ -34,6 +34,7 @@ func main() {
 		parSvc   = flag.Int("parallel-services", 0, "concurrent service cycles (0 = default, 1 = sequential)")
 		parHosts = flag.Int("parallel-hosts", 0, "concurrent host pushes per service (0 = default, 1 = sequential)")
 		retries  = flag.Int("retries", 0, "in-pass soft-failure retries per host (0 = default, negative = none)")
+		pushTO   = flag.Duration("push-timeout", 0, "per-host update deadline; a slower host counts as a soft failure (0 = default 30s)")
 		latency  = flag.Duration("host-latency", 0, "inject this much real service delay into every update agent (demo of the parallel push)")
 		verbose  = flag.Bool("v", false, "log every DCM action")
 		debug    = flag.String("debug-addr", "", "serve expvar and pprof on this HTTP address")
@@ -48,6 +49,7 @@ func main() {
 		DCMParallelServices: *parSvc,
 		DCMParallelHosts:    *parHosts,
 		DCMMaxRetries:       *retries,
+		DCMPushTimeout:      *pushTO,
 	}
 	if *verbose {
 		opts.Logf = log.Printf

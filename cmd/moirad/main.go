@@ -45,6 +45,11 @@ func main() {
 		dcmEvery = flag.Duration("dcm-interval", 15*time.Minute, "wall-clock DCM pass interval in --demo mode")
 		verbose  = flag.Bool("v", false, "log requests")
 		debug    = flag.String("debug-addr", "", "serve expvar and pprof on this HTTP address")
+
+		idleTimeout  = flag.Duration("idle-timeout", 5*time.Minute, "drop a client connection idle for this long (0 = never)")
+		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-reply write deadline (0 = none)")
+		maxConns     = flag.Int("max-conns", 0, "shed connections beyond this many with MR_BUSY (0 = unlimited)")
+		drainTimeout = flag.Duration("drain-timeout", server.DefaultDrainTimeout, "how long shutdown waits for in-flight requests before force-closing")
 	)
 	flag.Parse()
 
@@ -53,8 +58,11 @@ func main() {
 		logf = log.Printf
 	}
 
+	lifecycle := lifecycleKnobs{
+		idle: *idleTimeout, write: *writeTimeout, maxConns: *maxConns, drain: *drainTimeout,
+	}
 	if *demo {
-		runDemo(*users, *dcmEvery, *debug, logf)
+		runDemo(*users, *dcmEvery, *debug, lifecycle, logf)
 		return
 	}
 
@@ -78,7 +86,14 @@ func main() {
 		d.SetJournal(f)
 	}
 
-	srv := server.New(server.Config{DB: d, Logf: logf})
+	srv := server.New(server.Config{
+		DB:           d,
+		Logf:         logf,
+		IdleTimeout:  lifecycle.idle,
+		WriteTimeout: lifecycle.write,
+		MaxConns:     lifecycle.maxConns,
+		DrainTimeout: lifecycle.drain,
+	})
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatalf("moirad: listen: %v", err)
@@ -89,9 +104,23 @@ func main() {
 	srv.Close()
 }
 
-func runDemo(users int, dcmEvery time.Duration, debug string, logf func(string, ...any)) {
+// lifecycleKnobs carries the connection-lifecycle flags to the server.
+type lifecycleKnobs struct {
+	idle, write, drain time.Duration
+	maxConns           int
+}
+
+func runDemo(users int, dcmEvery time.Duration, debug string, lifecycle lifecycleKnobs, logf func(string, ...any)) {
 	cfg := workload.Scaled(users)
-	sys, err := core.Boot(core.Options{Workload: &cfg, EnableReg: true, Logf: logf})
+	sys, err := core.Boot(core.Options{
+		Workload:           &cfg,
+		EnableReg:          true,
+		Logf:               logf,
+		ServerIdleTimeout:  lifecycle.idle,
+		ServerWriteTimeout: lifecycle.write,
+		ServerMaxConns:     lifecycle.maxConns,
+		ServerDrainTimeout: lifecycle.drain,
+	})
 	if err != nil {
 		log.Fatalf("moirad: boot: %v", err)
 	}

@@ -11,6 +11,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"moira/internal/update"
 )
@@ -20,6 +21,11 @@ func main() {
 		addr = flag.String("addr", "127.0.0.1:7762", "TCP address to listen on")
 		host = flag.String("host", "HOST.MIT.EDU", "canonical host name")
 		root = flag.String("root", "", "host file tree root (default: a temp dir)")
+
+		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "per-frame read deadline; a stalled DCM connection is dropped after this (0 = never)")
+		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-reply write deadline (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", update.DefaultDrainTimeout, "how long shutdown waits for an in-flight update before force-closing")
+		busyWait     = flag.Duration("busy-wait", 5*time.Second, "how long a second concurrent update waits for the host lock before UPD_BUSY")
 	)
 	flag.Parse()
 
@@ -34,6 +40,10 @@ func main() {
 	}
 
 	a := update.NewAgent(*host, dir, nil)
+	a.ReadTimeout = *readTimeout
+	a.WriteTimeout = *writeTimeout
+	a.DrainTimeout = *drainTimeout
+	a.BusyWait = *busyWait
 	// A standalone agent still supports the generic instructions
 	// (extract/install/revert/signal); exec commands log and succeed so
 	// scripts written for the simulated services can be replayed.

@@ -41,15 +41,24 @@ type Conn interface {
 
 // Client is an RPC connection to a Moira server.
 type Client struct {
-	mu      sync.Mutex
-	conn    net.Conn
-	br      *bufio.Reader
-	bw      *bufio.Writer
-	clk     clock.Clock
-	version uint16 // negotiated protocol version
-	trace   string // pinned trace ID; "" mints a fresh one per request
-	last    string // trace ID stamped on the most recent request
+	mu          sync.Mutex
+	conn        net.Conn
+	br          *bufio.Reader
+	bw          *bufio.Writer
+	clk         clock.Clock
+	version     uint16        // negotiated protocol version
+	trace       string        // pinned trace ID; "" mints a fresh one per request
+	last        string        // trace ID stamped on the most recent request
+	addr        string        // dialed address, for transparent reconnect
+	dialTimeout time.Duration // timeout used for Dial and reconnects
+	callTimeout time.Duration // per-round-trip I/O deadline; 0 = none
+	authed      bool          // an Auth succeeded on this connection
+	reconnects  int           // transparent reconnects performed
 }
+
+// ReconnectDelay is the backoff slept (through the client's clock)
+// before the one transparent reconnect attempt.
+const ReconnectDelay = 100 * time.Millisecond
 
 // Dial implements mr_connect: it connects to the Moira server at addr.
 // It does not authenticate — for simple read-only queries the overhead
@@ -71,12 +80,32 @@ func DialTimeout(addr string, timeout time.Duration, clk clock.Clock) (*Client, 
 		return nil, mrerr.MrConnRefused
 	}
 	return &Client{
-		conn:    conn,
-		br:      bufio.NewReader(conn),
-		bw:      bufio.NewWriter(conn),
-		clk:     clk,
-		version: protocol.Version,
+		conn:        conn,
+		br:          bufio.NewReader(conn),
+		bw:          bufio.NewWriter(conn),
+		clk:         clk,
+		version:     protocol.Version,
+		addr:        addr,
+		dialTimeout: timeout,
 	}, nil
+}
+
+// SetCallTimeout bounds each subsequent round trip: the whole
+// request/reply exchange (including tuple streaming) must finish within
+// d or the call fails with MR_CONN_TIMEOUT and the connection is
+// dropped. Zero restores the default of no per-call limit.
+func (c *Client) SetCallTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.callTimeout = d
+}
+
+// Reconnects reports how many transparent reconnects this client has
+// performed on behalf of idempotent calls.
+func (c *Client) Reconnects() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reconnects
 }
 
 // SetTraceID pins a trace ID for all subsequent requests on this
@@ -102,23 +131,65 @@ func (c *Client) LastTraceID() string {
 // and, if the server answers MR_VERSION_MISMATCH, falls back to
 // protocol.MinVersion and resends once — the version-2 frame layout is
 // parseable by version-1 servers, so the connection survives the probe.
-func (c *Client) roundTrip(req *protocol.Request, cb TupleFunc) error {
+//
+// idempotent marks calls that are safe to repeat: when such a call dies
+// on a torn connection before any tuple was delivered, the client
+// redials once (after ReconnectDelay, through its clock) and resends
+// transparently. Authenticated connections never reconnect — a redial
+// would silently drop the principal.
+func (c *Client) roundTrip(req *protocol.Request, cb TupleFunc, idempotent bool) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	delivered := 0
+	wcb := cb
+	if cb != nil {
+		wcb = func(tuple []string) error {
+			delivered++
+			return cb(tuple)
+		}
+	}
+	retried := false
 	for {
-		err := c.sendRecv(req, cb)
+		err := c.sendRecv(req, wcb)
 		if err == mrerr.MrVersionMismatch && c.conn != nil && c.version > protocol.MinVersion {
 			c.version = protocol.MinVersion
 			continue
 		}
+		if err == mrerr.MrAborted && idempotent && !retried && !c.authed &&
+			c.addr != "" && delivered == 0 {
+			retried = true
+			if c.reconnectLocked() == nil {
+				continue
+			}
+		}
 		return err
 	}
+}
+
+// reconnectLocked redials the original address after a short backoff;
+// callers hold c.mu. The negotiated protocol version is kept: both
+// versions interoperate, and a still-downgraded client just re-probes on
+// the next mismatch.
+func (c *Client) reconnectLocked() error {
+	clock.Sleep(c.clk, ReconnectDelay)
+	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.br = bufio.NewReader(conn)
+	c.bw = bufio.NewWriter(conn)
+	c.reconnects++
+	return nil
 }
 
 // sendRecv does one request/reply exchange; callers hold c.mu.
 func (c *Client) sendRecv(req *protocol.Request, cb TupleFunc) error {
 	if c.conn == nil {
 		return mrerr.MrNotConnected
+	}
+	if c.callTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.callTimeout))
 	}
 	req.Version = c.version
 	if c.version >= 2 {
@@ -133,18 +204,18 @@ func (c *Client) sendRecv(req *protocol.Request, cb TupleFunc) error {
 	}
 	if err := protocol.WriteRequest(c.bw, req); err != nil {
 		c.abort()
-		return mrerr.MrAborted
+		return ioFail(err)
 	}
 	if err := c.bw.Flush(); err != nil {
 		c.abort()
-		return mrerr.MrAborted
+		return ioFail(err)
 	}
 	var cbErr error
 	for {
 		rep, err := protocol.ReadReply(c.br)
 		if err != nil {
 			c.abort()
-			return mrerr.MrAborted
+			return ioFail(err)
 		}
 		if rep.Version < protocol.MinVersion || rep.Version > protocol.Version {
 			c.abort()
@@ -175,9 +246,20 @@ func (c *Client) abort() {
 	}
 }
 
+// ioFail classifies a transport failure: a deadline hit (the per-call
+// timeout) is MR_CONN_TIMEOUT, anything else MR_ABORTED. Timeouts are
+// never transparently retried — the server may still be processing the
+// request.
+func ioFail(err error) error {
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		return mrerr.MrConnTimeout
+	}
+	return mrerr.MrAborted
+}
+
 // Noop implements mr_noop.
 func (c *Client) Noop() error {
-	return c.roundTrip(&protocol.Request{Op: protocol.OpNoop}, nil)
+	return c.roundTrip(&protocol.Request{Op: protocol.OpNoop}, nil, true)
 }
 
 // Auth implements mr_auth: it presents Kerberos credentials, naming the
@@ -186,19 +268,32 @@ func (c *Client) Noop() error {
 func (c *Client) Auth(creds *kerberos.Credentials, clientName string) error {
 	payload := kerberos.BuildAuth(creds, clientName, c.clk)
 	req := &protocol.Request{Op: protocol.OpAuth, Args: [][]byte{payload.Marshal()}}
-	return c.roundTrip(req, nil)
+	err := c.roundTrip(req, nil, false)
+	if err == nil {
+		c.mu.Lock()
+		c.authed = true
+		c.mu.Unlock()
+	}
+	return err
 }
 
-// Access implements mr_access.
+// Access implements mr_access. An access check never mutates, so it is
+// retried transparently across a torn connection.
 func (c *Client) Access(name string, args []string) error {
 	all := append([]string{name}, args...)
-	return c.roundTrip(&protocol.Request{Op: protocol.OpAccess, Args: protocol.BytesArgs(all)}, nil)
+	return c.roundTrip(&protocol.Request{Op: protocol.OpAccess, Args: protocol.BytesArgs(all)}, nil, true)
 }
 
-// Query implements mr_query.
+// Query implements mr_query. Retrieval handles are idempotent and get
+// the transparent reconnect; anything that mutates (or that the client
+// cannot classify) fails fast on a torn connection.
 func (c *Client) Query(name string, args []string, cb TupleFunc) error {
 	all := append([]string{name}, args...)
-	return c.roundTrip(&protocol.Request{Op: protocol.OpQuery, Args: protocol.BytesArgs(all)}, cb)
+	idem := false
+	if q, ok := queries.Lookup(name); ok && q.Kind == queries.Retrieve {
+		idem = true
+	}
+	return c.roundTrip(&protocol.Request{Op: protocol.OpQuery, Args: protocol.BytesArgs(all)}, cb, idem)
 }
 
 // QueryAll runs a query and gathers all tuples.
@@ -215,12 +310,12 @@ func (c *Client) QueryAll(name string, args ...string) ([][]string, error) {
 
 // TriggerDCM sends the Trigger_DCM request.
 func (c *Client) TriggerDCM() error {
-	return c.roundTrip(&protocol.Request{Op: protocol.OpTriggerDCM}, nil)
+	return c.roundTrip(&protocol.Request{Op: protocol.OpTriggerDCM}, nil, false)
 }
 
 // Shutdown asks the server to exit (access-checked server side).
 func (c *Client) Shutdown() error {
-	return c.roundTrip(&protocol.Request{Op: protocol.OpShutdown}, nil)
+	return c.roundTrip(&protocol.Request{Op: protocol.OpShutdown}, nil, false)
 }
 
 // Disconnect implements mr_disconnect.

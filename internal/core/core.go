@@ -67,6 +67,20 @@ type Options struct {
 	DCMParallelServices int
 	DCMParallelHosts    int
 	DCMMaxRetries       int
+
+	// DCMPushTimeout bounds each host update; zero keeps the 30s
+	// default.
+	DCMPushTimeout time.Duration
+
+	// Connection-lifecycle knobs for the Moira server (see
+	// server.Config): per-request read and write deadlines, the
+	// accept-time connection cap, and the Close drain bound. Zero values
+	// keep the server defaults (no deadlines, unlimited connections,
+	// server.DefaultDrainTimeout).
+	ServerIdleTimeout  time.Duration
+	ServerWriteTimeout time.Duration
+	ServerMaxConns     int
+	ServerDrainTimeout time.Duration
 }
 
 // System is a running Moira installation.
@@ -163,11 +177,15 @@ func Boot(opts Options) (*System, error) {
 		return nil, err
 	}
 	s.Server = server.New(server.Config{
-		DB:       s.DB,
-		Verifier: kerberos.NewVerifier(MoiraServicePrincipal, srvKey, clk),
-		Clock:    clk,
-		Logf:     logf,
-		Stats:    s.Registry,
+		DB:           s.DB,
+		Verifier:     kerberos.NewVerifier(MoiraServicePrincipal, srvKey, clk),
+		Clock:        clk,
+		Logf:         logf,
+		Stats:        s.Registry,
+		IdleTimeout:  opts.ServerIdleTimeout,
+		WriteTimeout: opts.ServerWriteTimeout,
+		MaxConns:     opts.ServerMaxConns,
+		DrainTimeout: opts.ServerDrainTimeout,
 		TriggerDCM: func(trace string) {
 			if s.DCM != nil {
 				go func() {
@@ -187,6 +205,10 @@ func Boot(opts Options) (*System, error) {
 
 	// The DCM, authenticated to the update agents with a fresh ticket
 	// per pass (a cron-driven DCM never holds tickets across runs).
+	pushTimeout := opts.DCMPushTimeout
+	if pushTimeout <= 0 {
+		pushTimeout = 30 * time.Second
+	}
 	s.DCM = dcm.New(dcm.Config{
 		DB:    s.DB,
 		Clock: clk,
@@ -207,7 +229,7 @@ func Boot(opts Options) (*System, error) {
 		},
 		Logf:                logf,
 		Stats:               s.Registry,
-		PushTimeout:         30 * time.Second,
+		PushTimeout:         pushTimeout,
 		MaxParallelServices: opts.DCMParallelServices,
 		MaxParallelHosts:    opts.DCMParallelHosts,
 		MaxRetries:          opts.DCMMaxRetries,

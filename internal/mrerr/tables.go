@@ -49,6 +49,7 @@ var mrTable = Register("mr", []string{
 	/* 39 */ "Data control manager is disabled", // MR_DCM_DISABLED
 	/* 40 */ "Query not permitted over unauthenticated connection", // (reserved)
 	/* 41 */ "The server is shutting down", // MR_DOWN
+	/* 42 */ "Server has too many connections; try again later", // MR_BUSY
 })
 
 // Server and query error codes, exported as Go constants. The names keep
@@ -94,6 +95,7 @@ var (
 	MrUnknownProc     = mrTable.Code(38)
 	MrDCMDisabled     = mrTable.Code(39)
 	MrDown            = mrTable.Code(41)
+	MrBusy            = mrTable.Code(42) // MR_BUSY
 )
 
 // mrcTable holds the client library / connection errors.

@@ -182,6 +182,12 @@ func register(q *Query) {
 	ordered = append(ordered, q)
 }
 
+// Register installs an additional query handle. The paper's set is
+// registered at init; extensions (and tests that need a handle with
+// specific behaviour, like the server's panic-recovery test) add theirs
+// here. It panics on a duplicate name, which is a build-time bug.
+func Register(q *Query) { register(q) }
+
 // Lookup finds a query by long or short name.
 func Lookup(name string) (*Query, bool) {
 	q, ok := byName[name]

@@ -13,6 +13,7 @@ package server
 
 import (
 	"net"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"time"
@@ -64,7 +65,33 @@ type Config struct {
 	// counts). nil means a fresh private registry, still served by the
 	// `_stats` handle and Registry.
 	Stats *stats.Registry
+
+	// IdleTimeout bounds how long a connection may sit between requests
+	// (and how long a single request frame may trickle in). A connection
+	// that exceeds it is dropped and counted in server.conns.idleclosed.
+	// Zero means no limit, the historical behaviour.
+	IdleTimeout time.Duration
+
+	// WriteTimeout bounds each reply write, so one client that stops
+	// reading cannot park a server goroutine forever. Zero means no
+	// limit.
+	WriteTimeout time.Duration
+
+	// MaxConns caps the number of concurrently served connections.
+	// Excess accepts are shed at accept time: the server sends a final
+	// MR_BUSY reply, closes the connection, and bumps server.conns.shed.
+	// Zero means unlimited.
+	MaxConns int
+
+	// DrainTimeout bounds how long Close waits for in-flight requests
+	// before force-closing the stragglers. Zero means
+	// DefaultDrainTimeout.
+	DrainTimeout time.Duration
 }
+
+// DefaultDrainTimeout is how long Close waits for in-flight requests
+// when Config.DrainTimeout is zero.
+const DefaultDrainTimeout = 5 * time.Second
 
 // Server is a running Moira server.
 type Server struct {
@@ -73,13 +100,35 @@ type Server struct {
 	reg    *stats.Registry
 	traces *stats.TraceLog
 
-	ln net.Listener
-	wg sync.WaitGroup
+	ln      net.Listener
+	wg      sync.WaitGroup
+	closing chan struct{} // closed when Close begins; serveConn drains
 
 	mu       sync.Mutex
 	sessions map[int]*session
+	conns    map[net.Conn]*connState
 	nextID   int
 	closed   bool
+}
+
+// connState tracks whether a live connection is currently processing a
+// request. Close closes idle connections immediately (they are parked in
+// a blocking read) and lets in-flight ones finish, up to DrainTimeout.
+type connState struct {
+	mu       sync.Mutex
+	inflight bool
+}
+
+func (st *connState) set(v bool) {
+	st.mu.Lock()
+	st.inflight = v
+	st.mu.Unlock()
+}
+
+func (st *connState) busy() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.inflight
 }
 
 type session struct {
@@ -115,7 +164,9 @@ func New(cfg Config) *Server {
 		clk:      clk,
 		reg:      reg,
 		traces:   stats.NewTraceLog(0),
+		closing:  make(chan struct{}),
 		sessions: make(map[int]*session),
+		conns:    make(map[net.Conn]*connState),
 	}
 }
 
@@ -147,16 +198,59 @@ func (s *Server) Addr() net.Addr {
 	return s.ln.Addr()
 }
 
-// Close stops accepting and waits for in-flight connections to finish.
+// Close stops accepting and drains: idle connections (parked in a
+// blocking read between requests) are closed immediately, in-flight
+// requests get up to DrainTimeout to finish, and any stragglers are
+// force-closed after that. Historically this waited unconditionally, so
+// a single idle client hung shutdown forever.
 func (s *Server) Close() error {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
 	s.closed = true
-	s.mu.Unlock()
+	close(s.closing)
 	var err error
 	if s.ln != nil {
 		err = s.ln.Close()
 	}
-	s.wg.Wait()
+	for conn, st := range s.conns {
+		if !st.busy() {
+			conn.Close()
+		}
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	drain := s.cfg.DrainTimeout
+	if drain <= 0 {
+		drain = DefaultDrainTimeout
+	}
+	select {
+	case <-done:
+		return err
+	case <-time.After(drain):
+	}
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+		s.reg.Counter("server.conns.forceclosed").Inc()
+	}
+	s.mu.Unlock()
+	// Closed connections unblock their goroutines' I/O; give the
+	// stragglers one more drain interval, then return regardless — a
+	// handler wedged off-network cannot hold Close hostage.
+	select {
+	case <-done:
+	case <-time.After(drain):
+		s.cfg.Logf("close: connections still draining after force-close")
+	}
 	return err
 }
 
@@ -171,11 +265,78 @@ func (s *Server) acceptLoop() {
 			// The predecessor forked an INGRES backend per client.
 			time.Sleep(s.cfg.BackendStartup)
 		}
+		st := s.track(conn)
+		if st == nil {
+			continue // shed (or shutting down)
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.serveConn(conn)
+			s.serveConn(conn, st)
 		}()
+	}
+}
+
+// track registers an accepted connection, enforcing MaxConns. It returns
+// nil after shedding (or during shutdown), in which case the connection
+// has been dealt with.
+func (s *Server) track(conn net.Conn) *connState {
+	s.mu.Lock()
+	if s.closed || (s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns) {
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			conn.Close()
+			return nil
+		}
+		s.reg.Counter("server.conns.shed").Inc()
+		s.cfg.Logf("shedding connection from %s: %d connections at MaxConns=%d",
+			conn.RemoteAddr(), s.cfg.MaxConns, s.cfg.MaxConns)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.shed(conn)
+		}()
+		return nil
+	}
+	st := &connState{}
+	s.conns[conn] = st
+	s.mu.Unlock()
+	return st
+}
+
+// shed tells an excess client the server is at capacity: a best-effort
+// final MR_BUSY reply, then close. The pre-sent reply answers the
+// client's first round trip. Closing right after the write would risk a
+// reset that discards the buffered reply before the client reads it, so
+// shed briefly waits for that first request (bounded by a deadline)
+// before hanging up.
+func (s *Server) shed(conn net.Conn) {
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(time.Second))
+	bw := bufio.NewWriter(conn)
+	if protocol.WriteReply(bw, &protocol.Reply{Version: protocol.Version, Code: int32(mrerr.MrBusy)}) != nil {
+		return
+	}
+	if bw.Flush() != nil {
+		return
+	}
+	protocol.ReadRequest(bufio.NewReader(conn))
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// draining reports whether Close has begun.
+func (s *Server) draining() bool {
+	select {
+	case <-s.closing:
+		return true
+	default:
+		return false
 	}
 }
 
@@ -218,8 +379,9 @@ func (s *Server) dropSession(ses *session) {
 	s.reg.Gauge("server.sessions.active").Add(-1)
 }
 
-func (s *Server) serveConn(conn net.Conn) {
+func (s *Server) serveConn(conn net.Conn, st *connState) {
 	defer conn.Close()
+	defer s.untrack(conn)
 	ses := s.addSession(conn)
 	defer s.dropSession(ses)
 
@@ -246,6 +408,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		if fields != nil {
 			rep.Fields = protocol.BytesArgs(fields)
 		}
+		if d := s.cfg.WriteTimeout; d > 0 {
+			conn.SetWriteDeadline(time.Now().Add(d))
+		}
 		if err := protocol.WriteReply(bw, rep); err != nil {
 			return err
 		}
@@ -253,10 +418,22 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 
 	for {
+		if s.draining() {
+			return
+		}
+		st.set(false)
+		if d := s.cfg.IdleTimeout; d > 0 {
+			conn.SetReadDeadline(time.Now().Add(d))
+		}
 		req, err := protocol.ReadRequest(br)
 		if err != nil {
-			return // EOF or protocol garbage: drop the connection
+			if ne, ok := err.(net.Error); ok && ne.Timeout() && !s.draining() {
+				s.reg.Counter("server.conns.idleclosed").Inc()
+				s.cfg.Logf("closing idle connection client=%d after %v", ses.id, s.cfg.IdleTimeout)
+			}
+			return // EOF, timeout, or protocol garbage: drop the connection
 		}
+		st.set(true)
 		start := s.clk.Now()
 		repVersion = req.Version
 		if req.Version < protocol.MinVersion || req.Version > protocol.Version {
@@ -270,74 +447,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		cx.TraceID = req.TraceID
 
-		var code mrerr.Code
-		handle := ""
-		shutdown := false
-		switch req.Op {
-		case protocol.OpNoop:
-			code = mrerr.Success
-
-		case protocol.OpAuth:
-			code = s.authenticate(cx, ses, req)
-
-		case protocol.OpQuery:
-			if len(req.Args) < 1 {
-				code = mrerr.MrArgs
-				break
-			}
-			args := req.StringArgs()
-			handle = handleName(args[0])
-			emitErr := false
-			emitFn := func(tuple []string) error {
-				if e := reply(mrerr.MrMoreData, tuple); e != nil {
-					emitErr = true
-					return e
-				}
-				return nil
-			}
-			var err error
-			if s.cfg.Router != nil {
-				err = queries.ExecuteRouted(cx, s.cfg.Router, args[0], args[1:], emitFn)
-			} else {
-				err = queries.Execute(cx, args[0], args[1:], emitFn)
-			}
-			if emitErr {
-				s.observe(req, ses, cx.Principal, handle, mrerr.MrAborted, s.clk.Now().Sub(start))
-				return
-			}
-			code = mrerr.CodeOf(err)
-
-		case protocol.OpAccess:
-			if len(req.Args) < 1 {
-				code = mrerr.MrArgs
-				break
-			}
-			args := req.StringArgs()
-			handle = handleName(args[0])
-			var err error
-			if s.cfg.Router != nil {
-				err = queries.CheckAccessRouted(cx, s.cfg.Router, args[0], args[1:])
-			} else {
-				err = queries.CheckAccess(cx, args[0], args[1:])
-			}
-			code = mrerr.CodeOf(err)
-
-		case protocol.OpTriggerDCM:
-			err := queries.CheckAccess(cx, queries.TriggerDCMCapability, nil)
-			if err == nil && s.cfg.TriggerDCM != nil {
-				s.cfg.TriggerDCM(req.TraceID)
-			}
-			code = mrerr.CodeOf(err)
-
-		case protocol.OpShutdown:
-			err := queries.CheckAccess(cx, queries.TriggerDCMCapability, nil)
-			code = mrerr.CodeOf(err)
-			shutdown = err == nil
-
-		default:
-			code = mrerr.MrUnknownProc
+		code, handle, shutdown, fatal := s.dispatch(cx, ses, req, reply)
+		if fatal {
+			s.observe(req, ses, cx.Principal, handle, code, s.clk.Now().Sub(start))
+			return
 		}
-
 		if reply(code, nil) != nil {
 			return
 		}
@@ -348,6 +462,88 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// dispatch executes one request. A panicking query handler must not take
+// the daemon down — the paper's whole premise is one long-lived process
+// in front of the database — so dispatch recovers, answers MR_INTERNAL,
+// and counts server.panics.recovered. fatal means the connection is dead
+// (the client stopped reading mid-stream) and must be dropped without a
+// final reply.
+func (s *Server) dispatch(cx *queries.Context, ses *session, req *protocol.Request, reply func(mrerr.Code, []string) error) (code mrerr.Code, handle string, shutdown, fatal bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.reg.Counter("server.panics.recovered").Inc()
+			s.cfg.Logf("panic serving client=%d op=%s handle=%s: %v\n%s",
+				ses.id, protocol.OpName(req.Op), handle, r, debug.Stack())
+			code, shutdown, fatal = mrerr.MrInternal, false, false
+		}
+	}()
+
+	switch req.Op {
+	case protocol.OpNoop:
+		code = mrerr.Success
+
+	case protocol.OpAuth:
+		code = s.authenticate(cx, ses, req)
+
+	case protocol.OpQuery:
+		if len(req.Args) < 1 {
+			code = mrerr.MrArgs
+			break
+		}
+		args := req.StringArgs()
+		handle = handleName(args[0])
+		emitErr := false
+		emitFn := func(tuple []string) error {
+			if e := reply(mrerr.MrMoreData, tuple); e != nil {
+				emitErr = true
+				return e
+			}
+			return nil
+		}
+		var err error
+		if s.cfg.Router != nil {
+			err = queries.ExecuteRouted(cx, s.cfg.Router, args[0], args[1:], emitFn)
+		} else {
+			err = queries.Execute(cx, args[0], args[1:], emitFn)
+		}
+		if emitErr {
+			return mrerr.MrAborted, handle, false, true
+		}
+		code = mrerr.CodeOf(err)
+
+	case protocol.OpAccess:
+		if len(req.Args) < 1 {
+			code = mrerr.MrArgs
+			break
+		}
+		args := req.StringArgs()
+		handle = handleName(args[0])
+		var err error
+		if s.cfg.Router != nil {
+			err = queries.CheckAccessRouted(cx, s.cfg.Router, args[0], args[1:])
+		} else {
+			err = queries.CheckAccess(cx, args[0], args[1:])
+		}
+		code = mrerr.CodeOf(err)
+
+	case protocol.OpTriggerDCM:
+		err := queries.CheckAccess(cx, queries.TriggerDCMCapability, nil)
+		if err == nil && s.cfg.TriggerDCM != nil {
+			s.cfg.TriggerDCM(req.TraceID)
+		}
+		code = mrerr.CodeOf(err)
+
+	case protocol.OpShutdown:
+		err := queries.CheckAccess(cx, queries.TriggerDCMCapability, nil)
+		code = mrerr.CodeOf(err)
+		shutdown = err == nil
+
+	default:
+		code = mrerr.MrUnknownProc
+	}
+	return code, handle, shutdown, false
 }
 
 // handleName canonicalizes a query handle to its long name for metrics

@@ -104,7 +104,7 @@ func TestGroupValuesJoinSnapshots(t *testing.T) {
 	calls := 0
 	r.AddGroup(func(emit func(string, int64)) {
 		calls++
-		emit("db.users.appends", int64(10 * calls))
+		emit("db.users.appends", int64(10*calls))
 	})
 	first := r.Snapshot()
 	second := r.Snapshot()

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"moira/internal/clock"
 	"moira/internal/kerberos"
 	"moira/internal/mrerr"
 	"moira/internal/protocol"
@@ -52,12 +53,25 @@ type Agent struct {
 
 	// ReadTimeout bounds each frame read, so "network lossage and
 	// machine crashes" cannot hang the agent (section 5.9, timeouts on
-	// both sides).
+	// both sides). Zero means no limit.
 	ReadTimeout time.Duration
+
+	// WriteTimeout bounds each reply write. Zero means no limit.
+	WriteTimeout time.Duration
+
+	// DrainTimeout bounds how long Close waits for an in-flight update
+	// before force-closing its connection; zero means
+	// DefaultDrainTimeout.
+	DrainTimeout time.Duration
 
 	// BusyWait bounds how long an incoming update waits for a previous
 	// update on this host to finish before being rejected with UpdBusy.
 	BusyWait time.Duration
+
+	// Clock drives the simulated service latency (SetLatency); nil means
+	// the system clock. Fault-injection tests install a clock.Fake so
+	// injected slowness elapses in virtual time.
+	Clock clock.Clock
 
 	// Signals records pids signalled by the "signal" instruction.
 	mu         sync.Mutex
@@ -66,12 +80,39 @@ type Agent struct {
 	crashPoint func(stage string) bool
 	latency    time.Duration
 	sem        chan struct{}
+	conns      map[net.Conn]*connState
+	closed     bool
 
-	ln net.Listener
-	wg sync.WaitGroup
+	ln      net.Listener
+	wg      sync.WaitGroup
+	closing chan struct{}
 
 	reg    *stats.Registry
 	traces *stats.TraceLog
+}
+
+// DefaultDrainTimeout is how long Close waits for an in-flight update
+// when DrainTimeout is zero.
+const DefaultDrainTimeout = 5 * time.Second
+
+// connState tracks whether a connection is mid-request, so Close can
+// distinguish idle connections (closed at once) from in-flight updates
+// (drained up to DrainTimeout).
+type connState struct {
+	mu       sync.Mutex
+	inflight bool
+}
+
+func (st *connState) set(v bool) {
+	st.mu.Lock()
+	st.inflight = v
+	st.mu.Unlock()
+}
+
+func (st *connState) busy() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.inflight
 }
 
 // NewAgent creates an update agent for a host rooted at dir.
@@ -82,9 +123,19 @@ func NewAgent(host, dir string, verifier *kerberos.Verifier) *Agent {
 		BusyWait:    5 * time.Second,
 		commands:    make(map[string]CommandFunc),
 		sem:         make(chan struct{}, 1),
+		conns:       make(map[net.Conn]*connState),
+		closing:     make(chan struct{}),
 		reg:         stats.NewRegistry(),
 		traces:      stats.NewTraceLog(0),
 	}
+}
+
+// clk returns the agent's clock, defaulting to the system clock.
+func (a *Agent) clk() clock.Clock {
+	if a.Clock != nil {
+		return a.Clock
+	}
+	return clock.System
 }
 
 // BindStats redirects the agent's update.* counters (xfers, installs,
@@ -143,14 +194,49 @@ func (a *Agent) Listen(addr string) (net.Addr, error) {
 			if err != nil {
 				return
 			}
+			st := a.track(conn)
+			if st == nil {
+				conn.Close() // shutting down
+				continue
+			}
 			a.wg.Add(1)
 			go func() {
 				defer a.wg.Done()
-				a.serve(conn)
+				a.serve(conn, st)
 			}()
 		}
 	}()
 	return ln.Addr(), nil
+}
+
+func (a *Agent) track(conn net.Conn) *connState {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return nil
+	}
+	st := &connState{}
+	a.conns[conn] = st
+	return st
+}
+
+func (a *Agent) untrack(conn net.Conn) {
+	a.mu.Lock()
+	delete(a.conns, conn)
+	a.mu.Unlock()
+}
+
+// draining reports whether Close has begun.
+func (a *Agent) draining() bool {
+	if a.closing == nil {
+		return false
+	}
+	select {
+	case <-a.closing:
+		return true
+	default:
+		return false
+	}
 }
 
 // Addr returns the bound address.
@@ -161,13 +247,58 @@ func (a *Agent) Addr() net.Addr {
 	return a.ln.Addr()
 }
 
-// Close stops the agent.
+// Close stops the agent: it stops accepting, closes idle connections at
+// once, waits up to DrainTimeout for an in-flight update to finish, then
+// force-closes whatever is left. Before conn tracking existed, a
+// connected DCM sitting between frames (with ReadTimeout 0) hung Close
+// forever.
 func (a *Agent) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		a.wg.Wait()
+		return nil
+	}
+	a.closed = true
+	if a.closing != nil {
+		close(a.closing)
+	}
 	var err error
 	if a.ln != nil {
 		err = a.ln.Close()
 	}
-	a.wg.Wait()
+	for conn, st := range a.conns {
+		if !st.busy() {
+			conn.Close()
+		}
+	}
+	a.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		a.wg.Wait()
+		close(done)
+	}()
+	drain := a.DrainTimeout
+	if drain <= 0 {
+		drain = DefaultDrainTimeout
+	}
+	select {
+	case <-done:
+		return err
+	case <-time.After(drain):
+	}
+	a.mu.Lock()
+	for conn := range a.conns {
+		conn.Close()
+		a.reg.Counter("update.conns.forceclosed").Inc()
+	}
+	a.mu.Unlock()
+	select {
+	case <-done:
+	case <-time.After(drain):
+		// An instruction wedged off-network cannot hold Close hostage.
+	}
 	return err
 }
 
@@ -242,10 +373,12 @@ func (a *Agent) SetCrashPoint(fn func(stage string) bool) {
 }
 
 // SetLatency sets a simulated service delay: each incoming update
-// connection sleeps this long (of real time) after acquiring the host
-// lock, modeling the slow or distant servers whose updates section 5.7
-// forks children for so they cannot stall a whole distribution pass.
-// Benchmarks and the parallel-DCM stress tests use it.
+// connection sleeps this long after acquiring the host lock, modeling
+// the slow or distant servers whose updates section 5.7 forks children
+// for so they cannot stall a whole distribution pass. The wait goes
+// through the agent's clock — real by default (benchmarks measure
+// wall-clock parallelism), virtual when a test installs a clock.Fake,
+// so fault-injection runs need not sleep for real.
 func (a *Agent) SetLatency(d time.Duration) {
 	a.mu.Lock()
 	a.latency = d
@@ -287,10 +420,15 @@ func (a *Agent) unlock() {
 	<-a.sem
 }
 
-func (a *Agent) serve(conn net.Conn) {
+func (a *Agent) serve(conn net.Conn, st *connState) {
 	defer conn.Close()
+	defer a.untrack(conn)
 	if !a.lock() {
+		a.reg.Counter("update.conns.busy").Inc()
 		bw := bufio.NewWriter(conn)
+		if a.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(a.WriteTimeout))
+		}
 		protocol.WriteReply(bw, &protocol.Reply{Version: protocol.Version, Code: int32(mrerr.UpdBusy)})
 		bw.Flush()
 		return
@@ -301,7 +439,7 @@ func (a *Agent) serve(conn net.Conn) {
 	lat := a.latency
 	a.mu.Unlock()
 	if lat > 0 {
-		time.Sleep(lat)
+		clock.Sleep(a.clk(), lat)
 	}
 
 	br := bufio.NewReader(conn)
@@ -311,6 +449,9 @@ func (a *Agent) serve(conn net.Conn) {
 	// Replies mirror the version the pusher spoke, like the Moira server.
 	repVersion := protocol.Version
 	reply := func(code mrerr.Code) error {
+		if a.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(a.WriteTimeout))
+		}
 		if err := protocol.WriteReply(bw, &protocol.Reply{Version: repVersion, Code: int32(code)}); err != nil {
 			return err
 		}
@@ -318,6 +459,10 @@ func (a *Agent) serve(conn net.Conn) {
 	}
 
 	for {
+		if a.draining() {
+			return
+		}
+		st.set(false)
 		if a.ReadTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(a.ReadTimeout))
 		}
@@ -325,6 +470,7 @@ func (a *Agent) serve(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		st.set(true)
 		repVersion = req.Version
 		if req.Version < protocol.MinVersion || req.Version > protocol.Version {
 			repVersion = protocol.Version
@@ -336,48 +482,66 @@ func (a *Agent) serve(conn net.Conn) {
 		if req.TraceID != "" {
 			ses.trace = req.TraceID
 		}
-		var code mrerr.Code
-		switch req.Op {
-		case OpUAuth:
-			code = ses.auth(req)
-		case OpUXfer:
-			if a.crash(conn, "before-xfer") {
-				return
-			}
-			code = ses.xfer(req)
-			if a.crash(conn, "after-xfer") {
-				return
-			}
-		case OpUScript:
-			code = ses.loadScript(req)
-		case OpUExecute:
-			if a.crash(conn, "before-execute") {
-				return
-			}
-			start := time.Now()
-			code = ses.execute(conn)
-			if code == mrerr.Code(-1) {
-				return // crashed mid-execution
-			}
-			if code == mrerr.Success {
-				a.reg.Counter("update.installs").Inc()
-			}
-			a.traces.Add(stats.TraceEntry{
-				Time:      time.Now().Unix(),
-				Trace:     ses.trace,
-				Op:        "install",
-				Handle:    ses.target,
-				Principal: a.Host,
-				Code:      int32(code),
-				Latency:   time.Since(start),
-			})
-		default:
-			code = mrerr.MrUnknownProc
+		code, fatal := a.dispatch(conn, ses, req)
+		if fatal {
+			return // crash injection dropped the connection
 		}
 		if reply(code) != nil {
 			return
 		}
 	}
+}
+
+// dispatch executes one update-protocol request. Like the Moira server,
+// the agent recovers from a panicking instruction or command handler —
+// one bad installation script must not kill the daemon that every other
+// service's updates flow through — replying MR_INTERNAL and counting
+// update.panics.recovered.
+func (a *Agent) dispatch(conn net.Conn, ses *updateSession, req *protocol.Request) (code mrerr.Code, fatal bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			a.reg.Counter("update.panics.recovered").Inc()
+			code, fatal = mrerr.MrInternal, false
+		}
+	}()
+	switch req.Op {
+	case OpUAuth:
+		code = ses.auth(req)
+	case OpUXfer:
+		if a.crash(conn, "before-xfer") {
+			return code, true
+		}
+		code = ses.xfer(req)
+		if a.crash(conn, "after-xfer") {
+			return code, true
+		}
+	case OpUScript:
+		code = ses.loadScript(req)
+	case OpUExecute:
+		if a.crash(conn, "before-execute") {
+			return code, true
+		}
+		start := time.Now()
+		code = ses.execute(conn)
+		if code == mrerr.Code(-1) {
+			return code, true // crashed mid-execution
+		}
+		if code == mrerr.Success {
+			a.reg.Counter("update.installs").Inc()
+		}
+		a.traces.Add(stats.TraceEntry{
+			Time:      time.Now().Unix(),
+			Trace:     ses.trace,
+			Op:        "install",
+			Handle:    ses.target,
+			Principal: a.Host,
+			Code:      int32(code),
+			Latency:   time.Since(start),
+		})
+	default:
+		code = mrerr.MrUnknownProc
+	}
+	return code, false
 }
 
 func (s *updateSession) auth(req *protocol.Request) mrerr.Code {
