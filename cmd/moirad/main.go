@@ -37,14 +37,20 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", fmt.Sprintf("127.0.0.1:%d", 7760), "TCP address to listen on")
-		demo     = flag.Bool("demo", false, "boot the full assembled system with a synthetic workload")
-		users    = flag.Int("users", 500, "synthetic population size for --demo")
-		restore  = flag.String("restore", "", "restore the database from an mrbackup directory")
-		journal  = flag.String("journal", "", "append the change journal to this file")
-		dcmEvery = flag.Duration("dcm-interval", 15*time.Minute, "wall-clock DCM pass interval in --demo mode")
-		verbose  = flag.Bool("v", false, "log requests")
-		debug    = flag.String("debug-addr", "", "serve expvar and pprof on this HTTP address")
+		addr    = flag.String("addr", fmt.Sprintf("127.0.0.1:%d", 7760), "TCP address to listen on")
+		demo    = flag.Bool("demo", false, "boot the full assembled system with a synthetic workload")
+		users   = flag.Int("users", 500, "synthetic population size for --demo")
+		restore = flag.String("restore", "", "restore the database from an mrbackup directory")
+		journal = flag.String("journal", "", "append the change journal to this file")
+		dataDir = flag.String("data-dir", "", "durable data directory: recover on boot, journal with CRCs, checkpoint on an interval")
+
+		journalSync  = flag.String("journal-sync", "commit", "journal sync policy with -data-dir: commit, interval, or none")
+		syncInterval = flag.Duration("journal-sync-interval", time.Second, "group-commit period for -journal-sync=interval")
+		ckptInterval = flag.Duration("checkpoint-interval", time.Hour, "background checkpoint period with -data-dir (0 = never)")
+		ckptKeep     = flag.Int("checkpoint-keep", db.DefaultCheckpointKeep, "snapshot generations to retain with -data-dir")
+		dcmEvery     = flag.Duration("dcm-interval", 15*time.Minute, "wall-clock DCM pass interval in --demo mode")
+		verbose      = flag.Bool("v", false, "log requests")
+		debug        = flag.String("debug-addr", "", "serve expvar and pprof on this HTTP address")
 
 		idleTimeout  = flag.Duration("idle-timeout", 5*time.Minute, "drop a client connection idle for this long (0 = never)")
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-reply write deadline (0 = none)")
@@ -68,13 +74,43 @@ func main() {
 
 	var d *db.DB
 	var err error
-	if *restore != "" {
+	reg := stats.NewRegistry()
+	switch {
+	case *dataDir != "":
+		if *restore != "" || *journal != "" {
+			log.Fatalf("moirad: -data-dir manages its own snapshots and journal; it cannot be combined with -restore or -journal")
+		}
+		policy, err := db.ParseSyncPolicy(*journalSync)
+		if err != nil {
+			log.Fatalf("moirad: %v", err)
+		}
+		du, err := core.OpenDurable(core.DurabilityOptions{
+			DataDir:            *dataDir,
+			Logf:               log.Printf,
+			Stats:              reg,
+			SyncPolicy:         policy,
+			SyncInterval:       *syncInterval,
+			CheckpointInterval: *ckptInterval,
+			CheckpointKeep:     *ckptKeep,
+		})
+		if err != nil {
+			log.Fatalf("moirad: recovery: %v", err)
+		}
+		if n := len(du.Info.Fsck); n > 0 {
+			for _, inc := range du.Info.Fsck {
+				log.Printf("moirad: fsck: %s", inc)
+			}
+			log.Fatalf("moirad: recovered database has %d integrity violations; refusing to serve it (run mrfsck)", n)
+		}
+		defer du.Close()
+		d = du.DB
+	case *restore != "":
 		d, err = db.Restore(*restore, clock.System)
 		if err != nil {
 			log.Fatalf("moirad: restore: %v", err)
 		}
 		log.Printf("moirad: restored database from %s", *restore)
-	} else {
+	default:
 		d = queries.NewBootstrappedDB(clock.System)
 	}
 	if *journal != "" {
@@ -88,6 +124,7 @@ func main() {
 
 	srv := server.New(server.Config{
 		DB:           d,
+		Stats:        reg,
 		Logf:         logf,
 		IdleTimeout:  lifecycle.idle,
 		WriteTimeout: lifecycle.write,

@@ -1,6 +1,10 @@
 // Command mrbackup dumps a Moira database to the colon-escaped ASCII
-// backup format (section 5.2.2), one file per relation. Like the
-// original's nightly.sh, it can rotate the last three backups.
+// backup format (section 5.2.2), one file per relation plus a MANIFEST
+// recording each table's SHA-256 and row count. The dump is atomic:
+// it is staged in a temporary directory and renamed into place only
+// once complete, so a crash mid-backup never damages the previous
+// backup. Like the original's nightly.sh, it can rotate the last three
+// backups.
 //
 // Standing in for a live database connection, --users populates a
 // synthetic Athena workload first, which makes the tool double as the
@@ -58,4 +62,7 @@ func main() {
 		total += fi.Size()
 	}
 	fmt.Printf("%-14s %10d  (%.1f MB)\n", "TOTAL", total, float64(total)/1e6)
+	if m, err := db.ReadManifest(*out); err == nil {
+		fmt.Printf("manifest: %d tables checksummed (SHA-256)\n", len(m.Tables))
+	}
 }

@@ -1,9 +1,13 @@
 // Command mrrestore rebuilds a Moira database from an mrbackup directory
-// and verifies its integrity, printing per-relation row counts. Like the
-// original it demands explicit confirmation before acting (--yes skips
-// the prompt for scripted use). With --journal it rolls the restored
-// database forward by replaying the server's change journal, closing
-// the "roughly a day's transactions" gap of section 5.2.2.
+// and verifies its integrity, printing per-relation row counts. When the
+// backup carries a MANIFEST (every backup written by this code does),
+// each table file's SHA-256 and row count are verified before anything
+// loads — a flipped byte refuses to restore. Like the original it
+// demands explicit confirmation before acting (--yes skips the prompt
+// for scripted use). With --journal it rolls the restored database
+// forward by replaying the server's change journal, closing the
+// "roughly a day's transactions" gap of section 5.2.2; a torn final
+// journal line (crash signature) is tolerated and reported.
 package main
 
 import (
@@ -52,8 +56,8 @@ func main() {
 		if err != nil {
 			log.Fatalf("mrrestore: replay: %v", err)
 		}
-		fmt.Printf("journal replay: %d applied, %d already present, %d failed\n",
-			stats.Applied, stats.Skipped, stats.Failed)
+		fmt.Printf("journal replay: %d applied, %d already present, %d failed, %d torn\n",
+			stats.Applied, stats.Skipped, stats.Failed, stats.Torn)
 	}
 
 	d.LockShared()

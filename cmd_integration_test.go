@@ -32,7 +32,7 @@ func toolPath(t *testing.T, name string) string {
 		} else {
 			builtTools.dir = dir
 			cmd := exec.Command("go", "build", "-o", dir,
-				"./cmd/moirad", "./cmd/mrtest", "./cmd/mrbackup", "./cmd/mrrestore", "./cmd/tableg", "./cmd/dcm", "./cmd/moirastat")
+				"./cmd/moirad", "./cmd/mrtest", "./cmd/mrbackup", "./cmd/mrrestore", "./cmd/mrfsck", "./cmd/tableg", "./cmd/dcm", "./cmd/moirastat")
 			if out, err := cmd.CombinedOutput(); err != nil {
 				builtTools.err = fmt.Errorf("go build: %v\n%s", err, out)
 			}
@@ -133,6 +133,57 @@ func TestBinariesBackupRestoreCycle(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "restore complete") {
 		t.Errorf("mrrestore output:\n%s", firstN(string(out), 400))
+	}
+
+	// The backup carries a manifest, so mrfsck can verify and check it.
+	out, err = exec.Command(toolPath(t, "mrfsck"), "-in", dir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("mrfsck: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "mrfsck: clean") {
+		t.Errorf("mrfsck output:\n%s", firstN(string(out), 400))
+	}
+}
+
+// TestBinaryMoiradDataDir boots moirad on a durable data directory,
+// kills it, and checks mrfsck recovers the same directory cleanly.
+func TestBinaryMoiradDataDir(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary build in -short mode")
+	}
+	dataDir := filepath.Join(t.TempDir(), "moira-data")
+	addr := freePort(t)
+	daemon := exec.Command(toolPath(t, "moirad"), "-addr", addr, "-data-dir", dataDir)
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		daemon.Process.Kill()
+		daemon.Wait()
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		c, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			c.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("moirad -data-dir never came up")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// Kill without warning: the data directory must recover.
+	daemon.Process.Kill()
+	daemon.Wait()
+
+	out, err := exec.Command(toolPath(t, "mrfsck"), "-data-dir", dataDir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("mrfsck -data-dir: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "mrfsck: clean") || !strings.Contains(s, "recovery:") {
+		t.Errorf("mrfsck -data-dir output:\n%s", firstN(s, 400))
 	}
 }
 

@@ -1,0 +1,162 @@
+package core
+
+// Durability: the assembled crash-safety pipeline. OpenDurable runs
+// boot-time recovery on a data directory, attaches a durable journal
+// writer to the recovered database, and (optionally) starts the
+// background checkpointer that snapshots on an interval, rotating the
+// journal segment at each checkpoint and pruning segments no retained
+// snapshot needs. moirad's -data-dir flag is this function.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"moira/internal/clock"
+	"moira/internal/db"
+	"moira/internal/queries"
+	"moira/internal/stats"
+)
+
+// DurabilityOptions configures OpenDurable.
+type DurabilityOptions struct {
+	// DataDir is the root of the durable layout (journal/ and
+	// snapshots/); created on first boot.
+	DataDir string
+	// Clock drives timestamps; nil means the system clock.
+	Clock clock.Clock
+	// Logf receives recovery and checkpoint log lines; nil discards.
+	Logf func(format string, args ...any)
+	// Stats, when non-nil, receives the journal.* series and the
+	// database's op counters.
+	Stats *stats.Registry
+	// SyncPolicy is the journal sync policy (default: every commit).
+	SyncPolicy db.SyncPolicy
+	// SyncInterval is the group-commit period for db.SyncInterval.
+	SyncInterval time.Duration
+	// CheckpointInterval starts the background checkpointer; zero
+	// leaves checkpointing to explicit Checkpoint calls.
+	CheckpointInterval time.Duration
+	// CheckpointKeep is the snapshot retention depth (default 3).
+	CheckpointKeep int
+}
+
+// Durability is an open durable database: the recovered DB, its
+// journal writer, its checkpoint store, and the background
+// checkpointer's lifecycle.
+type Durability struct {
+	DB      *db.DB
+	Journal *db.JournalWriter
+	Store   *db.CheckpointStore
+	// Info reports what boot-time recovery found.
+	Info *queries.RecoverInfo
+
+	logf func(string, ...any)
+
+	mu   sync.Mutex // serializes Checkpoint calls
+	stop chan struct{}
+	done chan struct{}
+}
+
+// OpenDurable recovers the database from opts.DataDir, opens a fresh
+// journal segment on it, and starts the checkpointer if an interval is
+// set. The returned Durability must be Closed on shutdown for a final
+// sync. Recovery failure (journal corruption, unreadable layout) is an
+// error; integrity findings are reported in Info.Fsck for the caller
+// to judge.
+func OpenDurable(opts DurabilityOptions) (*Durability, error) {
+	if opts.DataDir == "" {
+		return nil, fmt.Errorf("core: durability needs a data directory")
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	d, info, err := queries.Recover(opts.DataDir, opts.Clock, logf)
+	if err != nil {
+		return nil, err
+	}
+	logf("core: recovery: %s", info.Summary())
+
+	dd, err := db.OpenDataDir(opts.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	jw, err := db.OpenJournalWriter(dd.JournalDir(), db.JournalOptions{
+		Policy:   opts.SyncPolicy,
+		Interval: opts.SyncInterval,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.SetJournal(jw)
+
+	store, err := db.NewCheckpointStore(dd.SnapshotsDir(), opts.CheckpointKeep)
+	if err != nil {
+		jw.Close()
+		return nil, err
+	}
+
+	du := &Durability{DB: d, Journal: jw, Store: store, Info: info, logf: logf}
+	if opts.Stats != nil {
+		jw.BindStats(opts.Stats)
+		d.BindStats(opts.Stats)
+	}
+	if opts.CheckpointInterval > 0 {
+		du.stop = make(chan struct{})
+		du.done = make(chan struct{})
+		go du.checkpointLoop(opts.CheckpointInterval)
+	}
+	return du, nil
+}
+
+// checkpointLoop is the background checkpointer.
+func (du *Durability) checkpointLoop(interval time.Duration) {
+	defer close(du.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-du.stop:
+			return
+		case <-t.C:
+			if gen, err := du.Checkpoint(); err != nil {
+				du.logf("core: checkpoint: %v", err)
+			} else {
+				du.logf("core: checkpoint: snapshot generation %d", gen)
+			}
+		}
+	}
+}
+
+// Checkpoint takes an atomic snapshot now: rotate the journal to a
+// fresh segment, dump every table plus manifest, rename the snapshot
+// into its generation, prune snapshots beyond the keep depth and the
+// journal segments none of the retained snapshots need.
+func (du *Durability) Checkpoint() (int64, error) {
+	du.mu.Lock()
+	defer du.mu.Unlock()
+	gen, err := du.Store.Take(du.DB, du.Journal.Rotate)
+	if err != nil {
+		return 0, err
+	}
+	if oldest := du.Store.OldestKeptJournalSeq(); oldest > 0 {
+		if n, err := db.PruneSegments(du.Journal.Dir(), oldest); err != nil {
+			du.logf("core: checkpoint: pruning journal segments: %v", err)
+		} else if n > 0 {
+			du.logf("core: checkpoint: pruned %d journal segments below %d", n, oldest)
+		}
+	}
+	return gen, nil
+}
+
+// Close stops the checkpointer and syncs and closes the journal.
+func (du *Durability) Close() error {
+	if du.stop != nil {
+		close(du.stop)
+		<-du.done
+		du.stop = nil
+	}
+	return du.Journal.Close()
+}

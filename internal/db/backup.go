@@ -2,6 +2,7 @@ package db
 
 import (
 	"bufio"
+	"crypto/sha256"
 	"fmt"
 	"io"
 	"os"
@@ -649,36 +650,103 @@ func (d *DB) LoadTable(name string, r io.Reader) error {
 	return fmt.Errorf("db: unknown table %q", name)
 }
 
-// Backup dumps every relation to files named <dir>/<table>, creating dir
-// if necessary. This is the mrbackup operation. It takes the shared lock
-// itself; callers must not hold it.
-func (d *DB) Backup(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	d.LockShared()
-	defer d.UnlockShared()
-	for _, t := range tableIOs {
+// dumpSnapshotLocked writes every relation plus a MANIFEST into dir
+// (which must already exist), fsyncing each file. Caller holds at least
+// the shared lock. gen and journalSeq are recorded in the manifest.
+func (d *DB) dumpSnapshotLocked(dir string, gen, journalSeq int64) error {
+	m := &Manifest{Generation: gen, Time: d.Now(), JournalSeq: journalSeq}
+	for i, t := range tableIOs {
+		if i == len(tableIOs)/2 {
+			if err := fireCrash("checkpoint.midtables"); err != nil {
+				return err
+			}
+		}
 		f, err := os.Create(filepath.Join(dir, t.name))
 		if err != nil {
 			return err
 		}
-		if err := d.DumpTable(t.name, f); err != nil {
-			f.Close()
+		hw := &hashingWriter{w: f, h: sha256.New()}
+		err = d.DumpTable(t.name, hw)
+		if serr := f.Sync(); err == nil {
+			err = serr
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
 			return err
 		}
-		if err := f.Close(); err != nil {
+		m.Tables = append(m.Tables, ManifestTable{Name: t.name, SHA: hw.sum(), Rows: hw.rows})
+	}
+	return WriteManifest(dir, m)
+}
+
+// Backup dumps every relation to files named <dir>/<table> plus a
+// MANIFEST recording each table's SHA-256 and row count. This is the
+// mrbackup operation. It takes the shared lock itself; callers must not
+// hold it.
+//
+// The dump is atomic: it is written to a sibling temporary directory
+// and swapped into place only once complete, so a crash mid-backup
+// never damages the previous backup — the failure mode that motivates
+// the whole 5.2.2 recovery story.
+func (d *DB) Backup(dir string) error {
+	tmp := dir + ".tmp"
+	if err := os.RemoveAll(tmp); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return err
+	}
+	d.LockShared()
+	err := d.dumpSnapshotLocked(tmp, 0, 0)
+	d.UnlockShared()
+	if err != nil {
+		os.RemoveAll(tmp)
+		return err
+	}
+	if err := fireCrash("checkpoint.prerename"); err != nil {
+		return err
+	}
+	// Swap: the previous backup stays intact (as dir.prev) until the new
+	// one is fully in place.
+	prev := dir + ".prev"
+	if err := os.RemoveAll(prev); err != nil {
+		return err
+	}
+	if _, serr := os.Stat(dir); serr == nil {
+		if err := os.Rename(dir, prev); err != nil {
 			return err
 		}
 	}
-	return nil
+	if err := os.Rename(tmp, dir); err != nil {
+		return err
+	}
+	if err := syncDir(filepath.Dir(dir)); err != nil {
+		return err
+	}
+	return os.RemoveAll(prev)
 }
 
 // Restore builds a fresh database from a backup directory. This is the
 // mrrestore operation: the original insists on an empty target database,
 // so Restore always returns a new DB rather than loading into an existing
 // one. clk may be nil for the system clock.
+//
+// When the directory carries a MANIFEST (every snapshot written by this
+// code does), Restore verifies every table file's SHA-256 and row count
+// against it first and refuses a snapshot that fails — a backup with a
+// single flipped byte must not silently become the authoritative
+// database. Manifest-less directories (hand-edited dumps, pre-manifest
+// backups) load unverified as before.
 func Restore(dir string, clk clock.Clock) (*DB, error) {
+	if m, err := ReadManifest(dir); err == nil {
+		if err := m.Verify(dir); err != nil {
+			return nil, err
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
 	d := New(clk)
 	// Clear the seeded values so the dump's values relation governs.
 	d.values = make(map[string]int)

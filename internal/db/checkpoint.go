@@ -1,0 +1,225 @@
+package db
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The durable data directory. moirad's -data-dir points here:
+//
+//	<root>/journal/journal.00000001      append-only record segments
+//	<root>/snapshots/gen-00000001/       atomic checkpoints (tables + MANIFEST)
+//
+// A checkpoint rotates the journal to a fresh segment while holding the
+// database lock, so each snapshot's manifest names the first segment
+// whose records postdate it; recovery restores the newest manifest-valid
+// snapshot and replays the segments from that number on.
+
+// DataDir is the root of a durable database directory.
+type DataDir struct {
+	Root string
+}
+
+// OpenDataDir establishes (creating if needed) the data directory
+// layout and sweeps crash debris: half-written snapshot directories
+// that were never renamed into their generation name.
+func OpenDataDir(root string) (*DataDir, error) {
+	dd := &DataDir{Root: root}
+	for _, dir := range []string{dd.JournalDir(), dd.SnapshotsDir()} {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	ents, err := os.ReadDir(dd.SnapshotsDir())
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") || strings.HasSuffix(e.Name(), ".prev") {
+			if err := os.RemoveAll(filepath.Join(dd.SnapshotsDir(), e.Name())); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return dd, nil
+}
+
+// JournalDir returns the journal segment directory.
+func (dd *DataDir) JournalDir() string { return filepath.Join(dd.Root, "journal") }
+
+// SnapshotsDir returns the checkpoint directory.
+func (dd *DataDir) SnapshotsDir() string { return filepath.Join(dd.Root, "snapshots") }
+
+// Segments lists the journal segments in ascending sequence order.
+func (dd *DataDir) Segments() ([]Segment, error) {
+	return ListSegments(dd.JournalDir())
+}
+
+// genPrefix names snapshot generation directories: gen-<8-digit number>.
+const genPrefix = "gen-"
+
+// genName returns the directory name of generation gen.
+func genName(gen int64) string { return fmt.Sprintf("%s%08d", genPrefix, gen) }
+
+// parseGenName extracts the generation number from a snapshot directory
+// name, or ok=false.
+func parseGenName(name string) (int64, bool) {
+	if !strings.HasPrefix(name, genPrefix) {
+		return 0, false
+	}
+	gen, err := strconv.ParseInt(name[len(genPrefix):], 10, 64)
+	if err != nil || gen <= 0 {
+		return 0, false
+	}
+	return gen, true
+}
+
+// CheckpointStore manages the generation-numbered snapshots under one
+// snapshots directory, keeping the newest Keep generations.
+type CheckpointStore struct {
+	dir  string
+	keep int
+}
+
+// DefaultCheckpointKeep is how many snapshot generations a store
+// retains unless told otherwise.
+const DefaultCheckpointKeep = 3
+
+// NewCheckpointStore opens (creating if needed) a snapshot store in
+// dir. keep <= 0 means DefaultCheckpointKeep.
+func NewCheckpointStore(dir string, keep int) (*CheckpointStore, error) {
+	if keep <= 0 {
+		keep = DefaultCheckpointKeep
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &CheckpointStore{dir: dir, keep: keep}, nil
+}
+
+// Dir returns the snapshots directory.
+func (s *CheckpointStore) Dir() string { return s.dir }
+
+// Path returns the directory of generation gen.
+func (s *CheckpointStore) Path(gen int64) string {
+	return filepath.Join(s.dir, genName(gen))
+}
+
+// Generations lists the snapshot generations present, ascending. It
+// does not verify them.
+func (s *CheckpointStore) Generations() ([]int64, error) {
+	ents, err := os.ReadDir(s.dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var gens []int64
+	for _, e := range ents {
+		if gen, ok := parseGenName(e.Name()); ok && e.IsDir() {
+			gens = append(gens, gen)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+// Take writes a new snapshot of d and returns its generation number.
+// rotate, when non-nil, is called while the database lock is held —
+// the journal writer's Rotate — and its returned sequence number is
+// recorded in the manifest as the first segment postdating the
+// snapshot. The snapshot is dumped to a temporary directory and
+// renamed into its generation name only once complete (manifest last),
+// then generations beyond the keep depth are pruned.
+func (s *CheckpointStore) Take(d *DB, rotate func() (int64, error)) (int64, error) {
+	gens, err := s.Generations()
+	if err != nil {
+		return 0, err
+	}
+	gen := int64(1)
+	if n := len(gens); n > 0 {
+		gen = gens[n-1] + 1
+	}
+	final := s.Path(gen)
+	tmp := final + ".tmp"
+	if err := os.RemoveAll(tmp); err != nil {
+		return 0, err
+	}
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return 0, err
+	}
+
+	// The shared lock blocks every mutation (mutations take the
+	// exclusive lock), so the rotate and the dump see one consistent
+	// instant: every record in segments < journalSeq is in the snapshot,
+	// every record in segments >= journalSeq is not.
+	d.LockShared()
+	journalSeq := int64(0)
+	if rotate != nil {
+		journalSeq, err = rotate()
+	}
+	if err == nil {
+		err = d.dumpSnapshotLocked(tmp, gen, journalSeq)
+	}
+	d.UnlockShared()
+	if err != nil {
+		os.RemoveAll(tmp)
+		return 0, err
+	}
+
+	if err := fireCrash("checkpoint.prerename"); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return 0, err
+	}
+	if err := syncDir(s.dir); err != nil {
+		return 0, err
+	}
+	if err := s.prune(); err != nil {
+		return gen, err
+	}
+	return gen, nil
+}
+
+// prune removes generations beyond the keep depth, oldest first.
+func (s *CheckpointStore) prune() error {
+	gens, err := s.Generations()
+	if err != nil {
+		return err
+	}
+	for len(gens) > s.keep {
+		if err := os.RemoveAll(s.Path(gens[0])); err != nil {
+			return err
+		}
+		gens = gens[1:]
+	}
+	return nil
+}
+
+// OldestKeptJournalSeq reads the manifests of the retained generations
+// and returns the smallest journal sequence any of them still needs
+// for roll-forward; segments below it are prunable. Zero means no
+// verified snapshot exists, so every segment must be kept.
+func (s *CheckpointStore) OldestKeptJournalSeq() int64 {
+	gens, err := s.Generations()
+	if err != nil {
+		return 0
+	}
+	oldest := int64(0)
+	for _, gen := range gens {
+		m, err := ReadManifest(s.Path(gen))
+		if err != nil {
+			return 0 // an unreadable kept snapshot: keep all segments
+		}
+		if oldest == 0 || m.JournalSeq < oldest {
+			oldest = m.JournalSeq
+		}
+	}
+	return oldest
+}

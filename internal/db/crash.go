@@ -1,0 +1,50 @@
+package db
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// Crash fault injection for the durability pipeline. The write path
+// (journal appends, fsyncs, checkpoint dumps, snapshot renames) calls
+// fireCrash at each point where a power loss or kill -9 would leave
+// observably different on-disk state. A test installs a hook that
+// returns ErrCrashInjected at the point under test; the operation
+// aborts immediately, leaving exactly the partial state a real crash
+// would, and the test then exercises boot-time recovery against it.
+//
+// The named points:
+//
+//	journal.midline    — half a journal line reached the disk
+//	journal.presync    — the line is complete but not fsynced
+//	checkpoint.midtables — some table files of a snapshot are written
+//	checkpoint.prerename — the snapshot is complete but not yet renamed
+//	                       into its generation directory
+//
+// With no hook installed (production), the cost is one atomic load.
+
+// ErrCrashInjected is returned by a crash hook to kill the write path
+// at its point.
+var ErrCrashInjected = errors.New("db: crash injected")
+
+// crashHookFn receives the point name; a non-nil return aborts the
+// operation there.
+type crashHookFn func(point string) error
+
+var crashHook atomic.Value // crashHookFn
+
+// SetCrashHook installs (or, with nil, removes) the fault-injection
+// hook. Tests must restore the previous hook when done; production
+// code never calls this.
+func SetCrashHook(h func(point string) error) {
+	crashHook.Store(crashHookFn(h))
+}
+
+// fireCrash invokes the hook at the named point, if one is installed.
+func fireCrash(point string) error {
+	h, _ := crashHook.Load().(crashHookFn)
+	if h == nil {
+		return nil
+	}
+	return h(point)
+}

@@ -1,7 +1,6 @@
 package db
 
 import (
-	"fmt"
 	"io"
 	"sort"
 	"sync"
@@ -93,7 +92,8 @@ type DB struct {
 	seqCounter int64
 	tableSeq   map[string]int64
 
-	journal io.Writer
+	journal     io.Writer
+	journalErrs atomic.Int64 // failed journal appends, surfaced as journal.errors
 
 	// ops mirrors the per-table op counts from TBLSTATS into atomics
 	// under their own lock, so a stats snapshot taken while a query
@@ -181,22 +181,13 @@ func (d *DB) UnlockExclusive() { d.mu.Unlock() }
 // SetJournal directs the journal of successful changes to w (section
 // 5.2.2: "the journal file kept by the Moira server daemon contains a
 // listing of all successful changes to the database"). Pass nil to
-// disable. Callers must not hold the lock.
+// disable. Callers must not hold the lock. For a durable on-disk
+// journal with sync policies and segment rotation, pass a
+// *JournalWriter.
 func (d *DB) SetJournal(w io.Writer) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.journal = w
-}
-
-// Journal appends one line describing a successful change. Caller must
-// hold the exclusive lock (it is called from inside update queries).
-func (d *DB) Journal(format string, args ...any) {
-	if d.journal == nil {
-		return
-	}
-	fmt.Fprintf(d.journal, "%d ", d.Now())
-	fmt.Fprintf(d.journal, format, args...)
-	io.WriteString(d.journal, "\n")
 }
 
 // --- TBLSTATS maintenance. Caller must hold the exclusive lock. ---
@@ -238,6 +229,9 @@ func (d *DB) opsFor(table string) *tableOps {
 // safe to snapshot from inside a query transaction.
 func (d *DB) BindStats(reg *stats.Registry) {
 	reg.AddGroup(func(emit func(string, int64)) {
+		if e := d.journalErrs.Load(); e > 0 {
+			emit("journal.errors", e)
+		}
 		d.opsMu.Lock()
 		defer d.opsMu.Unlock()
 		for t, o := range d.ops {

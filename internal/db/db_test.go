@@ -2,6 +2,7 @@ package db
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -223,18 +224,53 @@ func TestLastModOf(t *testing.T) {
 	d.UnlockExclusive()
 }
 
-func TestJournal(t *testing.T) {
+func TestJournalQueryWritesCRCLine(t *testing.T) {
 	d := testDB()
 	var buf bytes.Buffer
 	d.SetJournal(&buf)
 	d.LockExclusive()
-	d.Journal("add_user %s", "babette")
-	d.UnlockExclusive()
-	if !strings.Contains(buf.String(), "add_user babette") {
-		t.Errorf("journal = %q", buf.String())
+	if err := d.JournalQuery("babette", "test", "tr1", "add_user", []string{"babette"}); err != nil {
+		t.Fatal(err)
 	}
-	if !strings.HasPrefix(buf.String(), "600000000 ") {
-		t.Errorf("journal missing timestamp: %q", buf.String())
+	d.UnlockExclusive()
+	line := strings.TrimRight(buf.String(), "\n")
+	payload, state := SplitJournalCRC(line)
+	if state != CRCValid {
+		t.Fatalf("CRC state = %v for %q", state, line)
+	}
+	if !strings.HasPrefix(payload, "v2:600000000:babette:test:tr1:add_user:babette") {
+		t.Errorf("payload = %q", payload)
+	}
+	rec, err := ParseJournalLine(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Query != "add_user" || rec.Time != 600000000 || rec.Trace != "tr1" {
+		t.Errorf("record = %+v", rec)
+	}
+	// Damage one payload byte: the CRC must catch it.
+	damaged := strings.Replace(line, "babette", "babettf", 1)
+	if _, err := ParseJournalLine(damaged); err == nil {
+		t.Error("damaged line parsed cleanly")
+	}
+}
+
+// failWriter fails every write, like a full disk.
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestJournalQueryWriteErrorSurfaces(t *testing.T) {
+	d := testDB()
+	d.SetJournal(failWriter{})
+	d.LockExclusive()
+	err := d.JournalQuery("babette", "test", "", "add_user", []string{"babette"})
+	d.UnlockExclusive()
+	if err == nil {
+		t.Fatal("journal write error vanished")
+	}
+	if got := d.JournalErrors(); got != 1 {
+		t.Errorf("JournalErrors = %d, want 1", got)
 	}
 }
 
@@ -281,7 +317,11 @@ func populate(t *testing.T, d *DB) {
 	if err := d.AddMember(lid, "USER", uid); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.AddMember(lid, "STRING", 1); err != nil {
+	sid, err := d.InternString("rubin@media-lab.mit.edu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddMember(lid, "STRING", sid); err != nil {
 		t.Fatal(err)
 	}
 	if err := d.InsertServer(&Server{Name: "HESIOD", UpdateInt: 360, TargetFile: "/tmp/hesiod.out", Script: "hesiod.sh", Type: ServiceReplicated, Enable: true}); err != nil {
@@ -305,9 +345,6 @@ func populate(t *testing.T, d *DB) {
 		t.Fatal(err)
 	}
 	if err := d.InsertHostAccess(&HostAccess{MachID: mid, ACLType: ACEUser, ACLID: uid}); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := d.InternString("rubin@media-lab.mit.edu"); err != nil {
 		t.Fatal(err)
 	}
 	if err := d.InsertService(&Service{Name: "smtp", Protocol: "TCP", Port: 25, Desc: "mail"}); err != nil {

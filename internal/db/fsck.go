@@ -1,0 +1,230 @@
+package db
+
+import (
+	"fmt"
+	"sort"
+)
+
+// mrfsck: referential-integrity checking. The paper's answer to a
+// corrupt binary database is "restore from ASCII and roll forward";
+// this is the check that tells you whether what you restored (or what
+// you are about to trust after a crash) is internally consistent —
+// every member points at a list that exists, every filesystem at a
+// real machine, every index entry at a row that agrees with it.
+
+// Inconsistency is one referential-integrity violation.
+type Inconsistency struct {
+	Table   string // the relation holding the dangling reference
+	Item    string // which row
+	Problem string // what is wrong with it
+}
+
+// String renders the inconsistency as one report line.
+func (i Inconsistency) String() string {
+	return fmt.Sprintf("%s: %s: %s", i.Table, i.Item, i.Problem)
+}
+
+// Fsck checks the database's referential integrity and index
+// consistency, returning every violation found (nil when clean). It
+// takes the shared lock itself; callers must not hold it.
+func (d *DB) Fsck() []Inconsistency {
+	d.LockShared()
+	defer d.UnlockShared()
+	var out []Inconsistency
+	add := func(table, item, format string, args ...any) {
+		out = append(out, Inconsistency{Table: table, Item: item, Problem: fmt.Sprintf(format, args...)})
+	}
+
+	userOK := func(id int) bool { _, ok := d.users[id]; return ok }
+	listOK := func(id int) bool { _, ok := d.lists[id]; return ok }
+	machOK := func(id int) bool { _, ok := d.machines[id]; return ok }
+	cluOK := func(id int) bool { _, ok := d.clusters[id]; return ok }
+	strOK := func(id int) bool { _, ok := d.strings[id]; return ok }
+
+	// checkACE validates one access-control entity reference. NONE (or
+	// an unset type, as bootstrap rows carry) has no target; the R*
+	// forms reference the same relations.
+	checkACE := func(table, item, aceType string, aceID int) {
+		switch aceType {
+		case ACENone, "":
+		case ACEUser, ACERUser:
+			if !userOK(aceID) {
+				add(table, item, "ACL references missing user %d", aceID)
+			}
+		case ACEList, ACERList:
+			if !listOK(aceID) {
+				add(table, item, "ACL references missing list %d", aceID)
+			}
+		case ACEString, ACERStr:
+			if !strOK(aceID) {
+				add(table, item, "ACL references missing string %d", aceID)
+			}
+		default:
+			add(table, item, "unknown ACL type %q", aceType)
+		}
+	}
+
+	// Index ↔ row agreement for every by-name index.
+	for login, id := range d.usersByLogin {
+		if u, ok := d.users[id]; !ok || u.Login != login {
+			add(TUsers, login, "login index points at user %d which is missing or renamed", id)
+		}
+	}
+	for _, u := range d.users {
+		if d.usersByLogin[u.Login] != u.UsersID {
+			add(TUsers, u.Login, "user %d missing from login index", u.UsersID)
+		}
+	}
+	for name, id := range d.machByName {
+		if m, ok := d.machines[id]; !ok || m.Name != name {
+			add(TMachine, name, "name index points at machine %d which is missing or renamed", id)
+		}
+	}
+	for _, m := range d.machines {
+		if d.machByName[m.Name] != m.MachID {
+			add(TMachine, m.Name, "machine %d missing from name index", m.MachID)
+		}
+	}
+	for name, id := range d.cluByName {
+		if c, ok := d.clusters[id]; !ok || c.Name != name {
+			add(TCluster, name, "name index points at cluster %d which is missing or renamed", id)
+		}
+	}
+	for name, id := range d.listsByName {
+		if l, ok := d.lists[id]; !ok || l.Name != name {
+			add(TList, name, "name index points at list %d which is missing or renamed", id)
+		}
+	}
+	for _, l := range d.lists {
+		if d.listsByName[l.Name] != l.ListID {
+			add(TList, l.Name, "list %d missing from name index", l.ListID)
+		}
+	}
+	for val, id := range d.stringsByVal {
+		if s, ok := d.strings[id]; !ok || s.String != val {
+			add(TStrings, val, "value index points at string %d which is missing or changed", id)
+		}
+	}
+
+	// List ACLs and memberships.
+	for _, l := range d.lists {
+		checkACE(TList, l.Name, l.ACLType, l.ACLID)
+	}
+	for listID, members := range d.members {
+		if !listOK(listID) {
+			add(TMembers, fmt.Sprintf("list %d", listID), "memberships of a missing list")
+			continue
+		}
+		for _, m := range members {
+			item := fmt.Sprintf("list %d member %s %d", listID, m.MemberType, m.MemberID)
+			switch m.MemberType {
+			case ACEUser:
+				if !userOK(m.MemberID) {
+					add(TMembers, item, "member user is missing")
+				}
+			case ACEList:
+				if !listOK(m.MemberID) {
+					add(TMembers, item, "member list is missing")
+				}
+			case ACEString:
+				if !strOK(m.MemberID) {
+					add(TMembers, item, "member string is missing")
+				}
+			default:
+				add(TMembers, item, "unknown member type %q", m.MemberType)
+			}
+		}
+	}
+
+	// Machine/cluster mappings and service data.
+	for _, mc := range d.mcmap {
+		item := fmt.Sprintf("machine %d cluster %d", mc.MachID, mc.CluID)
+		if !machOK(mc.MachID) {
+			add(TMCMap, item, "mapping references missing machine")
+		}
+		if !cluOK(mc.CluID) {
+			add(TMCMap, item, "mapping references missing cluster")
+		}
+	}
+	for _, sv := range d.svc {
+		if !cluOK(sv.CluID) {
+			add(TSvc, sv.ServLabel, "service datum references missing cluster %d", sv.CluID)
+		}
+	}
+
+	// DCM state: serverhosts reference servers and machines.
+	for _, sh := range d.serverHosts {
+		item := fmt.Sprintf("%s on machine %d", sh.Service, sh.MachID)
+		if _, ok := d.servers[sh.Service]; !ok {
+			add(TServerHosts, item, "host row for a missing service")
+		}
+		if !machOK(sh.MachID) {
+			add(TServerHosts, item, "host row references missing machine")
+		}
+	}
+	for _, srv := range d.servers {
+		checkACE(TServers, srv.Name, srv.ACLType, srv.ACLID)
+	}
+
+	// Filesystems, NFS allocations, quotas.
+	for _, fs := range d.filesys {
+		if fs.MachID != 0 && !machOK(fs.MachID) {
+			add(TFilesys, fs.Label, "filesystem references missing machine %d", fs.MachID)
+		}
+		if fs.Owner != 0 && !userOK(fs.Owner) {
+			add(TFilesys, fs.Label, "filesystem owner user %d is missing", fs.Owner)
+		}
+		if fs.Owners != 0 && !listOK(fs.Owners) {
+			add(TFilesys, fs.Label, "filesystem owners list %d is missing", fs.Owners)
+		}
+	}
+	for _, p := range d.nfsphys {
+		if !machOK(p.MachID) {
+			add(TNFSPhys, p.Dir, "NFS partition references missing machine %d", p.MachID)
+		}
+	}
+	for _, q := range d.nfsquotas {
+		item := fmt.Sprintf("user %d filesys %d", q.UsersID, q.FilsysID)
+		if q.UsersID != 0 && !userOK(q.UsersID) {
+			add(TNFSQuota, item, "quota for a missing user")
+		}
+		if _, ok := d.filesys[q.FilsysID]; !ok {
+			add(TNFSQuota, item, "quota on a missing filesystem")
+		}
+	}
+
+	// Zephyr class ACEs, host access, capability ACLs.
+	for _, z := range d.zephyr {
+		checkACE(TZephyr, z.Class+" xmt", z.XmtType, z.XmtID)
+		checkACE(TZephyr, z.Class+" sub", z.SubType, z.SubID)
+		checkACE(TZephyr, z.Class+" iws", z.IwsType, z.IwsID)
+		checkACE(TZephyr, z.Class+" iui", z.IuiType, z.IuiID)
+	}
+	for machID, h := range d.hostaccess {
+		item := fmt.Sprintf("machine %d", machID)
+		if !machOK(machID) {
+			add(THostAccess, item, "access row for a missing machine")
+		}
+		checkACE(THostAccess, item, h.ACLType, h.ACLID)
+	}
+	for _, c := range d.capacls {
+		if !listOK(c.ListID) {
+			add(TCapACLs, c.Capability, "capability ACL references missing list %d", c.ListID)
+		}
+	}
+
+	// Poboxes: a POP box references a machine.
+	for _, u := range d.users {
+		if u.PoType == PoboxPOP && u.PopID != 0 && !machOK(u.PopID) {
+			add(TUsers, u.Login, "POP pobox references missing machine %d", u.PopID)
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Table != out[j].Table {
+			return out[i].Table < out[j].Table
+		}
+		return out[i].Item < out[j].Item
+	})
+	return out
+}

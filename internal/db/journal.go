@@ -2,6 +2,8 @@ package db
 
 import (
 	"fmt"
+	"hash/crc32"
+	"io"
 	"strconv"
 )
 
@@ -23,8 +25,15 @@ import (
 //
 //	v2:timestamp:principal:application:trace:query:arg1:arg2:...
 //
-// ParseJournalLine accepts both layouts, so journals spanning the
-// upgrade replay cleanly.
+// Version 3 appends a per-line CRC32 suffix to the colon-escaped
+// record, separated by '#':
+//
+//	v2:timestamp:principal:application:trace:query:arg1:...#crc32hex
+//
+// The checksum is what lets recovery tell a torn final line (a crash
+// mid-append — expected, tolerated) from silent mid-file corruption
+// (fail loudly). ParseJournalLine accepts all three layouts, so
+// journals spanning the upgrades replay cleanly.
 
 // JournalRecord is one parsed journal line.
 type JournalRecord struct {
@@ -36,21 +45,90 @@ type JournalRecord struct {
 	Args      []string
 }
 
+// CRCState classifies a journal line's checksum suffix.
+type CRCState int
+
+// CRC suffix states.
+const (
+	// CRCMissing: the line has no "#xxxxxxxx" suffix — a legacy (pre-v3)
+	// line, or a line torn before the checksum was written.
+	CRCMissing CRCState = iota
+	// CRCValid: the suffix is present and matches the payload.
+	CRCValid
+	// CRCBad: the suffix is present but does not match — the payload was
+	// damaged after it was written, or the line was torn mid-payload in a
+	// way that left a stale suffix shape.
+	CRCBad
+)
+
+// crcSuffixLen is 1 ('#') + 8 hex digits.
+const crcSuffixLen = 9
+
+// journalCRC returns the line checksum of payload.
+func journalCRC(payload string) uint32 {
+	return crc32.ChecksumIEEE([]byte(payload))
+}
+
+// AppendJournalCRC suffixes payload with its CRC32, producing a v3
+// journal line.
+func AppendJournalCRC(payload string) string {
+	return fmt.Sprintf("%s#%08x", payload, journalCRC(payload))
+}
+
+// SplitJournalCRC strips and verifies the CRC suffix of one journal
+// line, returning the payload and the checksum verdict. A legacy line
+// whose final field happens to end in '#' plus eight hex digits is
+// indistinguishable from a damaged v3 line and reports CRCBad; the
+// writer has always escaped its records, so this cannot occur for
+// lines it produced.
+func SplitJournalCRC(line string) (payload string, state CRCState) {
+	i := len(line) - crcSuffixLen
+	if i < 0 || line[i] != '#' {
+		return line, CRCMissing
+	}
+	sum, err := strconv.ParseUint(line[i+1:], 16, 32)
+	if err != nil {
+		return line, CRCMissing
+	}
+	payload = line[:i]
+	if journalCRC(payload) != uint32(sum) {
+		return payload, CRCBad
+	}
+	return payload, CRCValid
+}
+
 // JournalQuery appends one successful mutating query to the journal.
-// Caller holds the exclusive lock (it runs inside the query transaction).
-func (d *DB) JournalQuery(principal, app, trace, query string, args []string) {
+// Caller holds the exclusive lock (it runs inside the query
+// transaction). A write error fails the enclosing transaction: the
+// client is told the change did not commit, and the error is counted
+// in the journal.errors series — a full disk must not silently lose
+// committed changes.
+func (d *DB) JournalQuery(principal, app, trace, query string, args []string) error {
 	if d.journal == nil {
-		return
+		return nil
 	}
 	row := append([]string{
 		"v2", strconv.FormatInt(d.Now(), 10), principal, app, trace, query,
 	}, args...)
-	fmt.Fprintln(d.journal, EncodeRow(row))
+	line := AppendJournalCRC(EncodeRow(row))
+	if _, err := io.WriteString(d.journal, line+"\n"); err != nil {
+		d.journalErrs.Add(1)
+		return fmt.Errorf("db: journal write: %w", err)
+	}
+	return nil
 }
 
-// ParseJournalLine decodes one journal line, in either layout.
+// JournalErrors reports how many journal appends have failed.
+func (d *DB) JournalErrors() int64 { return d.journalErrs.Load() }
+
+// ParseJournalLine decodes one journal line, in any layout. A line
+// whose CRC suffix does not match its payload is an error.
 func ParseJournalLine(line string) (*JournalRecord, error) {
-	fields, err := DecodeRow(line)
+	payload, state := SplitJournalCRC(line)
+	if state == CRCBad {
+		return nil, fmt.Errorf("db: journal line CRC mismatch")
+	}
+	fields, err := DecodeRow(payload)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,201 @@
+package db
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// ManifestFile names the per-snapshot manifest. Its presence marks a
+// snapshot as complete: the dump writes every table file first, then
+// the manifest, then renames the whole directory into place — so a
+// directory with a valid manifest is a checkpoint that finished, and
+// anything else is debris from a crash.
+const ManifestFile = "MANIFEST"
+
+// ManifestTable is one table's integrity record.
+type ManifestTable struct {
+	Name string
+	SHA  string // SHA-256 of the table file, lowercase hex
+	Rows int    // record count
+}
+
+// Manifest describes one snapshot: its generation number, when it was
+// taken, which journal segment was opened at the same instant (records
+// from that segment onward postdate the snapshot), and a SHA-256 plus
+// row count for every table file.
+type Manifest struct {
+	Generation int64
+	Time       int64
+	JournalSeq int64
+	Tables     []ManifestTable
+}
+
+// WriteManifest writes m to dir/MANIFEST and fsyncs it.
+func WriteManifest(dir string, m *Manifest) error {
+	f, err := os.OpenFile(filepath.Join(dir, ManifestFile),
+		os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	fmt.Fprintln(w, "moira-manifest:1")
+	fmt.Fprintf(w, "generation:%d\n", m.Generation)
+	fmt.Fprintf(w, "time:%d\n", m.Time)
+	fmt.Fprintf(w, "journalseq:%d\n", m.JournalSeq)
+	for _, t := range m.Tables {
+		fmt.Fprintf(w, "table:%s:%s:%d\n", t.Name, t.SHA, t.Rows)
+	}
+	err = w.Flush()
+	if serr := f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ReadManifest parses dir/MANIFEST. A missing file returns an
+// os.IsNotExist error (pre-manifest backup directories).
+func ReadManifest(dir string) (*Manifest, error) {
+	f, err := os.Open(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m := &Manifest{}
+	sc := bufio.NewScanner(f)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ":")
+		bad := func() error {
+			return fmt.Errorf("db: manifest line %d malformed: %q", lineno, line)
+		}
+		switch fields[0] {
+		case "moira-manifest":
+			if len(fields) != 2 || fields[1] != "1" {
+				return nil, fmt.Errorf("db: unsupported manifest version %q", line)
+			}
+		case "generation", "time", "journalseq":
+			if len(fields) != 2 {
+				return nil, bad()
+			}
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return nil, bad()
+			}
+			switch fields[0] {
+			case "generation":
+				m.Generation = v
+			case "time":
+				m.Time = v
+			case "journalseq":
+				m.JournalSeq = v
+			}
+		case "table":
+			if len(fields) != 4 {
+				return nil, bad()
+			}
+			rows, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, bad()
+			}
+			m.Tables = append(m.Tables, ManifestTable{Name: fields[1], SHA: fields[2], Rows: rows})
+		default:
+			return nil, bad()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(m.Tables) == 0 {
+		return nil, fmt.Errorf("db: manifest in %s lists no tables", dir)
+	}
+	return m, nil
+}
+
+// Verify recomputes every table file's SHA-256 and row count against
+// the manifest. Any deviation — a missing file, a flipped byte, a lost
+// row — is an error; a snapshot that fails Verify must not be restored.
+func (m *Manifest) Verify(dir string) error {
+	for _, t := range m.Tables {
+		sha, rows, err := hashTableFile(filepath.Join(dir, t.Name))
+		if err != nil {
+			return fmt.Errorf("db: manifest verify %s: %w", t.Name, err)
+		}
+		if sha != t.SHA {
+			return fmt.Errorf("db: snapshot table %s is corrupt: SHA-256 %s, manifest says %s", t.Name, sha, t.SHA)
+		}
+		if rows != t.Rows {
+			return fmt.Errorf("db: snapshot table %s has %d rows, manifest says %d", t.Name, rows, t.Rows)
+		}
+	}
+	return nil
+}
+
+// hashTableFile computes the SHA-256 and newline count of one file.
+func hashTableFile(path string) (string, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", 0, err
+	}
+	defer f.Close()
+	h := sha256.New()
+	rows := 0
+	buf := make([]byte, 64*1024)
+	for {
+		n, err := f.Read(buf)
+		if n > 0 {
+			h.Write(buf[:n])
+			for _, b := range buf[:n] {
+				if b == '\n' {
+					rows++
+				}
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return "", 0, err
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), rows, nil
+}
+
+// hashingWriter tees writes into a SHA-256 and a row count while the
+// dump streams a table file, so the manifest costs no second pass.
+type hashingWriter struct {
+	w    io.Writer
+	h    hash.Hash
+	rows int
+}
+
+// sum returns the accumulated SHA-256 as lowercase hex.
+func (hw *hashingWriter) sum() string { return hex.EncodeToString(hw.h.Sum(nil)) }
+
+func (hw *hashingWriter) Write(p []byte) (int, error) {
+	n, err := hw.w.Write(p)
+	if n > 0 {
+		hw.h.Write(p[:n])
+		for _, b := range p[:n] {
+			if b == '\n' {
+				hw.rows++
+			}
+		}
+	}
+	return n, err
+}

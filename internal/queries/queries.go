@@ -232,7 +232,14 @@ func Execute(cx *Context, name string, args []string, emit EmitFunc) error {
 		return err
 	}
 	if q.Kind != Retrieve {
-		cx.DB.JournalQuery(cx.Principal, cx.App, cx.TraceID, q.Name, args)
+		// A journal append failure fails the transaction: the client
+		// must not believe a change committed that recovery could never
+		// reproduce. (The in-memory effect stands until the process
+		// exits; the error tells the operator the store is no longer
+		// durable — full disk, dead device — before more is lost.)
+		if err := cx.DB.JournalQuery(cx.Principal, cx.App, cx.TraceID, q.Name, args); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -5,21 +5,59 @@ package queries
 // mrbackup/mrrestore this closes section 5.2.2's stated gap — the
 // nightly dump alone loses "roughly a day's transactions"; the journal
 // recovers them.
+//
+// Replay distinguishes two kinds of damage. A *torn final line* — the
+// process was killed mid-append, so the last line of the newest
+// segment is incomplete — is the expected signature of a crash and is
+// tolerated: the line is reported (ReplayStats.Torn), not executed,
+// and replay succeeds. *Mid-file corruption* — a line that fails its
+// CRC or cannot be parsed anywhere but the tail — means the journal
+// itself was damaged after it was written; replaying past it would
+// silently diverge from the real history, so it is a hard error.
 
 import (
 	"bufio"
+	"errors"
+	"fmt"
 	"io"
+	"os"
 
 	"moira/internal/db"
 	"moira/internal/mrerr"
 )
+
+// ErrJournalCorrupt marks mid-file journal corruption: recovery must
+// not proceed automatically from such a journal.
+var ErrJournalCorrupt = errors.New("queries: journal corrupt")
 
 // ReplayStats summarizes a replay run.
 type ReplayStats struct {
 	Applied int // queries re-executed successfully
 	Skipped int // already present (MR_EXISTS etc.): journal overlaps the dump
 	Failed  int // other errors (logged via the logf callback)
+	Torn    int // torn final line, tolerated and not executed (0 or 1)
 	Lines   int
+}
+
+// add folds one segment's stats into the aggregate.
+func (s *ReplayStats) add(o *ReplayStats) {
+	s.Applied += o.Applied
+	s.Skipped += o.Skipped
+	s.Failed += o.Failed
+	s.Torn += o.Torn
+	s.Lines += o.Lines
+}
+
+// replayOpts tunes one replay pass.
+type replayOpts struct {
+	// requireCRC rejects lines without a valid CRC suffix instead of
+	// attempting them as legacy records. Segments written by the
+	// durable journal writer always carry CRCs, so recovery runs
+	// strict; mrrestore on an arbitrary journal file stays lenient.
+	requireCRC bool
+	// allowTorn tolerates a damaged final line (crash signature). Only
+	// the newest segment of a journal may legitimately be torn.
+	allowTorn bool
 }
 
 // ReplayJournal re-executes every journal record from r against the
@@ -28,29 +66,33 @@ type ReplayStats struct {
 // re-adding an existing object or re-deleting a missing one is the
 // expected overlap signature, not a failure. since filters records
 // older than the given unix time (0 replays everything). logf may be
-// nil.
+// nil. A damaged final line is tolerated and counted in Torn; damage
+// anywhere else fails with ErrJournalCorrupt.
 func ReplayJournal(d *db.DB, r io.Reader, since int64, logf func(string, ...any)) (*ReplayStats, error) {
+	return replayReader(d, r, since, logf, replayOpts{allowTorn: true})
+}
+
+// replayReader is the single-stream replay engine.
+func replayReader(d *db.DB, r io.Reader, since int64, logf func(string, ...any), opts replayOpts) (*ReplayStats, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
 	stats := &ReplayStats{}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	discard := func([]string) error { return nil }
-	for sc.Scan() {
-		line := sc.Text()
-		if line == "" {
-			continue
-		}
+
+	replayLine := func(line string, final bool) error {
 		stats.Lines++
-		rec, err := db.ParseJournalLine(line)
+		rec, err := parseLine(line, opts.requireCRC)
 		if err != nil {
-			stats.Failed++
-			logf("replay: bad line %d: %v", stats.Lines, err)
-			continue
+			if final && opts.allowTorn {
+				stats.Torn++
+				logf("replay: torn final line %d tolerated: %v", stats.Lines, err)
+				return nil
+			}
+			return fmt.Errorf("%w: line %d: %v", ErrJournalCorrupt, stats.Lines, err)
 		}
 		if rec.Time < since {
-			continue
+			return nil
 		}
 		// Replay runs privileged: the original execution already passed
 		// its access check, and list memberships may since have changed.
@@ -66,11 +108,74 @@ func ReplayJournal(d *db.DB, r io.Reader, since int64, logf func(string, ...any)
 			stats.Failed++
 			logf("replay: %s %v: %v", rec.Query, rec.Args, err)
 		}
+		return nil
+	}
+
+	// One line of lookahead: a line is only "final" if nothing follows
+	// it, and only the final line may be torn.
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var pending string
+	havePending := false
+	for sc.Scan() {
+		if sc.Text() == "" {
+			continue
+		}
+		if havePending {
+			if err := replayLine(pending, false); err != nil {
+				return stats, err
+			}
+		}
+		pending = sc.Text()
+		havePending = true
 	}
 	if err := sc.Err(); err != nil {
 		return stats, err
 	}
+	if havePending {
+		if err := replayLine(pending, true); err != nil {
+			return stats, err
+		}
+	}
 	return stats, nil
+}
+
+// parseLine decodes one journal line, optionally insisting on a valid
+// CRC suffix.
+func parseLine(line string, requireCRC bool) (*db.JournalRecord, error) {
+	if requireCRC {
+		if _, state := db.SplitJournalCRC(line); state != db.CRCValid {
+			return nil, fmt.Errorf("missing or invalid CRC suffix")
+		}
+	}
+	return db.ParseJournalLine(line)
+}
+
+// ReplaySegments rolls d forward through the given journal segment
+// files in order. Only the last segment may carry a torn final line
+// (the crash can only have interrupted the segment that was active);
+// a torn or corrupt line anywhere else is mid-journal damage and fails
+// with ErrJournalCorrupt. Segments are replayed strictly: every line
+// must carry a valid CRC, so a truncated record can never be mistaken
+// for a shorter legitimate one.
+func ReplaySegments(d *db.DB, segs []db.Segment, logf func(string, ...any)) (*ReplayStats, error) {
+	total := &ReplayStats{}
+	for i, seg := range segs {
+		f, err := os.Open(seg.Path)
+		if err != nil {
+			return total, err
+		}
+		stats, err := replayReader(d, f, 0, logf, replayOpts{
+			requireCRC: true,
+			allowTorn:  i == len(segs)-1,
+		})
+		f.Close()
+		total.add(stats)
+		if err != nil {
+			return total, fmt.Errorf("segment %d (%s): %w", seg.Seq, seg.Path, err)
+		}
+	}
+	return total, nil
 }
 
 // isOverlapError reports errors that signal "this change is already in
