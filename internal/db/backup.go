@@ -686,10 +686,16 @@ func (d *DB) dumpSnapshotLocked(dir string, gen, journalSeq int64) error {
 // mrbackup operation. It takes the shared lock itself; callers must not
 // hold it.
 //
-// The dump is atomic: it is written to a sibling temporary directory
-// and swapped into place only once complete, so a crash mid-backup
-// never damages the previous backup — the failure mode that motivates
-// the whole 5.2.2 recovery story.
+// The dump is atomic in the sense that matters for 5.2.2's recovery
+// story: at every instant a complete, manifest-verified backup exists
+// on disk. It is written to a sibling temporary directory (dir.tmp,
+// MANIFEST last) and swapped into place only once complete, so a crash
+// mid-dump never damages the previous backup. The swap itself is two
+// renames — dir moves aside to dir.prev, then dir.tmp moves in — so a
+// crash between them leaves dir transiently missing, with the old
+// backup intact at dir.prev and the new one complete at dir.tmp;
+// Restore (and therefore mrrestore) resolves that window
+// automatically, preferring the completed dir.tmp.
 func (d *DB) Backup(dir string) error {
 	tmp := dir + ".tmp"
 	if err := os.RemoveAll(tmp); err != nil {
@@ -728,6 +734,39 @@ func (d *DB) Backup(dir string) error {
 	return os.RemoveAll(prev)
 }
 
+// resolveBackupDir maps a backup path to the directory Restore should
+// actually read. Normally that is dir itself; when dir does not exist,
+// a crash between Backup's two renames is the likely cause, and the
+// data survives as dir.tmp (the new backup, complete iff its MANIFEST
+// verifies — it is written last) or dir.prev (the displaced previous
+// backup). Preferring the verified tmp restores the newest state.
+func resolveBackupDir(dir string) (string, error) {
+	if _, err := os.Stat(dir); err == nil {
+		return dir, nil
+	} else if !os.IsNotExist(err) {
+		return "", err
+	}
+	if tmp := dir + ".tmp"; manifestVerifies(tmp) {
+		return tmp, nil
+	}
+	if prev := dir + ".prev"; dirExists(prev) {
+		return prev, nil
+	}
+	return dir, nil // fail with the original not-exist error
+}
+
+// manifestVerifies reports whether dir holds a complete snapshot: a
+// MANIFEST whose per-table hashes and row counts all check out.
+func manifestVerifies(dir string) bool {
+	m, err := ReadManifest(dir)
+	return err == nil && m.Verify(dir) == nil
+}
+
+func dirExists(dir string) bool {
+	fi, err := os.Stat(dir)
+	return err == nil && fi.IsDir()
+}
+
 // Restore builds a fresh database from a backup directory. This is the
 // mrrestore operation: the original insists on an empty target database,
 // so Restore always returns a new DB rather than loading into an existing
@@ -739,7 +778,17 @@ func (d *DB) Backup(dir string) error {
 // single flipped byte must not silently become the authoritative
 // database. Manifest-less directories (hand-edited dumps, pre-manifest
 // backups) load unverified as before.
+//
+// When dir itself is missing, Restore checks for the debris of a crash
+// inside Backup's two-rename swap window: a completed dir.tmp (its
+// MANIFEST is written last and must verify) is the newer backup and is
+// preferred; otherwise the displaced previous backup at dir.prev is
+// used. Only with neither present does Restore fail.
 func Restore(dir string, clk clock.Clock) (*DB, error) {
+	dir, rerr := resolveBackupDir(dir)
+	if rerr != nil {
+		return nil, rerr
+	}
 	if m, err := ReadManifest(dir); err == nil {
 		if err := m.Verify(dir); err != nil {
 			return nil, err

@@ -94,6 +94,7 @@ type DB struct {
 
 	journal     io.Writer
 	journalErrs atomic.Int64 // failed journal appends, surfaced as journal.errors
+	wedged      atomic.Bool  // fail-stop latch: set on the first journal write error
 
 	// ops mirrors the per-table op counts from TBLSTATS into atomics
 	// under their own lock, so a stats snapshot taken while a query
@@ -183,12 +184,22 @@ func (d *DB) UnlockExclusive() { d.mu.Unlock() }
 // listing of all successful changes to the database"). Pass nil to
 // disable. Callers must not hold the lock. For a durable on-disk
 // journal with sync policies and segment rotation, pass a
-// *JournalWriter.
+// *JournalWriter. Pointing the database at a new journal clears the
+// fail-stop latch (JournalWedged): swapping the journal target is the
+// operator action that makes the store durable again.
 func (d *DB) SetJournal(w io.Writer) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.journal = w
+	d.wedged.Store(false)
 }
+
+// JournalWedged reports whether a journal append has failed since the
+// journal was last (re)set. A wedged database is no longer durable —
+// its memory already holds at least one change the journal does not —
+// so the query layer fail-stops further mutations instead of widening
+// the memory/disk divergence; reads keep serving.
+func (d *DB) JournalWedged() bool { return d.wedged.Load() }
 
 // --- TBLSTATS maintenance. Caller must hold the exclusive lock. ---
 
@@ -231,6 +242,9 @@ func (d *DB) BindStats(reg *stats.Registry) {
 	reg.AddGroup(func(emit func(string, int64)) {
 		if e := d.journalErrs.Load(); e > 0 {
 			emit("journal.errors", e)
+		}
+		if d.wedged.Load() {
+			emit("journal.wedged", 1)
 		}
 		d.opsMu.Lock()
 		defer d.opsMu.Unlock()

@@ -267,6 +267,66 @@ func TestBackupAtomicOverwrite(t *testing.T) {
 	}
 }
 
+// TestRestoreFallsBackAcrossBackupSwapWindow simulates a crash between
+// Backup's two renames: the target directory is transiently missing,
+// with the old backup displaced to dir.prev and the new one complete
+// at dir.tmp. Restore must find the data — preferring the completed
+// (newer) tmp, and falling back to prev when tmp is unusable.
+func TestRestoreFallsBackAcrossBackupSwapWindow(t *testing.T) {
+	d := testDB()
+	populate(t, d)
+	parent := t.TempDir()
+	dir := filepath.Join(parent, "backup")
+	if err := d.Backup(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	d.LockExclusive()
+	uid, _ := d.AllocID("users_id")
+	if err := d.InsertUser(&User{UsersID: uid, Login: "newcomer"}); err != nil {
+		d.UnlockExclusive()
+		t.Fatal(err)
+	}
+	d.UnlockExclusive()
+
+	// Build the crash window by hand: the second backup's dump is
+	// complete at dir.tmp, the old backup has moved to dir.prev, and
+	// the crash hit before dir.tmp was renamed in.
+	if err := d.Backup(dir + ".tmp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(dir, dir+".prev"); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Restore(dir, nil)
+	if err != nil {
+		t.Fatalf("restore across the swap window: %v", err)
+	}
+	r.LockShared()
+	_, ok := r.UserByLogin("newcomer")
+	r.UnlockShared()
+	if !ok {
+		t.Error("restore did not prefer the completed newer dump at dir.tmp")
+	}
+
+	// With tmp incomplete (its MANIFEST never landed), the displaced
+	// previous backup is the fallback.
+	if err := os.Remove(filepath.Join(dir+".tmp", "MANIFEST")); err != nil {
+		t.Fatal(err)
+	}
+	r, err = Restore(dir, nil)
+	if err != nil {
+		t.Fatalf("restore with partial tmp: %v", err)
+	}
+	r.LockShared()
+	_, ok = r.UserByLogin("newcomer")
+	r.UnlockShared()
+	if ok {
+		t.Error("restore used the unverified partial tmp instead of dir.prev")
+	}
+}
+
 func TestCheckpointStoreTakeAndPrune(t *testing.T) {
 	d := testDB()
 	populate(t, d)

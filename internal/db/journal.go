@@ -102,7 +102,10 @@ func SplitJournalCRC(line string) (payload string, state CRCState) {
 // transaction). A write error fails the enclosing transaction: the
 // client is told the change did not commit, and the error is counted
 // in the journal.errors series — a full disk must not silently lose
-// committed changes.
+// committed changes. It also latches the fail-stop flag
+// (JournalWedged): the in-memory mutation has already been applied, so
+// the store now diverges from what recovery can reproduce, and the
+// query layer refuses further mutations until the journal is repointed.
 func (d *DB) JournalQuery(principal, app, trace, query string, args []string) error {
 	if d.journal == nil {
 		return nil
@@ -113,6 +116,7 @@ func (d *DB) JournalQuery(principal, app, trace, query string, args []string) er
 	line := AppendJournalCRC(EncodeRow(row))
 	if _, err := io.WriteString(d.journal, line+"\n"); err != nil {
 		d.journalErrs.Add(1)
+		d.wedged.Store(true)
 		return fmt.Errorf("db: journal write: %w", err)
 	}
 	return nil

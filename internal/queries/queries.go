@@ -222,6 +222,16 @@ func Execute(cx *Context, name string, args []string, emit EmitFunc) error {
 		cx.DB.LockShared()
 		defer cx.DB.UnlockShared()
 	} else {
+		// Fail-stop: once a journal append has failed, the store is no
+		// longer durable and its memory already diverges from disk by
+		// the mutation whose commit was reported as failed. Refusing
+		// further mutations (MR_DOWN) caps the divergence at that one
+		// change instead of letting it grow on a wedged disk; reads keep
+		// serving, and repointing the journal (SetJournal) clears the
+		// latch.
+		if cx.DB.JournalWedged() {
+			return mrerr.MrDown
+		}
 		cx.DB.LockExclusive()
 		defer cx.DB.UnlockExclusive()
 	}
@@ -234,9 +244,12 @@ func Execute(cx *Context, name string, args []string, emit EmitFunc) error {
 	if q.Kind != Retrieve {
 		// A journal append failure fails the transaction: the client
 		// must not believe a change committed that recovery could never
-		// reproduce. (The in-memory effect stands until the process
-		// exits; the error tells the operator the store is no longer
-		// durable — full disk, dead device — before more is lost.)
+		// reproduce. The in-memory effect of this one query stands until
+		// the process exits, but the failure wedges the database
+		// (JournalWedged), so the gate above fail-stops every later
+		// mutation — the divergence never grows past this change, and
+		// the error tells the operator the store is no longer durable
+		// (full disk, dead device) before more is lost.
 		if err := cx.DB.JournalQuery(cx.Principal, cx.App, cx.TraceID, q.Name, args); err != nil {
 			return err
 		}

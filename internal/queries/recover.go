@@ -8,7 +8,10 @@ package queries
 //
 //  1. find the newest snapshot whose MANIFEST verifies (SHA-256 + row
 //     counts per table); skip damaged ones with a report,
-//  2. restore it (or bootstrap a fresh database if none exists),
+//  2. restore it — bootstrapping a fresh database only when the data
+//     directory holds no snapshots at all (first boot); if generations
+//     exist but none verifies, recovery refuses with
+//     ErrNoUsableSnapshot rather than silently serving an empty store,
 //  3. replay every journal segment from the snapshot's recorded
 //     sequence on, tolerating exactly one torn final line and refusing
 //     mid-file corruption,
@@ -17,11 +20,20 @@ package queries
 // The caller then opens a fresh journal segment and serves.
 
 import (
+	"errors"
 	"fmt"
 
 	"moira/internal/clock"
 	"moira/internal/db"
 )
+
+// ErrNoUsableSnapshot means snapshot generations exist but every one
+// failed manifest verification. Recovery must not bootstrap a fresh
+// database in that state: journal segments older than the snapshots'
+// recorded sequences have been pruned, so a fresh database plus the
+// retained segments would silently drop most of the store's history.
+// An operator has to inspect the snapshot directory instead.
+var ErrNoUsableSnapshot = errors.New("queries: no snapshot generation verifies")
 
 // RecoverInfo reports what recovery found and did.
 type RecoverInfo struct {
@@ -47,8 +59,9 @@ type RecoverInfo struct {
 // root, creating the layout if it does not exist yet (first boot).
 // clk may be nil for the system clock; logf may be nil. It returns
 // ErrJournalCorrupt (wrapped) when the journal is damaged anywhere but
-// the expected torn tail — such a store needs operator attention, not
-// automatic recovery.
+// a segment's expected torn tail, and ErrNoUsableSnapshot (wrapped)
+// when snapshots exist but every one fails verification — such a store
+// needs operator attention, not automatic recovery.
 func Recover(root string, clk clock.Clock, logf func(string, ...any)) (*db.DB, *RecoverInfo, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
@@ -95,7 +108,15 @@ func Recover(root string, clk clock.Clock, logf func(string, ...any)) (*db.DB, *
 	}
 	if d == nil {
 		if len(gens) > 0 {
-			logf("recover: no usable snapshot among %d generations; bootstrapping fresh", len(gens))
+			// Snapshots exist but none is usable. Bootstrapping fresh here
+			// would replay only the retained segments — everything older
+			// was pruned when those snapshots were taken — and serve a
+			// near-empty store as authoritative. Recoverable corruption
+			// must not become silent data loss: stop and make the
+			// operator decide.
+			return nil, info, fmt.Errorf(
+				"%w: all %d generations under %s failed verification (%v); refusing to bootstrap fresh over existing history",
+				ErrNoUsableSnapshot, len(gens), store.Dir(), info.SkippedSnapshots)
 		}
 		d = NewBootstrappedDB(clk)
 	}

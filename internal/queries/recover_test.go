@@ -12,6 +12,7 @@ import (
 
 	"moira/internal/clock"
 	"moira/internal/db"
+	"moira/internal/mrerr"
 )
 
 // durable is a test fixture for the crash-safe pipeline: a bootstrapped
@@ -184,6 +185,99 @@ func TestRecoverToleratesTornFinalLine(t *testing.T) {
 	}
 }
 
+// TestRecoverIdempotentAcrossBoots is the torn-tail persistence case:
+// a crash tears the active segment, boot 1 recovers and opens a fresh
+// segment, and the torn line is still on disk at boot 2 — in what is
+// now a non-final segment. Recovery must tolerate it there too, not
+// mistake it for mid-journal corruption and refuse a healthy store.
+func TestRecoverIdempotentAcrossBoots(t *testing.T) {
+	f := newDurable(t)
+	f.run(t, "add_machine", "alpha.mit.edu", "VAX")
+	f.checkpoint(t)
+	f.run(t, "add_machine", "bravo.mit.edu", "VAX")
+	f.jw.Close()
+
+	// The crash cut the last append short.
+	segs, err := db.ListSegments(f.jw.Dir())
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	last := segs[len(segs)-1]
+	fi, err := os.Stat(last.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last.Path, fi.Size()-4); err != nil {
+		t.Fatal(err)
+	}
+
+	// Boot 1: recover, open a fresh segment as moirad does, serve a
+	// mutation, and "crash" again (nothing flushed further).
+	d1, info1, err := Recover(f.root, clock.NewFake(f.clk.Now()), t.Logf)
+	if err != nil {
+		t.Fatalf("first boot: %v", err)
+	}
+	if info1.Replay.Torn != 1 {
+		t.Fatalf("first boot replay stats = %+v, want 1 torn", info1.Replay)
+	}
+	dd, err := db.OpenDataDir(f.root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jw2, err := db.OpenJournalWriter(dd.JournalDir(), db.JournalOptions{Policy: db.SyncEveryCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.SetJournal(jw2)
+	cx := &Context{DB: d1, Principal: "ops", App: "test", Privileged: true}
+	if err := Execute(cx, "add_machine", []string{"charlie.mit.edu", "VAX"},
+		func([]string) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	jw2.Close()
+
+	// Boot 2: the tear now sits at the tail of an older segment.
+	d2, info2, err := Recover(f.root, clock.NewFake(f.clk.Now()), t.Logf)
+	if err != nil {
+		t.Fatalf("second boot refused a healthy store: %v", err)
+	}
+	if info2.Replay.Torn != 1 || info2.Replay.Failed != 0 {
+		t.Errorf("second boot replay stats = %+v, want 1 torn and 0 failed", info2.Replay)
+	}
+	d2.LockShared()
+	for _, m := range []string{"ALPHA.MIT.EDU", "CHARLIE.MIT.EDU"} {
+		if _, ok := d2.MachineByName(m); !ok {
+			t.Errorf("second boot lost %s", m)
+		}
+	}
+	d2.UnlockShared()
+	assertSameTables(t, d1, d2)
+}
+
+func TestRecoverRefusesWhenAllSnapshotsDamaged(t *testing.T) {
+	f := newDurable(t)
+	f.run(t, "add_machine", "alpha.mit.edu", "VAX")
+	f.checkpoint(t)
+
+	// The only generation rots on disk. Bootstrapping fresh here would
+	// replay just the retained segments and silently shed the history
+	// the snapshot held; recovery must stop for an operator instead.
+	path := filepath.Join(f.store.Path(1), db.TMachine)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, err = Recover(f.root, clock.NewFake(f.clk.Now()), t.Logf)
+	if !errors.Is(err, ErrNoUsableSnapshot) {
+		t.Fatalf("recovery with all snapshots damaged returned %v, want ErrNoUsableSnapshot", err)
+	}
+}
+
 func TestRecoverRefusesMidFileCorruption(t *testing.T) {
 	f := newDurable(t)
 	f.checkpoint(t)
@@ -249,6 +343,46 @@ func TestRecoverFallsBackPastDamagedSnapshot(t *testing.T) {
 		t.Error("fallback recovery lost the post-gen-1 record")
 	}
 	assertSameTables(t, f.d, rec)
+}
+
+// failJournal fails every append, like a full disk.
+type failJournal struct{}
+
+func (failJournal) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+// TestJournalFailureFailStopsMutations: the first journal write error
+// wedges the store — the failed query's in-memory effect is the only
+// divergence that ever exists, because every later mutation is refused
+// with MR_DOWN while reads keep serving. Repointing the journal clears
+// the latch.
+func TestJournalFailureFailStopsMutations(t *testing.T) {
+	d := NewBootstrappedDB(clock.NewFake(time.Unix(600000000, 0)))
+	d.SetJournal(failJournal{})
+	cx := &Context{DB: d, Principal: "ops", App: "test", Privileged: true}
+	discard := func([]string) error { return nil }
+
+	if err := Execute(cx, "add_machine", []string{"alpha.mit.edu", "VAX"}, discard); err == nil {
+		t.Fatal("journal write failure did not fail the transaction")
+	}
+	if !d.JournalWedged() {
+		t.Fatal("journal failure did not wedge the database")
+	}
+	if err := Execute(cx, "add_machine", []string{"bravo.mit.edu", "VAX"}, discard); !errors.Is(err, mrerr.MrDown) {
+		t.Fatalf("mutation on wedged store = %v, want MR_DOWN", err)
+	}
+	if err := Execute(cx, "get_machine", []string{"*"}, discard); err != nil {
+		t.Errorf("retrieve on wedged store = %v, want reads to keep serving", err)
+	}
+
+	// Operator repoints the journal: the store is durable again.
+	var buf bytes.Buffer
+	d.SetJournal(&buf)
+	if err := Execute(cx, "add_machine", []string{"bravo.mit.edu", "VAX"}, discard); err != nil {
+		t.Fatalf("mutation after journal repoint = %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Error("repointed journal received no record")
+	}
 }
 
 // TestRecoverRoundTripUnderConcurrentMutation is the satellite round-trip

@@ -7,13 +7,18 @@ package queries
 // recovers them.
 //
 // Replay distinguishes two kinds of damage. A *torn final line* — the
-// process was killed mid-append, so the last line of the newest
-// segment is incomplete — is the expected signature of a crash and is
-// tolerated: the line is reported (ReplayStats.Torn), not executed,
-// and replay succeeds. *Mid-file corruption* — a line that fails its
-// CRC or cannot be parsed anywhere but the tail — means the journal
-// itself was damaged after it was written; replaying past it would
-// silently diverge from the real history, so it is a hard error.
+// process was killed mid-append, so the last line of a segment is
+// incomplete — is the expected signature of a crash and is tolerated:
+// the line is reported (ReplayStats.Torn), not executed, and replay
+// succeeds. Because every process opens a fresh segment and never
+// appends to an old one, any segment's tail is a legitimate crash
+// point: the segment that was active when some past process died keeps
+// its torn last line forever (until a checkpoint prunes it), so
+// recovery stays idempotent across any number of restarts. *Mid-file
+// corruption* — a line that fails its CRC or cannot be parsed anywhere
+// but a segment's tail — means the journal itself was damaged after it
+// was written; replaying past it would silently diverge from the real
+// history, so it is a hard error.
 
 import (
 	"bufio"
@@ -35,7 +40,7 @@ type ReplayStats struct {
 	Applied int // queries re-executed successfully
 	Skipped int // already present (MR_EXISTS etc.): journal overlaps the dump
 	Failed  int // other errors (logged via the logf callback)
-	Torn    int // torn final line, tolerated and not executed (0 or 1)
+	Torn    int // torn final lines, tolerated and not executed (at most 1 per segment)
 	Lines   int
 }
 
@@ -55,8 +60,7 @@ type replayOpts struct {
 	// durable journal writer always carry CRCs, so recovery runs
 	// strict; mrrestore on an arbitrary journal file stays lenient.
 	requireCRC bool
-	// allowTorn tolerates a damaged final line (crash signature). Only
-	// the newest segment of a journal may legitimately be torn.
+	// allowTorn tolerates a damaged final line (crash signature).
 	allowTorn bool
 }
 
@@ -152,22 +156,26 @@ func parseLine(line string, requireCRC bool) (*db.JournalRecord, error) {
 }
 
 // ReplaySegments rolls d forward through the given journal segment
-// files in order. Only the last segment may carry a torn final line
-// (the crash can only have interrupted the segment that was active);
-// a torn or corrupt line anywhere else is mid-journal damage and fails
-// with ErrJournalCorrupt. Segments are replayed strictly: every line
-// must carry a valid CRC, so a truncated record can never be mistaken
-// for a shorter legitimate one.
+// files in order. Every segment may carry a torn final line: each
+// process opens a fresh segment and never appends to an old one, so
+// the tail of any segment is where some past process may have died
+// mid-append — and the tear persists across later boots until a
+// checkpoint prunes the segment, so tolerating it everywhere is what
+// keeps recovery idempotent. A torn or corrupt line anywhere but a
+// segment's tail is mid-journal damage and fails with
+// ErrJournalCorrupt. Segments are replayed strictly: every line must
+// carry a valid CRC, so a truncated record can never be mistaken for a
+// shorter legitimate one.
 func ReplaySegments(d *db.DB, segs []db.Segment, logf func(string, ...any)) (*ReplayStats, error) {
 	total := &ReplayStats{}
-	for i, seg := range segs {
+	for _, seg := range segs {
 		f, err := os.Open(seg.Path)
 		if err != nil {
 			return total, err
 		}
 		stats, err := replayReader(d, f, 0, logf, replayOpts{
 			requireCRC: true,
-			allowTorn:  i == len(segs)-1,
+			allowTorn:  true,
 		})
 		f.Close()
 		total.add(stats)
