@@ -30,6 +30,7 @@ import (
 	"moira/internal/db"
 	"moira/internal/mrerr"
 	"moira/internal/queries"
+	"moira/internal/replica"
 	"moira/internal/server"
 	"moira/internal/stats"
 	"moira/internal/workload"
@@ -48,9 +49,13 @@ func main() {
 		syncInterval = flag.Duration("journal-sync-interval", time.Second, "group-commit period for -journal-sync=interval")
 		ckptInterval = flag.Duration("checkpoint-interval", time.Hour, "background checkpoint period with -data-dir (0 = never)")
 		ckptKeep     = flag.Int("checkpoint-keep", db.DefaultCheckpointKeep, "snapshot generations to retain with -data-dir")
-		dcmEvery     = flag.Duration("dcm-interval", 15*time.Minute, "wall-clock DCM pass interval in --demo mode")
-		verbose      = flag.Bool("v", false, "log requests")
-		debug        = flag.String("debug-addr", "", "serve expvar and pprof on this HTTP address")
+
+		replListen = flag.String("repl-listen", "", "with -data-dir: serve the journal-shipping replication stream on this address")
+		replFrom   = flag.String("replicate-from", "", "with -data-dir: run as a read-only replica tailing the primary's -repl-listen address")
+		promote    = flag.Bool("promote", false, "with -replicate-from: promote to primary immediately at boot instead of tailing (SIGUSR1 promotes at runtime)")
+		dcmEvery   = flag.Duration("dcm-interval", 15*time.Minute, "wall-clock DCM pass interval in --demo mode")
+		verbose    = flag.Bool("v", false, "log requests")
+		debug      = flag.String("debug-addr", "", "serve expvar and pprof on this HTTP address")
 
 		idleTimeout  = flag.Duration("idle-timeout", 5*time.Minute, "drop a client connection idle for this long (0 = never)")
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-reply write deadline (0 = none)")
@@ -74,8 +79,38 @@ func main() {
 
 	var d *db.DB
 	var err error
+	var rep *replica.Replica
+	var policy db.SyncPolicy
 	reg := stats.NewRegistry()
 	switch {
+	case *replFrom != "":
+		if *dataDir == "" {
+			log.Fatalf("moirad: -replicate-from needs -data-dir for the mirrored journal and snapshots")
+		}
+		if *replListen != "" || *restore != "" || *journal != "" {
+			log.Fatalf("moirad: -replicate-from cannot be combined with -repl-listen, -restore, or -journal")
+		}
+		if policy, err = db.ParseSyncPolicy(*journalSync); err != nil {
+			log.Fatalf("moirad: %v", err)
+		}
+		var info *queries.RecoverInfo
+		rep, info, err = replica.Open(replica.Config{
+			Root:  *dataDir,
+			From:  *replFrom,
+			Logf:  log.Printf,
+			Stats: reg,
+		})
+		if err != nil {
+			log.Fatalf("moirad: replica recovery: %v", err)
+		}
+		if n := len(info.Fsck); n > 0 {
+			for _, inc := range info.Fsck {
+				log.Printf("moirad: fsck: %s", inc)
+			}
+			log.Fatalf("moirad: recovered replica has %d integrity violations; refusing to serve it (run mrfsck)", n)
+		}
+		defer rep.Close()
+		d = rep.DB()
 	case *dataDir != "":
 		if *restore != "" || *journal != "" {
 			log.Fatalf("moirad: -data-dir manages its own snapshots and journal; it cannot be combined with -restore or -journal")
@@ -104,6 +139,21 @@ func main() {
 		}
 		defer du.Close()
 		d = du.DB
+		if *replListen != "" {
+			prim := replica.NewPrimary(replica.PrimaryConfig{
+				Journal:    du.Journal,
+				Store:      du.Store,
+				Checkpoint: du.Checkpoint,
+				Logf:       log.Printf,
+				Stats:      reg,
+			})
+			paddr, err := prim.Listen(*replListen)
+			if err != nil {
+				log.Fatalf("moirad: repl-listen: %v", err)
+			}
+			defer prim.Close()
+			log.Printf("moirad: replication stream on %s", paddr)
+		}
 	case *restore != "":
 		d, err = db.Restore(*restore, clock.System)
 		if err != nil {
@@ -121,6 +171,9 @@ func main() {
 		defer f.Close()
 		d.SetJournal(f)
 	}
+	if *replListen != "" && *dataDir == "" {
+		log.Fatalf("moirad: -repl-listen needs -data-dir (the replication stream ships the durable journal)")
+	}
 
 	srv := server.New(server.Config{
 		DB:           d,
@@ -130,14 +183,41 @@ func main() {
 		WriteTimeout: lifecycle.write,
 		MaxConns:     lifecycle.maxConns,
 		DrainTimeout: lifecycle.drain,
+		ReadOnly:     rep != nil,
 	})
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatalf("moirad: listen: %v", err)
 	}
 	serveDebug(*debug, srv.Registry())
+
+	var promoteFn func()
+	if rep != nil {
+		jopts := db.JournalOptions{Policy: policy, Interval: *syncInterval}
+		promoteFn = func() {
+			jw, err := rep.Promote(jopts)
+			if err != nil {
+				log.Printf("moirad: promote: %v", err)
+				return
+			}
+			srv.SetReadOnly(false)
+			log.Printf("moirad: promoted to primary; journal segment %d, accepting writes", jw.Seq())
+		}
+		if *promote {
+			promoteFn()
+			if srv.ReadOnly() {
+				log.Fatalf("moirad: -promote failed; refusing to serve")
+			}
+		} else {
+			rep.Start()
+			log.Printf("moirad: replicating from %s (read-only; SIGUSR1 promotes)", *replFrom)
+		}
+	} else if *promote {
+		log.Fatalf("moirad: -promote only applies with -replicate-from")
+	}
+
 	log.Printf("moirad: serving %d query handles on %s (unauthenticated mode)", queries.Count(), bound)
-	waitForSignal()
+	waitForSignalOrPromote(promoteFn)
 	srv.Close()
 }
 
@@ -227,5 +307,25 @@ func waitForSignal() {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
 	<-ch
+	log.Printf("moirad: shutting down")
+}
+
+// waitForSignalOrPromote blocks until SIGINT or SIGTERM; SIGUSR1 runs
+// the promote hook (replica mode) and keeps serving.
+func waitForSignalOrPromote(promote func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM, syscall.SIGUSR1)
+	for sig := range ch {
+		if sig == syscall.SIGUSR1 {
+			if promote != nil {
+				log.Printf("moirad: SIGUSR1: promoting")
+				promote()
+			} else {
+				log.Printf("moirad: SIGUSR1 ignored (not a replica)")
+			}
+			continue
+		}
+		break
+	}
 	log.Printf("moirad: shutting down")
 }

@@ -9,6 +9,10 @@
 //	moirastat -addr ... -interval 2s -count 10  # watch counter deltas
 //	moirastat -addr ... -trace '*'              # recent requests
 //	moirastat -addr ... -trace t1a2b3c4d-7      # one trace ID
+//	moirastat -addr replica1:7760 -repl         # replication role and lag
+//
+// -addr accepts a comma-separated list; moirastat connects to the
+// first reachable address and fails over read queries to the rest.
 package main
 
 import (
@@ -22,19 +26,21 @@ import (
 	"time"
 
 	"moira/internal/client"
+	"moira/internal/clock"
 	"moira/internal/mrerr"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7760", "Moira server address")
+		addr     = flag.String("addr", "127.0.0.1:7760", "Moira server address (comma-separated list for read failover)")
 		interval = flag.Duration("interval", 0, "watch mode: poll every interval and print counter deltas")
 		count    = flag.Int("count", 0, "watch mode: stop after this many polls (0 = forever)")
 		trace    = flag.String("trace", "", "dump the request trace ring instead ('*' for all, or one trace ID)")
+		repl     = flag.Bool("repl", false, "one-shot replication view: role, last applied position, lag")
 	)
 	flag.Parse()
 
-	c, err := client.Dial(*addr)
+	c, err := client.DialFailover(strings.Split(*addr, ","), 10*time.Second, clock.System)
 	if err != nil {
 		log.Fatalf("moirastat: %v", err)
 	}
@@ -43,6 +49,12 @@ func main() {
 	switch {
 	case *trace != "":
 		dumpTrace(c, *trace)
+	case *repl:
+		rows, err := fetch(c)
+		if err != nil {
+			log.Fatalf("moirastat: _stats: %v", err)
+		}
+		printRepl(rows)
 	case *interval > 0:
 		watch(c, *interval, *count)
 	default:
@@ -104,6 +116,53 @@ func printGrouped(rows []row) {
 			default:
 				fmt.Printf("  %-*s  %s\n", width, r.name, r.value)
 			}
+		}
+	}
+}
+
+// printRepl renders the replication view from the repl.* series: the
+// server's role, the last applied journal position, and how far behind
+// the primary's advertised head it is.
+func printRepl(rows []row) {
+	m := make(map[string]int64)
+	for _, r := range rows {
+		if strings.HasPrefix(r.name, "repl.") {
+			if v, err := strconv.ParseInt(r.value, 10, 64); err == nil {
+				m[r.name] = v
+			}
+		}
+	}
+	role := "standalone"
+	switch m["repl.role"] {
+	case 1:
+		role = "replica"
+	case 2:
+		role = "primary"
+	}
+	fmt.Printf("role: %s\n", role)
+	switch m["repl.role"] {
+	case 1:
+		state := "disconnected"
+		if m["repl.connected"] == 1 {
+			state = "connected"
+		}
+		fmt.Printf("upstream: %s (%d reconnects, %d bootstraps)\n",
+			state, m["repl.reconnects"], m["repl.bootstraps"])
+		fmt.Printf("applied: segment %d record %d (%d applied, %d skipped, %d failed)\n",
+			m["repl.applied.seg"], m["repl.applied.idx"],
+			m["repl.applied.records"], m["repl.skipped.records"], m["repl.failed.records"])
+		fmt.Printf("head: segment %d record %d\n", m["repl.head.seg"], m["repl.head.idx"])
+		fmt.Printf("lag: %d segments, %d records, %d bytes\n",
+			m["repl.lag.segments"], m["repl.lag.records"], m["repl.lag.bytes"])
+	case 2:
+		if _, ok := m["repl.primary.conns"]; ok {
+			fmt.Printf("replicas: %d connected, %d served, %d snapshots shipped\n",
+				m["repl.primary.conns"], m["repl.primary.served"], m["repl.primary.snapshots"])
+			fmt.Printf("sent: %d records, %d bytes\n",
+				m["repl.primary.sent.records"], m["repl.primary.sent.bytes"])
+		} else {
+			fmt.Printf("promoted from replica; applied segment %d record %d\n",
+				m["repl.applied.seg"], m["repl.applied.idx"])
 		}
 	}
 }

@@ -330,6 +330,102 @@ func TestBinaryMoirastatSmoke(t *testing.T) {
 	}
 }
 
+// TestBinaryReplication boots a primary moirad with a replication
+// listener and a replica moirad tailing it, then checks the
+// operator-visible surface: moirastat -repl reports the roles, the
+// replica refuses mutations with MR_READONLY, and a comma-separated
+// -addr list fails over past a dead address.
+func TestBinaryReplication(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary build in -short mode")
+	}
+	waitUp := func(name, addr string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			c, err := net.DialTimeout("tcp", addr, time.Second)
+			if err == nil {
+				c.Close()
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never came up on %s", name, addr)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	primAddr, replPort := freePort(t), freePort(t)
+	primary := exec.Command(toolPath(t, "moirad"), "-addr", primAddr,
+		"-data-dir", filepath.Join(t.TempDir(), "primary"), "-repl-listen", replPort)
+	if err := primary.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		primary.Process.Kill()
+		primary.Wait()
+	}()
+	waitUp("primary", primAddr)
+	waitUp("primary repl port", replPort)
+
+	repAddr := freePort(t)
+	rep := exec.Command(toolPath(t, "moirad"), "-addr", repAddr,
+		"-data-dir", filepath.Join(t.TempDir(), "replica"), "-replicate-from", replPort)
+	if err := rep.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		rep.Process.Kill()
+		rep.Wait()
+	}()
+	waitUp("replica", repAddr)
+
+	out, err := exec.Command(toolPath(t, "moirastat"), "-addr", primAddr, "-repl").CombinedOutput()
+	if err != nil {
+		t.Fatalf("moirastat -repl (primary): %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "role: primary") {
+		t.Errorf("primary -repl view:\n%s", firstN(string(out), 400))
+	}
+
+	// The replica reports connected with zero lag once its session is up.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		out, err = exec.Command(toolPath(t, "moirastat"), "-addr", repAddr, "-repl").CombinedOutput()
+		if err != nil {
+			t.Fatalf("moirastat -repl (replica): %v\n%s", err, out)
+		}
+		if strings.Contains(string(out), "role: replica") && strings.Contains(string(out), "upstream: connected") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never reported a live session:\n%s", firstN(string(out), 400))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Mutations bounce off the replica with the read-only error.
+	out, err = exec.Command(toolPath(t, "mrtest"),
+		"-addr", repAddr, "-q", "add_machine", "denied.mit.edu", "VAX").CombinedOutput()
+	if err == nil {
+		t.Fatalf("mutation on replica succeeded:\n%s", out)
+	}
+	if !strings.Contains(string(out), "read-only replica") {
+		t.Errorf("mutation on replica error:\n%s", firstN(string(out), 400))
+	}
+
+	// A dead first address in the -addr list fails over to the replica.
+	dead := freePort(t)
+	out, err = exec.Command(toolPath(t, "moirastat"),
+		"-addr", dead+","+repAddr, "-repl").CombinedOutput()
+	if err != nil {
+		t.Fatalf("moirastat failover: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "role: replica") {
+		t.Errorf("failover -repl view:\n%s", firstN(string(out), 400))
+	}
+}
+
 // parseMoirastat extracts "name value..." pairs from moirastat's
 // grouped output.
 func parseMoirastat(s string) map[string]string {

@@ -50,10 +50,13 @@ type Client struct {
 	trace       string        // pinned trace ID; "" mints a fresh one per request
 	last        string        // trace ID stamped on the most recent request
 	addr        string        // dialed address, for transparent reconnect
+	fallbacks   []string      // read-failover rotation tried after addr
+	cur         int           // index into the rotation of the live connection
 	dialTimeout time.Duration // timeout used for Dial and reconnects
 	callTimeout time.Duration // per-round-trip I/O deadline; 0 = none
 	authed      bool          // an Auth succeeded on this connection
 	reconnects  int           // transparent reconnects performed
+	failovers   int           // reconnects that landed on a fallback address
 }
 
 // ReconnectDelay is the backoff slept (through the client's clock)
@@ -88,6 +91,54 @@ func DialTimeout(addr string, timeout time.Duration, clk clock.Clock) (*Client, 
 		addr:        addr,
 		dialTimeout: timeout,
 	}, nil
+}
+
+// SetReadFallbacks installs a read-failover address list: when an
+// idempotent call dies on a torn connection, the transparent reconnect
+// cycles through the primary address and then each fallback (typically
+// read-only replicas) until one accepts. Mutating and authenticated
+// calls never fail over — a replica would refuse them with MR_READONLY
+// anyway, and the caller should hear that the primary is gone rather
+// than have a write silently retried elsewhere.
+func (c *Client) SetReadFallbacks(addrs ...string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fallbacks = append([]string(nil), addrs...)
+}
+
+// DialFailover connects to the first reachable address in addrs and
+// installs the rest of the list as read fallbacks. Retrieval-only tools
+// (moirastat, DCM extraction) use it so a primary outage degrades to
+// reading from a replica instead of an error.
+func DialFailover(addrs []string, timeout time.Duration, clk clock.Clock) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, mrerr.MrNotConnected
+	}
+	var lastErr error
+	for i, a := range addrs {
+		c, err := DialTimeout(a, timeout, clk)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		rest := append(append([]string(nil), addrs[:i]...), addrs[i+1:]...)
+		c.SetReadFallbacks(rest...)
+		if i > 0 {
+			c.mu.Lock()
+			c.failovers++
+			c.mu.Unlock()
+		}
+		return c, nil
+	}
+	return nil, lastErr
+}
+
+// Failovers reports how many times this client has connected to a
+// fallback address instead of the primary.
+func (c *Client) Failovers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failovers
 }
 
 // SetCallTimeout bounds each subsequent round trip: the whole
@@ -148,16 +199,18 @@ func (c *Client) roundTrip(req *protocol.Request, cb TupleFunc, idempotent bool)
 			return cb(tuple)
 		}
 	}
-	retried := false
+	// One transparent retry per address in the failover rotation: the
+	// dialed address plus every read fallback.
+	retries := 0
 	for {
 		err := c.sendRecv(req, wcb)
 		if err == mrerr.MrVersionMismatch && c.conn != nil && c.version > protocol.MinVersion {
 			c.version = protocol.MinVersion
 			continue
 		}
-		if err == mrerr.MrAborted && idempotent && !retried && !c.authed &&
+		if err == mrerr.MrAborted && idempotent && retries <= len(c.fallbacks) && !c.authed &&
 			c.addr != "" && delivered == 0 {
-			retried = true
+			retries++
 			if c.reconnectLocked() == nil {
 				continue
 			}
@@ -166,21 +219,33 @@ func (c *Client) roundTrip(req *protocol.Request, cb TupleFunc, idempotent bool)
 	}
 }
 
-// reconnectLocked redials the original address after a short backoff;
-// callers hold c.mu. The negotiated protocol version is kept: both
-// versions interoperate, and a still-downgraded client just re-probes on
-// the next mismatch.
+// reconnectLocked redials after a short backoff, starting at the
+// address of the connection that just died and rotating through the
+// read-fallback list until one accepts; callers hold c.mu. The
+// negotiated protocol version is kept: both versions interoperate, and
+// a still-downgraded client just re-probes on the next mismatch.
 func (c *Client) reconnectLocked() error {
 	clock.Sleep(c.clk, ReconnectDelay)
-	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
-	if err != nil {
-		return err
+	rotation := append([]string{c.addr}, c.fallbacks...)
+	var lastErr error
+	for i := 0; i < len(rotation); i++ {
+		slot := (c.cur + i) % len(rotation)
+		conn, err := net.DialTimeout("tcp", rotation[slot], c.dialTimeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c.conn = conn
+		c.br = bufio.NewReader(conn)
+		c.bw = bufio.NewWriter(conn)
+		c.reconnects++
+		if slot != 0 {
+			c.failovers++
+		}
+		c.cur = slot
+		return nil
 	}
-	c.conn = conn
-	c.br = bufio.NewReader(conn)
-	c.bw = bufio.NewWriter(conn)
-	c.reconnects++
-	return nil
+	return lastErr
 }
 
 // sendRecv does one request/reply exchange; callers hold c.mu.

@@ -81,6 +81,11 @@ type Options struct {
 	ServerWriteTimeout time.Duration
 	ServerMaxConns     int
 	ServerDrainTimeout time.Duration
+
+	// ReadFallbacks are replica addresses that unauthenticated clients
+	// built by System.Client fall back to for retrievals when the
+	// primary is unreachable (see client.DialFailover).
+	ReadFallbacks []string
 }
 
 // System is a running Moira installation.
@@ -96,6 +101,11 @@ type System struct {
 
 	Server     *server.Server
 	ServerAddr string
+
+	// ReadFallbacks are replica addresses Client adds as a read
+	// failover rotation; retrieval-only tools keep working through a
+	// primary outage.
+	ReadFallbacks []string
 
 	Reg     *reg.Server
 	RegAddr string
@@ -202,6 +212,7 @@ func Boot(opts Options) (*System, error) {
 		return nil, err
 	}
 	s.ServerAddr = addr.String()
+	s.ReadFallbacks = append([]string(nil), opts.ReadFallbacks...)
 
 	// The DCM, authenticated to the update agents with a fresh ticket
 	// per pass (a cron-driven DCM never holds tickets across runs).
@@ -387,8 +398,14 @@ func (s *System) Direct(app string) *client.Direct {
 	return client.NewDirect(s.DirectContext(app))
 }
 
-// Client dials the Moira server without authenticating.
+// Client dials the Moira server without authenticating. When read
+// fallbacks are configured, the client fails over to them (and back)
+// for idempotent retrievals.
 func (s *System) Client() (*client.Client, error) {
+	if len(s.ReadFallbacks) > 0 {
+		addrs := append([]string{s.ServerAddr}, s.ReadFallbacks...)
+		return client.DialFailover(addrs, 10*time.Second, s.Clk)
+	}
 	return client.DialTimeout(s.ServerAddr, 10*time.Second, s.Clk)
 }
 

@@ -201,6 +201,30 @@ func (d *DB) SetJournal(w io.Writer) {
 // the memory/disk divergence; reads keep serving.
 func (d *DB) JournalWedged() bool { return d.wedged.Load() }
 
+// AdoptFrom replaces d's entire data state with src's under d's
+// exclusive lock, keeping d's identity — clock, journal target, stats
+// mirror bindings, and every pointer other code holds to d. A replica
+// uses it to swap in a freshly restored bootstrap snapshot without
+// tearing down the server that is already serving reads from d. src
+// must be a private database (typically just built by Restore) that no
+// other goroutine touches; its contents are moved, not copied.
+func (d *DB) AdoptFrom(src *DB) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.users, d.usersByLogin = src.users, src.usersByLogin
+	d.machines, d.machByName = src.machines, src.machByName
+	d.clusters, d.cluByName = src.clusters, src.cluByName
+	d.mcmap, d.svc = src.mcmap, src.svc
+	d.lists, d.listsByName, d.members = src.lists, src.listsByName, src.members
+	d.servers, d.serverHosts = src.servers, src.serverHosts
+	d.filesys, d.nfsphys, d.nfsquotas = src.filesys, src.nfsphys, src.nfsquotas
+	d.zephyr, d.hostaccess = src.zephyr, src.hostaccess
+	d.strings, d.stringsByVal = src.strings, src.stringsByVal
+	d.services, d.printcaps, d.capacls = src.services, src.printcaps, src.capacls
+	d.aliases, d.values, d.stats = src.aliases, src.values, src.stats
+	d.seqCounter, d.tableSeq = src.seqCounter, src.tableSeq
+}
+
 // --- TBLSTATS maintenance. Caller must hold the exclusive lock. ---
 
 func (d *DB) stat(table string) *TblStat {

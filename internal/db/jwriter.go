@@ -156,6 +156,8 @@ type JournalWriter struct {
 	stop chan struct{}
 	done chan struct{}
 
+	subs []chan struct{}
+
 	appends   atomic.Int64
 	bytes     atomic.Int64
 	syncs     atomic.Int64
@@ -266,7 +268,32 @@ func (w *JournalWriter) Write(p []byte) (int, error) {
 			return n, err
 		}
 	}
+	w.notifyLocked()
 	return n, nil
+}
+
+// Subscribe returns a channel that receives a (coalesced) wakeup after
+// every appended record and every rotation. The channel has a buffer of
+// one and notifications never block: a slow receiver sees at least one
+// pending wakeup, not a backlog. Replication tailers use this for
+// group-commit-aware flushing — read the segment files until caught up,
+// then park on the channel instead of polling.
+func (w *JournalWriter) Subscribe() <-chan struct{} {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ch := make(chan struct{}, 1)
+	w.subs = append(w.subs, ch)
+	return ch
+}
+
+// notifyLocked wakes all subscribers without blocking.
+func (w *JournalWriter) notifyLocked() {
+	for _, ch := range w.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
 }
 
 // writeInjected performs the file write, splitting it around the
@@ -328,6 +355,7 @@ func (w *JournalWriter) Rotate() (int64, error) {
 		return 0, err
 	}
 	w.rotations.Add(1)
+	w.notifyLocked()
 	return w.seq, nil
 }
 
@@ -357,6 +385,7 @@ func (w *JournalWriter) Close() error {
 	if w.dead == nil {
 		w.dead = fmt.Errorf("db: journal writer closed")
 	}
+	w.notifyLocked()
 	return err
 }
 

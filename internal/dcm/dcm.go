@@ -39,6 +39,17 @@ type Config struct {
 	// gen.Registry.
 	Generators map[string]gen.Func
 
+	// ExtractDB, when non-nil, is the database the generators read
+	// from — typically a caught-up read replica, so extraction passes
+	// stop competing with mutations for the primary's lock. All
+	// bookkeeping (claiming, flags, genseq) stays on DB. The stored
+	// genseq remains coherent because Result.Seq is computed against
+	// the same database the generator read, and a lagging replica only
+	// makes no-change detection conservative (regenerating data that
+	// did change is harmless; skipping data that did is not possible,
+	// since the seq the replica reports can only trail the primary's).
+	ExtractDB *db.DB
+
 	// Scripts maps service name to its install-script builder; defaults
 	// to DefaultScripts.
 	Scripts map[string]ScriptBuilder
@@ -296,6 +307,9 @@ func traceSuffix(trace string) string {
 // hosts.
 func (m *DCM) serviceCycle(snap *serviceSnapshot, generator gen.Func, stats *CycleStats) {
 	d := m.cfg.DB
+	if m.cfg.ExtractDB != nil {
+		d = m.cfg.ExtractDB
+	}
 	now := m.clk.Now().Unix()
 	name := snap.Name
 

@@ -50,6 +50,7 @@ var mrTable = Register("mr", []string{
 	/* 40 */ "Query not permitted over unauthenticated connection", // (reserved)
 	/* 41 */ "The server is shutting down", // MR_DOWN
 	/* 42 */ "Server has too many connections; try again later", // MR_BUSY
+	/* 43 */ "Server is a read-only replica; send updates to the primary", // MR_READONLY
 })
 
 // Server and query error codes, exported as Go constants. The names keep
@@ -96,6 +97,7 @@ var (
 	MrDCMDisabled     = mrTable.Code(39)
 	MrDown            = mrTable.Code(41)
 	MrBusy            = mrTable.Code(42) // MR_BUSY
+	MrReadonly        = mrTable.Code(43) // MR_READONLY
 )
 
 // mrcTable holds the client library / connection errors.

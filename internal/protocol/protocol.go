@@ -26,8 +26,11 @@ import (
 // adds a per-request trace ID, carried as an extra counted string
 // prepended to the argument list — the frame layout is unchanged, so a
 // version-1 peer parses a version-2 frame cleanly and can answer
-// MR_VERSION_MISMATCH without desynchronizing the stream.
-const Version uint16 = 2
+// MR_VERSION_MISMATCH without desynchronizing the stream. Version 3
+// adds the Replicate major request (journal-shipping replication); the
+// frame layout is again unchanged, so older peers reject it cleanly
+// with MR_UNKNOWN_PROC or MR_VERSION_MISMATCH.
+const Version uint16 = 3
 
 // MinVersion is the oldest protocol version this implementation still
 // accepts; clients fall back to it when a server rejects Version.
@@ -45,6 +48,7 @@ const (
 	OpAccess     uint16 = 4 // like Query but only checks permission
 	OpTriggerDCM uint16 = 5 // no arguments; spawn a DCM
 	OpShutdown   uint16 = 6 // no arguments; ask the server to exit
+	OpReplicate  uint16 = 7 // v3: args: last applied journal (segment, record index)
 )
 
 // OpName names an opcode for logging.
@@ -62,6 +66,8 @@ func OpName(op uint16) string {
 		return "trigger_dcm"
 	case OpShutdown:
 		return "shutdown"
+	case OpReplicate:
+		return "replicate"
 	default:
 		return fmt.Sprintf("op%d", op)
 	}

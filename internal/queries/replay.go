@@ -186,6 +186,40 @@ func ReplaySegments(d *db.DB, segs []db.Segment, logf func(string, ...any)) (*Re
 	return total, nil
 }
 
+// ApplyOutcome classifies the result of applying one journal record.
+type ApplyOutcome int
+
+// Apply outcomes, mirroring ReplayStats' counters.
+const (
+	ApplyApplied ApplyOutcome = iota // executed successfully
+	ApplySkipped                     // effect already present (overlap)
+	ApplyFailed                      // other error; record could not take effect
+)
+
+// ApplyJournalLine executes one CRC-valid journal line against d with
+// replay semantics: privileged, original principal preserved, overlap
+// errors (the record's effect is already present) counted as skipped
+// rather than failed. Replication tailers feed received records through
+// it so a replica's apply path is exactly the recovery path. A line
+// that fails its CRC or cannot be parsed returns ApplyFailed and a
+// wrapped ErrJournalCorrupt: the stream, not the database, is damaged.
+func ApplyJournalLine(d *db.DB, line string) (ApplyOutcome, error) {
+	rec, err := parseLine(line, true)
+	if err != nil {
+		return ApplyFailed, fmt.Errorf("%w: %v", ErrJournalCorrupt, err)
+	}
+	cx := &Context{DB: d, Principal: rec.Principal, App: rec.App, TraceID: rec.Trace, Privileged: true}
+	err = Execute(cx, rec.Query, rec.Args, func([]string) error { return nil })
+	switch {
+	case err == nil:
+		return ApplyApplied, nil
+	case isOverlapError(err):
+		return ApplySkipped, nil
+	default:
+		return ApplyFailed, err
+	}
+}
+
 // isOverlapError reports errors that signal "this change is already in
 // the restored state" — the journal window overlapping the dump.
 func isOverlapError(err error) bool {

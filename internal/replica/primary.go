@@ -1,0 +1,533 @@
+package replica
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"moira/internal/db"
+	"moira/internal/mrerr"
+	"moira/internal/protocol"
+	"moira/internal/stats"
+)
+
+// PrimaryConfig configures a replication primary.
+type PrimaryConfig struct {
+	// Journal is the primary's live journal writer: the tailer follows
+	// its segment files and parks on its append notifications.
+	Journal *db.JournalWriter
+
+	// Store is the primary's checkpoint store, the source of bootstrap
+	// snapshots for replicas too far behind the retained segments.
+	Store *db.CheckpointStore
+
+	// Checkpoint, when non-nil, is invoked to take a snapshot on demand
+	// when a replica needs bootstrapping and no manifest-valid snapshot
+	// exists yet (typically core.Durability.Checkpoint).
+	Checkpoint func() (int64, error)
+
+	// Logf receives replication log lines; nil discards them.
+	Logf func(format string, args ...any)
+
+	// Stats, when non-nil, receives the repl.primary.* series.
+	Stats *stats.Registry
+}
+
+// Primary serves the replication stream: it listens on its own port
+// (separate from the query port), answers each connecting replica's
+// Replicate handshake, bootstraps it from a snapshot if needed, and
+// then tails the live journal to it with group-commit-aware flushing —
+// records are written through a buffered writer that is flushed only
+// when the tailer catches up to the journal head, so a burst of
+// appends rides out in few network writes.
+type Primary struct {
+	cfg  PrimaryConfig
+	logf func(string, ...any)
+
+	ln      net.Listener
+	wg      sync.WaitGroup
+	closing chan struct{}
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	active    atomic.Int64
+	served    atomic.Int64
+	snapshots atomic.Int64
+	sentRecs  atomic.Int64
+	sentBytes atomic.Int64
+}
+
+// NewPrimary builds a replication primary over an open journal writer
+// and checkpoint store.
+func NewPrimary(cfg PrimaryConfig) *Primary {
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	p := &Primary{
+		cfg:     cfg,
+		logf:    logf,
+		closing: make(chan struct{}),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	if cfg.Stats != nil {
+		p.BindStats(cfg.Stats)
+	}
+	return p
+}
+
+// BindStats publishes the primary's replication series into reg.
+func (p *Primary) BindStats(reg *stats.Registry) {
+	reg.AddGroup(func(emit func(string, int64)) {
+		emit("repl.role", 2)
+		emit("repl.primary.conns", p.active.Load())
+		emit("repl.primary.served", p.served.Load())
+		emit("repl.primary.snapshots", p.snapshots.Load())
+		emit("repl.primary.sent.records", p.sentRecs.Load())
+		emit("repl.primary.sent.bytes", p.sentBytes.Load())
+	})
+}
+
+// Listen binds the replication port and starts serving replicas.
+func (p *Primary) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p.ln = ln
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return ln.Addr(), nil
+}
+
+// Addr returns the bound replication address, or nil before Listen.
+func (p *Primary) Addr() net.Addr {
+	if p.ln == nil {
+		return nil
+	}
+	return p.ln.Addr()
+}
+
+// Close stops accepting, drops every replica connection, and waits for
+// the connection goroutines to drain. Replicas reconnect and resume
+// from their on-disk position.
+func (p *Primary) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return nil
+	}
+	p.closed = true
+	close(p.closing)
+	var err error
+	if p.ln != nil {
+		err = p.ln.Close()
+	}
+	for conn := range p.conns {
+		conn.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Primary) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			return
+		}
+		p.conns[conn] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			p.serveConn(conn)
+		}()
+	}
+}
+
+func (p *Primary) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		p.mu.Lock()
+		delete(p.conns, conn)
+		p.mu.Unlock()
+		p.active.Add(-1)
+	}()
+	p.active.Add(1)
+	p.served.Add(1)
+
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	final := func(code mrerr.Code) {
+		protocol.WriteReply(bw, &protocol.Reply{Version: protocol.Version, Code: int32(code)})
+		bw.Flush()
+	}
+
+	req, err := protocol.ReadRequest(br)
+	if err != nil {
+		return
+	}
+	if req.Version != protocol.Version {
+		final(mrerr.MrVersionMismatch)
+		return
+	}
+	if req.Op != protocol.OpReplicate {
+		final(mrerr.MrUnknownProc)
+		return
+	}
+	if len(req.Args) != 2 {
+		final(mrerr.MrArgs)
+		return
+	}
+	args := req.StringArgs()
+	seg, err1 := parseInt(args[0])
+	idx, err2 := parseInt(args[1])
+	if err1 != nil || err2 != nil || seg < 0 || idx < 0 {
+		final(mrerr.MrArgs)
+		return
+	}
+
+	p.logf("repl: %s connected at position (%d, %d)", conn.RemoteAddr(), seg, idx)
+	if err := p.stream(conn, bw, seg, idx); err != nil {
+		p.logf("repl: %s: %v", conn.RemoteAddr(), err)
+		final(mrerr.MrInternal)
+	}
+}
+
+// stream feeds one replica: bootstrap if its position predates the
+// retained journal, then tail the segments from its position on.
+func (p *Primary) stream(conn net.Conn, bw *bufio.Writer, seg, idx int64) error {
+	// Subscribe before examining any on-disk state so no append
+	// notification can slip between the scan and the first park.
+	notify := p.cfg.Journal.Subscribe()
+
+	// The replica sends nothing after its handshake, so a read on the
+	// connection blocks until it dies — which is exactly the signal a
+	// tailer parked on the notify channel needs to notice a dead peer.
+	connDead := make(chan struct{})
+	go func() {
+		var one [1]byte
+		conn.Read(one[:])
+		close(connDead)
+	}()
+
+	send := func(fields ...[]byte) error {
+		return protocol.WriteReply(bw, &protocol.Reply{
+			Version: protocol.Version,
+			Code:    int32(mrerr.MrMoreData),
+			Fields:  fields,
+		})
+	}
+	sendStrings := func(fields ...string) error {
+		return send(protocol.BytesArgs(fields)...)
+	}
+
+	seg, idx, err := p.maybeBootstrap(bw, send, sendStrings, seg, idx)
+	if err != nil {
+		return err
+	}
+
+	return p.tail(bw, sendStrings, notify, connDead, seg, idx)
+}
+
+// maybeBootstrap decides bootstrap-vs-tail and, when the replica's
+// position predates what the journal still holds, ships the newest
+// manifest-valid snapshot. It returns the position tailing starts from.
+func (p *Primary) maybeBootstrap(bw *bufio.Writer, send func(...[]byte) error, sendStrings func(...string) error, seg, idx int64) (int64, int64, error) {
+	segs, err := db.ListSegments(p.cfg.Journal.Dir())
+	if err != nil {
+		return 0, 0, err
+	}
+	oldest := int64(0)
+	if len(segs) > 0 {
+		oldest = segs[0].Seq
+	}
+	cur := p.cfg.Journal.Seq()
+	if seg > cur {
+		return 0, 0, fmt.Errorf("replica position (%d, %d) is ahead of journal head %d: diverged history", seg, idx, cur)
+	}
+
+	need := false
+	switch {
+	case seg == 0:
+		// Empty replica: bootstrap whenever a snapshot exists (the
+		// journal alone may not reach back to the beginning of time);
+		// otherwise the retained segments are the full history.
+		gens, err := p.cfg.Store.Generations()
+		if err != nil {
+			return 0, 0, err
+		}
+		need = len(gens) > 0
+		if !need {
+			seg, idx = oldest, 0
+			if seg == 0 {
+				seg = cur
+			}
+		}
+	case oldest == 0 || seg < oldest:
+		// The records the replica needs were pruned by checkpointing.
+		need = true
+	}
+	if !need {
+		return seg, idx, nil
+	}
+
+	gen, m, err := p.newestValidSnapshot()
+	if err != nil {
+		return 0, 0, err
+	}
+	if gen == 0 {
+		// No usable snapshot on disk: take one now if we can.
+		if p.cfg.Checkpoint == nil {
+			return 0, 0, fmt.Errorf("replica needs bootstrap but no snapshot exists and no checkpointer is wired")
+		}
+		if _, err := p.cfg.Checkpoint(); err != nil {
+			return 0, 0, fmt.Errorf("on-demand bootstrap checkpoint: %w", err)
+		}
+		if gen, m, err = p.newestValidSnapshot(); err != nil {
+			return 0, 0, err
+		}
+		if gen == 0 {
+			return 0, 0, fmt.Errorf("on-demand checkpoint produced no verifiable snapshot")
+		}
+	}
+
+	p.logf("repl: bootstrapping from snapshot generation %d (journal seq %d)", gen, m.JournalSeq)
+	if err := p.sendSnapshot(send, sendStrings, gen, m); err != nil {
+		return 0, 0, err
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, 0, err
+	}
+	p.snapshots.Add(1)
+	return m.JournalSeq, 0, nil
+}
+
+// newestValidSnapshot returns the newest generation whose manifest
+// verifies, or 0 when none does.
+func (p *Primary) newestValidSnapshot() (int64, *db.Manifest, error) {
+	gens, err := p.cfg.Store.Generations()
+	if err != nil {
+		return 0, nil, err
+	}
+	for i := len(gens) - 1; i >= 0; i-- {
+		dir := p.cfg.Store.Path(gens[i])
+		m, verr := db.ReadManifest(dir)
+		if verr == nil {
+			verr = m.Verify(dir)
+		}
+		if verr != nil {
+			p.logf("repl: skipping snapshot generation %d: %v", gens[i], verr)
+			continue
+		}
+		return gens[i], m, nil
+	}
+	return 0, nil, nil
+}
+
+// sendSnapshot ships every file of one snapshot generation, raw,
+// manifest last. The replica verifies the manifest after reassembly,
+// so a file damaged in flight is caught before it is adopted.
+func (p *Primary) sendSnapshot(send func(...[]byte) error, sendStrings func(...string) error, gen int64, m *db.Manifest) error {
+	dir := p.cfg.Store.Path(gen)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && e.Name() != db.ManifestFile {
+			names = append(names, e.Name())
+		}
+	}
+	names = append(names, db.ManifestFile)
+
+	if err := sendStrings(tagSnapBegin, itoa(gen), itoa(m.JournalSeq)); err != nil {
+		return err
+	}
+	buf := make([]byte, snapChunkSize)
+	for _, name := range names {
+		if err := sendStrings(tagFile, name); err != nil {
+			return err
+		}
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		for {
+			n, rerr := f.Read(buf)
+			if n > 0 {
+				if err := send([]byte(tagChunk), buf[:n]); err != nil {
+					f.Close()
+					return err
+				}
+				p.sentBytes.Add(int64(n))
+			}
+			if rerr == io.EOF {
+				break
+			}
+			if rerr != nil {
+				f.Close()
+				return rerr
+			}
+		}
+		f.Close()
+		if err := sendStrings(tagFileEnd, name); err != nil {
+			return err
+		}
+	}
+	return sendStrings(tagSnapEnd)
+}
+
+// tail streams journal records from (seg, idx) on, advancing segment
+// by segment and parking on the journal's append notification when
+// caught up. A complete line that fails its CRC is mid-file corruption
+// and kills the stream; an incomplete tail of a *rotated* segment is
+// the torn-line crash signature and is skipped, exactly as recovery
+// does.
+func (p *Primary) tail(bw *bufio.Writer, sendStrings func(...string) error, notify <-chan struct{}, connDead <-chan struct{}, seg, idx int64) error {
+	jdir := p.cfg.Journal.Dir()
+	var (
+		f        *os.File
+		rem      []byte // bytes read but not yet forming a complete line
+		lineIdx  int64  // index of the next complete line in this segment
+		consumed int64  // byte offset of the end of the last complete line
+		sendFrom = idx  // skip lines the replica already has (first segment only)
+		drained  bool   // one extra read after observing rotation
+	)
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+	}()
+
+	park := func() error {
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		select {
+		case <-notify:
+			return nil
+		case <-p.closing:
+			return fmt.Errorf("primary shutting down")
+		case <-connDead:
+			return fmt.Errorf("replica hung up")
+		}
+	}
+
+	buf := make([]byte, 64<<10)
+	for {
+		select {
+		case <-p.closing:
+			return fmt.Errorf("primary shutting down")
+		case <-connDead:
+			return fmt.Errorf("replica hung up")
+		default:
+		}
+
+		if f == nil {
+			var err error
+			f, err = os.Open(filepath.Join(jdir, db.SegmentName(seg)))
+			if os.IsNotExist(err) {
+				if seg < p.cfg.Journal.Seq() {
+					// Pruned under us: the replica must re-handshake and
+					// get bootstrapped.
+					return fmt.Errorf("segment %d no longer available", seg)
+				}
+				// Not created yet; wait for the rotation.
+				if err := park(); err != nil {
+					return err
+				}
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			rem, lineIdx, consumed, drained = rem[:0], 0, 0, false
+		}
+
+		n, rerr := f.Read(buf)
+		progressed := false
+		if n > 0 {
+			drained = false
+			rem = append(rem, buf[:n]...)
+			for {
+				j := bytes.IndexByte(rem, '\n')
+				if j < 0 {
+					break
+				}
+				line := string(rem[:j])
+				rem = rem[j+1:]
+				consumed += int64(j) + 1
+				if line == "" {
+					continue
+				}
+				if _, st := db.SplitJournalCRC(line); st != db.CRCValid {
+					return fmt.Errorf("segment %d line %d fails CRC: journal corrupt", seg, lineIdx)
+				}
+				if lineIdx >= sendFrom {
+					if err := sendStrings(tagRec, itoa(seg), itoa(lineIdx), line); err != nil {
+						return err
+					}
+					p.sentRecs.Add(1)
+					p.sentBytes.Add(int64(len(line)) + 1)
+					progressed = true
+				}
+				lineIdx++
+			}
+		}
+		if rerr != nil && rerr != io.EOF {
+			return rerr
+		}
+		if progressed || n > 0 {
+			continue
+		}
+
+		// EOF with nothing new.
+		cur := p.cfg.Journal.Seq()
+		if seg < cur {
+			// Rotated away. One more read guards the race where records
+			// landed between our EOF and the rotation; after a drained
+			// re-read the file can no longer grow. Anything left in rem
+			// is the segment's torn tail — skipped, as in recovery.
+			if !drained {
+				drained = true
+				continue
+			}
+			if len(rem) > 0 {
+				p.logf("repl: skipping torn tail of segment %d (%d bytes)", seg, len(rem))
+			}
+			f.Close()
+			f = nil
+			seg++
+			sendFrom = 0
+			continue
+		}
+
+		// Caught up on the live segment: report head, flush, park.
+		if err := sendStrings(tagHead, itoa(seg), itoa(lineIdx), itoa(consumed)); err != nil {
+			return err
+		}
+		if err := park(); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,707 @@
+package replica
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"moira/internal/clock"
+	"moira/internal/db"
+	"moira/internal/mrerr"
+	"moira/internal/protocol"
+	"moira/internal/queries"
+	"moira/internal/stats"
+)
+
+// Config configures a replica.
+type Config struct {
+	// Root is the replica's own durable data directory. It uses the
+	// standard layout and mirrors the primary's segment numbering, so
+	// it recovers with queries.Recover like any other data dir — and a
+	// promoted (or plainly restarted) replica serves from it directly.
+	Root string
+
+	// From is the primary's replication address (its -repl-listen).
+	From string
+
+	// Clock drives timestamps and reconnect backoff; nil means the
+	// system clock.
+	Clock clock.Clock
+
+	// Logf receives replication log lines; nil discards them.
+	Logf func(format string, args ...any)
+
+	// Stats, when non-nil, receives the repl.* series.
+	Stats *stats.Registry
+
+	// DialTimeout bounds each connection attempt (default 10s).
+	DialTimeout time.Duration
+
+	// RetryDelay is the backoff between reconnect attempts (default 1s),
+	// slept through Clock.
+	RetryDelay time.Duration
+}
+
+// Replica is a read-only copy of the primary, kept hot by tailing its
+// journal. Open recovers the local mirror, Start begins tailing, and
+// the DB serves retrieval queries throughout — during bootstrap, the
+// old state keeps serving until the restored snapshot is adopted in
+// one lock acquisition.
+type Replica struct {
+	cfg  Config
+	clk  clock.Clock
+	logf func(string, ...any)
+
+	d  *db.DB
+	dd *db.DataDir
+
+	mu      sync.Mutex
+	conn    net.Conn
+	started bool
+
+	closing  chan struct{}
+	done     chan struct{}
+	promoted atomic.Bool
+
+	// Mirror of the primary's journal, owned by the run goroutine.
+	mf   *os.File
+	mseg int64
+
+	// Position and lag, published via BindStats. next* name the record
+	// the replica wants next; head* echo the primary's last head frame.
+	nextSeg    atomic.Int64
+	nextIdx    atomic.Int64
+	segBytes   atomic.Int64 // bytes mirrored into the current segment
+	headSeg    atomic.Int64
+	headIdx    atomic.Int64
+	headOff    atomic.Int64
+	applied    atomic.Int64
+	skipped    atomic.Int64
+	failed     atomic.Int64
+	reconnects atomic.Int64
+	bootstraps atomic.Int64
+	connected  atomic.Bool
+}
+
+// ErrPromoted is returned by operations that no longer apply once a
+// replica has been promoted to primary.
+var ErrPromoted = errors.New("replica: already promoted")
+
+// Open recovers the replica's local data directory (snapshot +
+// mirrored segments, identical to primary recovery), truncates any
+// torn tail its own crash left in the newest mirrored segment, and
+// computes the resume position. It does not connect; call Start.
+func Open(cfg Config) (*Replica, *queries.RecoverInfo, error) {
+	if cfg.Root == "" || cfg.From == "" {
+		return nil, nil, fmt.Errorf("replica: Root and From are required")
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.System
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	if cfg.RetryDelay <= 0 {
+		cfg.RetryDelay = time.Second
+	}
+
+	d, info, err := queries.Recover(cfg.Root, clk, logf)
+	if err != nil {
+		return nil, info, err
+	}
+	dd, err := db.OpenDataDir(cfg.Root)
+	if err != nil {
+		return nil, info, err
+	}
+
+	r := &Replica{
+		cfg:     cfg,
+		clk:     clk,
+		logf:    logf,
+		d:       d,
+		dd:      dd,
+		closing: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	seg, idx, off, err := scanPosition(dd.JournalDir())
+	if err != nil {
+		return nil, info, err
+	}
+	if seg > 0 {
+		// A torn tail from the replica's own crash must be cut off:
+		// the primary resends that record whole, and appending it after
+		// the partial bytes would manufacture mid-file corruption.
+		if err := truncateSegment(filepath.Join(dd.JournalDir(), db.SegmentName(seg)), off); err != nil {
+			return nil, info, err
+		}
+	}
+	r.nextSeg.Store(seg)
+	r.nextIdx.Store(idx)
+	r.segBytes.Store(off)
+	logf("repl: opened replica at position (%d, %d): %s", seg, idx, info.Summary())
+	if cfg.Stats != nil {
+		r.BindStats(cfg.Stats)
+	}
+	return r, info, nil
+}
+
+// DB returns the replica's database, live from the moment Open
+// returns. Serve it read-only: nothing attaches a journal to it, so
+// locally executed mutations would be silently undone by the next
+// bootstrap — the server's MR_READONLY gate is what keeps them out.
+func (r *Replica) DB() *db.DB { return r.d }
+
+// Position returns the next (segment, record) the replica wants.
+func (r *Replica) Position() (seg, idx int64) {
+	return r.nextSeg.Load(), r.nextIdx.Load()
+}
+
+// Connected reports whether a replication session is currently live.
+func (r *Replica) Connected() bool { return r.connected.Load() }
+
+// BindStats publishes the replica's repl.* series into reg. Lag in
+// records and bytes is exact while applier and head share a segment
+// and a lower bound while the applier is segments behind.
+func (r *Replica) BindStats(reg *stats.Registry) {
+	reg.AddGroup(func(emit func(string, int64)) {
+		role := int64(1)
+		if r.promoted.Load() {
+			role = 2
+		}
+		emit("repl.role", role)
+		emit("repl.applied.seg", r.nextSeg.Load())
+		emit("repl.applied.idx", r.nextIdx.Load())
+		emit("repl.applied.records", r.applied.Load())
+		if s := r.skipped.Load(); s > 0 {
+			emit("repl.skipped.records", s)
+		}
+		if f := r.failed.Load(); f > 0 {
+			emit("repl.failed.records", f)
+		}
+		hs, hi, ho := r.headSeg.Load(), r.headIdx.Load(), r.headOff.Load()
+		if hs > 0 {
+			emit("repl.head.seg", hs)
+			emit("repl.head.idx", hi)
+			lagSegs := hs - r.nextSeg.Load()
+			if lagSegs < 0 {
+				lagSegs = 0
+			}
+			emit("repl.lag.segments", lagSegs)
+			lagRecs, lagBytes := hi, ho
+			if lagSegs == 0 {
+				lagRecs = hi - r.nextIdx.Load()
+				lagBytes = ho - r.segBytes.Load()
+			}
+			if lagRecs < 0 {
+				lagRecs = 0
+			}
+			if lagBytes < 0 {
+				lagBytes = 0
+			}
+			emit("repl.lag.records", lagRecs)
+			emit("repl.lag.bytes", lagBytes)
+		}
+		emit("repl.reconnects", r.reconnects.Load())
+		if b := r.bootstraps.Load(); b > 0 {
+			emit("repl.bootstraps", b)
+		}
+		if r.connected.Load() {
+			emit("repl.connected", 1)
+		} else {
+			emit("repl.connected", 0)
+		}
+	})
+}
+
+// Start launches the tailing loop: connect, handshake, apply, and
+// reconnect with backoff until Close or Promote.
+func (r *Replica) Start() {
+	r.mu.Lock()
+	if r.started {
+		r.mu.Unlock()
+		return
+	}
+	r.started = true
+	r.mu.Unlock()
+	go r.run()
+}
+
+func (r *Replica) run() {
+	defer close(r.done)
+	defer r.closeMirror()
+	first := true
+	for {
+		select {
+		case <-r.closing:
+			return
+		default:
+		}
+		if !first {
+			r.reconnects.Add(1)
+			clock.Sleep(r.clk, r.cfg.RetryDelay)
+		}
+		first = false
+		if err := r.session(); err != nil {
+			select {
+			case <-r.closing:
+				return
+			default:
+			}
+			r.logf("repl: session ended: %v", err)
+		}
+	}
+}
+
+// setConn records the live connection so Close/Promote can cut it.
+func (r *Replica) setConn(conn net.Conn) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select {
+	case <-r.closing:
+		return false
+	default:
+	}
+	r.conn = conn
+	return true
+}
+
+// session runs one connection to the primary to completion.
+func (r *Replica) session() error {
+	conn, err := net.DialTimeout("tcp", r.cfg.From, r.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	if !r.setConn(conn) {
+		conn.Close()
+		return nil
+	}
+	defer func() {
+		conn.Close()
+		r.connected.Store(false)
+		r.mu.Lock()
+		r.conn = nil
+		r.mu.Unlock()
+	}()
+
+	bw := bufio.NewWriter(conn)
+	seg, idx := r.nextSeg.Load(), r.nextIdx.Load()
+	err = protocol.WriteRequest(bw, &protocol.Request{
+		Version: protocol.Version,
+		Op:      protocol.OpReplicate,
+		Args:    protocol.BytesArgs([]string{itoa(seg), itoa(idx)}),
+	})
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err != nil {
+		return err
+	}
+	r.connected.Store(true)
+	r.logf("repl: connected to %s at position (%d, %d)", r.cfg.From, seg, idx)
+
+	br := bufio.NewReader(conn)
+	for {
+		rep, err := protocol.ReadReply(br)
+		if err != nil {
+			return err
+		}
+		if mrerr.Code(rep.Code) != mrerr.MrMoreData {
+			return fmt.Errorf("primary ended stream with code %d (%v)", rep.Code, mrerr.Code(rep.Code).OrNil())
+		}
+		if len(rep.Fields) == 0 {
+			return fmt.Errorf("empty stream frame")
+		}
+		f := rep.StringFields()
+		switch f[0] {
+		case tagRec:
+			if len(f) != 4 {
+				return fmt.Errorf("malformed rec frame (%d fields)", len(f))
+			}
+			if err := r.applyRecord(f[1], f[2], f[3]); err != nil {
+				return err
+			}
+		case tagHead:
+			if len(f) != 4 {
+				return fmt.Errorf("malformed head frame (%d fields)", len(f))
+			}
+			hs, e1 := parseInt(f[1])
+			hi, e2 := parseInt(f[2])
+			ho, e3 := parseInt(f[3])
+			if e1 != nil || e2 != nil || e3 != nil {
+				return fmt.Errorf("malformed head frame")
+			}
+			r.headSeg.Store(hs)
+			r.headIdx.Store(hi)
+			r.headOff.Store(ho)
+		case tagSnapBegin:
+			if len(f) != 3 {
+				return fmt.Errorf("malformed snap-begin frame")
+			}
+			if err := r.receiveSnapshot(br, f[1], f[2]); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown stream frame %q", f[0])
+		}
+	}
+}
+
+// applyRecord mirrors one journal line to disk and applies it through
+// the replay path.
+func (r *Replica) applyRecord(segField, idxField, line string) error {
+	seg, e1 := parseInt(segField)
+	idx, e2 := parseInt(idxField)
+	if e1 != nil || e2 != nil {
+		return fmt.Errorf("malformed rec position")
+	}
+	if _, st := db.SplitJournalCRC(line); st != db.CRCValid {
+		return fmt.Errorf("record (%d, %d) fails CRC in flight", seg, idx)
+	}
+	wantSeg, wantIdx := r.nextSeg.Load(), r.nextIdx.Load()
+	switch {
+	case wantSeg == 0 && wantIdx == 0:
+		// Empty replica streaming without bootstrap: adopt the
+		// primary's numbering from the first record.
+		if idx != 0 {
+			return fmt.Errorf("first record (%d, %d) is mid-segment", seg, idx)
+		}
+	case seg == wantSeg && idx == wantIdx:
+		// In sequence.
+	case seg > wantSeg && idx == 0:
+		// Primary advanced past our segment's (possibly torn) tail.
+	default:
+		return fmt.Errorf("record (%d, %d) does not follow position (%d, %d)", seg, idx, wantSeg, wantIdx)
+	}
+
+	if err := r.mirrorAppend(seg, line); err != nil {
+		return err
+	}
+	outcome, err := queries.ApplyJournalLine(r.d, line)
+	switch outcome {
+	case queries.ApplyApplied:
+		r.applied.Add(1)
+	case queries.ApplySkipped:
+		r.skipped.Add(1)
+	default:
+		// The record is mirrored — local recovery will classify it the
+		// same way — so a failed apply is logged and counted, exactly
+		// as replay treats it, rather than killing the stream.
+		r.failed.Add(1)
+		r.logf("repl: apply (%d, %d): %v", seg, idx, err)
+	}
+	r.nextSeg.Store(seg)
+	r.nextIdx.Store(idx + 1)
+	return nil
+}
+
+// mirrorAppend writes one record line into the replica's own journal
+// segment, rolling files as the primary's numbering advances. The
+// mirror is synced at segment rolls and shutdown, not per record: a
+// lost tail is re-fetched from the primary after the next handshake.
+func (r *Replica) mirrorAppend(seg int64, line string) error {
+	if r.mf == nil || seg != r.mseg {
+		if err := r.closeMirror(); err != nil {
+			return err
+		}
+		f, err := os.OpenFile(filepath.Join(r.dd.JournalDir(), db.SegmentName(seg)),
+			os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		r.mf = f
+		r.mseg = seg
+		r.segBytes.Store(0)
+		if st, err := f.Stat(); err == nil {
+			r.segBytes.Store(st.Size())
+		}
+	}
+	n, err := r.mf.Write([]byte(line + "\n"))
+	r.segBytes.Add(int64(n))
+	if err != nil {
+		return fmt.Errorf("mirror append: %w", err)
+	}
+	return nil
+}
+
+func (r *Replica) closeMirror() error {
+	if r.mf == nil {
+		return nil
+	}
+	err := r.mf.Sync()
+	if cerr := r.mf.Close(); err == nil {
+		err = cerr
+	}
+	r.mf = nil
+	return err
+}
+
+// receiveSnapshot reassembles a bootstrap snapshot into the replica's
+// own snapshots directory, verifies its manifest, restores it into a
+// private database, and adopts the result in one lock acquisition —
+// readers see the old state until the swap, never a half-loaded one.
+// The stale mirror segments are removed; tailing resumes at the
+// snapshot's journal sequence.
+func (r *Replica) receiveSnapshot(br *bufio.Reader, genField, seqField string) error {
+	gen, e1 := parseInt(genField)
+	jseq, e2 := parseInt(seqField)
+	if e1 != nil || e2 != nil || gen <= 0 || jseq <= 0 {
+		return fmt.Errorf("malformed snap-begin frame")
+	}
+	r.logf("repl: receiving bootstrap snapshot generation %d (journal seq %d)", gen, jseq)
+
+	store, err := db.NewCheckpointStore(r.dd.SnapshotsDir(), 0)
+	if err != nil {
+		return err
+	}
+	final := store.Path(gen)
+	tmp := final + ".tmp"
+	if err := os.RemoveAll(tmp); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return err
+	}
+	cleanup := tmp
+	defer func() {
+		if cleanup != "" {
+			os.RemoveAll(cleanup)
+		}
+	}()
+
+	var cur *os.File
+	closeCur := func() error {
+		if cur == nil {
+			return nil
+		}
+		err := cur.Sync()
+		if cerr := cur.Close(); err == nil {
+			err = cerr
+		}
+		cur = nil
+		return err
+	}
+	defer closeCur()
+
+receive:
+	for {
+		rep, err := protocol.ReadReply(br)
+		if err != nil {
+			return err
+		}
+		if mrerr.Code(rep.Code) != mrerr.MrMoreData || len(rep.Fields) == 0 {
+			return fmt.Errorf("stream ended mid-snapshot")
+		}
+		tag := string(rep.Fields[0])
+		switch tag {
+		case tagFile:
+			if len(rep.Fields) != 2 {
+				return fmt.Errorf("malformed file frame")
+			}
+			name := string(rep.Fields[1])
+			if name != filepath.Base(name) || strings.HasPrefix(name, ".") {
+				return fmt.Errorf("unsafe snapshot file name %q", name)
+			}
+			if err := closeCur(); err != nil {
+				return err
+			}
+			cur, err = os.OpenFile(filepath.Join(tmp, name),
+				os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+			if err != nil {
+				return err
+			}
+		case tagChunk:
+			if cur == nil || len(rep.Fields) != 2 {
+				return fmt.Errorf("chunk frame outside a file")
+			}
+			if _, err := cur.Write(rep.Fields[1]); err != nil {
+				return err
+			}
+		case tagFileEnd:
+			if err := closeCur(); err != nil {
+				return err
+			}
+		case tagSnapEnd:
+			break receive
+		default:
+			return fmt.Errorf("unexpected frame %q inside snapshot", tag)
+		}
+	}
+	if err := closeCur(); err != nil {
+		return err
+	}
+
+	// Verify before adopting: a bit flipped in flight must not become
+	// the replica's state.
+	m, err := db.ReadManifest(tmp)
+	if err == nil {
+		err = m.Verify(tmp)
+	}
+	if err != nil {
+		return fmt.Errorf("received snapshot fails verification: %w", err)
+	}
+	if m.JournalSeq != jseq || m.Generation != gen {
+		return fmt.Errorf("received manifest (gen %d, seq %d) does not match announcement (gen %d, seq %d)",
+			m.Generation, m.JournalSeq, gen, jseq)
+	}
+
+	if err := os.RemoveAll(final); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	cleanup = ""
+
+	fresh, err := db.Restore(final, r.clk)
+	if err != nil {
+		return err
+	}
+
+	// Drop the stale mirror: every retained record predates the
+	// snapshot or belongs to a history this replica no longer follows.
+	if err := r.closeMirror(); err != nil {
+		return err
+	}
+	segs, err := db.ListSegments(r.dd.JournalDir())
+	if err != nil {
+		return err
+	}
+	for _, s := range segs {
+		if err := os.Remove(s.Path); err != nil {
+			return err
+		}
+	}
+
+	r.d.AdoptFrom(fresh)
+	r.nextSeg.Store(jseq)
+	r.nextIdx.Store(0)
+	r.segBytes.Store(0)
+	r.bootstraps.Add(1)
+	r.logf("repl: adopted snapshot generation %d; tailing from segment %d", gen, jseq)
+	return nil
+}
+
+// Promote turns the replica into a primary: stop tailing, check
+// integrity, open a fresh journal segment on the mirrored directory,
+// and attach it so the database journals (and so accepts) mutations.
+// The caller flips its server out of read-only mode on success. A
+// non-empty fsck report refuses promotion — the replica keeps serving
+// reads and the operator decides.
+func (r *Replica) Promote(opts db.JournalOptions) (*db.JournalWriter, error) {
+	if !r.promoted.CompareAndSwap(false, true) {
+		return nil, ErrPromoted
+	}
+	r.stop()
+	if issues := r.d.Fsck(); len(issues) > 0 {
+		for _, in := range issues {
+			r.logf("repl: promote fsck: %s", in)
+		}
+		r.promoted.Store(false)
+		return nil, fmt.Errorf("replica: fsck found %d inconsistencies; refusing promotion", len(issues))
+	}
+	jw, err := db.OpenJournalWriter(r.dd.JournalDir(), opts)
+	if err != nil {
+		r.promoted.Store(false)
+		return nil, err
+	}
+	r.d.SetJournal(jw)
+	r.logf("repl: promoted to primary; journal segment %d", jw.Seq())
+	return jw, nil
+}
+
+// stop ends the tailing loop and waits for it.
+func (r *Replica) stop() {
+	r.mu.Lock()
+	select {
+	case <-r.closing:
+	default:
+		close(r.closing)
+	}
+	if r.conn != nil {
+		r.conn.Close()
+	}
+	started := r.started
+	r.mu.Unlock()
+	if started {
+		<-r.done
+	} else {
+		r.closeMirror()
+	}
+}
+
+// Close stops tailing and syncs the mirror. The database stays usable
+// for reads.
+func (r *Replica) Close() error {
+	r.stop()
+	return nil
+}
+
+// scanPosition derives the resume position from a mirrored journal
+// directory: the highest segment, the count of complete CRC-valid
+// lines in it, and the byte offset just past the last of them. An
+// empty directory is (0, 0, 0).
+func scanPosition(dir string) (seg, idx, off int64, err error) {
+	segs, err := db.ListSegments(dir)
+	if err != nil || len(segs) == 0 {
+		return 0, 0, 0, err
+	}
+	last := segs[len(segs)-1]
+	data, err := os.ReadFile(last.Path)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	idx, off = countValidLines(data)
+	return last.Seq, idx, off, nil
+}
+
+// countValidLines counts the leading run of complete CRC-valid lines
+// in a segment image and the byte offset past the last one. Anything
+// after — a torn tail, or in the worst case mid-file damage recovery
+// already refused — is not counted.
+func countValidLines(data []byte) (idx, off int64) {
+	for int(off) < len(data) {
+		j := -1
+		for k := int(off); k < len(data); k++ {
+			if data[k] == '\n' {
+				j = k
+				break
+			}
+		}
+		if j < 0 {
+			break // incomplete final line
+		}
+		line := string(data[off:int64(j)])
+		if line != "" {
+			if _, st := db.SplitJournalCRC(line); st != db.CRCValid {
+				break
+			}
+			idx++
+		}
+		off = int64(j) + 1
+	}
+	return idx, off
+}
+
+// truncateSegment cuts a mirrored segment back to its valid prefix.
+func truncateSegment(path string, off int64) error {
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if st.Size() == off {
+		return nil
+	}
+	return os.Truncate(path, off)
+}

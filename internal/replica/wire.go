@@ -1,0 +1,63 @@
+// Package replica implements journal-shipping replication for moirad
+// (the availability gap of section 5.2: one centralized server whose
+// outage stalls every consumer). A primary streams its durable journal
+// — the listing of all successful changes — to any number of read-only
+// replicas, each of which mirrors the segments on its own disk and
+// applies the records through the recovery replay path. Replicas serve
+// retrieval queries, refuse mutations with MR_READONLY, and can be
+// promoted to primary.
+//
+// The wire protocol rides the existing framed counted-string codec:
+// the replica opens a v3 Replicate request carrying its resume
+// position, and the primary answers with a stream of MR_MORE_DATA
+// reply frames until either side hangs up. Frame vocabulary (first
+// field tags the frame):
+//
+//	snap-begin gen journalSeq   bootstrap snapshot follows
+//	file name                   start of one snapshot file
+//	chunk bytes                 snapshot file data (≤1 MB per frame)
+//	file-end name               end of one snapshot file
+//	snap-end                    snapshot complete; tail follows
+//	rec seg idx line            one journal record (line idx of segment seg)
+//	head seg idx off            primary's current head, sent when caught up
+//
+// Positions are (segment sequence, record index): record idx is the
+// idx'th complete CRC-valid line of segment seg, counted from 0. A
+// resume position names the next record wanted, so (0, 0) means "I
+// have nothing". Replicas mirror the primary's segment numbering on
+// their own disk, which makes the position recomputable from disk
+// after any crash — no separate replication state file, and the
+// mirrored directory is a valid durable data dir for ordinary
+// boot-time recovery.
+package replica
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Frame tags.
+const (
+	tagSnapBegin = "snap-begin"
+	tagFile      = "file"
+	tagChunk     = "chunk"
+	tagFileEnd   = "file-end"
+	tagSnapEnd   = "snap-end"
+	tagRec       = "rec"
+	tagHead      = "head"
+)
+
+// snapChunkSize bounds one snapshot chunk frame, well under the
+// protocol's MaxFrame.
+const snapChunkSize = 1 << 20
+
+// parseInt parses a decimal position field.
+func parseInt(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("replica: bad position field %q", s)
+	}
+	return v, nil
+}
+
+func itoa(v int64) string { return strconv.FormatInt(v, 10) }

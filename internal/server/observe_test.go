@@ -219,8 +219,8 @@ func TestLegacyV1ClientCompat(t *testing.T) {
 
 	// An out-of-range version gets MR_VERSION_MISMATCH without
 	// desyncing the stream; the connection keeps working afterwards.
-	send3 := &protocol.Request{Version: 3, Op: protocol.OpNoop}
-	if err := protocol.WriteRequest(conn, send3); err != nil {
+	sendFuture := &protocol.Request{Version: protocol.Version + 1, Op: protocol.OpNoop}
+	if err := protocol.WriteRequest(conn, sendFuture); err != nil {
 		t.Fatal(err)
 	}
 	rep, err := protocol.ReadReply(br)
@@ -228,7 +228,7 @@ func TestLegacyV1ClientCompat(t *testing.T) {
 		t.Fatal(err)
 	}
 	if mrerr.Code(rep.Code) != mrerr.MrVersionMismatch {
-		t.Fatalf("v3 request code = %d, want version mismatch", rep.Code)
+		t.Fatalf("future-version request code = %d, want version mismatch", rep.Code)
 	}
 	send(protocol.OpNoop)
 	if rep := recv(); rep.Code != 0 {

@@ -16,6 +16,7 @@ import (
 	"runtime/debug"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"moira/internal/clock"
@@ -87,6 +88,12 @@ type Config struct {
 	// before force-closing the stragglers. Zero means
 	// DefaultDrainTimeout.
 	DrainTimeout time.Duration
+
+	// ReadOnly starts the server in read-only mode: retrieval queries
+	// are served normally, but mutating queries and Trigger_DCM are
+	// refused with MR_READONLY. Replicas run read-only until promoted;
+	// SetReadOnly flips the mode at runtime.
+	ReadOnly bool
 }
 
 // DefaultDrainTimeout is how long Close waits for in-flight requests
@@ -103,6 +110,8 @@ type Server struct {
 	ln      net.Listener
 	wg      sync.WaitGroup
 	closing chan struct{} // closed when Close begins; serveConn drains
+
+	readonly atomic.Bool
 
 	mu       sync.Mutex
 	sessions map[int]*session
@@ -159,7 +168,7 @@ func New(cfg Config) *Server {
 	if cfg.DB != nil {
 		cfg.DB.BindStats(reg)
 	}
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		clk:      clk,
 		reg:      reg,
@@ -168,7 +177,16 @@ func New(cfg Config) *Server {
 		sessions: make(map[int]*session),
 		conns:    make(map[net.Conn]*connState),
 	}
+	s.readonly.Store(cfg.ReadOnly)
+	return s
 }
+
+// ReadOnly reports whether the server currently refuses mutations.
+func (s *Server) ReadOnly() bool { return s.readonly.Load() }
+
+// SetReadOnly flips read-only mode at runtime. Promotion of a replica
+// calls SetReadOnly(false) once it owns the journal.
+func (s *Server) SetReadOnly(v bool) { s.readonly.Store(v) }
 
 // Registry returns the server's metric registry (the one the `_stats`
 // handle serves).
@@ -494,6 +512,15 @@ func (s *Server) dispatch(cx *queries.Context, ses *session, req *protocol.Reque
 		}
 		args := req.StringArgs()
 		handle = handleName(args[0])
+		if s.readonly.Load() {
+			// A replica serves retrievals only. Unknown handles fall
+			// through so the client still gets MR_NO_HANDLE.
+			if q, ok := queries.Lookup(args[0]); ok && q.Kind != queries.Retrieve {
+				s.reg.Counter("server.readonly.refused").Inc()
+				code = mrerr.MrReadonly
+				break
+			}
+		}
 		emitErr := false
 		emitFn := func(tuple []string) error {
 			if e := reply(mrerr.MrMoreData, tuple); e != nil {
@@ -529,6 +556,11 @@ func (s *Server) dispatch(cx *queries.Context, ses *session, req *protocol.Reque
 		code = mrerr.CodeOf(err)
 
 	case protocol.OpTriggerDCM:
+		if s.readonly.Load() {
+			s.reg.Counter("server.readonly.refused").Inc()
+			code = mrerr.MrReadonly
+			break
+		}
 		err := queries.CheckAccess(cx, queries.TriggerDCMCapability, nil)
 		if err == nil && s.cfg.TriggerDCM != nil {
 			s.cfg.TriggerDCM(req.TraceID)
