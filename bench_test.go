@@ -42,6 +42,7 @@ import (
 	"moira/internal/reg"
 	"moira/internal/server"
 	"moira/internal/update"
+	"moira/internal/wildcard"
 	"moira/internal/workload"
 )
 
@@ -434,10 +435,12 @@ func BenchmarkRegistration(b *testing.B) {
 	for _, sh := range d.ServerHostsOf("POP") {
 		sh.Value2 = 0 // unlimited
 	}
+	d.NoteUpdateInternal(db.TServerHosts)
 	d.EachNFSPhys(func(p *db.NFSPhys) bool {
 		p.Size = 1 << 30 // room for any number of benchmark lockers
 		return true
 	})
+	d.NoteUpdateInternal(db.TNFSPhys)
 	d.UnlockExclusive()
 	kdc := kerberos.NewKDC("ATHENA.MIT.EDU", clk)
 	srv := reg.NewServer(d, kdc, clk)
@@ -471,6 +474,123 @@ func BenchmarkRegistration(b *testing.B) {
 		if code, err := reg.SetPassword(addr.String(), first, last, id, "pw", timeout); err != nil || !code.IsSuccess() {
 			b.Fatalf("setpw: %v %v", code, err)
 		}
+	}
+}
+
+// --- C-IX: indexed retrieval vs the seed's linear scan ---
+
+// The storage engine replaced full-table scans with secondary indexes
+// (hash on uid, ordered name index for wildcards). The *scan variants
+// below reproduce the seed's retrieval path — a full EachUser sweep
+// with a per-row filter — over the exported API, so the pair measures
+// exactly what the index bought at each population size.
+
+var idxPopCache = map[int]*db.DB{}
+
+func indexPopulation(b *testing.B, n int) *db.DB {
+	b.Helper()
+	if d, ok := idxPopCache[n]; ok {
+		return d
+	}
+	d := db.New(clock.NewFake(time.Unix(600000000, 0)))
+	for i := 0; i < n; i++ {
+		if err := d.InsertUser(&db.User{
+			UsersID: i + 1,
+			Login:   fmt.Sprintf("u%07d", i),
+			UID:     2000 + i%65536,
+			Shell:   "/bin/csh",
+			Status:  1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	idxPopCache[n] = d
+	return d
+}
+
+func scanUsersByUID(d *db.DB, uid int) []*db.User {
+	var out []*db.User
+	d.EachUser(func(u *db.User) bool {
+		if u.UID == uid {
+			out = append(out, u)
+		}
+		return true
+	})
+	return out
+}
+
+func scanUsersMatching(d *db.DB, pattern string) []*db.User {
+	var out []*db.User
+	d.EachUser(func(u *db.User) bool {
+		if wildcard.Match(pattern, u.Login) {
+			out = append(out, u)
+		}
+		return true
+	})
+	return out
+}
+
+func BenchmarkIndexedQuery(b *testing.B) {
+	for _, n := range []int{10000, 100000, 1000000} {
+		d := indexPopulation(b, n)
+		// A mid-table resident: worst case for early-exit scans.
+		login := fmt.Sprintf("u%07d", n/2)
+		uid := 2000 + (n/2)%65536
+		pattern := login[:6] + "*"
+		b.Run(fmt.Sprintf("users=%d", n), func(b *testing.B) {
+			b.Run("point_uid/indexed", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if got := d.UsersByUID(uid); len(got) == 0 {
+						b.Fatal("uid lookup found nothing")
+					}
+				}
+			})
+			b.Run("point_uid/scan", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if got := scanUsersByUID(d, uid); len(got) == 0 {
+						b.Fatal("uid scan found nothing")
+					}
+				}
+			})
+			b.Run("point_login/indexed", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, ok := d.UserByLogin(login); !ok {
+						b.Fatal("login lookup found nothing")
+					}
+				}
+			})
+			b.Run("wildcard_login/indexed", func(b *testing.B) {
+				d.UsersMatchingLogin(pattern) // warm the ordered-name cache
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if got := d.UsersMatchingLogin(pattern); len(got) == 0 {
+						b.Fatal("wildcard match found nothing")
+					}
+				}
+			})
+			b.Run("wildcard_login/scan", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if got := scanUsersMatching(d, pattern); len(got) == 0 {
+						b.Fatal("wildcard scan found nothing")
+					}
+				}
+			})
+			b.Run("snapshot_point_uid", func(b *testing.B) {
+				d.Reader() // freeze once; steady state serves the cached snapshot
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if got := d.Reader().UsersByUID(uid); len(got) == 0 {
+						b.Fatal("snapshot uid lookup found nothing")
+					}
+				}
+			})
+		})
 	}
 }
 

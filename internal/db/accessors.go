@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"moira/internal/mrerr"
+	"moira/internal/wildcard"
 )
 
 // All accessor methods in this file assume the caller holds the database
@@ -27,32 +28,59 @@ func (d *DB) UserByID(id int) (*User, bool) {
 	return u, ok
 }
 
-// UsersByUID returns all users with the given unix uid (normally one).
+// UsersByUID returns all users with the given unix uid (normally one)
+// in users_id order. A uid hash-index probe, not a table scan.
 func (d *DB) UsersByUID(uid int) []*User {
-	var out []*User
-	for _, u := range d.sortedUsers() {
-		if u.UID == uid {
-			out = append(out, u)
-		}
+	ids := d.userIdx.byUID[uid]
+	if len(ids) == 0 {
+		return nil
+	}
+	ids = append([]int(nil), ids...)
+	sort.Ints(ids)
+	out := make([]*User, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, d.users[id])
 	}
 	return out
 }
 
-// EachUser calls fn for every user in users_id order.
+// EachUser calls fn for every user in users_id order. The ordering is a
+// contract — backup dumps and paged retrievals depend on it — and it
+// comes from the ordered primary-key index, not a per-call sort. fn
+// must not insert or delete users (it iterates the live index).
 func (d *DB) EachUser(fn func(*User) bool) {
-	for _, u := range d.sortedUsers() {
-		if !fn(u) {
+	for _, id := range d.userIdx.ids.ids {
+		if !fn(d.users[id]) {
 			return
 		}
 	}
 }
 
-func (d *DB) sortedUsers() []*User {
-	out := make([]*User, 0, len(d.users))
-	for _, u := range d.users {
-		out = append(out, u)
+// UsersMatchingLogin resolves a login pattern, with or without
+// wildcards, in users_id order. Wildcard patterns plan an ordered-index
+// range scan from the pattern's literal prefix instead of scanning the
+// whole relation.
+func (d *DB) UsersMatchingLogin(pattern string) []*User {
+	if !wildcard.HasWildcards(pattern) {
+		if u, ok := d.UserByLogin(pattern); ok {
+			return []*User{u}
+		}
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].UsersID < out[j].UsersID })
+	logins := d.userIdx.logins.get(sortedKeys(d.usersByLogin))
+	matched := matchNames(logins, pattern)
+	if len(matched) == 0 {
+		return nil
+	}
+	ids := make([]int, 0, len(matched))
+	for _, l := range matched {
+		ids = append(ids, d.usersByLogin[l])
+	}
+	sort.Ints(ids)
+	out := make([]*User, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, d.users[id])
+	}
 	return out
 }
 
@@ -71,22 +99,49 @@ func (d *DB) InsertUser(u *User) error {
 	}
 	d.users[u.UsersID] = u
 	d.usersByLogin[u.Login] = u.UsersID
+	d.userIdx.ids.insert(u.UsersID)
+	d.userIdx.byUID[u.UID] = append(d.userIdx.byUID[u.UID], u.UsersID)
+	d.userIdx.logins.invalidate()
 	d.NoteAppend(TUsers)
 	return nil
 }
 
-// RenameUser changes a user's login, maintaining the index. The caller
-// has verified the new login is free.
+// RenameUser changes a user's login, maintaining the indexes. The
+// caller has verified the new login is free (and records the update).
 func (d *DB) RenameUser(u *User, newLogin string) {
+	d.markDirty(TUsers)
 	delete(d.usersByLogin, u.Login)
 	u.Login = newLogin
 	d.usersByLogin[newLogin] = u.UsersID
+	d.userIdx.logins.invalidate()
+}
+
+// SetUserUID changes a user's unix uid, maintaining the uid index. The
+// caller records the update.
+func (d *DB) SetUserUID(u *User, uid int) {
+	d.markDirty(TUsers)
+	d.dropUID(u)
+	u.UID = uid
+	d.userIdx.byUID[uid] = append(d.userIdx.byUID[uid], u.UsersID)
+}
+
+// dropUID removes u from the uid index.
+func (d *DB) dropUID(u *User) {
+	left := removeInt(d.userIdx.byUID[u.UID], u.UsersID)
+	if len(left) == 0 {
+		delete(d.userIdx.byUID, u.UID)
+	} else {
+		d.userIdx.byUID[u.UID] = left
+	}
 }
 
 // DeleteUser removes a user row.
 func (d *DB) DeleteUser(u *User) {
 	delete(d.usersByLogin, u.Login)
 	delete(d.users, u.UsersID)
+	d.userIdx.ids.remove(u.UsersID)
+	d.dropUID(u)
+	d.userIdx.logins.invalidate()
 	d.NoteDelete(TUsers)
 }
 
@@ -107,18 +162,40 @@ func (d *DB) MachineByID(id int) (*Machine, bool) {
 	return m, ok
 }
 
-// EachMachine calls fn for every machine in mach_id order.
+// EachMachine calls fn for every machine in mach_id order (from the
+// ordered index; fn must not insert or delete machines).
 func (d *DB) EachMachine(fn func(*Machine) bool) {
-	ids := make([]int, 0, len(d.machines))
-	for id := range d.machines {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
+	for _, id := range d.machIdx.ids.ids {
 		if !fn(d.machines[id]) {
 			return
 		}
 	}
+}
+
+// MachinesMatchingName resolves a canonical-name pattern, with or
+// without wildcards, in mach_id order via the ordered name index.
+func (d *DB) MachinesMatchingName(pattern string) []*Machine {
+	if !wildcard.HasWildcards(pattern) {
+		if m, ok := d.MachineByName(pattern); ok {
+			return []*Machine{m}
+		}
+		return nil
+	}
+	names := d.machIdx.names.get(sortedKeys(d.machByName))
+	matched := matchNames(names, pattern)
+	if len(matched) == 0 {
+		return nil
+	}
+	ids := make([]int, 0, len(matched))
+	for _, n := range matched {
+		ids = append(ids, d.machByName[n])
+	}
+	sort.Ints(ids)
+	out := make([]*Machine, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, d.machines[id])
+	}
+	return out
 }
 
 // InsertMachine adds a machine row; MR_EXISTS on duplicates.
@@ -131,21 +208,27 @@ func (d *DB) InsertMachine(m *Machine) error {
 	}
 	d.machines[m.MachID] = m
 	d.machByName[m.Name] = m.MachID
+	d.machIdx.ids.insert(m.MachID)
+	d.machIdx.names.invalidate()
 	d.NoteAppend(TMachine)
 	return nil
 }
 
-// RenameMachine changes a machine's name, maintaining the index.
+// RenameMachine changes a machine's name, maintaining the indexes.
 func (d *DB) RenameMachine(m *Machine, newName string) {
+	d.markDirty(TMachine)
 	delete(d.machByName, m.Name)
 	m.Name = newName
 	d.machByName[newName] = m.MachID
+	d.machIdx.names.invalidate()
 }
 
 // DeleteMachine removes a machine row.
 func (d *DB) DeleteMachine(m *Machine) {
 	delete(d.machByName, m.Name)
 	delete(d.machines, m.MachID)
+	d.machIdx.ids.remove(m.MachID)
+	d.machIdx.names.invalidate()
 	d.NoteDelete(TMachine)
 }
 
@@ -166,18 +249,40 @@ func (d *DB) ClusterByID(id int) (*Cluster, bool) {
 	return c, ok
 }
 
-// EachCluster calls fn for every cluster in clu_id order.
+// EachCluster calls fn for every cluster in clu_id order (from the
+// ordered index; fn must not insert or delete clusters).
 func (d *DB) EachCluster(fn func(*Cluster) bool) {
-	ids := make([]int, 0, len(d.clusters))
-	for id := range d.clusters {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
+	for _, id := range d.cluIdx.ids.ids {
 		if !fn(d.clusters[id]) {
 			return
 		}
 	}
+}
+
+// ClustersMatchingName resolves a name pattern, with or without
+// wildcards, in clu_id order via the ordered name index.
+func (d *DB) ClustersMatchingName(pattern string) []*Cluster {
+	if !wildcard.HasWildcards(pattern) {
+		if c, ok := d.ClusterByName(pattern); ok {
+			return []*Cluster{c}
+		}
+		return nil
+	}
+	names := d.cluIdx.names.get(sortedKeys(d.cluByName))
+	matched := matchNames(names, pattern)
+	if len(matched) == 0 {
+		return nil
+	}
+	ids := make([]int, 0, len(matched))
+	for _, n := range matched {
+		ids = append(ids, d.cluByName[n])
+	}
+	sort.Ints(ids)
+	out := make([]*Cluster, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, d.clusters[id])
+	}
+	return out
 }
 
 // InsertCluster adds a cluster row; MR_EXISTS on duplicates.
@@ -190,21 +295,27 @@ func (d *DB) InsertCluster(c *Cluster) error {
 	}
 	d.clusters[c.CluID] = c
 	d.cluByName[c.Name] = c.CluID
+	d.cluIdx.ids.insert(c.CluID)
+	d.cluIdx.names.invalidate()
 	d.NoteAppend(TCluster)
 	return nil
 }
 
-// RenameCluster changes a cluster's name, maintaining the index.
+// RenameCluster changes a cluster's name, maintaining the indexes.
 func (d *DB) RenameCluster(c *Cluster, newName string) {
+	d.markDirty(TCluster)
 	delete(d.cluByName, c.Name)
 	c.Name = newName
 	d.cluByName[newName] = c.CluID
+	d.cluIdx.names.invalidate()
 }
 
 // DeleteCluster removes a cluster row.
 func (d *DB) DeleteCluster(c *Cluster) {
 	delete(d.cluByName, c.Name)
 	delete(d.clusters, c.CluID)
+	d.cluIdx.ids.remove(c.CluID)
+	d.cluIdx.names.invalidate()
 	d.NoteDelete(TCluster)
 }
 
@@ -214,14 +325,10 @@ func (d *DB) DeleteCluster(c *Cluster) {
 // read-only under a shared hold).
 func (d *DB) MCMaps() []MCMap { return d.mcmap }
 
-// HasMCMap reports whether the (machine, cluster) pair exists.
+// HasMCMap reports whether the (machine, cluster) pair exists — a
+// composite-key hash probe.
 func (d *DB) HasMCMap(machID, cluID int) bool {
-	for _, m := range d.mcmap {
-		if m.MachID == machID && m.CluID == cluID {
-			return true
-		}
-	}
-	return false
+	return d.mcmapIdx[pairKey{machID, cluID}]
 }
 
 // AddMCMap inserts an assignment; MR_EXISTS on duplicates.
@@ -230,20 +337,25 @@ func (d *DB) AddMCMap(machID, cluID int) error {
 		return mrerr.MrExists
 	}
 	d.mcmap = append(d.mcmap, MCMap{MachID: machID, CluID: cluID})
+	d.mcmapIdx[pairKey{machID, cluID}] = true
 	d.NoteAppend(TMCMap)
 	return nil
 }
 
 // DeleteMCMap removes an assignment; MR_NO_MATCH if absent.
 func (d *DB) DeleteMCMap(machID, cluID int) error {
+	if !d.HasMCMap(machID, cluID) {
+		return mrerr.MrNoMatch
+	}
 	for i, m := range d.mcmap {
 		if m.MachID == machID && m.CluID == cluID {
 			d.mcmap = append(d.mcmap[:i], d.mcmap[i+1:]...)
-			d.NoteDelete(TMCMap)
-			return nil
+			break
 		}
 	}
-	return mrerr.MrNoMatch
+	delete(d.mcmapIdx, pairKey{machID, cluID})
+	d.NoteDelete(TMCMap)
+	return nil
 }
 
 // ClustersOfMachine returns the cluster ids a machine belongs to.
@@ -320,18 +432,40 @@ func (d *DB) ListByID(id int) (*List, bool) {
 	return l, ok
 }
 
-// EachList calls fn for every list in list_id order.
+// EachList calls fn for every list in list_id order (from the ordered
+// index; fn must not insert or delete lists).
 func (d *DB) EachList(fn func(*List) bool) {
-	ids := make([]int, 0, len(d.lists))
-	for id := range d.lists {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
+	for _, id := range d.listIdx.ids.ids {
 		if !fn(d.lists[id]) {
 			return
 		}
 	}
+}
+
+// ListsMatchingName resolves a name pattern, with or without wildcards,
+// in list_id order via the ordered name index.
+func (d *DB) ListsMatchingName(pattern string) []*List {
+	if !wildcard.HasWildcards(pattern) {
+		if l, ok := d.ListByName(pattern); ok {
+			return []*List{l}
+		}
+		return nil
+	}
+	names := d.listIdx.names.get(sortedKeys(d.listsByName))
+	matched := matchNames(names, pattern)
+	if len(matched) == 0 {
+		return nil
+	}
+	ids := make([]int, 0, len(matched))
+	for _, n := range matched {
+		ids = append(ids, d.listsByName[n])
+	}
+	sort.Ints(ids)
+	out := make([]*List, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, d.lists[id])
+	}
+	return out
 }
 
 // InsertList adds a list row; MR_EXISTS on duplicates.
@@ -344,25 +478,46 @@ func (d *DB) InsertList(l *List) error {
 	}
 	d.lists[l.ListID] = l
 	d.listsByName[l.Name] = l.ListID
+	d.listIdx.ids.insert(l.ListID)
+	d.listIdx.names.invalidate()
 	d.NoteAppend(TList)
 	return nil
 }
 
-// RenameList changes a list's name, maintaining the index.
+// RenameList changes a list's name, maintaining the indexes.
 func (d *DB) RenameList(l *List, newName string) {
+	d.markDirty(TList)
 	delete(d.listsByName, l.Name)
 	l.Name = newName
 	d.listsByName[newName] = l.ListID
+	d.listIdx.names.invalidate()
 }
 
 // DeleteList removes a list row and its membership rows.
 func (d *DB) DeleteList(l *List) {
 	delete(d.listsByName, l.Name)
 	delete(d.lists, l.ListID)
-	if _, had := d.members[l.ListID]; had {
+	d.listIdx.ids.remove(l.ListID)
+	d.listIdx.names.invalidate()
+	if ms, had := d.members[l.ListID]; had {
+		d.markDirty(TMembers)
+		for _, m := range ms {
+			d.dropMembership(m)
+		}
 		delete(d.members, l.ListID)
 	}
 	d.NoteDelete(TList)
+}
+
+// dropMembership removes one membership row from the member index.
+func (d *DB) dropMembership(m Member) {
+	k := memberKey{m.MemberType, m.MemberID}
+	left := removeInt(d.memberIdx[k], m.ListID)
+	if len(left) == 0 {
+		delete(d.memberIdx, k)
+	} else {
+		d.memberIdx[k] = left
+	}
 }
 
 // MembersOf returns the membership rows of a list (read-only).
@@ -384,6 +539,7 @@ func (d *DB) AddMember(listID int, mtype string, mid int) error {
 		return mrerr.MrExists
 	}
 	d.members[listID] = append(d.members[listID], Member{ListID: listID, MemberType: mtype, MemberID: mid})
+	d.memberIdx[memberKey{mtype, mid}] = append(d.memberIdx[memberKey{mtype, mid}], listID)
 	d.NoteAppend(TMembers)
 	return nil
 }
@@ -394,6 +550,7 @@ func (d *DB) DeleteMember(listID int, mtype string, mid int) error {
 	for i, m := range ms {
 		if m.MemberType == mtype && m.MemberID == mid {
 			d.members[listID] = append(ms[:i], ms[i+1:]...)
+			d.dropMembership(m)
 			d.NoteDelete(TMembers)
 			return nil
 		}
@@ -417,15 +574,16 @@ func (d *DB) EachMembership(fn func(Member) bool) {
 	}
 }
 
-// ListsContaining returns ids of lists that directly contain the member.
+// ListsContaining returns ids of lists that directly contain the
+// member, in list_id order — an inverted-index probe, not a scan over
+// every membership row.
 func (d *DB) ListsContaining(mtype string, mid int) []int {
-	var out []int
-	d.EachMembership(func(m Member) bool {
-		if m.MemberType == mtype && m.MemberID == mid {
-			out = append(out, m.ListID)
-		}
-		return true
-	})
+	ids := d.memberIdx[memberKey{mtype, mid}]
+	if len(ids) == 0 {
+		return nil
+	}
+	out := append([]int(nil), ids...)
+	sort.Ints(out)
 	return out
 }
 
@@ -467,22 +625,39 @@ func (d *DB) DeleteServer(s *Server) {
 	d.NoteDelete(TServers)
 }
 
-// ServerHostsOf returns the host rows for a service, machine-id ordered.
-func (d *DB) ServerHostsOf(service string) []*ServerHost {
-	var out []*ServerHost
-	for _, sh := range d.serverHosts {
-		if sh.Service == service {
-			out = append(out, sh)
+// The serverhosts slice is kept sorted by (service, mach_id): it IS the
+// ordered index for its relation. Point lookups and per-service range
+// scans are binary searches; the flag-update paths (DCM) mutate rows in
+// place and never change the key fields.
+
+// shSearch returns the insertion point for (service, machID).
+func (d *DB) shSearch(service string, machID int) int {
+	return sort.Search(len(d.serverHosts), func(i int) bool {
+		sh := d.serverHosts[i]
+		if sh.Service != service {
+			return sh.Service > service
 		}
+		return sh.MachID >= machID
+	})
+}
+
+// ServerHostsOf returns the host rows for a service, machine-id ordered
+// — a contiguous range of the ordered slice.
+func (d *DB) ServerHostsOf(service string) []*ServerHost {
+	i := d.shSearch(service, 0)
+	// mach_ids are non-negative, so the range starts at (service, 0).
+	var out []*ServerHost
+	for ; i < len(d.serverHosts) && d.serverHosts[i].Service == service; i++ {
+		out = append(out, d.serverHosts[i])
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].MachID < out[j].MachID })
 	return out
 }
 
-// ServerHost finds the row for (service, machine).
+// ServerHost finds the row for (service, machine) by binary search.
 func (d *DB) ServerHost(service string, machID int) (*ServerHost, bool) {
-	for _, sh := range d.serverHosts {
-		if sh.Service == service && sh.MachID == machID {
+	i := d.shSearch(service, machID)
+	if i < len(d.serverHosts) {
+		if sh := d.serverHosts[i]; sh.Service == service && sh.MachID == machID {
 			return sh, true
 		}
 	}
@@ -490,17 +665,9 @@ func (d *DB) ServerHost(service string, machID int) (*ServerHost, bool) {
 }
 
 // EachServerHost calls fn for every serverhost row in (service, mach_id)
-// order.
+// order (fn must not insert or delete rows).
 func (d *DB) EachServerHost(fn func(*ServerHost) bool) {
-	rows := make([]*ServerHost, len(d.serverHosts))
-	copy(rows, d.serverHosts)
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].Service != rows[j].Service {
-			return rows[i].Service < rows[j].Service
-		}
-		return rows[i].MachID < rows[j].MachID
-	})
-	for _, sh := range rows {
+	for _, sh := range d.serverHosts {
 		if !fn(sh) {
 			return
 		}
@@ -509,24 +676,31 @@ func (d *DB) EachServerHost(fn func(*ServerHost) bool) {
 
 // InsertServerHost adds a serverhost row; MR_EXISTS on duplicates.
 func (d *DB) InsertServerHost(sh *ServerHost) error {
-	if _, dup := d.ServerHost(sh.Service, sh.MachID); dup {
-		return mrerr.MrExists
+	i := d.shSearch(sh.Service, sh.MachID)
+	if i < len(d.serverHosts) {
+		if cur := d.serverHosts[i]; cur.Service == sh.Service && cur.MachID == sh.MachID {
+			return mrerr.MrExists
+		}
 	}
-	d.serverHosts = append(d.serverHosts, sh)
+	d.serverHosts = append(d.serverHosts, nil)
+	copy(d.serverHosts[i+1:], d.serverHosts[i:])
+	d.serverHosts[i] = sh
 	d.NoteAppend(TServerHosts)
 	return nil
 }
 
 // DeleteServerHost removes a serverhost row; MR_NO_MATCH if absent.
 func (d *DB) DeleteServerHost(service string, machID int) error {
-	for i, sh := range d.serverHosts {
-		if sh.Service == service && sh.MachID == machID {
-			d.serverHosts = append(d.serverHosts[:i], d.serverHosts[i+1:]...)
-			d.NoteDelete(TServerHosts)
-			return nil
-		}
+	i := d.shSearch(service, machID)
+	if i >= len(d.serverHosts) {
+		return mrerr.MrNoMatch
 	}
-	return mrerr.MrNoMatch
+	if sh := d.serverHosts[i]; sh.Service != service || sh.MachID != machID {
+		return mrerr.MrNoMatch
+	}
+	d.serverHosts = append(d.serverHosts[:i], d.serverHosts[i+1:]...)
+	d.NoteDelete(TServerHosts)
+	return nil
 }
 
 // --- Filesystems ---
@@ -537,27 +711,25 @@ func (d *DB) FilesysByID(id int) (*Filesys, bool) {
 	return f, ok
 }
 
-// FilesysByLabel returns all filesystems with the given label, in order.
+// FilesysByLabel returns all filesystems with the given label in Order
+// order — a label hash-index probe.
 func (d *DB) FilesysByLabel(label string) []*Filesys {
-	var out []*Filesys
-	d.EachFilesys(func(f *Filesys) bool {
-		if f.Label == label {
-			out = append(out, f)
-		}
-		return true
-	})
+	ids := d.filesysIdx.byLabel[label]
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]*Filesys, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, d.filesys[id])
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Order < out[j].Order })
 	return out
 }
 
-// EachFilesys calls fn for every filesystem in filsys_id order.
+// EachFilesys calls fn for every filesystem in filsys_id order (from
+// the ordered index; fn must not insert or delete rows).
 func (d *DB) EachFilesys(fn func(*Filesys) bool) {
-	ids := make([]int, 0, len(d.filesys))
-	for id := range d.filesys {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
+	for _, id := range d.filesysIdx.ids.ids {
 		if !fn(d.filesys[id]) {
 			return
 		}
@@ -565,17 +737,20 @@ func (d *DB) EachFilesys(fn func(*Filesys) bool) {
 }
 
 // InsertFilesys adds a filesystem row; MR_EXISTS on duplicate id or
-// (label, order) pair.
+// (label, order) pair. The duplicate check probes the label index
+// bucket instead of scanning the relation.
 func (d *DB) InsertFilesys(f *Filesys) error {
 	if _, dup := d.filesys[f.FilsysID]; dup {
 		return mrerr.MrExists
 	}
-	for _, other := range d.filesys {
-		if other.Label == f.Label && other.Order == f.Order {
+	for _, id := range d.filesysIdx.byLabel[f.Label] {
+		if d.filesys[id].Order == f.Order {
 			return mrerr.MrExists
 		}
 	}
 	d.filesys[f.FilsysID] = f
+	d.filesysIdx.ids.insert(f.FilsysID)
+	d.filesysIdx.byLabel[f.Label] = append(d.filesysIdx.byLabel[f.Label], f.FilsysID)
 	d.NoteAppend(TFilesys)
 	return nil
 }
@@ -583,7 +758,29 @@ func (d *DB) InsertFilesys(f *Filesys) error {
 // DeleteFilesys removes a filesystem row.
 func (d *DB) DeleteFilesys(f *Filesys) {
 	delete(d.filesys, f.FilsysID)
+	d.filesysIdx.ids.remove(f.FilsysID)
+	left := removeInt(d.filesysIdx.byLabel[f.Label], f.FilsysID)
+	if len(left) == 0 {
+		delete(d.filesysIdx.byLabel, f.Label)
+	} else {
+		d.filesysIdx.byLabel[f.Label] = left
+	}
 	d.NoteDelete(TFilesys)
+}
+
+// SetFilesysLabel changes a filesystem's label, maintaining the label
+// index. The caller has checked (label, order) uniqueness and records
+// the update.
+func (d *DB) SetFilesysLabel(f *Filesys, label string) {
+	d.markDirty(TFilesys)
+	left := removeInt(d.filesysIdx.byLabel[f.Label], f.FilsysID)
+	if len(left) == 0 {
+		delete(d.filesysIdx.byLabel, f.Label)
+	} else {
+		d.filesysIdx.byLabel[f.Label] = left
+	}
+	f.Label = label
+	d.filesysIdx.byLabel[label] = append(d.filesysIdx.byLabel[label], f.FilsysID)
 }
 
 // --- NFS physical partitions and quotas ---
@@ -637,27 +834,30 @@ func (d *DB) DeleteNFSPhys(p *NFSPhys) {
 	d.NoteDelete(TNFSPhys)
 }
 
-// QuotaOf finds the quota row for (user, filesystem).
-func (d *DB) QuotaOf(usersID, filsysID int) (*NFSQuota, bool) {
-	for _, q := range d.nfsquotas {
-		if q.UsersID == usersID && q.FilsysID == filsysID {
-			return q, true
+// The nfsquotas slice is kept sorted by (filsys_id, users_id) — the
+// EachQuota order — with a composite-key hash index for point lookups.
+
+// quotaSearch returns the insertion point for (filsysID, usersID).
+func (d *DB) quotaSearch(filsysID, usersID int) int {
+	return sort.Search(len(d.nfsquotas), func(i int) bool {
+		q := d.nfsquotas[i]
+		if q.FilsysID != filsysID {
+			return q.FilsysID > filsysID
 		}
-	}
-	return nil, false
+		return q.UsersID >= usersID
+	})
 }
 
-// EachQuota calls fn for every quota row in (filsys, user) order.
+// QuotaOf finds the quota row for (user, filesystem) — a hash probe.
+func (d *DB) QuotaOf(usersID, filsysID int) (*NFSQuota, bool) {
+	q, ok := d.quotaIdx[pairKey{usersID, filsysID}]
+	return q, ok
+}
+
+// EachQuota calls fn for every quota row in (filsys, user) order (fn
+// must not insert or delete rows).
 func (d *DB) EachQuota(fn func(*NFSQuota) bool) {
-	rows := make([]*NFSQuota, len(d.nfsquotas))
-	copy(rows, d.nfsquotas)
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].FilsysID != rows[j].FilsysID {
-			return rows[i].FilsysID < rows[j].FilsysID
-		}
-		return rows[i].UsersID < rows[j].UsersID
-	})
-	for _, q := range rows {
+	for _, q := range d.nfsquotas {
 		if !fn(q) {
 			return
 		}
@@ -669,21 +869,25 @@ func (d *DB) InsertQuota(q *NFSQuota) error {
 	if _, dup := d.QuotaOf(q.UsersID, q.FilsysID); dup {
 		return mrerr.MrExists
 	}
-	d.nfsquotas = append(d.nfsquotas, q)
+	i := d.quotaSearch(q.FilsysID, q.UsersID)
+	d.nfsquotas = append(d.nfsquotas, nil)
+	copy(d.nfsquotas[i+1:], d.nfsquotas[i:])
+	d.nfsquotas[i] = q
+	d.quotaIdx[pairKey{q.UsersID, q.FilsysID}] = q
 	d.NoteAppend(TNFSQuota)
 	return nil
 }
 
 // DeleteQuota removes a quota row; MR_NO_MATCH if absent.
 func (d *DB) DeleteQuota(usersID, filsysID int) error {
-	for i, q := range d.nfsquotas {
-		if q.UsersID == usersID && q.FilsysID == filsysID {
-			d.nfsquotas = append(d.nfsquotas[:i], d.nfsquotas[i+1:]...)
-			d.NoteDelete(TNFSQuota)
-			return nil
-		}
+	if _, ok := d.quotaIdx[pairKey{usersID, filsysID}]; !ok {
+		return mrerr.MrNoMatch
 	}
-	return mrerr.MrNoMatch
+	i := d.quotaSearch(filsysID, usersID)
+	d.nfsquotas = append(d.nfsquotas[:i], d.nfsquotas[i+1:]...)
+	delete(d.quotaIdx, pairKey{usersID, filsysID})
+	d.NoteDelete(TNFSQuota)
+	return nil
 }
 
 // QuotasOfUser returns all quota rows belonging to a user.
@@ -732,6 +936,7 @@ func (d *DB) InsertZephyr(z *ZephyrClass) error {
 
 // RenameZephyr changes a class's name.
 func (d *DB) RenameZephyr(z *ZephyrClass, newClass string) {
+	d.markDirty(TZephyr)
 	delete(d.zephyr, z.Class)
 	z.Class = newClass
 	d.zephyr[newClass] = z
@@ -811,18 +1016,15 @@ func (d *DB) InternString(s string) (int, error) {
 	}
 	d.strings[id] = &StringRec{StringID: id, String: s}
 	d.stringsByVal[s] = id
+	d.stringIdx.insert(id)
 	d.NoteAppend(TStrings)
 	return id, nil
 }
 
-// EachString calls fn for every string row in id order.
+// EachString calls fn for every string row in id order (from the
+// ordered index; fn must not intern new strings).
 func (d *DB) EachString(fn func(*StringRec) bool) {
-	ids := make([]int, 0, len(d.strings))
-	for id := range d.strings {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
+	for _, id := range d.stringIdx.ids {
 		if !fn(d.strings[id]) {
 			return
 		}

@@ -623,7 +623,9 @@ func (d *DB) DumpTable(name string, w io.Writer) error {
 }
 
 // LoadTable reads one relation from r in backup format, appending its
-// rows. Caller must hold the exclusive lock.
+// rows. Caller must hold the exclusive lock. The loaders write the row
+// maps directly, so the derived indexes are re-derived afterwards —
+// index state is never persisted, it is always rebuilt from loaded rows.
 func (d *DB) LoadTable(name string, r io.Reader) error {
 	for _, t := range tableIOs {
 		if t.name != name {
@@ -645,7 +647,16 @@ func (d *DB) LoadTable(name string, r io.Reader) error {
 				return fmt.Errorf("db: %s line %d: %w", name, lineno, err)
 			}
 		}
-		return sc.Err()
+		if err := sc.Err(); err != nil {
+			return err
+		}
+		d.rebuildIndexes()
+		d.valueNames.invalidate()
+		d.statNames.invalidate()
+		for _, tbl := range AllTables {
+			d.markDirty(tbl)
+		}
+		return nil
 	}
 	return fmt.Errorf("db: unknown table %q", name)
 }

@@ -2,7 +2,6 @@ package db
 
 import (
 	"io"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -89,6 +88,34 @@ type DB struct {
 	values    map[string]int
 	stats     map[string]*TblStat
 
+	// Secondary indexes (index.go): derived from the row maps above,
+	// maintained by the mutation accessors, rebuilt wholesale by the
+	// load paths (AdoptFrom) via rebuildIndexes.
+	userIdx    userIndex
+	machIdx    namedIndex
+	cluIdx     namedIndex
+	listIdx    namedIndex
+	filesysIdx filesysIndex
+	stringIdx  intIndex
+	memberIdx  map[memberKey][]int   // (member type, id) -> list ids
+	mcmapIdx   map[pairKey]bool      // (mach_id, clu_id) presence
+	quotaIdx   map[pairKey]*NFSQuota // (users_id, filsys_id) -> row
+
+	valueNames *nameCache // sorted VALUES names (key-set changes only)
+	statNames  *nameCache // sorted TBLSTATS table names
+
+	// Snapshot machinery (snapshot.go). Per-table epochs track which
+	// tables changed since the served frozen snapshot was built, so a
+	// rebuild copies only dirty tables and shares the rest.
+	isFrozen     bool
+	builtEpoch   int64
+	snapEpochs   map[string]int64
+	writeEpoch   atomic.Int64
+	rebuildMu    sync.Mutex
+	frozen       atomic.Pointer[DB]
+	snapReads    atomic.Int64
+	snapRebuilds atomic.Int64
+
 	seqCounter int64
 	tableSeq   map[string]int64
 
@@ -140,7 +167,11 @@ func New(clk clock.Clock) *DB {
 		stats:        make(map[string]*TblStat),
 		tableSeq:     make(map[string]int64),
 		ops:          make(map[string]*tableOps),
+		snapEpochs:   make(map[string]int64),
+		valueNames:   &nameCache{},
+		statNames:    &nameCache{},
 	}
+	d.rebuildIndexes()
 	for _, t := range AllTables {
 		d.stats[t] = &TblStat{Table: t}
 		d.ops[t] = &tableOps{}
@@ -223,6 +254,15 @@ func (d *DB) AdoptFrom(src *DB) {
 	d.services, d.printcaps, d.capacls = src.services, src.printcaps, src.capacls
 	d.aliases, d.values, d.stats = src.aliases, src.values, src.stats
 	d.seqCounter, d.tableSeq = src.seqCounter, src.tableSeq
+	// Index state is derived, never moved: re-derive it from the adopted
+	// rows, drop the lazy name caches, and dirty every table so the next
+	// Reader() freezes a fresh snapshot of the adopted state.
+	d.rebuildIndexes()
+	d.valueNames.invalidate()
+	d.statNames.invalidate()
+	for _, t := range AllTables {
+		d.markDirty(t)
+	}
 }
 
 // --- TBLSTATS maintenance. Caller must hold the exclusive lock. ---
@@ -232,6 +272,7 @@ func (d *DB) stat(table string) *TblStat {
 	if !ok {
 		s = &TblStat{Table: table}
 		d.stats[table] = s
+		d.statNames.invalidate() // key set grew
 	}
 	return s
 }
@@ -244,6 +285,10 @@ func (d *DB) note(s *TblStat) {
 	s.ModTime = d.Now()
 	d.seqCounter++
 	d.tableSeq[s.Table] = d.seqCounter
+	d.markDirty(s.Table)
+	// The stats row itself just changed in place, so snapshots must
+	// re-copy the tblstats relation too.
+	d.markDirty(TTblStats)
 }
 
 // opsFor returns table's atomic op-count mirror, creating it if needed.
@@ -269,6 +314,12 @@ func (d *DB) BindStats(reg *stats.Registry) {
 		}
 		if d.wedged.Load() {
 			emit("journal.wedged", 1)
+		}
+		if r := d.snapReads.Load(); r > 0 {
+			emit("snap.reads", r)
+		}
+		if r := d.snapRebuilds.Load(); r > 0 {
+			emit("snap.rebuilds", r)
 		}
 		d.opsMu.Lock()
 		defer d.opsMu.Unlock()
@@ -319,6 +370,11 @@ func (d *DB) NoteDelete(table string) {
 func (d *DB) NoteUpdateInternal(table string) {
 	d.stat(table).Updates++
 	d.opsFor(table).updates.Add(1)
+	// No modtime, no sequence bump — but the row did change in place,
+	// so snapshot maintenance must still see the table (and its stats
+	// row) as dirty or a frozen reader would race the writer.
+	d.markDirty(table)
+	d.markDirty(TTblStats)
 }
 
 // SeqOf returns the largest change-sequence number across the named
@@ -352,13 +408,15 @@ func (d *DB) Stats(table string) TblStat {
 }
 
 // AllStats returns all stats rows sorted by table name. Caller must hold
-// at least the shared lock.
+// at least the shared lock. The name ordering comes from a cache that is
+// invalidated only when a new table appears, so the per-call sort the
+// `_stats`-style paths used to pay is gone from the hot path.
 func (d *DB) AllStats() []TblStat {
-	out := make([]TblStat, 0, len(d.stats))
-	for _, s := range d.stats {
-		out = append(out, *s)
+	names := d.statNames.get(sortedKeys(d.stats))
+	out := make([]TblStat, 0, len(names))
+	for _, n := range names {
+		out = append(out, *d.stats[n])
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Table < out[j].Table })
 	return out
 }
 
@@ -392,6 +450,7 @@ func (d *DB) SetValue(name string, v int) {
 		d.NoteUpdate(TValues)
 	} else {
 		d.NoteAppend(TValues)
+		d.valueNames.invalidate()
 	}
 	d.values[name] = v
 }
@@ -403,6 +462,7 @@ func (d *DB) AddValue(name string, v int) error {
 	}
 	d.values[name] = v
 	d.NoteAppend(TValues)
+	d.valueNames.invalidate()
 	return nil
 }
 
@@ -424,17 +484,14 @@ func (d *DB) DeleteValue(name string) error {
 	}
 	delete(d.values, name)
 	d.NoteDelete(TValues)
+	d.valueNames.invalidate()
 	return nil
 }
 
-// ValueNames returns all value names sorted. Shared lock.
+// ValueNames returns all value names sorted. Shared lock. Cached: the
+// sort reruns only after the key set changes, not per call.
 func (d *DB) ValueNames() []string {
-	out := make([]string, 0, len(d.values))
-	for k := range d.values {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
+	return d.valueNames.get(sortedKeys(d.values))
 }
 
 // AllocID allocates the next ID from the named hint counter ("users_id",
@@ -445,5 +502,9 @@ func (d *DB) AllocID(counter string) (int, error) {
 		return 0, mrerr.MrNoID
 	}
 	d.values[counter] = v + 1
+	// Deliberately not a Note* (an allocation is not a data change the
+	// DCM should chase), but the values row did move: snapshots must
+	// re-copy the relation.
+	d.markDirty(TValues)
 	return v, nil
 }

@@ -106,6 +106,108 @@ func (d *DB) Fsck() []Inconsistency {
 		}
 	}
 
+	// Derived secondary indexes (index.go) ↔ row agreement. These are
+	// never persisted, so a finding here is a maintenance bug in the
+	// running server, not on-disk corruption — but it would mean silently
+	// wrong query results, which is exactly what fsck exists to catch.
+	checkOrdered := func(table string, idx []int, rows func(int) bool, n int) {
+		if len(idx) != n {
+			add(table, "ordered index", "index has %d entries, relation has %d rows", len(idx), n)
+		}
+		for i, id := range idx {
+			if i > 0 && idx[i-1] >= id {
+				add(table, "ordered index", "ids out of order at position %d", i)
+				break
+			}
+			if !rows(id) {
+				add(table, fmt.Sprintf("id %d", id), "ordered index entry for a missing row")
+			}
+		}
+	}
+	checkOrdered(TUsers, d.userIdx.ids.ids, userOK, len(d.users))
+	checkOrdered(TMachine, d.machIdx.ids.ids, machOK, len(d.machines))
+	checkOrdered(TCluster, d.cluIdx.ids.ids, cluOK, len(d.clusters))
+	checkOrdered(TList, d.listIdx.ids.ids, listOK, len(d.lists))
+	checkOrdered(TFilesys, d.filesysIdx.ids.ids,
+		func(id int) bool { _, ok := d.filesys[id]; return ok }, len(d.filesys))
+	checkOrdered(TStrings, d.stringIdx.ids, strOK, len(d.strings))
+
+	uidCount := 0
+	for uid, ids := range d.userIdx.byUID {
+		uidCount += len(ids)
+		for _, id := range ids {
+			if u, ok := d.users[id]; !ok || u.UID != uid {
+				add(TUsers, fmt.Sprintf("uid %d", uid), "uid index points at user %d which is missing or re-uided", id)
+			}
+		}
+	}
+	if uidCount != len(d.users) {
+		add(TUsers, "uid index", "index covers %d users, relation has %d", uidCount, len(d.users))
+	}
+
+	labelCount := 0
+	for label, ids := range d.filesysIdx.byLabel {
+		labelCount += len(ids)
+		for _, id := range ids {
+			if f, ok := d.filesys[id]; !ok || f.Label != label {
+				add(TFilesys, label, "label index points at filesys %d which is missing or relabeled", id)
+			}
+		}
+	}
+	if labelCount != len(d.filesys) {
+		add(TFilesys, "label index", "index covers %d rows, relation has %d", labelCount, len(d.filesys))
+	}
+
+	memberCount := 0
+	for k, listIDs := range d.memberIdx {
+		memberCount += len(listIDs)
+		for _, listID := range listIDs {
+			if !d.HasMember(listID, k.Type, k.ID) {
+				add(TMembers, fmt.Sprintf("%s %d", k.Type, k.ID), "member index claims membership in list %d which has no such row", listID)
+			}
+		}
+	}
+	nMembers := 0
+	for _, ms := range d.members {
+		nMembers += len(ms)
+	}
+	if memberCount != nMembers {
+		add(TMembers, "member index", "index covers %d rows, relation has %d", memberCount, nMembers)
+	}
+
+	if len(d.mcmapIdx) != len(d.mcmap) {
+		add(TMCMap, "pair index", "index covers %d rows, relation has %d", len(d.mcmapIdx), len(d.mcmap))
+	}
+	for _, mc := range d.mcmap {
+		if !d.mcmapIdx[pairKey{mc.MachID, mc.CluID}] {
+			add(TMCMap, fmt.Sprintf("machine %d cluster %d", mc.MachID, mc.CluID), "row missing from pair index")
+		}
+	}
+
+	if len(d.quotaIdx) != len(d.nfsquotas) {
+		add(TNFSQuota, "pair index", "index covers %d rows, relation has %d", len(d.quotaIdx), len(d.nfsquotas))
+	}
+	for i, q := range d.nfsquotas {
+		if d.quotaIdx[pairKey{q.UsersID, q.FilsysID}] != q {
+			add(TNFSQuota, fmt.Sprintf("user %d filesys %d", q.UsersID, q.FilsysID), "row missing from pair index")
+		}
+		if i > 0 {
+			p := d.nfsquotas[i-1]
+			if p.FilsysID > q.FilsysID || (p.FilsysID == q.FilsysID && p.UsersID >= q.UsersID) {
+				add(TNFSQuota, "ordered slice", "rows out of (filsys, user) order at position %d", i)
+			}
+		}
+	}
+	for i, sh := range d.serverHosts {
+		if i == 0 {
+			continue
+		}
+		p := d.serverHosts[i-1]
+		if p.Service > sh.Service || (p.Service == sh.Service && p.MachID >= sh.MachID) {
+			add(TServerHosts, "ordered slice", "rows out of (service, mach_id) order at position %d", i)
+		}
+	}
+
 	// List ACLs and memberships.
 	for _, l := range d.lists {
 		checkACE(TList, l.Name, l.ACLType, l.ACLID)

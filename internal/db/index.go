@@ -1,0 +1,286 @@
+package db
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"moira/internal/wildcard"
+)
+
+// Secondary indexes: derived, in-memory structures that turn the query
+// layer's hot retrieval shapes — point lookup by uid, ordered iteration
+// by primary key, wildcard retrieval by name — from full-table scans
+// with per-call sorts into index probes. Index state is never
+// persisted: the journal and checkpoints carry only rows, and every
+// load path (restore, replay, AdoptFrom) rebuilds or carries the
+// indexes alongside the rows it installs. Fsck verifies index ↔ row
+// agreement, so a maintenance bug surfaces as a boot-time finding
+// instead of silently wrong query results.
+
+// intIndex is an ordered primary-key index: the table's ids in
+// ascending order. Because ids come from monotonic AllocID counters,
+// inserts are almost always appends (O(1)); out-of-order inserts and
+// deletes pay one memmove. This is the "sorted slice" flavor of an
+// ordered index — right for Moira's insert-mostly, scan-heavy tables.
+type intIndex struct {
+	ids []int
+}
+
+// insert adds id, keeping ascending order. Duplicate ids are the
+// caller's bug (primary keys are checked before insert).
+func (x *intIndex) insert(id int) {
+	if n := len(x.ids); n == 0 || x.ids[n-1] < id {
+		x.ids = append(x.ids, id)
+		return
+	}
+	i := sort.SearchInts(x.ids, id)
+	x.ids = append(x.ids, 0)
+	copy(x.ids[i+1:], x.ids[i:])
+	x.ids[i] = id
+}
+
+// remove drops id if present.
+func (x *intIndex) remove(id int) {
+	i := sort.SearchInts(x.ids, id)
+	if i >= len(x.ids) || x.ids[i] != id {
+		return
+	}
+	x.ids = append(x.ids[:i], x.ids[i+1:]...)
+}
+
+// clone returns an independent copy (for freezing a snapshot).
+func (x *intIndex) clone() intIndex {
+	return intIndex{ids: append([]int(nil), x.ids...)}
+}
+
+// nameCache is a lazily built, ordered name index: the sorted keys of a
+// by-name map, used for wildcard range scans. It is rebuilt on first
+// use after an invalidation rather than maintained per-mutation —
+// keeping a large sorted string slice ordered under random-order
+// inserts would cost O(n) per insert, while the lazy rebuild costs one
+// O(n log n) sort per write→wildcard-read transition and nothing at
+// all on write-only or read-only phases. The build is safe under
+// concurrent shared holds (and under concurrent readers of a frozen
+// snapshot, which never invalidates).
+type nameCache struct {
+	mu sync.Mutex
+	p  atomic.Pointer[[]string]
+}
+
+// invalidate drops the cache; the next get rebuilds. Callers hold the
+// exclusive lock (it accompanies a mutation).
+func (c *nameCache) invalidate() { c.p.Store(nil) }
+
+// get returns the sorted names, building them with build() if needed.
+func (c *nameCache) get(build func() []string) []string {
+	if s := c.p.Load(); s != nil {
+		return *s
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s := c.p.Load(); s != nil {
+		return *s
+	}
+	s := build()
+	sort.Strings(s)
+	c.p.Store(&s)
+	return s
+}
+
+// sortedKeys materializes a string-keyed map's keys for a nameCache
+// build callback.
+func sortedKeys[V any](m map[string]V) func() []string {
+	return func() []string {
+		out := make([]string, 0, len(m))
+		for k := range m {
+			out = append(out, k)
+		}
+		return out
+	}
+}
+
+// --- wildcard range planning ---
+
+// WildcardRange plans an ordered-index scan for a wildcard pattern: it
+// returns the half-open key range [lo, hi) that must contain every
+// string matching the pattern. hi == "" means the range is unbounded
+// above. The range is derived from the pattern's literal prefix (the
+// bytes before the first '*' or '?'), so the planner can never miss a
+// match; candidates inside the range still need wildcard.Match, so it
+// can never produce a false hit either. FuzzWildcardIndex holds the
+// planner to exactly that contract against the matcher.
+func WildcardRange(pattern string) (lo, hi string) {
+	i := 0
+	for i < len(pattern) && pattern[i] != '*' && pattern[i] != '?' {
+		i++
+	}
+	prefix := pattern[:i]
+	return prefix, prefixSuccessor(prefix)
+}
+
+// prefixSuccessor returns the smallest string greater than every string
+// with the given prefix, or "" when no such bound exists (empty prefix
+// or all-0xff). The classic construction: increment the last
+// incrementable byte and truncate after it.
+func prefixSuccessor(prefix string) string {
+	for i := len(prefix) - 1; i >= 0; i-- {
+		if prefix[i] != 0xff {
+			// Byte-wise append: string(b) would encode b as a rune, turning
+			// bytes >= 0x80 into two UTF-8 bytes and breaking the ordering.
+			return prefix[:i] + string([]byte{prefix[i] + 1})
+		}
+	}
+	return ""
+}
+
+// scanRange returns the subslice of the sorted names that lies inside
+// [lo, hi) (hi == "" meaning unbounded).
+func scanRange(names []string, lo, hi string) []string {
+	start := sort.SearchStrings(names, lo)
+	end := len(names)
+	if hi != "" {
+		end = start + sort.SearchStrings(names[start:], hi)
+	}
+	return names[start:end]
+}
+
+// matchNames resolves a wildcard pattern against an ordered name index:
+// range scan by literal prefix, then exact matching inside the range.
+func matchNames(sorted []string, pattern string) []string {
+	lo, hi := WildcardRange(pattern)
+	var out []string
+	for _, n := range scanRange(sorted, lo, hi) {
+		if wildcard.Match(pattern, n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// --- composite-key hash indexes ---
+
+// memberKey indexes membership rows by who the member is.
+type memberKey struct {
+	Type string
+	ID   int
+}
+
+// pairKey indexes two-integer composite keys (mcmap, nfsquota).
+type pairKey struct{ A, B int }
+
+// removeInt drops one occurrence of v from s (order not preserved).
+func removeInt(s []int, v int) []int {
+	for i, x := range s {
+		if x == v {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// userIndex carries the USERS relation's secondary indexes: the ordered
+// primary-key index (the users_id iteration order EachUser promises),
+// the uid hash index, and the ordered login index for wildcards.
+type userIndex struct {
+	ids    intIndex
+	byUID  map[int][]int // unix uid -> users_ids (normally one)
+	logins *nameCache
+}
+
+// namedIndex is the shared shape for tables with an integer primary key
+// and a unique name: ordered ids plus an ordered name index.
+type namedIndex struct {
+	ids   intIndex
+	names *nameCache
+}
+
+// filesysIndex adds the label hash index (labels are not unique; the
+// (label, order) pair is).
+type filesysIndex struct {
+	ids     intIndex
+	byLabel map[string][]int // label -> filsys_ids
+}
+
+// rebuildIndexes derives every secondary index from the current rows.
+// It is the load-path entry point: Restore-built databases arrive here
+// via the insert accessors, but AdoptFrom (which moves whole tables)
+// and tests that assemble rows directly call it to re-derive state.
+// Caller holds the exclusive lock (or owns the DB privately).
+func (d *DB) rebuildIndexes() {
+	ui := userIndex{byUID: make(map[int][]int, len(d.users)), logins: &nameCache{}}
+	ui.ids.ids = make([]int, 0, len(d.users))
+	for id, u := range d.users {
+		ui.ids.ids = append(ui.ids.ids, id)
+		ui.byUID[u.UID] = append(ui.byUID[u.UID], id)
+	}
+	sort.Ints(ui.ids.ids)
+	d.userIdx = ui
+
+	d.machIdx = rebuildNamed(d.machines, func(m *Machine) int { return m.MachID })
+	d.cluIdx = rebuildNamed(d.clusters, func(c *Cluster) int { return c.CluID })
+	d.listIdx = rebuildNamed(d.lists, func(l *List) int { return l.ListID })
+
+	fi := filesysIndex{byLabel: make(map[string][]int, len(d.filesys))}
+	fi.ids.ids = make([]int, 0, len(d.filesys))
+	for id, f := range d.filesys {
+		fi.ids.ids = append(fi.ids.ids, id)
+		fi.byLabel[f.Label] = append(fi.byLabel[f.Label], id)
+	}
+	sort.Ints(fi.ids.ids)
+	d.filesysIdx = fi
+
+	d.stringIdx = intIndex{ids: make([]int, 0, len(d.strings))}
+	for id := range d.strings {
+		d.stringIdx.ids = append(d.stringIdx.ids, id)
+	}
+	sort.Ints(d.stringIdx.ids)
+
+	d.memberIdx = make(map[memberKey][]int)
+	for listID, ms := range d.members {
+		for _, m := range ms {
+			k := memberKey{m.MemberType, m.MemberID}
+			d.memberIdx[k] = append(d.memberIdx[k], listID)
+		}
+	}
+
+	d.mcmapIdx = make(map[pairKey]bool, len(d.mcmap))
+	for _, mc := range d.mcmap {
+		d.mcmapIdx[pairKey{mc.MachID, mc.CluID}] = true
+	}
+
+	d.quotaIdx = make(map[pairKey]*NFSQuota, len(d.nfsquotas))
+	for _, q := range d.nfsquotas {
+		d.quotaIdx[pairKey{q.UsersID, q.FilsysID}] = q
+	}
+
+	// The serverhosts and nfsquotas slices double as their relations'
+	// ordered indexes: enforce the sort invariant on load.
+	sort.Slice(d.serverHosts, func(i, j int) bool {
+		a, b := d.serverHosts[i], d.serverHosts[j]
+		if a.Service != b.Service {
+			return a.Service < b.Service
+		}
+		return a.MachID < b.MachID
+	})
+	sort.Slice(d.nfsquotas, func(i, j int) bool {
+		a, b := d.nfsquotas[i], d.nfsquotas[j]
+		if a.FilsysID != b.FilsysID {
+			return a.FilsysID < b.FilsysID
+		}
+		return a.UsersID < b.UsersID
+	})
+}
+
+// rebuildNamed derives a namedIndex from an id-keyed row map (the name
+// cache rebuilds itself lazily from the by-name map).
+func rebuildNamed[R any](rows map[int]R, _ func(R) int) namedIndex {
+	ni := namedIndex{names: &nameCache{}}
+	ni.ids.ids = make([]int, 0, len(rows))
+	for id := range rows {
+		ni.ids.ids = append(ni.ids.ids, id)
+	}
+	sort.Ints(ni.ids.ids)
+	return ni
+}

@@ -1,0 +1,290 @@
+package db
+
+// MVCC-lite snapshots: retrievals run against an immutable frozen copy
+// of the database instead of holding the shared lock, so reads never
+// block the writer and a reader observes one committed state for its
+// whole query — no torn multi-table views.
+//
+// The scheme is copy-on-write at table granularity, rebuilt lazily:
+//
+//   - Every mutation path calls markDirty(table), which bumps that
+//     table's epoch and the global write epoch. Mutations happen under
+//     the exclusive lock, exactly as before — the journal's global
+//     ordering requires a single writer, so sharding applies to
+//     snapshot state, not to writer concurrency.
+//   - Reader() returns the current frozen snapshot if its build epoch
+//     still matches the write epoch (the no-new-commits fast path: one
+//     atomic load). Otherwise it rebuilds: take the shared lock (which
+//     only waits out an in-flight commit), deep-copy the tables whose
+//     epochs moved since the previous snapshot, and share every clean
+//     table — rows, maps, and indexes — with the previous snapshot.
+//
+// Lazy rebuild is the load-bearing choice: publishing a snapshot per
+// commit would charge every write O(dirty tables) in copies, while
+// rebuild-on-read charges one copy per write→read transition no matter
+// how many writes batched up in between. Write-only phases (bulk load,
+// replay) cost zero copies.
+//
+// A frozen snapshot shares nothing mutable with the live database: row
+// structs are copied by value (they are flat), index slices are cloned,
+// and clean-table sharing is always with the previous frozen snapshot,
+// never with the live maps. The isFrozen latch makes every mutation
+// accessor panic on a snapshot, so a retrieve handler that mutates is a
+// loud bug, not silent corruption.
+
+// markDirty records a mutation of table for snapshot maintenance: the
+// per-table epoch decides which tables the next freeze must re-copy,
+// and the global write epoch invalidates the served snapshot. Caller
+// holds the exclusive lock (it accompanies a mutation).
+func (d *DB) markDirty(table string) {
+	if d.isFrozen {
+		panic("db: mutation of a frozen snapshot (retrieve handlers must not write)")
+	}
+	d.snapEpochs[table]++
+	d.writeEpoch.Add(1)
+}
+
+// Reader returns an immutable snapshot of the database for lock-free
+// retrieval. The snapshot reflects every committed mutation; the caller
+// runs its whole query against it without taking the database lock.
+// Accessor methods work on the snapshot unchanged. Mutating it panics.
+func (d *DB) Reader() *DB {
+	d.snapReads.Add(1)
+	if f := d.frozen.Load(); f != nil && f.builtEpoch == d.writeEpoch.Load() {
+		return f
+	}
+	d.rebuildMu.Lock()
+	defer d.rebuildMu.Unlock()
+	if f := d.frozen.Load(); f != nil && f.builtEpoch == d.writeEpoch.Load() {
+		return f
+	}
+	d.mu.RLock()
+	epoch := d.writeEpoch.Load() // stable: writers are blocked
+	f := d.freeze(d.frozen.Load())
+	f.builtEpoch = epoch
+	d.mu.RUnlock()
+	d.snapRebuilds.Add(1)
+	d.frozen.Store(f)
+	return f
+}
+
+// SnapshotStats reports how many Reader calls were served and how many
+// had to rebuild the frozen snapshot (the difference is cache hits).
+func (d *DB) SnapshotStats() (reads, rebuilds int64) {
+	return d.snapReads.Load(), d.snapRebuilds.Load()
+}
+
+// freeze builds a new frozen snapshot from the live database, sharing
+// every table whose epoch has not moved since prev was built. Called
+// with at least the shared lock held; prev may be nil (copy everything).
+func (d *DB) freeze(prev *DB) *DB {
+	f := &DB{
+		clk:        d.clk,
+		isFrozen:   true,
+		seqCounter: d.seqCounter,
+		tableSeq:   copyVals(d.tableSeq),
+		snapEpochs: copyVals(d.snapEpochs),
+		valueNames: &nameCache{},
+		statNames:  &nameCache{},
+		// ops is shared: frozen code never writes it (Note* panics via
+		// markDirty) and BindStats is only ever bound on the live DB.
+		ops: d.ops,
+	}
+	dirty := func(t string) bool {
+		return prev == nil || prev.snapEpochs[t] != d.snapEpochs[t]
+	}
+
+	if dirty(TUsers) {
+		f.users = copyRows(d.users)
+		f.usersByLogin = copyVals(d.usersByLogin)
+		f.userIdx = userIndex{
+			ids:    d.userIdx.ids.clone(),
+			byUID:  copySlices(d.userIdx.byUID),
+			logins: &nameCache{},
+		}
+	} else {
+		f.users, f.usersByLogin, f.userIdx = prev.users, prev.usersByLogin, prev.userIdx
+	}
+
+	if dirty(TMachine) {
+		f.machines = copyRows(d.machines)
+		f.machByName = copyVals(d.machByName)
+		f.machIdx = namedIndex{ids: d.machIdx.ids.clone(), names: &nameCache{}}
+	} else {
+		f.machines, f.machByName, f.machIdx = prev.machines, prev.machByName, prev.machIdx
+	}
+
+	if dirty(TCluster) {
+		f.clusters = copyRows(d.clusters)
+		f.cluByName = copyVals(d.cluByName)
+		f.cluIdx = namedIndex{ids: d.cluIdx.ids.clone(), names: &nameCache{}}
+	} else {
+		f.clusters, f.cluByName, f.cluIdx = prev.clusters, prev.cluByName, prev.cluIdx
+	}
+
+	if dirty(TMCMap) {
+		f.mcmap = append([]MCMap(nil), d.mcmap...)
+		f.mcmapIdx = copyVals(d.mcmapIdx)
+	} else {
+		f.mcmap, f.mcmapIdx = prev.mcmap, prev.mcmapIdx
+	}
+
+	if dirty(TSvc) {
+		f.svc = append([]SvcData(nil), d.svc...)
+	} else {
+		f.svc = prev.svc
+	}
+
+	if dirty(TList) {
+		f.lists = copyRows(d.lists)
+		f.listsByName = copyVals(d.listsByName)
+		f.listIdx = namedIndex{ids: d.listIdx.ids.clone(), names: &nameCache{}}
+	} else {
+		f.lists, f.listsByName, f.listIdx = prev.lists, prev.listsByName, prev.listIdx
+	}
+
+	if dirty(TMembers) {
+		f.members = copySlices(d.members)
+		f.memberIdx = copySlices(d.memberIdx)
+	} else {
+		f.members, f.memberIdx = prev.members, prev.memberIdx
+	}
+
+	if dirty(TServers) {
+		f.servers = copyRows(d.servers)
+	} else {
+		f.servers = prev.servers
+	}
+
+	if dirty(TServerHosts) {
+		f.serverHosts = copyRowSlice(d.serverHosts)
+	} else {
+		f.serverHosts = prev.serverHosts
+	}
+
+	if dirty(TFilesys) {
+		f.filesys = copyRows(d.filesys)
+		f.filesysIdx = filesysIndex{
+			ids:     d.filesysIdx.ids.clone(),
+			byLabel: copySlices(d.filesysIdx.byLabel),
+		}
+	} else {
+		f.filesys, f.filesysIdx = prev.filesys, prev.filesysIdx
+	}
+
+	if dirty(TNFSPhys) {
+		f.nfsphys = copyRows(d.nfsphys)
+	} else {
+		f.nfsphys = prev.nfsphys
+	}
+
+	if dirty(TNFSQuota) {
+		f.nfsquotas = copyRowSlice(d.nfsquotas)
+		f.quotaIdx = make(map[pairKey]*NFSQuota, len(f.nfsquotas))
+		for _, q := range f.nfsquotas {
+			f.quotaIdx[pairKey{q.UsersID, q.FilsysID}] = q
+		}
+	} else {
+		f.nfsquotas, f.quotaIdx = prev.nfsquotas, prev.quotaIdx
+	}
+
+	if dirty(TZephyr) {
+		f.zephyr = copyRows(d.zephyr)
+	} else {
+		f.zephyr = prev.zephyr
+	}
+
+	if dirty(THostAccess) {
+		f.hostaccess = copyRows(d.hostaccess)
+	} else {
+		f.hostaccess = prev.hostaccess
+	}
+
+	if dirty(TStrings) {
+		f.strings = copyRows(d.strings)
+		f.stringsByVal = copyVals(d.stringsByVal)
+		f.stringIdx = d.stringIdx.clone()
+	} else {
+		f.strings, f.stringsByVal, f.stringIdx = prev.strings, prev.stringsByVal, prev.stringIdx
+	}
+
+	if dirty(TServices) {
+		f.services = copyRows(d.services)
+	} else {
+		f.services = prev.services
+	}
+
+	if dirty(TPrintcap) {
+		f.printcaps = copyRows(d.printcaps)
+	} else {
+		f.printcaps = prev.printcaps
+	}
+
+	if dirty(TCapACLs) {
+		f.capacls = copyRows(d.capacls)
+	} else {
+		f.capacls = prev.capacls
+	}
+
+	if dirty(TAlias) {
+		f.aliases = append([]Alias(nil), d.aliases...)
+	} else {
+		f.aliases = prev.aliases
+	}
+
+	if dirty(TValues) {
+		f.values = copyVals(d.values)
+	} else {
+		f.values, f.valueNames = prev.values, prev.valueNames
+	}
+
+	if dirty(TTblStats) {
+		f.stats = copyRows(d.stats)
+	} else {
+		f.stats, f.statNames = prev.stats, prev.statNames
+	}
+
+	return f
+}
+
+// copyRows deep-copies a map of row pointers; row structs are flat, so
+// a struct copy is a full copy.
+func copyRows[K comparable, R any](m map[K]*R) map[K]*R {
+	out := make(map[K]*R, len(m))
+	for k, v := range m {
+		c := *v
+		out[k] = &c
+	}
+	return out
+}
+
+// copyRowSlice deep-copies a slice of row pointers.
+func copyRowSlice[R any](s []*R) []*R {
+	out := make([]*R, len(s))
+	for i, v := range s {
+		c := *v
+		out[i] = &c
+	}
+	return out
+}
+
+// copyVals copies a map of plain (non-reference) values.
+func copyVals[K comparable, V comparable](m map[K]V) map[K]V {
+	out := make(map[K]V, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// copySlices copies a map of slices, cloning each slice.
+func copySlices[K comparable, E any](m map[K][]E) map[K][]E {
+	out := make(map[K][]E, len(m))
+	for k, v := range m {
+		out[k] = append([]E(nil), v...)
+	}
+	return out
+}
+
+// Frozen reports whether d is an immutable snapshot from Reader.
+func (d *DB) Frozen() bool { return d.isFrozen }

@@ -100,6 +100,34 @@ func TestCrashRecoveryAtEveryPoint(t *testing.T) {
 			if gotC != tc.wantC {
 				t.Errorf("opC survived = %v, want %v", gotC, tc.wantC)
 			}
+
+			// Index-derived results: recovery rebuilds the secondary
+			// indexes from the restored rows plus journal replay, so
+			// wildcard retrieval (ordered name index) and snapshot reads
+			// must see exactly the committed machines, in mach_id order.
+			wantNames := []string{"ALPHA.MIT.EDU", "BRAVO.MIT.EDU"}
+			if tc.wantC {
+				wantNames = append(wantNames, "CHARLIE.MIT.EDU")
+			}
+			rec.LockShared()
+			ms := rec.MachinesMatchingName("*.MIT.EDU")
+			rec.UnlockShared()
+			var gotNames []string
+			for _, m := range ms {
+				gotNames = append(gotNames, m.Name)
+			}
+			if len(gotNames) != len(wantNames) {
+				t.Fatalf("recovered wildcard match = %v, want %v", gotNames, wantNames)
+			}
+			for i := range wantNames {
+				if gotNames[i] != wantNames[i] {
+					t.Fatalf("recovered wildcard match = %v, want %v", gotNames, wantNames)
+				}
+			}
+			snap := rec.Reader()
+			if got := snap.MachinesMatchingName("*.MIT.EDU"); len(got) != len(wantNames) {
+				t.Errorf("recovered snapshot wildcard match has %d rows, want %d", len(got), len(wantNames))
+			}
 		})
 	}
 }

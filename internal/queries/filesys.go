@@ -261,7 +261,7 @@ func init() {
 			if err != nil {
 				return err
 			}
-			f.Label = newname
+			d.SetFilesysLabel(f, newname)
 			f.Type, f.MachID, f.PhysID = fstype, mach.MachID, physID
 			f.Name, f.Mount, f.Access = args[4], args[5], args[6]
 			f.Comments = args[7]

@@ -13,20 +13,7 @@ import (
 const UniqueGID = "-1"
 
 func matchLists(d *db.DB, pattern string) []*db.List {
-	var out []*db.List
-	if !wildcard.HasWildcards(pattern) {
-		if l, ok := d.ListByName(pattern); ok {
-			out = append(out, l)
-		}
-		return out
-	}
-	d.EachList(func(l *db.List) bool {
-		if wildcard.Match(pattern, l.Name) {
-			out = append(out, l)
-		}
-		return true
-	})
-	return out
+	return d.ListsMatchingName(pattern)
 }
 
 func oneList(d *db.DB, name string) (*db.List, error) {

@@ -11,23 +11,10 @@ import (
 )
 
 // matchMachines collects machines whose canonical name matches the
-// pattern (names are case insensitive; both sides are upper-cased).
+// pattern (names are case insensitive; both sides are upper-cased),
+// via the name indexes.
 func matchMachines(d *db.DB, pattern string) []*db.Machine {
-	pattern = util.CanonicalizeHostname(pattern)
-	var out []*db.Machine
-	if !wildcard.HasWildcards(pattern) {
-		if m, ok := d.MachineByName(pattern); ok {
-			out = append(out, m)
-		}
-		return out
-	}
-	d.EachMachine(func(m *db.Machine) bool {
-		if wildcard.Match(pattern, m.Name) {
-			out = append(out, m)
-		}
-		return true
-	})
-	return out
+	return d.MachinesMatchingName(util.CanonicalizeHostname(pattern))
 }
 
 // oneMachine resolves an argument that must match exactly one machine.
@@ -44,20 +31,7 @@ func oneMachine(d *db.DB, name string) (*db.Machine, error) {
 }
 
 func matchClusters(d *db.DB, pattern string) []*db.Cluster {
-	var out []*db.Cluster
-	if !wildcard.HasWildcards(pattern) {
-		if c, ok := d.ClusterByName(pattern); ok {
-			out = append(out, c)
-		}
-		return out
-	}
-	d.EachCluster(func(c *db.Cluster) bool {
-		if wildcard.Match(pattern, c.Name) {
-			out = append(out, c)
-		}
-		return true
-	})
-	return out
+	return d.ClustersMatchingName(pattern)
 }
 
 func oneCluster(d *db.DB, name string) (*db.Cluster, error) {

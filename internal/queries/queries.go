@@ -7,10 +7,10 @@
 // built-in _help/_list_queries/_list_users.
 //
 // Each query declares its argument count, its class (retrieve, append,
-// update, delete), a validation/access policy, and a handler that runs
-// with the database lock held (shared for retrieves, exclusive
-// otherwise), making every query a serializable transaction like the
-// original's single INGRES backend.
+// update, delete), a validation/access policy, and a handler. Mutations
+// run under the exclusive database lock; retrievals run lock-free
+// against an immutable snapshot (db.Reader). Either way every query is
+// a serializable transaction like the original's single INGRES backend.
 package queries
 
 import (
@@ -219,42 +219,48 @@ func Execute(cx *Context, name string, args []string, emit EmitFunc) error {
 		return err
 	}
 	if q.Kind == Retrieve {
-		cx.DB.LockShared()
-		defer cx.DB.UnlockShared()
-	} else {
-		// Fail-stop: once a journal append has failed, the store is no
-		// longer durable and its memory already diverges from disk by
-		// the mutation whose commit was reported as failed. Refusing
-		// further mutations (MR_DOWN) caps the divergence at that one
-		// change instead of letting it grow on a wedged disk; reads keep
-		// serving, and repointing the journal (SetJournal) clears the
-		// latch.
-		if cx.DB.JournalWedged() {
-			return mrerr.MrDown
+		// Retrievals run lock-free against an immutable snapshot (MVCC-
+		// lite): the reader pins one committed state for the whole query —
+		// access check and handler included — so it can never observe a
+		// torn multi-table view, and it never blocks the writer. The
+		// shallow Context copy redirects only this query at the snapshot;
+		// the access cache lives on the original context and stays
+		// coherent because the snapshot's change sequence equals the live
+		// database's at the moment Reader() returned it.
+		scx := *cx
+		scx.DB = cx.DB.Reader()
+		if err := checkAccessLocked(&scx, q, args); err != nil {
+			return err
 		}
-		cx.DB.LockExclusive()
-		defer cx.DB.UnlockExclusive()
+		return q.Handler(&scx, args, emit)
 	}
+	// Fail-stop: once a journal append has failed, the store is no
+	// longer durable and its memory already diverges from disk by
+	// the mutation whose commit was reported as failed. Refusing
+	// further mutations (MR_DOWN) caps the divergence at that one
+	// change instead of letting it grow on a wedged disk; reads keep
+	// serving, and repointing the journal (SetJournal) clears the
+	// latch.
+	if cx.DB.JournalWedged() {
+		return mrerr.MrDown
+	}
+	cx.DB.LockExclusive()
+	defer cx.DB.UnlockExclusive()
 	if err := checkAccessLocked(cx, q, args); err != nil {
 		return err
 	}
 	if err := q.Handler(cx, args, emit); err != nil {
 		return err
 	}
-	if q.Kind != Retrieve {
-		// A journal append failure fails the transaction: the client
-		// must not believe a change committed that recovery could never
-		// reproduce. The in-memory effect of this one query stands until
-		// the process exits, but the failure wedges the database
-		// (JournalWedged), so the gate above fail-stops every later
-		// mutation — the divergence never grows past this change, and
-		// the error tells the operator the store is no longer durable
-		// (full disk, dead device) before more is lost.
-		if err := cx.DB.JournalQuery(cx.Principal, cx.App, cx.TraceID, q.Name, args); err != nil {
-			return err
-		}
-	}
-	return nil
+	// A journal append failure fails the transaction: the client
+	// must not believe a change committed that recovery could never
+	// reproduce. The in-memory effect of this one query stands until
+	// the process exits, but the failure wedges the database
+	// (JournalWedged), so the gate above fail-stops every later
+	// mutation — the divergence never grows past this change, and
+	// the error tells the operator the store is no longer durable
+	// (full disk, dead device) before more is lost.
+	return cx.DB.JournalQuery(cx.Principal, cx.App, cx.TraceID, q.Name, args)
 }
 
 // CheckAccess implements the protocol's Access request: it reports
@@ -267,9 +273,11 @@ func CheckAccess(cx *Context, name string, args []string) error {
 	if err := checkArgs(q, args); err != nil {
 		return err
 	}
-	cx.DB.LockShared()
-	defer cx.DB.UnlockShared()
-	return checkAccessLocked(cx, q, args)
+	// Like retrievals, access checks run against a pinned snapshot
+	// instead of holding the shared lock.
+	scx := *cx
+	scx.DB = cx.DB.Reader()
+	return checkAccessLocked(&scx, q, args)
 }
 
 func checkArgs(q *Query, args []string) error {

@@ -28,23 +28,11 @@ func userFull(u *db.User) []string {
 	}
 }
 
-// matchUsers collects users whose login matches the (possibly wildcarded)
-// pattern.
+// matchUsers collects users whose login matches the (possibly
+// wildcarded) pattern, via the login indexes — a hash probe for exact
+// patterns, an ordered-index range scan for wildcards.
 func matchUsers(d *db.DB, pattern string) []*db.User {
-	var out []*db.User
-	if !wildcard.HasWildcards(pattern) {
-		if u, ok := d.UserByLogin(pattern); ok {
-			out = append(out, u)
-		}
-		return out
-	}
-	d.EachUser(func(u *db.User) bool {
-		if wildcard.Match(pattern, u.Login) {
-			out = append(out, u)
-		}
-		return true
-	})
-	return out
+	return d.UsersMatchingLogin(pattern)
 }
 
 // oneUser resolves an argument that "must match exactly one user".
@@ -362,7 +350,7 @@ func init() {
 			if newlogin != u.Login {
 				d.RenameUser(u, newlogin)
 			}
-			u.UID = uid
+			d.SetUserUID(u, uid)
 			u.Shell = args[3]
 			u.Last, u.First, u.Middle = args[4], args[5], args[6]
 			u.Status = state

@@ -324,6 +324,25 @@ func TestPromotion(t *testing.T) {
 	if ok, diff := sameTables(rep.DB(), recovered); !ok {
 		t.Fatalf("promoted node state lost in recovery: %s", diff)
 	}
+
+	// The promoted node's secondary indexes were rebuilt across replica
+	// apply, AdoptFrom bootstrap, and promotion; index-backed wildcard
+	// retrieval must see every machine, on both the promoted node and
+	// its recovered twin, through live and snapshot reads alike.
+	for _, node := range []*db.DB{rep.DB(), recovered} {
+		node.LockShared()
+		n := len(node.MachinesMatchingName("*.MIT.EDU"))
+		node.UnlockShared()
+		if n != 6 {
+			t.Errorf("indexed wildcard match found %d machines, want 6", n)
+		}
+		if sn := len(node.Reader().MachinesMatchingName("*.MIT.EDU")); sn != 6 {
+			t.Errorf("snapshot wildcard match found %d machines, want 6", sn)
+		}
+		if bad := node.Fsck(); len(bad) != 0 {
+			t.Errorf("index consistency fsck: %v", bad)
+		}
+	}
 	rep.Close()
 }
 
