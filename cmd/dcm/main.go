@@ -21,6 +21,7 @@ import (
 	"moira/internal/db"
 	"moira/internal/dcm"
 	"moira/internal/gen"
+	"moira/internal/stats"
 	"moira/internal/workload"
 )
 
@@ -37,7 +38,7 @@ func main() {
 		pushTO   = flag.Duration("push-timeout", 0, "per-host update deadline; a slower host counts as a soft failure (0 = default 30s)")
 		latency  = flag.Duration("host-latency", 0, "inject this much real service delay into every update agent (demo of the parallel push)")
 		verbose  = flag.Bool("v", false, "log every DCM action")
-		debug    = flag.String("debug-addr", "", "serve expvar and pprof on this HTTP address")
+		debug    = flag.String("debug-addr", "", "serve /metrics, /healthz, /readyz, expvar, and pprof on this HTTP address")
 	)
 	flag.Parse()
 
@@ -62,12 +63,15 @@ func main() {
 
 	if *debug != "" {
 		expvar.Publish("moira", expvar.Func(func() any { return sys.Registry.Snapshot() }))
+		http.Handle("/metrics", stats.PromHandler(sys.Registry))
+		http.HandleFunc("/healthz", sys.Health.Healthz)
+		http.HandleFunc("/readyz", sys.Health.Readyz)
 		go func() {
 			if err := http.ListenAndServe(*debug, nil); err != nil {
 				log.Printf("dcm: debug server: %v", err)
 			}
 		}()
-		log.Printf("dcm: expvar+pprof on http://%s/debug/", *debug)
+		log.Printf("dcm: metrics+health+pprof on http://%s/", *debug)
 	}
 
 	if *check {

@@ -28,11 +28,13 @@ import (
 	"moira/internal/clock"
 	"moira/internal/core"
 	"moira/internal/db"
+	"moira/internal/health"
 	"moira/internal/mrerr"
 	"moira/internal/queries"
 	"moira/internal/replica"
 	"moira/internal/server"
 	"moira/internal/stats"
+	"moira/internal/trace"
 	"moira/internal/workload"
 )
 
@@ -55,7 +57,11 @@ func main() {
 		promote    = flag.Bool("promote", false, "with -replicate-from: promote to primary immediately at boot instead of tailing (SIGUSR1 promotes at runtime)")
 		dcmEvery   = flag.Duration("dcm-interval", 15*time.Minute, "wall-clock DCM pass interval in --demo mode")
 		verbose    = flag.Bool("v", false, "log requests")
-		debug      = flag.String("debug-addr", "", "serve expvar and pprof on this HTTP address")
+		debug      = flag.String("debug-addr", "", "serve /metrics, /healthz, /readyz, expvar, and pprof on this HTTP address")
+
+		traceSlow   = flag.Duration("trace-slow", trace.DefaultSlow, "always keep traces at least this slow and count them in trace.slowops (negative = keep all)")
+		traceSample = flag.Int("trace-sample", trace.DefaultSampleN, "keep 1 in N ordinary traces (1 = keep everything)")
+		replLagMax  = flag.Duration("repl-lag-max", 5*time.Minute, "replica mode: /readyz fails when replication lag exceeds this")
 
 		idleTimeout  = flag.Duration("idle-timeout", 5*time.Minute, "drop a client connection idle for this long (0 = never)")
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-reply write deadline (0 = none)")
@@ -73,15 +79,18 @@ func main() {
 		idle: *idleTimeout, write: *writeTimeout, maxConns: *maxConns, drain: *drainTimeout,
 	}
 	if *demo {
-		runDemo(*users, *dcmEvery, *debug, lifecycle, logf)
+		runDemo(*users, *dcmEvery, *debug, *traceSlow, *traceSample, lifecycle, logf)
 		return
 	}
 
 	var d *db.DB
 	var err error
 	var rep *replica.Replica
+	var du *core.Durability
 	var policy db.SyncPolicy
 	reg := stats.NewRegistry()
+	trc := trace.New(trace.Options{Process: "moirad", Slow: *traceSlow, SampleN: *traceSample, Stats: reg})
+	hc := health.NewChecker()
 	switch {
 	case *replFrom != "":
 		if *dataDir == "" {
@@ -95,10 +104,11 @@ func main() {
 		}
 		var info *queries.RecoverInfo
 		rep, info, err = replica.Open(replica.Config{
-			Root:  *dataDir,
-			From:  *replFrom,
-			Logf:  log.Printf,
-			Stats: reg,
+			Root:   *dataDir,
+			From:   *replFrom,
+			Logf:   log.Printf,
+			Stats:  reg,
+			Tracer: trc,
 		})
 		if err != nil {
 			log.Fatalf("moirad: replica recovery: %v", err)
@@ -119,7 +129,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("moirad: %v", err)
 		}
-		du, err := core.OpenDurable(core.DurabilityOptions{
+		du, err = core.OpenDurable(core.DurabilityOptions{
 			DataDir:            *dataDir,
 			Logf:               log.Printf,
 			Stats:              reg,
@@ -179,6 +189,8 @@ func main() {
 		DB:           d,
 		Stats:        reg,
 		Logf:         logf,
+		Tracer:       trc,
+		Health:       hc,
 		IdleTimeout:  lifecycle.idle,
 		WriteTimeout: lifecycle.write,
 		MaxConns:     lifecycle.maxConns,
@@ -189,7 +201,42 @@ func main() {
 	if err != nil {
 		log.Fatalf("moirad: listen: %v", err)
 	}
-	serveDebug(*debug, srv.Registry())
+
+	hc.AddFunc("journal", func() (bool, string) {
+		if d.JournalWedged() {
+			return false, "wedged: a journal append failed; mutations refused"
+		}
+		return true, "ok"
+	})
+	hc.Add(srv.HealthProbe)
+	if rep != nil {
+		maxLag := int64(replLagMax.Seconds())
+		hc.AddFunc("replication", func() (bool, string) {
+			if !srv.ReadOnly() {
+				return true, "promoted to primary"
+			}
+			lag := rep.LagSeconds()
+			detail := fmt.Sprintf("replica: connected=%v lag=%ds", rep.Connected(), lag)
+			if maxLag > 0 && lag > maxLag {
+				return false, detail + fmt.Sprintf(" exceeds -repl-lag-max=%s", *replLagMax)
+			}
+			return true, detail
+		})
+	}
+	if du != nil {
+		interval := *ckptInterval
+		hc.AddFunc("checkpoint", func() (bool, string) {
+			age, ok := du.CheckpointAge()
+			if !ok {
+				return true, "no checkpoint yet this run"
+			}
+			if interval > 0 && age > 3*interval {
+				return false, fmt.Sprintf("last checkpoint %s ago (interval %s)", age.Round(time.Second), interval)
+			}
+			return true, fmt.Sprintf("last checkpoint %s ago", age.Round(time.Second))
+		})
+	}
+	serveDebug(*debug, srv.Registry(), hc)
 
 	var promoteFn func()
 	if rep != nil {
@@ -227,12 +274,14 @@ type lifecycleKnobs struct {
 	maxConns           int
 }
 
-func runDemo(users int, dcmEvery time.Duration, debug string, lifecycle lifecycleKnobs, logf func(string, ...any)) {
+func runDemo(users int, dcmEvery time.Duration, debug string, traceSlow time.Duration, traceSample int, lifecycle lifecycleKnobs, logf func(string, ...any)) {
 	cfg := workload.Scaled(users)
 	sys, err := core.Boot(core.Options{
 		Workload:           &cfg,
 		EnableReg:          true,
 		Logf:               logf,
+		TraceSlow:          traceSlow,
+		TraceSampleN:       traceSample,
 		ServerIdleTimeout:  lifecycle.idle,
 		ServerWriteTimeout: lifecycle.write,
 		ServerMaxConns:     lifecycle.maxConns,
@@ -242,7 +291,7 @@ func runDemo(users int, dcmEvery time.Duration, debug string, lifecycle lifecycl
 		log.Fatalf("moirad: boot: %v", err)
 	}
 	defer sys.Close()
-	serveDebug(debug, sys.Registry)
+	serveDebug(debug, sys.Registry, sys.Health)
 
 	log.Printf("moirad: demo system up")
 	log.Printf("  moira server: %s", sys.ServerAddr)
@@ -287,19 +336,24 @@ func (r dcmRunner) loop(interval time.Duration, trigger <-chan struct{}, stop <-
 	}
 }
 
-// serveDebug exposes the registry as the expvar "moira" variable plus
-// the stdlib pprof handlers on addr; empty addr disables it.
-func serveDebug(addr string, reg *stats.Registry) {
+// serveDebug exposes Prometheus text on /metrics, liveness and
+// readiness probes on /healthz and /readyz, the registry as the expvar
+// "moira" variable, and the stdlib pprof handlers on addr; empty addr
+// disables it.
+func serveDebug(addr string, reg *stats.Registry, hc *health.Checker) {
 	if addr == "" {
 		return
 	}
 	expvar.Publish("moira", expvar.Func(func() any { return reg.Snapshot() }))
+	http.Handle("/metrics", stats.PromHandler(reg))
+	http.HandleFunc("/healthz", hc.Healthz)
+	http.HandleFunc("/readyz", hc.Readyz)
 	go func() {
 		if err := http.ListenAndServe(addr, nil); err != nil {
 			log.Printf("moirad: debug server: %v", err)
 		}
 	}()
-	log.Printf("moirad: expvar+pprof on http://%s/debug/", addr)
+	log.Printf("moirad: metrics+health+pprof on http://%s/", addr)
 }
 
 // waitForSignal blocks until SIGINT or SIGTERM.

@@ -9,6 +9,9 @@
 //	moirastat -addr ... -interval 2s -count 10  # watch counter deltas
 //	moirastat -addr ... -trace '*'              # recent requests
 //	moirastat -addr ... -trace t1a2b3c4d-7      # one trace ID
+//	moirastat -addr ... -spans '*'              # kept span trees (tail-sampled)
+//	moirastat -addr ... -spans T00ab12cd-3      # one trace's span tree
+//	moirastat -addr ... -health                 # readiness probes; exit 1 if failing
 //	moirastat -addr replica1:7760 -repl         # replication role and lag
 //
 // -addr accepts a comma-separated list; moirastat connects to the
@@ -36,6 +39,8 @@ func main() {
 		interval = flag.Duration("interval", 0, "watch mode: poll every interval and print counter deltas")
 		count    = flag.Int("count", 0, "watch mode: stop after this many polls (0 = forever)")
 		trace    = flag.String("trace", "", "dump the request trace ring instead ('*' for all, or one trace ID)")
+		spans    = flag.String("spans", "", "dump kept span trees ('*' for all, or one trace ID)")
+		healthy  = flag.Bool("health", false, "one-shot health view: print every probe, exit nonzero when any fails")
 		repl     = flag.Bool("repl", false, "one-shot replication view: role, last applied position, lag")
 	)
 	flag.Parse()
@@ -49,6 +54,10 @@ func main() {
 	switch {
 	case *trace != "":
 		dumpTrace(c, *trace)
+	case *spans != "":
+		dumpSpans(c, *spans)
+	case *healthy:
+		checkHealth(c)
 	case *repl:
 		rows, err := fetch(c)
 		if err != nil {
@@ -152,14 +161,17 @@ func printRepl(rows []row) {
 			m["repl.applied.seg"], m["repl.applied.idx"],
 			m["repl.applied.records"], m["repl.skipped.records"], m["repl.failed.records"])
 		fmt.Printf("head: segment %d record %d\n", m["repl.head.seg"], m["repl.head.idx"])
-		fmt.Printf("lag: %d segments, %d records, %d bytes\n",
-			m["repl.lag.segments"], m["repl.lag.records"], m["repl.lag.bytes"])
+		fmt.Printf("lag: %d segments, %d records, %d bytes, %d seconds behind\n",
+			m["repl.lag.segments"], m["repl.lag.records"], m["repl.lag.bytes"],
+			m["repl.lag.seconds"])
 	case 2:
 		if _, ok := m["repl.primary.conns"]; ok {
 			fmt.Printf("replicas: %d connected, %d served, %d snapshots shipped\n",
 				m["repl.primary.conns"], m["repl.primary.served"], m["repl.primary.snapshots"])
 			fmt.Printf("sent: %d records, %d bytes\n",
 				m["repl.primary.sent.records"], m["repl.primary.sent.bytes"])
+			fmt.Printf("subscribers: %d tailing, worst ship lag %d records\n",
+				m["repl.primary.subscribers"], m["repl.primary.shiplag.records"])
 		} else {
 			fmt.Printf("promoted from replica; applied segment %d record %d\n",
 				m["repl.applied.seg"], m["repl.applied.idx"])
@@ -210,6 +222,123 @@ func watch(c *client.Client, interval time.Duration, count int) {
 		}
 		time.Sleep(interval)
 	}
+}
+
+// spanRow is one `_spans` tuple.
+type spanRow struct {
+	trace, span, parent, process, name, detail, dur, status string
+	start                                                   int64
+}
+
+// dumpSpans prints the span store's kept traces as indented trees, one
+// per trace ID, children ordered by start time under their parents.
+func dumpSpans(c *client.Client, id string) {
+	var rows []spanRow
+	err := c.Query("_spans", []string{id}, func(t []string) error {
+		if len(t) != 9 {
+			return nil
+		}
+		start, _ := strconv.ParseInt(t[6], 10, 64)
+		rows = append(rows, spanRow{
+			trace: t[0], span: t[1], parent: t[2], process: t[3],
+			name: t[4], detail: t[5], dur: t[7], status: t[8], start: start,
+		})
+		return nil
+	})
+	if err == mrerr.MrNoMatch {
+		fmt.Fprintf(os.Stderr, "moirastat: no kept traces match %q (the store tail-samples: slow and errored traces are always kept)\n", id)
+		os.Exit(1)
+	}
+	if err != nil {
+		log.Fatalf("moirastat: _spans: %v", err)
+	}
+
+	byTrace := make(map[string][]spanRow)
+	var order []string
+	for _, r := range rows {
+		if _, ok := byTrace[r.trace]; !ok {
+			order = append(order, r.trace)
+		}
+		byTrace[r.trace] = append(byTrace[r.trace], r)
+	}
+	for i, tid := range order {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("trace %s (%d spans):\n", tid, len(byTrace[tid]))
+		printSpanTree(byTrace[tid])
+	}
+}
+
+// printSpanTree indents children under parents; spans whose parent is
+// not in the set (a remote parent from another process's store) print
+// as roots.
+func printSpanTree(rows []spanRow) {
+	ids := make(map[string]bool, len(rows))
+	for _, r := range rows {
+		ids[r.span] = true
+	}
+	children := make(map[string][]spanRow)
+	var roots []spanRow
+	for _, r := range rows {
+		if r.parent != "" && ids[r.parent] {
+			children[r.parent] = append(children[r.parent], r)
+		} else {
+			roots = append(roots, r)
+		}
+	}
+	byStart := func(s []spanRow) {
+		sort.Slice(s, func(i, j int) bool { return s[i].start < s[j].start })
+	}
+	byStart(roots)
+	for _, s := range children {
+		byStart(s)
+	}
+	var walk func(r spanRow, depth int)
+	walk = func(r spanRow, depth int) {
+		line := fmt.Sprintf("%s%s", strings.Repeat("  ", depth+1), r.name)
+		if r.detail != "" {
+			line += " [" + r.detail + "]"
+		}
+		line += fmt.Sprintf("  %s  (%s)", r.dur, r.process)
+		if r.status != "0" {
+			line += "  status=" + r.status
+		}
+		fmt.Println(line)
+		for _, ch := range children[r.span] {
+			walk(ch, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+}
+
+// checkHealth runs the in-band `_health` handle and prints each probe;
+// the exit status is 1 when any probe fails, so it scripts as a
+// readiness check over the RPC port.
+func checkHealth(c *client.Client) {
+	failed := false
+	err := c.Query("_health", nil, func(t []string) error {
+		if len(t) != 3 {
+			return nil
+		}
+		state := "ok  "
+		if t[1] != "1" {
+			state = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s  %-12s %s\n", state, t[0], t[2])
+		return nil
+	})
+	if err != nil {
+		log.Fatalf("moirastat: _health: %v", err)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "moirastat: not ready")
+		os.Exit(1)
+	}
+	fmt.Println("ready")
 }
 
 // dumpTrace prints the server's recent-request ring, oldest first.

@@ -7,12 +7,18 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"moira/internal/health"
+	"moira/internal/stats"
+	"moira/internal/trace"
 	"moira/internal/update"
 )
 
@@ -21,6 +27,8 @@ func main() {
 		addr = flag.String("addr", "127.0.0.1:7762", "TCP address to listen on")
 		host = flag.String("host", "HOST.MIT.EDU", "canonical host name")
 		root = flag.String("root", "", "host file tree root (default: a temp dir)")
+
+		debug = flag.String("debug-addr", "", "serve /metrics, /healthz, /readyz, and pprof on this HTTP address")
 
 		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "per-frame read deadline; a stalled DCM connection is dropped after this (0 = never)")
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-reply write deadline (0 = none)")
@@ -39,7 +47,10 @@ func main() {
 		log.Printf("updsrvd: host tree at %s", dir)
 	}
 
+	reg := stats.NewRegistry()
 	a := update.NewAgent(*host, dir, nil)
+	a.BindStats(reg)
+	a.SetTracer(trace.New(trace.Options{Process: "updsrvd", Stats: reg}))
 	a.ReadTimeout = *readTimeout
 	a.WriteTimeout = *writeTimeout
 	a.DrainTimeout = *drainTimeout
@@ -59,6 +70,22 @@ func main() {
 		log.Fatalf("updsrvd: %v", err)
 	}
 	log.Printf("updsrvd: %s serving update protocol on %s", *host, bound)
+
+	if *debug != "" {
+		hc := health.NewChecker()
+		hc.AddFunc("agent", func() (bool, string) {
+			return true, fmt.Sprintf("%s listening on %s", *host, bound)
+		})
+		http.Handle("/metrics", stats.PromHandler(reg))
+		http.HandleFunc("/healthz", hc.Healthz)
+		http.HandleFunc("/readyz", hc.Readyz)
+		go func() {
+			if err := http.ListenAndServe(*debug, nil); err != nil {
+				log.Printf("updsrvd: debug server: %v", err)
+			}
+		}()
+		log.Printf("updsrvd: metrics+health+pprof on http://%s/", *debug)
+	}
 
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)

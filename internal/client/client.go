@@ -18,6 +18,7 @@ import (
 	"moira/internal/mrerr"
 	"moira/internal/protocol"
 	"moira/internal/queries"
+	"moira/internal/trace"
 )
 
 // TupleFunc is the callback invoked for each returned tuple of a query
@@ -57,6 +58,7 @@ type Client struct {
 	authed      bool          // an Auth succeeded on this connection
 	reconnects  int           // transparent reconnects performed
 	failovers   int           // reconnects that landed on a fallback address
+	tracer      *trace.Tracer // optional: records a client.call span per round trip
 }
 
 // ReconnectDelay is the backoff slept (through the client's clock)
@@ -176,6 +178,16 @@ func (c *Client) LastTraceID() string {
 	return c.last
 }
 
+// SetTracer installs a span tracer: every subsequent round trip records
+// a client.call span whose span ID rides the wire field, so the
+// server's request spans parent under it. nil disables span recording
+// (the default); trace IDs flow either way.
+func (c *Client) SetTracer(t *trace.Tracer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tracer = t
+}
+
 // roundTrip sends one request and reads reply frames until the final
 // (non-MR_MORE_DATA) frame, passing tuples to cb (which may be nil).
 // Version skew is handled here: the client opens at protocol.Version
@@ -188,9 +200,27 @@ func (c *Client) LastTraceID() string {
 // redials once (after ReconnectDelay, through its clock) and resends
 // transparently. Authenticated connections never reconnect — a redial
 // would silently drop the principal.
-func (c *Client) roundTrip(req *protocol.Request, cb TupleFunc, idempotent bool) error {
+func (c *Client) roundTrip(req *protocol.Request, cb TupleFunc, idempotent bool) (err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Decide the trace ID once per call (pinned, or minted fresh) and
+	// put it — joined with this call's span ID when a tracer is wired —
+	// on the request. sendRecv leaves a non-empty TraceID alone, so
+	// retries and the version-downgrade resend reuse the same IDs.
+	if req.TraceID == "" {
+		tid := c.trace
+		if tid == "" {
+			tid = protocol.NewTraceID()
+		}
+		sp := c.tracer.Start(tid, "", "client.call")
+		if req.Op == protocol.OpQuery && len(req.Args) > 0 {
+			sp.SetDetailParts(protocol.OpName(req.Op), string(req.Args[0]))
+		} else {
+			sp.SetDetailParts(protocol.OpName(req.Op), "")
+		}
+		req.TraceID = trace.Wire(tid, sp.SpanID())
+		defer func() { sp.EndCode(int32(mrerr.CodeOf(err))) }()
+	}
 	delivered := 0
 	wcb := cb
 	if cb != nil {
@@ -258,14 +288,9 @@ func (c *Client) sendRecv(req *protocol.Request, cb TupleFunc) error {
 	}
 	req.Version = c.version
 	if c.version >= 2 {
-		if req.TraceID == "" {
-			if c.trace != "" {
-				req.TraceID = c.trace
-			} else {
-				req.TraceID = protocol.NewTraceID()
-			}
-		}
-		c.last = req.TraceID
+		// roundTrip stamped the (possibly span-joined) trace field; the
+		// bare trace ID is what callers correlate on.
+		c.last, _ = trace.Split(req.TraceID)
 	}
 	if err := protocol.WriteRequest(c.bw, req); err != nil {
 		c.abort()

@@ -15,6 +15,7 @@ import (
 	"moira/internal/clock"
 	"moira/internal/db"
 	"moira/internal/dcm"
+	"moira/internal/health"
 	"moira/internal/hesiod"
 	"moira/internal/kerberos"
 	"moira/internal/mailhub"
@@ -24,6 +25,7 @@ import (
 	"moira/internal/reg"
 	"moira/internal/server"
 	"moira/internal/stats"
+	"moira/internal/trace"
 	"moira/internal/update"
 	"moira/internal/workload"
 	"moira/internal/zephyr"
@@ -86,6 +88,20 @@ type Options struct {
 	// built by System.Client fall back to for retrievals when the
 	// primary is unreachable (see client.DialFailover).
 	ReadFallbacks []string
+
+	// TraceSlow is the slow-trace threshold: traces whose root span
+	// takes at least this long are always kept and counted in
+	// trace.slowops. Zero keeps trace.DefaultSlow; negative keeps every
+	// trace (tests).
+	TraceSlow time.Duration
+
+	// TraceSampleN keeps 1 in N ordinary (fast, successful) traces;
+	// zero keeps trace.DefaultSampleN, 1 keeps everything.
+	TraceSampleN int
+
+	// DisableTracing turns span tracing off entirely (the overhead
+	// benchmark's baseline).
+	DisableTracing bool
 }
 
 // System is a running Moira installation.
@@ -98,6 +114,14 @@ type System struct {
 	// DCM, the database, and every update agent count into it, and the
 	// `_stats` query handle serves it.
 	Registry *stats.Registry
+
+	// Tracer collects spans from every component (nil when tracing is
+	// disabled); the `_spans` query handle serves it.
+	Tracer *trace.Tracer
+
+	// Health aggregates readiness probes; `_health` and the /readyz
+	// endpoint serve it.
+	Health *health.Checker
 
 	Server     *server.Server
 	ServerAddr string
@@ -156,7 +180,22 @@ func Boot(opts Options) (*System, error) {
 		Agents:    make(map[string]*update.Agent),
 		HostAddrs: make(map[string]string),
 		logf:      logf,
+		Health:    health.NewChecker(),
 	}
+	if !opts.DisableTracing {
+		s.Tracer = trace.New(trace.Options{
+			Process: "moirad",
+			Slow:    opts.TraceSlow,
+			SampleN: opts.TraceSampleN,
+			Stats:   s.Registry,
+		})
+	}
+	s.Health.AddFunc("journal", func() (bool, string) {
+		if s.DB.JournalWedged() {
+			return false, "wedged: a journal append failed; mutations refused"
+		}
+		return true, "ok"
+	})
 
 	for _, p := range []struct{ name, pw string }{
 		{MoiraServicePrincipal, randomPassword()},
@@ -192,6 +231,8 @@ func Boot(opts Options) (*System, error) {
 		Clock:        clk,
 		Logf:         logf,
 		Stats:        s.Registry,
+		Tracer:       s.Tracer,
+		Health:       s.Health,
 		IdleTimeout:  opts.ServerIdleTimeout,
 		WriteTimeout: opts.ServerWriteTimeout,
 		MaxConns:     opts.ServerMaxConns,
@@ -206,6 +247,7 @@ func Boot(opts Options) (*System, error) {
 			}
 		},
 	})
+	s.Health.Add(s.Server.HealthProbe)
 	addr, err := s.Server.Listen("127.0.0.1:0")
 	if err != nil {
 		s.Close()
@@ -240,6 +282,7 @@ func Boot(opts Options) (*System, error) {
 		},
 		Logf:                logf,
 		Stats:               s.Registry,
+		Tracer:              s.Tracer,
 		PushTimeout:         pushTimeout,
 		MaxParallelServices: opts.DCMParallelServices,
 		MaxParallelHosts:    opts.DCMParallelHosts,
@@ -297,6 +340,7 @@ func (s *System) setupHosts(root string) error {
 		}
 		a := update.NewAgent(name, dir, kerberos.NewVerifier(UpdateServicePrincipal, updKey, s.Clk))
 		a.BindStats(s.Registry)
+		a.SetTracer(s.Tracer)
 		addr, err := a.Listen("127.0.0.1:0")
 		if err != nil {
 			return nil, err
@@ -390,7 +434,11 @@ func (s *System) Grant(login string) error {
 // DirectContext returns a privileged in-process query context (the
 // direct "glue" library's identity).
 func (s *System) DirectContext(app string) *queries.Context {
-	return &queries.Context{DB: s.DB, Privileged: true, App: app}
+	return &queries.Context{
+		DB: s.DB, Privileged: true, App: app,
+		Spans:  s.Tracer.Traces,
+		Health: s.Health.Check,
+	}
 }
 
 // Direct returns the direct glue client.
@@ -402,11 +450,19 @@ func (s *System) Direct(app string) *client.Direct {
 // fallbacks are configured, the client fails over to them (and back)
 // for idempotent retrievals.
 func (s *System) Client() (*client.Client, error) {
+	var c *client.Client
+	var err error
 	if len(s.ReadFallbacks) > 0 {
 		addrs := append([]string{s.ServerAddr}, s.ReadFallbacks...)
-		return client.DialFailover(addrs, 10*time.Second, s.Clk)
+		c, err = client.DialFailover(addrs, 10*time.Second, s.Clk)
+	} else {
+		c, err = client.DialTimeout(s.ServerAddr, 10*time.Second, s.Clk)
 	}
-	return client.DialTimeout(s.ServerAddr, 10*time.Second, s.Clk)
+	if err != nil {
+		return nil, err
+	}
+	c.SetTracer(s.Tracer)
+	return c, nil
 }
 
 // ClientAs dials and authenticates as the given account.

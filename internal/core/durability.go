@@ -10,6 +10,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"moira/internal/clock"
@@ -53,9 +54,21 @@ type Durability struct {
 
 	logf func(string, ...any)
 
+	lastCkpt atomic.Int64 // Unix time of the last successful checkpoint
+
 	mu   sync.Mutex // serializes Checkpoint calls
 	stop chan struct{}
 	done chan struct{}
+}
+
+// CheckpointAge reports how long ago the last successful checkpoint in
+// this process completed; ok is false before the first one.
+func (du *Durability) CheckpointAge() (age time.Duration, ok bool) {
+	t := du.lastCkpt.Load()
+	if t == 0 {
+		return 0, false
+	}
+	return time.Since(time.Unix(t, 0)), true
 }
 
 // OpenDurable recovers the database from opts.DataDir, opens a fresh
@@ -141,6 +154,7 @@ func (du *Durability) Checkpoint() (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	du.lastCkpt.Store(time.Now().Unix())
 	if oldest := du.Store.OldestKeptJournalSeq(); oldest > 0 {
 		if n, err := db.PruneSegments(du.Journal.Dir(), oldest); err != nil {
 			du.logf("core: checkpoint: pruning journal segments: %v", err)

@@ -15,6 +15,7 @@ import (
 
 // UserByLogin finds a user by exact login name.
 func (d *DB) UserByLogin(login string) (*User, bool) {
+	d.NotePoint()
 	id, ok := d.usersByLogin[login]
 	if !ok {
 		return nil, false
@@ -31,6 +32,7 @@ func (d *DB) UserByID(id int) (*User, bool) {
 // UsersByUID returns all users with the given unix uid (normally one)
 // in users_id order. A uid hash-index probe, not a table scan.
 func (d *DB) UsersByUID(uid int) []*User {
+	d.NotePoint()
 	ids := d.userIdx.byUID[uid]
 	if len(ids) == 0 {
 		return nil
@@ -49,6 +51,7 @@ func (d *DB) UsersByUID(uid int) []*User {
 // comes from the ordered primary-key index, not a per-call sort. fn
 // must not insert or delete users (it iterates the live index).
 func (d *DB) EachUser(fn func(*User) bool) {
+	d.NoteScan()
 	for _, id := range d.userIdx.ids.ids {
 		if !fn(d.users[id]) {
 			return
@@ -67,6 +70,7 @@ func (d *DB) UsersMatchingLogin(pattern string) []*User {
 		}
 		return nil
 	}
+	d.NoteRange()
 	logins := d.userIdx.logins.get(sortedKeys(d.usersByLogin))
 	matched := matchNames(logins, pattern)
 	if len(matched) == 0 {
@@ -149,6 +153,7 @@ func (d *DB) DeleteUser(u *User) {
 
 // MachineByName finds a machine by canonical name.
 func (d *DB) MachineByName(name string) (*Machine, bool) {
+	d.NotePoint()
 	id, ok := d.machByName[name]
 	if !ok {
 		return nil, false
@@ -158,6 +163,7 @@ func (d *DB) MachineByName(name string) (*Machine, bool) {
 
 // MachineByID finds a machine by mach_id.
 func (d *DB) MachineByID(id int) (*Machine, bool) {
+	d.NotePoint()
 	m, ok := d.machines[id]
 	return m, ok
 }
@@ -165,6 +171,7 @@ func (d *DB) MachineByID(id int) (*Machine, bool) {
 // EachMachine calls fn for every machine in mach_id order (from the
 // ordered index; fn must not insert or delete machines).
 func (d *DB) EachMachine(fn func(*Machine) bool) {
+	d.NoteScan()
 	for _, id := range d.machIdx.ids.ids {
 		if !fn(d.machines[id]) {
 			return
@@ -181,6 +188,7 @@ func (d *DB) MachinesMatchingName(pattern string) []*Machine {
 		}
 		return nil
 	}
+	d.NoteRange()
 	names := d.machIdx.names.get(sortedKeys(d.machByName))
 	matched := matchNames(names, pattern)
 	if len(matched) == 0 {
@@ -451,6 +459,7 @@ func (d *DB) ListsMatchingName(pattern string) []*List {
 		}
 		return nil
 	}
+	d.NoteRange()
 	names := d.listIdx.names.get(sortedKeys(d.listsByName))
 	matched := matchNames(names, pattern)
 	if len(matched) == 0 {
@@ -714,6 +723,7 @@ func (d *DB) FilesysByID(id int) (*Filesys, bool) {
 // FilesysByLabel returns all filesystems with the given label in Order
 // order — a label hash-index probe.
 func (d *DB) FilesysByLabel(label string) []*Filesys {
+	d.NotePoint()
 	ids := d.filesysIdx.byLabel[label]
 	if len(ids) == 0 {
 		return nil

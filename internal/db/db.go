@@ -129,11 +129,43 @@ type DB struct {
 	// never touches d.mu.
 	opsMu sync.Mutex
 	ops   map[string]*tableOps
+
+	// lookups tallies read-path shapes (hash/index probes vs. ordered
+	// range scans vs. full-relation scans). Shared with every frozen
+	// snapshot — that is where retrievals actually run.
+	lookups *lookupOps
+
+	// freezeHist, when BindStats wired a registry, times snapshot
+	// rebuilds (snap.freeze.duration).
+	freezeHist atomic.Pointer[stats.Histogram]
 }
 
 // tableOps is the lock-free mirror of one TblStat row's counts.
 type tableOps struct {
 	appends, updates, deletes atomic.Int64
+}
+
+// lookupOps tallies read-path shapes across live DB and snapshots.
+type lookupOps struct {
+	point atomic.Int64 // exact-key index probes
+	rng   atomic.Int64 // wildcard range scans over an ordered index
+	scan  atomic.Int64 // full-relation iterations
+}
+
+// NotePoint/NoteRange/NoteScan record one read of each shape; accessors
+// call them so operators can see whether the query mix is hitting the
+// indexes or falling back to scans.
+func (d *DB) NotePoint() { d.lookups.point.Add(1) }
+
+// NoteRange records one ordered-index range scan.
+func (d *DB) NoteRange() { d.lookups.rng.Add(1) }
+
+// NoteScan records one full-relation scan.
+func (d *DB) NoteScan() { d.lookups.scan.Add(1) }
+
+// LookupStats reports the point/range/scan tallies.
+func (d *DB) LookupStats() (point, rng, scan int64) {
+	return d.lookups.point.Load(), d.lookups.rng.Load(), d.lookups.scan.Load()
 }
 
 // New creates an empty database with the standard Values hints loaded.
@@ -167,6 +199,7 @@ func New(clk clock.Clock) *DB {
 		stats:        make(map[string]*TblStat),
 		tableSeq:     make(map[string]int64),
 		ops:          make(map[string]*tableOps),
+		lookups:      &lookupOps{},
 		snapEpochs:   make(map[string]int64),
 		valueNames:   &nameCache{},
 		statNames:    &nameCache{},
@@ -308,6 +341,7 @@ func (d *DB) opsFor(table string) *tableOps {
 // callback reads only the atomic mirror — never the DB lock — so it is
 // safe to snapshot from inside a query transaction.
 func (d *DB) BindStats(reg *stats.Registry) {
+	d.freezeHist.Store(reg.HistogramWith("snap.freeze.duration", stats.FastBuckets))
 	reg.AddGroup(func(emit func(string, int64)) {
 		if e := d.journalErrs.Load(); e > 0 {
 			emit("journal.errors", e)
@@ -320,6 +354,15 @@ func (d *DB) BindStats(reg *stats.Registry) {
 		}
 		if r := d.snapRebuilds.Load(); r > 0 {
 			emit("snap.rebuilds", r)
+		}
+		if n := d.lookups.point.Load(); n > 0 {
+			emit("db.lookup.point", n)
+		}
+		if n := d.lookups.rng.Load(); n > 0 {
+			emit("db.lookup.range", n)
+		}
+		if n := d.lookups.scan.Load(); n > 0 {
+			emit("db.lookup.scan", n)
 		}
 		d.opsMu.Lock()
 		defer d.opsMu.Unlock()

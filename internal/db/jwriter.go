@@ -164,6 +164,15 @@ type JournalWriter struct {
 	rotations atomic.Int64
 	errors    atomic.Int64
 	curSeq    atomic.Int64
+	segRecs   atomic.Int64 // records appended into the current segment
+
+	// Group-commit flush visibility: sinceSync counts appends riding the
+	// next flush (under mu); batched totals appends that shared a flush
+	// with others; syncWait (when BindStats wired a registry) is the
+	// flush-duration histogram.
+	sinceSync int64
+	batched   atomic.Int64
+	syncWait  atomic.Pointer[stats.Histogram]
 }
 
 // OpenJournalWriter opens a fresh journal segment in dir (created if
@@ -258,6 +267,8 @@ func (w *JournalWriter) Write(p []byte) (int, error) {
 		return n, err
 	}
 	w.appends.Add(1)
+	w.segRecs.Add(1)
+	w.sinceSync++
 	if w.policy == SyncEveryCommit {
 		if err := fireCrash("journal.presync"); err != nil {
 			w.dead = err
@@ -325,9 +336,17 @@ func (w *JournalWriter) syncLocked() error {
 	if !w.dirty || w.f == nil {
 		return nil
 	}
+	start := time.Now()
 	if err := w.f.Sync(); err != nil {
 		return err
 	}
+	if h := w.syncWait.Load(); h != nil {
+		h.Observe(time.Since(start))
+	}
+	if w.sinceSync > 1 {
+		w.batched.Add(w.sinceSync - 1)
+	}
+	w.sinceSync = 0
 	w.dirty = false
 	w.syncs.Add(1)
 	return nil
@@ -354,6 +373,7 @@ func (w *JournalWriter) Rotate() (int64, error) {
 	if err := w.openSegmentLocked(); err != nil {
 		return 0, err
 	}
+	w.segRecs.Store(0)
 	w.rotations.Add(1)
 	w.notifyLocked()
 	return w.seq, nil
@@ -361,6 +381,15 @@ func (w *JournalWriter) Rotate() (int64, error) {
 
 // Seq returns the current segment's sequence number.
 func (w *JournalWriter) Seq() int64 { return w.curSeq.Load() }
+
+// Head returns the current segment's sequence number and the count of
+// records appended into it — the position a fully caught-up replication
+// subscriber would hold. The pair is read without the writer lock, so
+// across a rotation it may briefly pair the old count with the new
+// segment; callers (lag gauges) tolerate the lower bound.
+func (w *JournalWriter) Head() (seg, recs int64) {
+	return w.curSeq.Load(), w.segRecs.Load()
+}
 
 // Dir returns the journal directory.
 func (w *JournalWriter) Dir() string { return w.dir }
@@ -391,8 +420,11 @@ func (w *JournalWriter) Close() error {
 
 // BindStats publishes the writer's series into reg: journal.appends,
 // journal.bytes, journal.syncs, journal.rotations, journal.writeerrors,
-// and journal.segment (the current segment number).
+// journal.segment (the current segment number), journal.sync.batched
+// (appends that shared a group-commit flush with others), and the
+// journal.sync.wait flush-duration histogram.
 func (w *JournalWriter) BindStats(reg *stats.Registry) {
+	w.syncWait.Store(reg.HistogramWith("journal.sync.wait", stats.FastBuckets))
 	reg.AddGroup(func(emit func(string, int64)) {
 		emit("journal.appends", w.appends.Load())
 		emit("journal.bytes", w.bytes.Load())
@@ -402,6 +434,7 @@ func (w *JournalWriter) BindStats(reg *stats.Registry) {
 			emit("journal.writeerrors", e)
 		}
 		emit("journal.segment", w.curSeq.Load())
+		emit("journal.sync.batched", w.batched.Load())
 	})
 }
 

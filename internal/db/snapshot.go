@@ -1,5 +1,7 @@
 package db
 
+import "time"
+
 // MVCC-lite snapshots: retrievals run against an immutable frozen copy
 // of the database instead of holding the shared lock, so reads never
 // block the writer and a reader observes one committed state for its
@@ -59,10 +61,14 @@ func (d *DB) Reader() *DB {
 		return f
 	}
 	d.mu.RLock()
+	start := time.Now()
 	epoch := d.writeEpoch.Load() // stable: writers are blocked
 	f := d.freeze(d.frozen.Load())
 	f.builtEpoch = epoch
 	d.mu.RUnlock()
+	if h := d.freezeHist.Load(); h != nil {
+		h.Observe(time.Since(start))
+	}
 	d.snapRebuilds.Add(1)
 	d.frozen.Store(f)
 	return f
@@ -89,6 +95,9 @@ func (d *DB) freeze(prev *DB) *DB {
 		// ops is shared: frozen code never writes it (Note* panics via
 		// markDirty) and BindStats is only ever bound on the live DB.
 		ops: d.ops,
+		// lookups is shared too: retrievals run on snapshots, and their
+		// probes must land in the live DB's tallies.
+		lookups: d.lookups,
 	}
 	dirty := func(t string) bool {
 		return prev == nil || prev.snapEpochs[t] != d.snapEpochs[t]

@@ -22,6 +22,7 @@ import (
 	"moira/internal/kerberos"
 	"moira/internal/mrerr"
 	"moira/internal/stats"
+	"moira/internal/trace"
 	"moira/internal/update"
 )
 
@@ -111,6 +112,12 @@ type Config struct {
 	// host outcomes, bytes, push latency) folded in at the end of every
 	// pass; per-pass numbers stay in CycleStats.
 	Stats *stats.Registry
+
+	// Tracer, when set, records a span per pass (dcm.pass), per service
+	// cycle (dcm.cycle), and per host push (dcm.push), all linked under
+	// the triggering request's trace ID; the push span rides the update
+	// protocol to the agent, so one trace reaches the installed host.
+	Tracer *trace.Tracer
 }
 
 // Worker-pool and retry defaults, used when the Config fields are zero.
@@ -253,6 +260,11 @@ func (m *DCM) RunOnceTraced(trace string) (*CycleStats, error) {
 		return nil, mrerr.MrDCMDisabled
 	}
 
+	// The pass span carries the triggering request's trace ID when there
+	// is one; a cron-driven pass mints its own trace.
+	sp := m.cfg.Tracer.Start(trace, "", "dcm.pass")
+	defer sp.End()
+
 	stats := &CycleStats{Trace: trace}
 
 	// Snapshot the services table.
@@ -285,7 +297,7 @@ func (m *DCM) RunOnceTraced(trace string) (*CycleStats, error) {
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			m.serviceCycle(&snap, generator, stats)
+			m.serviceCycle(&snap, generator, stats, sp)
 		}()
 	}
 	wg.Wait()
@@ -305,13 +317,17 @@ func traceSuffix(trace string) string {
 
 // serviceCycle regenerates one service's files if due, then scans its
 // hosts.
-func (m *DCM) serviceCycle(snap *serviceSnapshot, generator gen.Func, stats *CycleStats) {
+func (m *DCM) serviceCycle(snap *serviceSnapshot, generator gen.Func, stats *CycleStats, passSpan *trace.Span) {
 	d := m.cfg.DB
 	if m.cfg.ExtractDB != nil {
 		d = m.cfg.ExtractDB
 	}
 	now := m.clk.Now().Unix()
 	name := snap.Name
+
+	csp := passSpan.Child("dcm.cycle")
+	csp.SetDetail(name)
+	defer csp.End()
 
 	var result *gen.Result
 
@@ -389,7 +405,7 @@ func (m *DCM) serviceCycle(snap *serviceSnapshot, generator gen.Func, stats *Cyc
 	// so failures are independent.
 	if snap.Type == db.ServiceReplicated {
 		for _, h := range hosts {
-			if !m.updateHost(snap, h, result, stats) {
+			if !m.updateHost(snap, h, result, stats, csp) {
 				// A hard failure on a replicated service stops updates
 				// to the service's remaining hosts.
 				break
@@ -407,7 +423,7 @@ func (m *DCM) serviceCycle(snap *serviceSnapshot, generator gen.Func, stats *Cyc
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			m.updateHost(snap, h, result, stats)
+			m.updateHost(snap, h, result, stats, csp)
 		}()
 	}
 	wg.Wait()
@@ -443,7 +459,7 @@ func (m *DCM) hostsNeedingUpdate(snap *serviceSnapshot) []hostSnapshot {
 // updateHost pushes the service's files to one host, retrying soft
 // failures within the pass under the backoff policy. It returns false
 // on a hard failure (the replicated-service abort signal).
-func (m *DCM) updateHost(snap *serviceSnapshot, h hostSnapshot, result *gen.Result, stats *CycleStats) bool {
+func (m *DCM) updateHost(snap *serviceSnapshot, h hostSnapshot, result *gen.Result, stats *CycleStats, csp *trace.Span) bool {
 	name := snap.Name
 	stats.add(func(s *CycleStats) { s.HostsConsidered++ })
 	data := result.Common
@@ -464,14 +480,14 @@ func (m *DCM) updateHost(snap *serviceSnapshot, h hostSnapshot, result *gen.Resu
 		return true
 	}
 
-	pushErr := m.pushOnce(snap, h, data, stats)
+	pushErr := m.pushOnce(snap, h, data, stats, csp)
 	for attempt := 1; pushErr != nil && update.IsSoftError(pushErr) && attempt <= m.maxRetries(); attempt++ {
 		delay := m.rnd.delay(m.cfg.Backoff, attempt)
 		m.cfg.Logf("dcm: %s: soft failure on %s: %v (retry %d in %v)%s",
 			name, h.name, pushErr, attempt, delay, traceSuffix(stats.Trace))
 		stats.add(func(s *CycleStats) { s.Retries++ })
 		clock.Sleep(m.clk, delay)
-		pushErr = m.pushOnce(snap, h, data, stats)
+		pushErr = m.pushOnce(snap, h, data, stats, csp)
 	}
 	now := m.clk.Now().Unix()
 
@@ -532,11 +548,14 @@ func (m *DCM) updateHost(snap *serviceSnapshot, h hostSnapshot, result *gen.Resu
 
 // pushOnce performs a single update attempt against one host and
 // records its wall-clock latency.
-func (m *DCM) pushOnce(snap *serviceSnapshot, h hostSnapshot, data []byte, stats *CycleStats) error {
+func (m *DCM) pushOnce(snap *serviceSnapshot, h hostSnapshot, data []byte, stats *CycleStats, csp *trace.Span) (err error) {
 	start := time.Now()
+	psp := csp.Child("dcm.push")
+	psp.SetDetail(h.name)
 	defer func() {
 		d := time.Since(start)
 		stats.add(func(s *CycleStats) { s.PushLatency.Observe(d) })
+		psp.EndCode(int32(mrerr.CodeOf(err)))
 	}()
 
 	addr, ok := m.cfg.Resolve(h.name)
@@ -552,10 +571,16 @@ func (m *DCM) pushOnce(snap *serviceSnapshot, h hostSnapshot, data []byte, stats
 	if m.cfg.Creds != nil {
 		creds = m.cfg.Creds()
 	}
+	// The wire trace field carries this push span's ID so the agent's
+	// install span becomes its child across the process boundary.
+	wireTrace := stats.Trace
+	if id := psp.TraceID(); id != "" {
+		wireTrace = trace.Wire(id, psp.SpanID())
+	}
 	p := &update.Push{
 		Addr: addr, Target: snap.TargetFile, Data: data, Script: lines,
 		Creds: creds, Clock: m.clk, Timeout: m.cfg.PushTimeout,
-		Trace: stats.Trace,
+		Trace: wireTrace,
 	}
 	return p.Run()
 }

@@ -114,7 +114,7 @@ func TestClaimClosesTOCTOU(t *testing.T) {
 		t.Fatal(err)
 	}
 	stats := &CycleStats{}
-	if ok := w.dcm.updateHost(&snap, hosts[0], res, stats); !ok {
+	if ok := w.dcm.updateHost(&snap, hosts[0], res, stats, nil); !ok {
 		t.Error("lost claim reported as hard failure")
 	}
 	if stats.HostsSkippedBusy != 1 || stats.HostsUpdated != 0 {

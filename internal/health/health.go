@@ -1,0 +1,117 @@
+// Package health aggregates per-subsystem readiness probes into the
+// machine-readable health surface the failover roadmap item will elect
+// on. Each probe answers "can this process currently do its job?" with
+// a one-line detail; the checker renders them three ways: the /healthz
+// and /readyz HTTP endpoints on -debug-addr, and the in-band _health
+// query handle (so a client that can reach the RPC port can ask even
+// when no debug address is configured).
+//
+// Probe semantics: /healthz is liveness — it answers 200 whenever the
+// process can run HTTP handlers at all, regardless of probe state (a
+// wedged journal is a reason to fail over, not to restart the
+// process). /readyz is readiness — 503 unless every registered probe
+// passes, so a load balancer or failover controller stops routing to a
+// wedged, lagging, or draining node.
+package health
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// Status is one probe's answer.
+type Status struct {
+	Name   string
+	OK     bool
+	Detail string
+}
+
+// Probe reports one subsystem's readiness. It must not block: probes
+// run on every /readyz hit and inside the _health query handle.
+type Probe func() Status
+
+// Checker is a named collection of probes.
+type Checker struct {
+	mu     sync.RWMutex
+	probes []Probe
+}
+
+// NewChecker creates an empty checker (always ready).
+func NewChecker() *Checker { return &Checker{} }
+
+// Add registers a probe returning a full Status.
+func (c *Checker) Add(p Probe) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.probes = append(c.probes, p)
+}
+
+// AddFunc registers a probe from a name and a condition function.
+func (c *Checker) AddFunc(name string, fn func() (ok bool, detail string)) {
+	c.Add(func() Status {
+		ok, detail := fn()
+		return Status{Name: name, OK: ok, Detail: detail}
+	})
+}
+
+// Check runs every probe and returns the statuses in registration
+// order. A nil checker reports no probes (vacuously ready).
+func (c *Checker) Check() []Status {
+	if c == nil {
+		return nil
+	}
+	c.mu.RLock()
+	probes := c.probes
+	c.mu.RUnlock()
+	out := make([]Status, 0, len(probes))
+	for _, p := range probes {
+		out = append(out, p())
+	}
+	return out
+}
+
+// Ready reports whether every probe passes, with the statuses.
+func (c *Checker) Ready() (bool, []Status) {
+	sts := c.Check()
+	for _, st := range sts {
+		if !st.OK {
+			return false, sts
+		}
+	}
+	return true, sts
+}
+
+// writeStatuses renders probe results one per line: "ok|fail name detail".
+func writeStatuses(w http.ResponseWriter, sts []Status) {
+	for _, st := range sts {
+		state := "ok"
+		if !st.OK {
+			state = "fail"
+		}
+		fmt.Fprintf(w, "%s %s %s\n", state, st.Name, st.Detail)
+	}
+}
+
+// Healthz is the liveness endpoint: 200 with per-probe detail.
+func (c *Checker) Healthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+	writeStatuses(w, c.Check())
+}
+
+// Readyz is the readiness endpoint: 200 when all probes pass, 503
+// otherwise, either way with per-probe detail.
+func (c *Checker) Readyz(w http.ResponseWriter, _ *http.Request) {
+	ready, sts := c.Ready()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if ready {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ready")
+	} else {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "not ready")
+	}
+	writeStatuses(w, sts)
+}

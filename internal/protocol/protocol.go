@@ -82,6 +82,13 @@ const (
 // Request is one client-to-server message. TraceID, when non-empty and
 // Version >= 2, rides in front of Args on the wire; version-1 requests
 // cannot carry one.
+//
+// A span-aware caller extends the field to "traceID/spanID" (see
+// package trace): the same single counted string, so a v2 peer that
+// knows nothing of spans round-trips it opaquely — span-aware callees
+// split it, use the bare trace ID everywhere the trace ID was used
+// before (journal lines, logs, rings), and parent their spans on the
+// caller's span ID.
 type Request struct {
 	Version uint16
 	Op      uint16

@@ -17,11 +17,14 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"moira/internal/acl"
 	"moira/internal/db"
+	"moira/internal/health"
 	"moira/internal/mrerr"
 	"moira/internal/stats"
+	"moira/internal/trace"
 )
 
 // Kind classifies a query; it decides the lock mode and default checks.
@@ -93,6 +96,24 @@ type Context struct {
 
 	// Traces, when set by the server, backs the _trace query handle.
 	Traces func() []stats.TraceEntry
+
+	// Span is the request's span; Execute hangs the snapshot-acquire,
+	// handler, and journal phases off it. nil (the Direct glue, span-
+	// less servers) records nothing.
+	Span *trace.Span
+
+	// PhaseStart anchors Span's first phase: the server stamps it with
+	// the instant the request finished parsing, so the snapshot-acquire
+	// phase starts there — covering dispatch as well — without Execute
+	// reading the clock again. Zero means read the clock.
+	PhaseStart time.Time
+
+	// Spans, when set by the server, backs the _spans query handle with
+	// the tracer's kept traces.
+	Spans func() []*trace.TraceRecord
+
+	// Health, when set by the server, backs the _health query handle.
+	Health func() []health.Status
 
 	// cache memoizes successful access checks (section 5.5); see
 	// accesscache.go. nil means caching is off.
@@ -228,11 +249,30 @@ func Execute(cx *Context, name string, args []string, emit EmitFunc) error {
 		// coherent because the snapshot's change sequence equals the live
 		// database's at the moment Reader() returned it.
 		scx := *cx
+		// Phase timestamps share clock reads at the boundaries (tracing
+		// sits on every request, and reading the clock is not free), the
+		// snapshot phase starts at the server's parse-done anchor, and
+		// the untraced path reads no clock at all.
+		var t0 time.Time
+		if cx.Span != nil {
+			if t0 = cx.PhaseStart; t0.IsZero() {
+				t0 = time.Now()
+			}
+		}
 		scx.DB = cx.DB.Reader()
+		if cx.Span != nil {
+			t1 := time.Now()
+			cx.Span.Record("server.snapshot", t0, t1.Sub(t0), 0)
+			t0 = t1
+		}
 		if err := checkAccessLocked(&scx, q, args); err != nil {
 			return err
 		}
-		return q.Handler(&scx, args, emit)
+		err := q.Handler(&scx, args, emit)
+		if cx.Span != nil {
+			cx.Span.Record("server.handler", t0, time.Since(t0), int32(mrerr.CodeOf(err)))
+		}
+		return err
 	}
 	// Fail-stop: once a journal append has failed, the store is no
 	// longer durable and its memory already diverges from disk by
@@ -249,7 +289,14 @@ func Execute(cx *Context, name string, args []string, emit EmitFunc) error {
 	if err := checkAccessLocked(cx, q, args); err != nil {
 		return err
 	}
+	var t0 time.Time
+	if cx.Span != nil {
+		t0 = time.Now()
+	}
 	if err := q.Handler(cx, args, emit); err != nil {
+		if cx.Span != nil {
+			cx.Span.Record("server.handler", t0, time.Since(t0), int32(mrerr.CodeOf(err)))
+		}
 		return err
 	}
 	// A journal append failure fails the transaction: the client
@@ -260,7 +307,16 @@ func Execute(cx *Context, name string, args []string, emit EmitFunc) error {
 	// mutation — the divergence never grows past this change, and
 	// the error tells the operator the store is no longer durable
 	// (full disk, dead device) before more is lost.
-	return cx.DB.JournalQuery(cx.Principal, cx.App, cx.TraceID, q.Name, args)
+	var t1 time.Time
+	if cx.Span != nil {
+		t1 = time.Now()
+		cx.Span.Record("server.handler", t0, t1.Sub(t0), 0)
+	}
+	err := cx.DB.JournalQuery(cx.Principal, cx.App, cx.TraceID, q.Name, args)
+	if cx.Span != nil {
+		cx.Span.Record("server.journal", t1, time.Since(t1), int32(mrerr.CodeOf(err)))
+	}
+	return err
 }
 
 // CheckAccess implements the protocol's Access request: it reports

@@ -10,7 +10,9 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"moira/internal/clock"
 	"moira/internal/db"
 	"moira/internal/mrerr"
 	"moira/internal/protocol"
@@ -37,6 +39,10 @@ type PrimaryConfig struct {
 
 	// Stats, when non-nil, receives the repl.primary.* series.
 	Stats *stats.Registry
+
+	// Clock stamps head-frame heartbeats (replicas measure lag against
+	// it, cancelling cross-host clock skew); nil means the system clock.
+	Clock clock.Clock
 }
 
 // Primary serves the replication stream: it listens on its own port
@@ -48,6 +54,7 @@ type PrimaryConfig struct {
 // appends rides out in few network writes.
 type Primary struct {
 	cfg  PrimaryConfig
+	clk  clock.Clock
 	logf func(string, ...any)
 
 	ln      net.Listener
@@ -56,6 +63,7 @@ type Primary struct {
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
+	tails  map[*subscriberPos]struct{}
 	closed bool
 
 	active    atomic.Int64
@@ -65,6 +73,14 @@ type Primary struct {
 	sentBytes atomic.Int64
 }
 
+// subscriberPos is one tailing replica's ship position — the next
+// (segment, record) the tailer will send it — updated lock-free as the
+// stream advances and read by the ship-lag gauges.
+type subscriberPos struct {
+	seg atomic.Int64
+	idx atomic.Int64
+}
+
 // NewPrimary builds a replication primary over an open journal writer
 // and checkpoint store.
 func NewPrimary(cfg PrimaryConfig) *Primary {
@@ -72,11 +88,17 @@ func NewPrimary(cfg PrimaryConfig) *Primary {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.System
+	}
 	p := &Primary{
 		cfg:     cfg,
+		clk:     clk,
 		logf:    logf,
 		closing: make(chan struct{}),
 		conns:   make(map[net.Conn]struct{}),
+		tails:   make(map[*subscriberPos]struct{}),
 	}
 	if cfg.Stats != nil {
 		p.BindStats(cfg.Stats)
@@ -93,7 +115,42 @@ func (p *Primary) BindStats(reg *stats.Registry) {
 		emit("repl.primary.snapshots", p.snapshots.Load())
 		emit("repl.primary.sent.records", p.sentRecs.Load())
 		emit("repl.primary.sent.bytes", p.sentBytes.Load())
+		lags := p.SubscriberLags()
+		emit("repl.primary.subscribers", int64(len(lags)))
+		worst := int64(0)
+		for _, l := range lags {
+			if l > worst {
+				worst = l
+			}
+		}
+		emit("repl.primary.shiplag.records", worst)
 	})
+}
+
+// SubscriberLags reports, for every currently tailing replica, how many
+// records the journal head is ahead of what has been shipped to it.
+// Exact while the subscriber shares the head segment; a lower bound
+// (the head segment's record count) while it is segments behind.
+func (p *Primary) SubscriberLags() []int64 {
+	headSeg, headRecs := p.cfg.Journal.Head()
+	p.mu.Lock()
+	subs := make([]*subscriberPos, 0, len(p.tails))
+	for s := range p.tails {
+		subs = append(subs, s)
+	}
+	p.mu.Unlock()
+	lags := make([]int64, 0, len(subs))
+	for _, s := range subs {
+		lag := headRecs
+		if s.seg.Load() == headSeg {
+			lag = headRecs - s.idx.Load()
+		}
+		if lag < 0 {
+			lag = 0
+		}
+		lags = append(lags, lag)
+	}
+	return lags
 }
 
 // Listen binds the replication port and starts serving replicas.
@@ -245,7 +302,19 @@ func (p *Primary) stream(conn net.Conn, bw *bufio.Writer, seg, idx int64) error 
 		return err
 	}
 
-	return p.tail(bw, sendStrings, notify, connDead, seg, idx)
+	sub := &subscriberPos{}
+	sub.seg.Store(seg)
+	sub.idx.Store(idx)
+	p.mu.Lock()
+	p.tails[sub] = struct{}{}
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		delete(p.tails, sub)
+		p.mu.Unlock()
+	}()
+
+	return p.tail(bw, sendStrings, notify, connDead, sub, seg, idx)
 }
 
 // maybeBootstrap decides bootstrap-vs-tail and, when the replica's
@@ -397,13 +466,18 @@ func (p *Primary) sendSnapshot(send func(...[]byte) error, sendStrings func(...s
 	return sendStrings(tagSnapEnd)
 }
 
+// headHeartbeat is how often a caught-up tailer re-sends its head
+// frame while parked: the heartbeat is what keeps an idle replica's
+// freshness (and so its lag-seconds gauge) current.
+const headHeartbeat = time.Second
+
 // tail streams journal records from (seg, idx) on, advancing segment
 // by segment and parking on the journal's append notification when
 // caught up. A complete line that fails its CRC is mid-file corruption
 // and kills the stream; an incomplete tail of a *rotated* segment is
 // the torn-line crash signature and is skipped, exactly as recovery
 // does.
-func (p *Primary) tail(bw *bufio.Writer, sendStrings func(...string) error, notify <-chan struct{}, connDead <-chan struct{}, seg, idx int64) error {
+func (p *Primary) tail(bw *bufio.Writer, sendStrings func(...string) error, notify <-chan struct{}, connDead <-chan struct{}, sub *subscriberPos, seg, idx int64) error {
 	jdir := p.cfg.Journal.Dir()
 	var (
 		f        *os.File
@@ -425,6 +499,10 @@ func (p *Primary) tail(bw *bufio.Writer, sendStrings func(...string) error, noti
 		}
 		select {
 		case <-notify:
+			return nil
+		case <-time.After(headHeartbeat):
+			// Wake to re-send the head frame: an idle replica's lag
+			// gauge stays fresh only while heartbeats keep arriving.
 			return nil
 		case <-p.closing:
 			return fmt.Errorf("primary shutting down")
@@ -492,6 +570,11 @@ func (p *Primary) tail(bw *bufio.Writer, sendStrings func(...string) error, noti
 					progressed = true
 				}
 				lineIdx++
+				if lineIdx >= sendFrom {
+					// Below sendFrom the replica already holds the line,
+					// so its ship position never moves backwards.
+					sub.idx.Store(lineIdx)
+				}
 			}
 		}
 		if rerr != nil && rerr != io.EOF {
@@ -519,11 +602,16 @@ func (p *Primary) tail(bw *bufio.Writer, sendStrings func(...string) error, noti
 			f = nil
 			seg++
 			sendFrom = 0
+			sub.seg.Store(seg)
+			sub.idx.Store(0)
 			continue
 		}
 
-		// Caught up on the live segment: report head, flush, park.
-		if err := sendStrings(tagHead, itoa(seg), itoa(lineIdx), itoa(consumed)); err != nil {
+		// Caught up on the live segment: report head, flush, park. The
+		// trailing field is the primary's clock, so the replica measures
+		// its freshness against the same clock that stamped the records.
+		if err := sendStrings(tagHead, itoa(seg), itoa(lineIdx), itoa(consumed),
+			itoa(p.clk.Now().Unix())); err != nil {
 			return err
 		}
 		if err := park(); err != nil {

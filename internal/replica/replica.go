@@ -18,6 +18,7 @@ import (
 	"moira/internal/protocol"
 	"moira/internal/queries"
 	"moira/internal/stats"
+	"moira/internal/trace"
 )
 
 // Config configures a replica.
@@ -40,6 +41,11 @@ type Config struct {
 
 	// Stats, when non-nil, receives the repl.* series.
 	Stats *stats.Registry
+
+	// Tracer, when non-nil, records a span per applied record (linked
+	// by the record's trace ID to the originating client call) and per
+	// bootstrap. Nil disables tracing; instrumentation is unconditional.
+	Tracer *trace.Tracer
 
 	// DialTimeout bounds each connection attempt (default 10s).
 	DialTimeout time.Duration
@@ -88,6 +94,15 @@ type Replica struct {
 	reconnects atomic.Int64
 	bootstraps atomic.Int64
 	connected  atomic.Bool
+
+	// Freshness, for the repl.lag.seconds gauge. freshAsOf is the last
+	// instant (primary's clock, Unix seconds) the replica is known to
+	// have been current: the journal timestamp of the newest applied
+	// record, refreshed by each head-frame heartbeat's timestamp while
+	// caught up. caughtUp latches while the primary reports our position
+	// at its head and clears on any new record or disconnect.
+	freshAsOf atomic.Int64
+	caughtUp  atomic.Bool
 }
 
 // ErrPromoted is returned by operations that no longer apply once a
@@ -213,6 +228,7 @@ func (r *Replica) BindStats(reg *stats.Registry) {
 			emit("repl.lag.records", lagRecs)
 			emit("repl.lag.bytes", lagBytes)
 		}
+		emit("repl.lag.seconds", r.LagSeconds())
 		emit("repl.reconnects", r.reconnects.Load())
 		if b := r.bootstraps.Load(); b > 0 {
 			emit("repl.bootstraps", b)
@@ -223,6 +239,27 @@ func (r *Replica) BindStats(reg *stats.Registry) {
 			emit("repl.connected", 0)
 		}
 	})
+}
+
+// LagSeconds estimates how far behind the primary this replica is in
+// time: zero while the primary's head-frame heartbeats report us caught
+// up, otherwise the age of the last known-current instant (newest
+// applied record's journal timestamp, refreshed by heartbeats while
+// caught up). A replica that has applied nothing and never connected
+// reports zero — there is nothing to be stale relative to.
+func (r *Replica) LagSeconds() int64 {
+	if r.caughtUp.Load() {
+		return 0
+	}
+	fresh := r.freshAsOf.Load()
+	if fresh == 0 {
+		return 0
+	}
+	lag := r.clk.Now().Unix() - fresh
+	if lag < 0 {
+		lag = 0
+	}
+	return lag
 }
 
 // Start launches the tailing loop: connect, handshake, apply, and
@@ -290,6 +327,9 @@ func (r *Replica) session() error {
 	defer func() {
 		conn.Close()
 		r.connected.Store(false)
+		// No heartbeats while disconnected: lag must grow from the last
+		// known-current instant instead of sticking at zero.
+		r.caughtUp.Store(false)
 		r.mu.Lock()
 		r.conn = nil
 		r.mu.Unlock()
@@ -333,7 +373,9 @@ func (r *Replica) session() error {
 				return err
 			}
 		case tagHead:
-			if len(f) != 4 {
+			// 4 fields from older primaries; 5 adds the primary's clock
+			// (Unix seconds) so heartbeats keep freshness current.
+			if len(f) != 4 && len(f) != 5 {
 				return fmt.Errorf("malformed head frame (%d fields)", len(f))
 			}
 			hs, e1 := parseInt(f[1])
@@ -345,6 +387,14 @@ func (r *Replica) session() error {
 			r.headSeg.Store(hs)
 			r.headIdx.Store(hi)
 			r.headOff.Store(ho)
+			// A head frame means the stream has delivered everything up
+			// to the primary's head: this replica is caught up right now.
+			r.caughtUp.Store(true)
+			if len(f) == 5 {
+				if ts, err := parseInt(f[4]); err == nil && ts > r.freshAsOf.Load() {
+					r.freshAsOf.Store(ts)
+				}
+			}
 		case tagSnapBegin:
 			if len(f) != 3 {
 				return fmt.Errorf("malformed snap-begin frame")
@@ -388,18 +438,32 @@ func (r *Replica) applyRecord(segField, idxField, line string) error {
 	if err := r.mirrorAppend(seg, line); err != nil {
 		return err
 	}
+	// The record's own trace ID links this apply span to the client call
+	// and server spans that produced the record, across both processes.
+	var sp *trace.Span
+	if rec, perr := db.ParseJournalLine(line); perr == nil {
+		sp = r.cfg.Tracer.Start(rec.Trace, "", "repl.apply")
+		sp.SetDetail(rec.Query)
+		if rec.Time > r.freshAsOf.Load() {
+			r.freshAsOf.Store(rec.Time)
+		}
+	}
+	r.caughtUp.Store(false)
 	outcome, err := queries.ApplyJournalLine(r.d, line)
 	switch outcome {
 	case queries.ApplyApplied:
 		r.applied.Add(1)
+		sp.End()
 	case queries.ApplySkipped:
 		r.skipped.Add(1)
+		sp.End()
 	default:
 		// The record is mirrored — local recovery will classify it the
 		// same way — so a failed apply is logged and counted, exactly
 		// as replay treats it, rather than killing the stream.
 		r.failed.Add(1)
 		r.logf("repl: apply (%d, %d): %v", seg, idx, err)
+		sp.EndCode(int32(mrerr.CodeOf(err)))
 	}
 	r.nextSeg.Store(seg)
 	r.nextIdx.Store(idx + 1)
@@ -453,12 +517,21 @@ func (r *Replica) closeMirror() error {
 // readers see the old state until the swap, never a half-loaded one.
 // The stale mirror segments are removed; tailing resumes at the
 // snapshot's journal sequence.
-func (r *Replica) receiveSnapshot(br *bufio.Reader, genField, seqField string) error {
+func (r *Replica) receiveSnapshot(br *bufio.Reader, genField, seqField string) (err error) {
 	gen, e1 := parseInt(genField)
 	jseq, e2 := parseInt(seqField)
 	if e1 != nil || e2 != nil || gen <= 0 || jseq <= 0 {
 		return fmt.Errorf("malformed snap-begin frame")
 	}
+	sp := r.cfg.Tracer.Start("", "", "repl.bootstrap")
+	sp.SetDetail(fmt.Sprintf("generation %d", gen))
+	defer func() {
+		if err != nil {
+			sp.EndCode(int32(mrerr.MrInternal))
+		} else {
+			sp.End()
+		}
+	}()
 	r.logf("repl: receiving bootstrap snapshot generation %d (journal seq %d)", gen, jseq)
 
 	store, err := db.NewCheckpointStore(r.dd.SnapshotsDir(), 0)

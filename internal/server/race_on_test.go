@@ -1,0 +1,7 @@
+//go:build race
+
+package server
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// gates skip under it.
+const raceEnabled = true

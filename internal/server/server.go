@@ -21,11 +21,13 @@ import (
 
 	"moira/internal/clock"
 	"moira/internal/db"
+	"moira/internal/health"
 	"moira/internal/kerberos"
 	"moira/internal/mrerr"
 	"moira/internal/protocol"
 	"moira/internal/queries"
 	"moira/internal/stats"
+	"moira/internal/trace"
 
 	"bufio"
 )
@@ -94,6 +96,16 @@ type Config struct {
 	// refused with MR_READONLY. Replicas run read-only until promoted;
 	// SetReadOnly flips the mode at runtime.
 	ReadOnly bool
+
+	// Tracer records per-phase spans for every request (read/parse,
+	// auth, snapshot acquire, handler, journal, reply write). nil
+	// disables span collection; the flat trace ring still works.
+	Tracer *trace.Tracer
+
+	// Health, when set, backs the _health query handle (the in-band
+	// readiness probe). The server contributes its own shed/drain
+	// probe via HealthProbe.
+	Health *health.Checker
 }
 
 // DefaultDrainTimeout is how long Close waits for in-flight requests
@@ -191,6 +203,32 @@ func (s *Server) SetReadOnly(v bool) { s.readonly.Store(v) }
 // Registry returns the server's metric registry (the one the `_stats`
 // handle serves).
 func (s *Server) Registry() *stats.Registry { return s.reg }
+
+// HealthProbe reports the server's shed/drain state for the health
+// checker: not ready once Close has begun, or while every connection
+// slot is taken (new clients are being shed).
+func (s *Server) HealthProbe() health.Status {
+	s.mu.Lock()
+	conns := len(s.conns)
+	closed := s.closed
+	s.mu.Unlock()
+	st := health.Status{
+		Name: "server",
+		Detail: "conns=" + strconv.Itoa(conns) +
+			" max=" + strconv.Itoa(s.cfg.MaxConns) +
+			" shed=" + strconv.FormatInt(s.reg.Counter("server.conns.shed").Value(), 10) +
+			" readonly=" + strconv.FormatBool(s.readonly.Load()),
+	}
+	switch {
+	case closed || s.draining():
+		st.Detail = "draining; " + st.Detail
+	case s.cfg.MaxConns > 0 && conns >= s.cfg.MaxConns:
+		st.Detail = "at MaxConns, shedding; " + st.Detail
+	default:
+		st.OK = true
+	}
+	return st
+}
 
 // Traces returns the recent-request trace ring, oldest first.
 func (s *Server) Traces() []stats.TraceEntry { return s.traces.Entries() }
@@ -412,6 +450,8 @@ func (s *Server) serveConn(conn net.Conn, st *connState) {
 		TriggerDCM: s.cfg.TriggerDCM,
 		Stats:      s.reg,
 		Traces:     s.traces.Entries,
+		Spans:      s.cfg.Tracer.Traces,
+		Health:     s.cfg.Health.Check,
 	}
 	// Section 5.5: access checks commonly run twice (Access request,
 	// then the Query itself); the per-connection cache absorbs the
@@ -443,14 +483,22 @@ func (s *Server) serveConn(conn net.Conn, st *connState) {
 		if d := s.cfg.IdleTimeout; d > 0 {
 			conn.SetReadDeadline(time.Now().Add(d))
 		}
-		req, err := protocol.ReadRequest(br)
-		if err != nil {
+		// Park on the first byte without the clock running, so idle time
+		// between requests does not pollute the read phase; then the
+		// frame read + parse is timed as the request's first span.
+		if _, err := br.Peek(1); err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() && !s.draining() {
 				s.reg.Counter("server.conns.idleclosed").Inc()
 				s.cfg.Logf("closing idle connection client=%d after %v", ses.id, s.cfg.IdleTimeout)
 			}
 			return // EOF, timeout, or protocol garbage: drop the connection
 		}
+		readStart := time.Now()
+		req, err := protocol.ReadRequest(br)
+		if err != nil {
+			return
+		}
+		readDur := time.Since(readStart)
 		st.set(true)
 		start := s.clk.Now()
 		repVersion = req.Version
@@ -463,16 +511,38 @@ func (s *Server) serveConn(conn net.Conn, st *connState) {
 			s.observe(req, ses, cx.Principal, "", code, s.clk.Now().Sub(start))
 			continue
 		}
-		cx.TraceID = req.TraceID
+		// Split the wire field: the bare trace ID flows everywhere the
+		// trace ID always did (journal, ring, logs); the caller's span ID
+		// parents this request's span tree.
+		traceID, parentSpan := trace.Split(req.TraceID)
+		req.TraceID = traceID
+		cx.TraceID = traceID
+		sp := s.cfg.Tracer.StartAt(traceID, parentSpan, "server.request", readStart)
+		sp.SetDetailParts(protocol.OpName(req.Op), "")
+		sp.Record("server.read", readStart, readDur, 0)
+		cx.Span = sp
+		cx.PhaseStart = readStart.Add(readDur)
 
 		code, handle, shutdown, fatal := s.dispatch(cx, ses, req, reply)
+		cx.Span = nil
+		if handle != "" {
+			sp.SetDetailParts(protocol.OpName(req.Op), handle)
+		}
 		if fatal {
+			sp.EndCode(int32(code))
 			s.observe(req, ses, cx.Principal, handle, code, s.clk.Now().Sub(start))
 			return
 		}
+		writeStart := time.Now()
 		if reply(code, nil) != nil {
+			sp.EndCode(int32(mrerr.MrAborted))
 			return
 		}
+		writeDur := time.Since(writeStart)
+		sp.Record("server.write", writeStart, writeDur, 0)
+		// The write measurement already brackets the request's end; no
+		// extra clock read for the root span.
+		sp.EndCodeAt(int32(code), writeStart.Add(writeDur))
 		s.observe(req, ses, cx.Principal, handle, code, s.clk.Now().Sub(start))
 		if shutdown {
 			s.cfg.Logf("shutdown requested by %s", cx.Principal)
@@ -503,7 +573,9 @@ func (s *Server) dispatch(cx *queries.Context, ses *session, req *protocol.Reque
 		code = mrerr.Success
 
 	case protocol.OpAuth:
+		asp := cx.Span.Child("server.auth")
 		code = s.authenticate(cx, ses, req)
+		asp.EndCode(int32(code))
 
 	case protocol.OpQuery:
 		if len(req.Args) < 1 {
@@ -592,7 +664,7 @@ func handleName(name string) string {
 func (s *Server) observe(req *protocol.Request, ses *session, principal, handle string, code mrerr.Code, latency time.Duration) {
 	op := protocol.OpName(req.Op)
 	s.reg.Counter("server.requests." + op).Inc()
-	s.reg.Histogram("server.latency." + op).Observe(latency)
+	s.reg.HistogramWith("server.latency."+op, stats.FastBuckets).Observe(latency)
 	if handle != "" {
 		s.reg.Counter("server.handle." + handle).Inc()
 	}

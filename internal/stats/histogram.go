@@ -2,8 +2,10 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -21,56 +23,93 @@ var DefaultBuckets = []time.Duration{
 	2 * time.Second,
 }
 
+// FastBuckets resolve the post-index fast path: an indexed point lookup
+// completes in well under a microsecond, and DefaultBuckets would lump
+// every such request — and everything else up to a millisecond — into
+// one bucket. Server and db latency series use these edges.
+var FastBuckets = []time.Duration{
+	500 * time.Nanosecond,
+	2 * time.Microsecond,
+	10 * time.Microsecond,
+	50 * time.Microsecond,
+	200 * time.Microsecond,
+	time.Millisecond,
+	5 * time.Millisecond,
+	20 * time.Millisecond,
+	100 * time.Millisecond,
+	500 * time.Millisecond,
+	2 * time.Second,
+}
+
 // Histogram accumulates a duration distribution: per-bucket tallies plus
 // count, sum, min, and max. The zero value is a histogram over
-// DefaultBuckets; all methods are safe for concurrent use.
+// DefaultBuckets; all methods are safe for concurrent use. Observe is
+// lock-free after initialization — it sits on the traced request path
+// several times per request, where a mutex pair per observation is
+// measurable — at the cost of Snapshot seeing a near-instant rather
+// than instant cut: its N is derived from the bucket tallies so the
+// cumulative-bucket invariant (+Inf == count) always holds.
 type Histogram struct {
-	mu      sync.Mutex
-	buckets []time.Duration
-	counts  []int64
-	n       int64
-	sum     time.Duration
-	min     time.Duration
-	max     time.Duration
+	mu      sync.Mutex // serializes init
+	ready   atomic.Bool
+	buckets []time.Duration // immutable once ready
+	counts  []atomic.Int64  // len(buckets)+1; last is overflow
+	sum     atomic.Int64    // nanoseconds
+	min     atomic.Int64    // math.MaxInt64 until the first observation
+	max     atomic.Int64
 }
 
 // NewHistogram creates a histogram over the given bucket upper bounds
 // (which must be ascending); nil means DefaultBuckets.
 func NewHistogram(buckets []time.Duration) *Histogram {
 	h := &Histogram{}
-	if buckets != nil {
-		h.buckets = buckets
-		h.counts = make([]int64, len(buckets)+1)
+	if buckets == nil {
+		buckets = DefaultBuckets
 	}
+	h.buckets = buckets
+	h.counts = make([]atomic.Int64, len(buckets)+1)
+	h.min.Store(math.MaxInt64)
+	h.ready.Store(true)
 	return h
 }
 
 // init installs the default buckets on first use of a zero-value
-// histogram; the caller holds h.mu.
+// histogram.
 func (h *Histogram) init() {
-	if h.buckets == nil {
-		h.buckets = DefaultBuckets
-		h.counts = make([]int64, len(DefaultBuckets)+1)
+	if h.ready.Load() {
+		return
 	}
+	h.mu.Lock()
+	if !h.ready.Load() {
+		h.buckets = DefaultBuckets
+		h.counts = make([]atomic.Int64, len(DefaultBuckets)+1)
+		h.min.Store(math.MaxInt64)
+		h.ready.Store(true)
+	}
+	h.mu.Unlock()
 }
 
 // Observe records one duration.
 func (h *Histogram) Observe(d time.Duration) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	h.init()
+	b := h.buckets
 	i := 0
-	for i < len(h.buckets) && d > h.buckets[i] {
+	for i < len(b) && d > b[i] {
 		i++
 	}
-	h.counts[i]++
-	h.n++
-	h.sum += d
-	if h.n == 1 || d < h.min {
-		h.min = d
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+	for {
+		cur := h.min.Load()
+		if int64(d) >= cur || h.min.CompareAndSwap(cur, int64(d)) {
+			break
+		}
 	}
-	if d > h.max {
-		h.max = d
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			break
+		}
 	}
 }
 
@@ -81,43 +120,57 @@ func (h *Histogram) Merge(s HistogramSnapshot) {
 	if s.N == 0 {
 		return
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	h.init()
 	for i, c := range s.Counts {
 		if i < len(h.counts) {
-			h.counts[i] += c
+			h.counts[i].Add(c)
 		}
 	}
-	if h.n == 0 || s.Min < h.min {
-		h.min = s.Min
+	for {
+		cur := h.min.Load()
+		if int64(s.Min) >= cur || h.min.CompareAndSwap(cur, int64(s.Min)) {
+			break
+		}
 	}
-	if s.Max > h.max {
-		h.max = s.Max
+	for {
+		cur := h.max.Load()
+		if int64(s.Max) <= cur || h.max.CompareAndSwap(cur, int64(s.Max)) {
+			break
+		}
 	}
-	h.n += s.N
-	h.sum += s.Sum
+	h.sum.Add(int64(s.Sum))
 }
 
-// Count returns the number of observations so far.
+// Count returns the number of observations so far (the count lives in
+// the bucket tallies; there is no separate counter to keep hot).
 func (h *Histogram) Count() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.n
+	h.init()
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
 }
 
-// Snapshot copies the histogram's current state.
+// Snapshot copies the histogram's current state. N is the sum of the
+// copied bucket tallies, so buckets and count are mutually consistent
+// even while observations race the copy.
 func (h *Histogram) Snapshot() HistogramSnapshot {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	h.init()
 	s := HistogramSnapshot{
 		Buckets: h.buckets,
-		Counts:  append([]int64(nil), h.counts...),
-		N:       h.n,
-		Sum:     h.sum,
-		Min:     h.min,
-		Max:     h.max,
+		Counts:  make([]int64, len(h.counts)),
+		Sum:     time.Duration(h.sum.Load()),
+		Min:     time.Duration(h.min.Load()),
+		Max:     time.Duration(h.max.Load()),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.N += c
+	}
+	if s.N == 0 {
+		s.Min = 0
 	}
 	return s
 }

@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestKnownNamesWellFormed is the registry's own CI gate: no duplicate
+// declarations, no exact name shadowed by a family, no family nested
+// inside another, and every name sanitizes to a distinct Prometheus
+// metric name (the exposition mapping must stay injective).
+func TestKnownNamesWellFormed(t *testing.T) {
+	seen := make(map[string]string) // entry -> ""
+	var families []string
+	var exacts []string
+	for _, pat := range KnownNames {
+		if _, dup := seen[pat]; dup {
+			t.Errorf("duplicate declaration: %q", pat)
+		}
+		seen[pat] = ""
+		if fam, ok := strings.CutSuffix(pat, "*"); ok {
+			if fam == "" || !strings.HasSuffix(fam, ".") {
+				t.Errorf("family %q must end in '.*'", pat)
+			}
+			families = append(families, fam)
+		} else {
+			exacts = append(exacts, pat)
+		}
+	}
+	for _, name := range exacts {
+		for _, fam := range families {
+			if strings.HasPrefix(name, fam) {
+				t.Errorf("exact name %q is shadowed by family %q*", name, fam)
+			}
+		}
+	}
+	for _, a := range families {
+		for _, b := range families {
+			if a != b && strings.HasPrefix(a, b) {
+				t.Errorf("family %q* is nested inside family %q*", a, b)
+			}
+		}
+	}
+	prom := make(map[string]string)
+	for _, name := range exacts {
+		pn := PromName(name)
+		if prev, clash := prom[pn]; clash {
+			t.Errorf("names %q and %q collide as Prometheus name %q", prev, name, pn)
+		}
+		prom[pn] = name
+	}
+}
+
+func TestKnownNameMatching(t *testing.T) {
+	cases := []struct {
+		name string
+		want bool
+	}{
+		{"journal.appends", true},
+		{"server.requests.query", true}, // family match
+		{"span.server.request", true},
+		{"repl.lag.seconds", true},
+		{"journal.apends", false}, // misspelled
+		{"made.up.series", false},
+		{"", false},
+	}
+	for _, c := range cases {
+		if got := KnownName(c.name); got != c.want {
+			t.Errorf("KnownName(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package stats
+
+// Prometheus text exposition (format version 0.0.4) for a Registry
+// snapshot, served as /metrics on -debug-addr. The registry's dotted
+// names map to Prometheus-legal names by prefixing "moira_" and
+// mapping every non-alphanumeric byte to '_': "server.requests.query"
+// becomes moira_server_requests_query. The mapping must be injective
+// over the emitted name set — names.go's registry test enforces that
+// no two series collide after sanitization.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// PromName sanitizes a registry series name into a Prometheus metric
+// name.
+func PromName(name string) string {
+	b := make([]byte, 0, len(name)+6)
+	b = append(b, "moira_"...)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+			b = append(b, c)
+		default:
+			b = append(b, '_')
+		}
+	}
+	return string(b)
+}
+
+func promFloat(d time.Duration) string {
+	return fmt.Sprintf("%g", d.Seconds())
+}
+
+// WritePrometheus renders the snapshot in Prometheus text format:
+// counters as <name>_total, gauges as <name>, histograms as cumulative
+// <name>_seconds histograms (buckets in seconds), sorted by name for a
+// stable scrape.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := PromName(name) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := PromName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		pn := PromName(name) + "_seconds"
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for i, bound := range h.Buckets {
+			if i < len(h.Counts) {
+				cum += h.Counts[i]
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", pn, promFloat(bound), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.N); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", pn, promFloat(h.Sum), pn, h.N); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PromHandler serves the registry as a Prometheus /metrics endpoint.
+func PromHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.Snapshot().WritePrometheus(w)
+	})
+}

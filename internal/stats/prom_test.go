@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"bufio"
+	"io"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+var (
+	promMetricRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLineRe   = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$`)
+)
+
+// checkPromText validates Prometheus text-format invariants: every
+// sample line parses, metric names are legal and prefixed, every metric
+// has a preceding # TYPE, histogram buckets are cumulative and end at
+// +Inf matching _count.
+func checkPromText(t *testing.T, r io.Reader) (metrics map[string]bool) {
+	t.Helper()
+	metrics = make(map[string]bool)
+	typed := make(map[string]string)
+	type histState struct {
+		last  int64
+		inf   int64
+		count int64
+		seen  bool
+	}
+	hists := make(map[string]*histState)
+
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Errorf("malformed TYPE line: %q", line)
+				continue
+			}
+			if !promMetricRe.MatchString(f[2]) {
+				t.Errorf("illegal metric name in TYPE: %q", f[2])
+			}
+			typed[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := promLineRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("unparseable sample line: %q", line)
+			continue
+		}
+		name, labels, value := m[1], m[2], m[3]
+		if !strings.HasPrefix(name, "moira_") {
+			t.Errorf("metric %q not in the moira_ namespace", name)
+		}
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			t.Errorf("metric %q has non-numeric value %q", name, value)
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(name, suf); ok && typed[b] == "histogram" {
+				base = b
+			}
+		}
+		if _, ok := typed[base]; !ok {
+			t.Errorf("sample %q has no preceding # TYPE", name)
+		}
+		metrics[base] = true
+		if typed[base] == "histogram" {
+			h := hists[base]
+			if h == nil {
+				h = &histState{}
+				hists[base] = h
+			}
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if labels == `{le="+Inf"}` {
+					h.inf = int64(v)
+					h.seen = true
+				} else {
+					if int64(v) < h.last {
+						t.Errorf("%s: non-cumulative bucket %q", base, line)
+					}
+					h.last = int64(v)
+				}
+			case strings.HasSuffix(name, "_count"):
+				h.count = int64(v)
+			}
+		}
+	}
+	for name, h := range hists {
+		if !h.seen {
+			t.Errorf("histogram %s has no +Inf bucket", name)
+		}
+		if h.inf != h.count {
+			t.Errorf("histogram %s: +Inf bucket %d != count %d", name, h.inf, h.count)
+		}
+		if h.last > h.inf {
+			t.Errorf("histogram %s: finite bucket %d exceeds +Inf %d", name, h.last, h.inf)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return metrics
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("server.requests.query").Add(41)
+	reg.Gauge("server.sessions.active").Set(3)
+	h := reg.HistogramWith("server.latency.query", FastBuckets)
+	for _, d := range []time.Duration{time.Microsecond, time.Millisecond, 50 * time.Millisecond, 3 * time.Second} {
+		h.Observe(d)
+	}
+	reg.AddGroup(func(emit func(name string, v int64)) {
+		emit("repl.lag.seconds", 7)
+	})
+
+	srv := httptest.NewServer(PromHandler(reg))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	metrics := checkPromText(t, resp.Body)
+	for _, want := range []string{
+		"moira_server_requests_query_total",
+		"moira_server_sessions_active",
+		"moira_server_latency_query_seconds",
+		"moira_repl_lag_seconds_total",
+	} {
+		if !metrics[want] {
+			t.Errorf("missing metric %s (got %v)", want, metrics)
+		}
+	}
+}

@@ -19,17 +19,30 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing count. The zero value is ready
-// to use; all methods are safe for concurrent use.
+// to use; all methods are safe for concurrent use. A nil *Counter
+// discards updates, so callers can hold an optional handle without
+// guarding every increment.
 type Counter struct{ v atomic.Int64 }
 
 // Add increments the counter by n.
-func (c *Counter) Add(n int64) { c.v.Add(n) }
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.v.Add(1) }
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
 
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
@@ -126,6 +139,28 @@ func (r *Registry) Histogram(name string) *Histogram {
 		return h
 	}
 	h = &Histogram{}
+	r.hists[name] = h
+	return h
+}
+
+// HistogramWith returns the named duration histogram, creating it over
+// the given bucket edges if needed. An already-created histogram keeps
+// its original edges (first registration wins), so independent call
+// sites must agree on the buckets for a series — which the names
+// registry test enforces by convention, one creation site per series.
+func (r *Registry) HistogramWith(name string, buckets []time.Duration) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h := r.hists[name]; h != nil {
+		return h
+	}
+	h = NewHistogram(buckets)
 	r.hists[name] = h
 	return h
 }

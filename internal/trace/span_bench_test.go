@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"moira/internal/stats"
+)
+
+// BenchmarkRequestShape exercises one server-request-shaped trace —
+// root span, four recorded phases, end — with production options
+// (default sampling, stats wired), isolating the tracer's own cost
+// from the RPC path that TestTraceOverheadUnderFivePercent measures
+// end to end.
+func BenchmarkRequestShape(b *testing.B) {
+	reg := stats.NewRegistry()
+	tr := New(Options{Process: "bench", Stats: reg})
+	start := time.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		root := tr.Start("t1234-5", "parent-1", "server.request")
+		root.Record("server.read", start, time.Microsecond, 0)
+		root.Record("server.snapshot", start, time.Microsecond, 0)
+		root.Record("server.handler", start, 2*time.Microsecond, 0)
+		root.Record("server.write", start, time.Microsecond, 0)
+		root.End()
+	}
+}
+
+// BenchmarkRequestShapeChildren is the same shape with child spans
+// (the mutation path's journal phase, auth) instead of flat records.
+func BenchmarkRequestShapeChildren(b *testing.B) {
+	reg := stats.NewRegistry()
+	tr := New(Options{Process: "bench", Stats: reg})
+	start := time.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		root := tr.Start("t1234-5", "parent-1", "server.request")
+		root.Record("server.read", start, time.Microsecond, 0)
+		c1 := root.Child("server.handler")
+		c1.End()
+		c2 := root.Child("server.journal")
+		c2.End()
+		root.End()
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"moira/internal/mrerr"
 	"moira/internal/protocol"
 	"moira/internal/stats"
+	"moira/internal/trace"
 )
 
 // Protocol opcodes for the update protocol (distinct from the Moira
@@ -89,6 +90,7 @@ type Agent struct {
 
 	reg    *stats.Registry
 	traces *stats.TraceLog
+	tracer *trace.Tracer
 }
 
 // DefaultDrainTimeout is how long Close waits for an in-flight update
@@ -149,6 +151,11 @@ func (a *Agent) Registry() *stats.Registry { return a.reg }
 // Traces returns the agent's recent installs, oldest first, each tagged
 // with the trace ID the DCM's push carried.
 func (a *Agent) Traces() []stats.TraceEntry { return a.traces.Entries() }
+
+// SetTracer attaches a span tracer: each executed installation records
+// an agent.install span, parented (via the wire trace field) under the
+// DCM push span that delivered it. Call before Listen; nil disables.
+func (a *Agent) SetTracer(t *trace.Tracer) { a.tracer = t }
 
 // RegisterCommand installs a handler for "exec name ...".
 func (a *Agent) RegisterCommand(name string, fn CommandFunc) {
@@ -359,7 +366,8 @@ type updateSession struct {
 	target string
 	script []string
 	staged bool
-	trace  string // trace ID carried by the push's requests
+	trace  string // bare trace ID carried by the push's requests
+	parent string // span ID of the DCM push span, from the wire field
 }
 
 // SetCrashPoint installs (or clears, with nil) a crash-injection hook:
@@ -480,7 +488,9 @@ func (a *Agent) serve(conn net.Conn, st *connState) {
 			continue
 		}
 		if req.TraceID != "" {
-			ses.trace = req.TraceID
+			// The wire field may carry "traceID/spanID"; the install log
+			// keeps the bare trace ID, the span links under the push span.
+			ses.trace, ses.parent = trace.Split(req.TraceID)
 		}
 		code, fatal := a.dispatch(conn, ses, req)
 		if fatal {
@@ -522,10 +532,14 @@ func (a *Agent) dispatch(conn net.Conn, ses *updateSession, req *protocol.Reques
 			return code, true
 		}
 		start := time.Now()
+		sp := a.tracer.Start(ses.trace, ses.parent, "agent.install")
+		sp.SetDetail(ses.target)
 		code = ses.execute(conn)
 		if code == mrerr.Code(-1) {
+			sp.EndCode(int32(mrerr.MrInternal))
 			return code, true // crashed mid-execution
 		}
+		sp.EndCode(int32(code))
 		if code == mrerr.Success {
 			a.reg.Counter("update.installs").Inc()
 		}
