@@ -66,6 +66,7 @@ func main() {
 		idleTimeout  = flag.Duration("idle-timeout", 5*time.Minute, "drop a client connection idle for this long (0 = never)")
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-reply write deadline (0 = none)")
 		maxConns     = flag.Int("max-conns", 0, "shed connections beyond this many with MR_BUSY (0 = unlimited)")
+		maxBatch     = flag.Int("max-batch", 0, "refuse v4 batch requests with more items than this (0 = default)")
 		drainTimeout = flag.Duration("drain-timeout", server.DefaultDrainTimeout, "how long shutdown waits for in-flight requests before force-closing")
 	)
 	flag.Parse()
@@ -76,7 +77,8 @@ func main() {
 	}
 
 	lifecycle := lifecycleKnobs{
-		idle: *idleTimeout, write: *writeTimeout, maxConns: *maxConns, drain: *drainTimeout,
+		idle: *idleTimeout, write: *writeTimeout, maxConns: *maxConns,
+		maxBatch: *maxBatch, drain: *drainTimeout,
 	}
 	if *demo {
 		runDemo(*users, *dcmEvery, *debug, *traceSlow, *traceSample, lifecycle, logf)
@@ -194,6 +196,7 @@ func main() {
 		IdleTimeout:  lifecycle.idle,
 		WriteTimeout: lifecycle.write,
 		MaxConns:     lifecycle.maxConns,
+		MaxBatch:     lifecycle.maxBatch,
 		DrainTimeout: lifecycle.drain,
 		ReadOnly:     rep != nil,
 	})
@@ -272,6 +275,7 @@ func main() {
 type lifecycleKnobs struct {
 	idle, write, drain time.Duration
 	maxConns           int
+	maxBatch           int
 }
 
 func runDemo(users int, dcmEvery time.Duration, debug string, traceSlow time.Duration, traceSample int, lifecycle lifecycleKnobs, logf func(string, ...any)) {
@@ -285,6 +289,7 @@ func runDemo(users int, dcmEvery time.Duration, debug string, traceSlow time.Dur
 		ServerIdleTimeout:  lifecycle.idle,
 		ServerWriteTimeout: lifecycle.write,
 		ServerMaxConns:     lifecycle.maxConns,
+		ServerMaxBatch:     lifecycle.maxBatch,
 		ServerDrainTimeout: lifecycle.drain,
 	})
 	if err != nil {

@@ -11,6 +11,13 @@
 // A single query can also be run non-interactively:
 //
 //	mrtest -addr ... -q get_machine '*'
+//
+// The closed-loop load driver measures a server's sustainable
+// throughput over pipelined v4 connections (or the serial baseline):
+//
+//	mrtest -addr ... -load -load-conns 4 -load-inflight 16 -load-duration 10s
+//	mrtest -addr ... -load -load-serial               # 1 call in flight
+//	mrtest -addr ... -load -load-batch 64             # batched mutations
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"moira/internal/client"
 	"moira/internal/mrerr"
@@ -31,8 +39,33 @@ func main() {
 		addr  = flag.String("addr", "127.0.0.1:7760", "moirad address")
 		oneQ  = flag.String("q", "", "run one query (remaining args are its arguments) and exit")
 		menus = flag.Bool("menu", false, "use the classic menu interface")
+
+		load         = flag.Bool("load", false, "run the closed-loop load driver and exit")
+		loadConns    = flag.Int("load-conns", 4, "pipelined connections for -load")
+		loadInflight = flag.Int("load-inflight", 16, "concurrent calls in flight per connection for -load")
+		loadDur      = flag.Duration("load-duration", 5*time.Second, "measurement window for -load")
+		loadSerial   = flag.Bool("load-serial", false, "baseline mode for -load: one serial client, one call in flight")
+		loadBatch    = flag.Int("load-batch", 0, "with -load: submit batches of this many mutations instead of queries")
+		loadQuery    = flag.String("load-query", "get_value", "query for -load query mode (remaining args are its arguments)")
+		loadJSON     = flag.String("load-json", "", "write -load results as JSON to this file (- = stdout)")
 	)
 	flag.Parse()
+
+	if *load {
+		args := flag.Args()
+		if *loadQuery == "get_value" && len(args) == 0 {
+			args = []string{"def_quota"}
+		}
+		err := runLoad(loadOptions{
+			addr: *addr, conns: *loadConns, inflight: *loadInflight,
+			duration: *loadDur, serial: *loadSerial, batch: *loadBatch,
+			query: *loadQuery, args: args, jsonPath: *loadJSON,
+		})
+		if err != nil {
+			log.Fatalf("mrtest: %v", err)
+		}
+		return
+	}
 
 	c, err := client.Dial(*addr)
 	if err != nil {

@@ -5,6 +5,7 @@ package bench
 // package-level tests cannot.
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"os"
@@ -110,6 +111,71 @@ func TestBinariesMoiradAndMrtest(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Errorf("repl output missing %q:\n%s", want, firstN(s, 600))
 		}
+	}
+}
+
+// TestBinaryMrtestLoad drives the closed-loop load driver as a user
+// would: a short pipelined run and a short batch run against a live
+// moirad, with the JSON results checked for sane shape.
+func TestBinaryMrtestLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary build in -short mode")
+	}
+	addr := freePort(t)
+	daemon := exec.Command(toolPath(t, "moirad"), "-addr", addr)
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		daemon.Process.Kill()
+		daemon.Wait()
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		c, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			c.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("moirad never came up")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	jsonPath := filepath.Join(t.TempDir(), "load.json")
+	runs := [][]string{
+		{"-load", "-load-conns", "2", "-load-inflight", "8",
+			"-load-duration", "500ms", "-load-json", jsonPath},
+		{"-load", "-load-conns", "1", "-load-inflight", "2", "-load-batch", "8",
+			"-load-duration", "300ms"},
+		{"-load", "-load-serial", "-load-duration", "300ms"},
+	}
+	for _, r := range runs {
+		args := append([]string{"-addr", addr}, r...)
+		out, err := exec.Command(toolPath(t, "mrtest"), args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("mrtest %v: %v\n%s", r, err, out)
+		}
+		if !strings.Contains(string(out), "ops/sec") {
+			t.Errorf("mrtest %v output missing throughput line:\n%s", r, firstN(string(out), 400))
+		}
+	}
+	blob, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Mode      string  `json:"mode"`
+		Ops       int64   `json:"ops"`
+		OpsPerSec float64 `json:"ops_per_sec"`
+		Errors    int64   `json:"errors"`
+	}
+	if err := json.Unmarshal(blob, &res); err != nil {
+		t.Fatalf("load JSON: %v\n%s", err, blob)
+	}
+	if res.Mode != "pipelined" || res.Ops <= 0 || res.OpsPerSec <= 0 || res.Errors != 0 {
+		t.Errorf("load JSON looks wrong: %+v", res)
 	}
 }
 

@@ -10,6 +10,7 @@ package client
 import (
 	"bufio"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
@@ -252,8 +253,12 @@ func (c *Client) roundTrip(req *protocol.Request, cb TupleFunc, idempotent bool)
 // reconnectLocked redials after a short backoff, starting at the
 // address of the connection that just died and rotating through the
 // read-fallback list until one accepts; callers hold c.mu. The
-// negotiated protocol version is kept: both versions interoperate, and
-// a still-downgraded client just re-probes on the next mismatch.
+// negotiated version resets to protocol.Version on the fresh
+// connection: the downgrade belonged to the old peer, and pinning it
+// across a redial would leave the client talking the legacy dialect —
+// losing trace IDs entirely at v1 — to a brand-new server that may
+// speak v4. The first request re-probes; a still-old server answers
+// MR_VERSION_MISMATCH and the downgrade machinery runs again.
 func (c *Client) reconnectLocked() error {
 	clock.Sleep(c.clk, ReconnectDelay)
 	rotation := append([]string{c.addr}, c.fallbacks...)
@@ -268,6 +273,7 @@ func (c *Client) reconnectLocked() error {
 		c.conn = conn
 		c.br = bufio.NewReader(conn)
 		c.bw = bufio.NewWriter(conn)
+		c.version = protocol.Version
 		c.reconnects++
 		if slot != 0 {
 			c.failovers++
@@ -285,6 +291,12 @@ func (c *Client) sendRecv(req *protocol.Request, cb TupleFunc) error {
 	}
 	if c.callTimeout > 0 {
 		c.conn.SetDeadline(time.Now().Add(c.callTimeout))
+	} else {
+		// A previous timed call left its deadline armed on the conn;
+		// without this reset an untimed call made after
+		// SetCallTimeout(0) would die with a spurious MR_CONN_TIMEOUT
+		// the moment the stale deadline expired.
+		c.conn.SetDeadline(time.Time{})
 	}
 	req.Version = c.version
 	if c.version >= 2 {
@@ -396,6 +408,75 @@ func (c *Client) QueryAll(name string, args ...string) ([][]string, error) {
 		return nil
 	})
 	return out, err
+}
+
+// BatchItem re-exports the wire batch item so callers of Batch need not
+// import the protocol package.
+type BatchItem = protocol.BatchItem
+
+// Batch submits items — mutations only — as one v4 Batch request: the
+// server runs them under a single lock acquisition and a single journal
+// group commit and answers one code per item, in order. Against a
+// pre-v4 server (or after a version downgrade) Batch degrades to one
+// Query round trip per item, preserving the per-item code contract at
+// the old cost.
+//
+// The error return is transport- or batch-level; when it is nil the
+// per-item codes are authoritative (mrerr.Success for applied items).
+func (c *Client) Batch(items []BatchItem) ([]mrerr.Code, error) {
+	if len(items) == 0 {
+		return nil, nil
+	}
+	c.mu.Lock()
+	old := c.version < 4
+	c.mu.Unlock()
+	if old {
+		return c.batchSequential(items)
+	}
+	var codes []mrerr.Code
+	args := protocol.EncodeBatch(items)
+	err := c.roundTrip(&protocol.Request{
+		Op:   protocol.OpBatch,
+		Args: protocol.BytesArgs(args),
+	}, func(fields []string) error {
+		codes = make([]mrerr.Code, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseInt(f, 10, 32)
+			if err != nil {
+				return mrerr.MrInternal
+			}
+			codes[i] = mrerr.Code(v)
+		}
+		return nil
+	}, false)
+	if err == mrerr.MrUnknownProc || err == mrerr.MrVersionMismatch {
+		// The server predates OpBatch (the downgrade resend already
+		// happened inside roundTrip for the mismatch case).
+		return c.batchSequential(items)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(codes) != len(items) {
+		return nil, mrerr.MrInternal
+	}
+	return codes, nil
+}
+
+// batchSequential is the pre-v4 fallback: one Query per item.
+func (c *Client) batchSequential(items []BatchItem) ([]mrerr.Code, error) {
+	codes := make([]mrerr.Code, len(items))
+	for i, it := range items {
+		err := c.Query(it.Name, it.Args, nil)
+		switch err {
+		case mrerr.MrAborted, mrerr.MrNotConnected, mrerr.MrConnTimeout:
+			// Transport death: the remaining items were never attempted,
+			// so per-item codes would lie. Surface the transport error.
+			return nil, err
+		}
+		codes[i] = mrerr.CodeOf(err)
+	}
+	return codes, nil
 }
 
 // TriggerDCM sends the Trigger_DCM request.

@@ -1,0 +1,344 @@
+package client
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"moira/internal/clock"
+	"moira/internal/mrerr"
+	"moira/internal/protocol"
+)
+
+// TestSetCallTimeoutZeroDisarmsDeadline: a timed call arms a deadline
+// on the connection; SetCallTimeout(0) must disarm it, or the next
+// untimed call dies with a spurious MR_CONN_TIMEOUT when the stale
+// deadline expires mid-read. Regression test for exactly that bug: the
+// server answers the second request only after the first call's
+// deadline has long passed.
+func TestSetCallTimeoutZeroDisarmsDeadline(t *testing.T) {
+	var calls atomic.Int32
+	addr := newFakeServer(t, func(req *protocol.Request, reply func(*protocol.Reply) error) bool {
+		if calls.Add(1) > 1 {
+			time.Sleep(200 * time.Millisecond) // well past the stale deadline
+		}
+		reply(&protocol.Reply{Version: req.Version, Tag: req.Tag, Code: 0})
+		return true
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Disconnect()
+	c.SetCallTimeout(80 * time.Millisecond)
+	if err := c.Noop(); err != nil {
+		t.Fatalf("timed noop: %v", err)
+	}
+	c.SetCallTimeout(0)
+	if err := c.Noop(); err != nil {
+		t.Fatalf("untimed noop after SetCallTimeout(0): %v (stale deadline not disarmed)", err)
+	}
+}
+
+// TestReconnectReprobesVersion: a client downgraded to v1 by a legacy
+// server must not pin that version across a transparent reconnect — the
+// downgrade belonged to the dead peer. After the redial the first
+// request goes out at protocol.Version again, so a replacement server
+// that speaks v4 is not stuck being talked to in the v1 dialect.
+func TestReconnectReprobesVersion(t *testing.T) {
+	var (
+		mu       sync.Mutex
+		versions []uint16
+	)
+	var phase atomic.Int32 // 0: legacy v1 server, 1: die once, 2: modern server
+	addr := newFakeServer(t, func(req *protocol.Request, reply func(*protocol.Reply) error) bool {
+		mu.Lock()
+		versions = append(versions, req.Version)
+		mu.Unlock()
+		switch {
+		case phase.CompareAndSwap(1, 2):
+			return false // hang up: the legacy box just went away
+		case phase.Load() == 0:
+			if req.Version != 1 {
+				reply(&protocol.Reply{Version: 1, Code: int32(mrerr.MrVersionMismatch)})
+				return true
+			}
+			reply(&protocol.Reply{Version: 1, Code: 0})
+			return true
+		default:
+			reply(&protocol.Reply{Version: req.Version, Tag: req.Tag, Code: 0})
+			return true
+		}
+	})
+	fake := clock.NewFake(time.Unix(600000000, 0))
+	c, err := DialTimeout(addr, time.Second, fake)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Disconnect()
+	if err := c.Noop(); err != nil { // negotiates down to v1
+		t.Fatalf("noop against legacy server: %v", err)
+	}
+	phase.Store(1)
+	if err := c.Noop(); err != nil { // dies, reconnects, resends
+		t.Fatalf("noop across reconnect: %v", err)
+	}
+	if n := c.Reconnects(); n != 1 {
+		t.Fatalf("reconnects = %d, want 1", n)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// Probe, downgraded resend, the request the dying conn swallowed,
+	// then the re-probe on the fresh connection — at full version again.
+	want := []uint16{protocol.Version, 1, 1, protocol.Version}
+	if len(versions) != len(want) {
+		t.Fatalf("server saw versions %v, want %v", versions, want)
+	}
+	for i := range want {
+		if versions[i] != want[i] {
+			t.Fatalf("server saw versions %v, want %v", versions, want)
+		}
+	}
+}
+
+// batchEchoHandler serves OpNoop and OpBatch at the peer's version,
+// answering each batch item with MR_NOT_UNIQUE for names ending in
+// "dup" and success otherwise.
+func batchEchoHandler(batches *atomic.Int32) func(req *protocol.Request, reply func(*protocol.Reply) error) bool {
+	return func(req *protocol.Request, reply func(*protocol.Reply) error) bool {
+		switch req.Op {
+		case protocol.OpBatch:
+			batches.Add(1)
+			items, err := protocol.DecodeBatch(req.Args)
+			if err != nil {
+				reply(&protocol.Reply{Version: req.Version, Tag: req.Tag, Code: int32(mrerr.MrArgs)})
+				return true
+			}
+			codes := make([]int32, len(items))
+			for i, it := range items {
+				if len(it.Name) >= 3 && it.Name[len(it.Name)-3:] == "dup" {
+					codes[i] = int32(mrerr.MrNotUnique)
+				}
+			}
+			reply(&protocol.Reply{Version: req.Version, Tag: req.Tag,
+				Code: int32(mrerr.MrMoreData), Fields: protocol.EncodeBatchCodes(codes)})
+			reply(&protocol.Reply{Version: req.Version, Tag: req.Tag, Code: 0})
+		default:
+			reply(&protocol.Reply{Version: req.Version, Tag: req.Tag, Code: 0})
+		}
+		return true
+	}
+}
+
+func TestClientBatchOverWire(t *testing.T) {
+	var batches atomic.Int32
+	addr := newFakeServer(t, batchEchoHandler(&batches))
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Disconnect()
+	codes, err := c.Batch([]BatchItem{
+		{Name: "add_machine", Args: []string{"A.MIT.EDU", "VAX"}},
+		{Name: "add_dup", Args: []string{"A.MIT.EDU", "VAX"}},
+		{Name: "add_machine", Args: []string{"B.MIT.EDU", "VAX"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []mrerr.Code{mrerr.Success, mrerr.MrNotUnique, mrerr.Success}
+	if len(codes) != len(want) {
+		t.Fatalf("codes = %v, want %v", codes, want)
+	}
+	for i := range want {
+		if codes[i] != want[i] {
+			t.Fatalf("codes = %v, want %v", codes, want)
+		}
+	}
+	if n := batches.Load(); n != 1 {
+		t.Errorf("server saw %d batch frames, want 1", n)
+	}
+}
+
+// TestClientBatchFallsBackSequential: against a v1 server the batch
+// degrades to one query round trip per item with the same per-item code
+// contract.
+func TestClientBatchFallsBackSequential(t *testing.T) {
+	var queryNames []string
+	addr := newFakeServer(t, func(req *protocol.Request, reply func(*protocol.Reply) error) bool {
+		if req.Version != 1 {
+			reply(&protocol.Reply{Version: 1, Code: int32(mrerr.MrVersionMismatch)})
+			return true
+		}
+		if req.Op == protocol.OpBatch {
+			// A v1 server has never heard of the batch op.
+			reply(&protocol.Reply{Version: 1, Code: int32(mrerr.MrUnknownProc)})
+			return true
+		}
+		if req.Op == protocol.OpQuery && len(req.Args) > 0 {
+			name := string(req.Args[0])
+			queryNames = append(queryNames, name)
+			if name == "add_dup" {
+				reply(&protocol.Reply{Version: 1, Code: int32(mrerr.MrNotUnique)})
+				return true
+			}
+		}
+		reply(&protocol.Reply{Version: 1, Code: 0})
+		return true
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Disconnect()
+	codes, err := c.Batch([]BatchItem{
+		{Name: "add_machine", Args: []string{"A.MIT.EDU", "VAX"}},
+		{Name: "add_dup"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []mrerr.Code{mrerr.Success, mrerr.MrNotUnique}
+	for i := range want {
+		if codes[i] != want[i] {
+			t.Fatalf("codes = %v, want %v", codes, want)
+		}
+	}
+	if len(queryNames) != 2 {
+		t.Errorf("server saw queries %v, want one per item", queryNames)
+	}
+}
+
+// v4EchoServer answers every query with one tuple echoing the query's
+// first argument, so pipeline tests can verify demux routing.
+func v4EchoServer(t *testing.T) string {
+	return newFakeServer(t, func(req *protocol.Request, reply func(*protocol.Reply) error) bool {
+		if req.Op == protocol.OpQuery && len(req.Args) > 1 {
+			reply(&protocol.Reply{Version: req.Version, Tag: req.Tag,
+				Code: int32(mrerr.MrMoreData), Fields: [][]byte{req.Args[1]}})
+		}
+		reply(&protocol.Reply{Version: req.Version, Tag: req.Tag, Code: 0})
+		return true
+	})
+}
+
+func TestPipelineConcurrentCalls(t *testing.T) {
+	p, err := DialPipeline(v4EchoServer(t), time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, 32)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			arg := fmt.Sprintf("caller-%d", i)
+			var got string
+			err := p.Query("echo", []string{arg}, func(tuple []string) error {
+				got = tuple[0]
+				return nil
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if got != arg {
+				errs[i] = fmt.Errorf("demux gave %q to caller of %q", got, arg)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("call %d: %v", i, err)
+		}
+	}
+}
+
+// TestPipelineRejectsLegacyServer: the handshake probe must fail fast
+// against a pre-v4 peer so callers can fall back to the serial client.
+func TestPipelineRejectsLegacyServer(t *testing.T) {
+	addr := newFakeServer(t, func(req *protocol.Request, reply func(*protocol.Reply) error) bool {
+		reply(&protocol.Reply{Version: 1, Code: int32(mrerr.MrVersionMismatch)})
+		return true
+	})
+	if _, err := DialPipeline(addr, time.Second, nil); err != mrerr.MrVersionMismatch {
+		t.Fatalf("DialPipeline against v1 server err = %v, want MR_VERSION_MISMATCH", err)
+	}
+}
+
+func TestPipelineBatch(t *testing.T) {
+	var batches atomic.Int32
+	addr := newFakeServer(t, batchEchoHandler(&batches))
+	p, err := DialPipeline(addr, time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	codes, err := p.Batch([]BatchItem{{Name: "add_machine"}, {Name: "add_dup"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(codes) != 2 || codes[0] != mrerr.Success || codes[1] != mrerr.MrNotUnique {
+		t.Fatalf("codes = %v", codes)
+	}
+}
+
+// TestPipelineServerDies: a torn connection fails everything in flight
+// and leaves the pipeline terminally dead.
+func TestPipelineServerDies(t *testing.T) {
+	var calls atomic.Int32
+	addr := newFakeServer(t, func(req *protocol.Request, reply func(*protocol.Reply) error) bool {
+		if calls.Add(1) > 1 {
+			return false // hang up on everything after the probe
+		}
+		reply(&protocol.Reply{Version: req.Version, Tag: req.Tag, Code: 0})
+		return true
+	})
+	p, err := DialPipeline(addr, time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Noop(); err == nil {
+		t.Fatal("noop on torn pipeline succeeded")
+	}
+	if p.Err() == nil {
+		t.Fatal("pipeline not marked dead after torn connection")
+	}
+	if err := p.Noop(); err == nil {
+		t.Fatal("noop on dead pipeline succeeded")
+	}
+}
+
+// TestClientPoolRedialsDeadPipe: a pool slot whose pipeline died is
+// redialed on next use instead of poisoning the rotation forever.
+func TestClientPoolRedialsDeadPipe(t *testing.T) {
+	pool, err := NewClientPool(v4EchoServer(t), 2, time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	// Tear one pipeline's connection and wait for its demux to notice.
+	dead := pool.pipes[0]
+	dead.conn.Close()
+	for i := 0; dead.Err() == nil && i < 100; i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if dead.Err() == nil {
+		t.Fatal("closed pipeline never went dead")
+	}
+	// Every rotation slot must still serve, via redial where needed.
+	for i := 0; i < 4; i++ {
+		if err := pool.Noop(); err != nil {
+			t.Fatalf("pool noop %d after dead pipe: %v", i, err)
+		}
+	}
+	if pool.pipes[0] == dead {
+		t.Error("dead pipeline was never replaced in its slot")
+	}
+}

@@ -82,6 +82,7 @@ type Options struct {
 	ServerIdleTimeout  time.Duration
 	ServerWriteTimeout time.Duration
 	ServerMaxConns     int
+	ServerMaxBatch     int
 	ServerDrainTimeout time.Duration
 
 	// ReadFallbacks are replica addresses that unauthenticated clients
@@ -236,6 +237,7 @@ func Boot(opts Options) (*System, error) {
 		IdleTimeout:  opts.ServerIdleTimeout,
 		WriteTimeout: opts.ServerWriteTimeout,
 		MaxConns:     opts.ServerMaxConns,
+		MaxBatch:     opts.ServerMaxBatch,
 		DrainTimeout: opts.ServerDrainTimeout,
 		TriggerDCM: func(trace string) {
 			if s.DCM != nil {

@@ -1,0 +1,91 @@
+package db
+
+import (
+	"testing"
+
+	"moira/internal/clock"
+)
+
+// TestJournalWriterBatchGroupOneSync verifies the v4 batch-commit
+// contract: N appends bracketed by BeginGroup/EndGroup reach stable
+// storage with exactly one fsync, while ungrouped appends under
+// SyncEveryCommit sync once each.
+func TestJournalWriterBatchGroupOneSync(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenJournalWriter(dir, JournalOptions{Policy: SyncEveryCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	if _, err := w.Write([]byte("solo\n")); err != nil {
+		t.Fatal(err)
+	}
+	base := w.syncs.Load()
+	if base == 0 {
+		t.Fatal("ungrouped append did not sync")
+	}
+
+	w.BeginGroup()
+	for i := 0; i < 8; i++ {
+		if _, err := w.Write([]byte("grouped\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := w.syncs.Load(); got != base {
+		t.Errorf("%d syncs during an open group, want 0", got-base)
+	}
+	if err := w.EndGroup(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.syncs.Load() - base; got != 1 {
+		t.Errorf("group of 8 cost %d syncs, want 1", got)
+	}
+	if w.dirty {
+		t.Error("writer still dirty after EndGroup")
+	}
+
+	// Nesting: only the outermost EndGroup syncs.
+	w.BeginGroup()
+	w.BeginGroup()
+	if _, err := w.Write([]byte("nested\n")); err != nil {
+		t.Fatal(err)
+	}
+	mid := w.syncs.Load()
+	if err := w.EndGroup(); err != nil {
+		t.Fatal(err)
+	}
+	if w.syncs.Load() != mid {
+		t.Error("inner EndGroup synced")
+	}
+	if err := w.EndGroup(); err != nil {
+		t.Fatal(err)
+	}
+	if w.syncs.Load() != mid+1 {
+		t.Error("outer EndGroup did not sync")
+	}
+
+	// An empty group must not sync at all.
+	clean := w.syncs.Load()
+	w.BeginGroup()
+	if err := w.EndGroup(); err != nil {
+		t.Fatal(err)
+	}
+	if w.syncs.Load() != clean {
+		t.Error("empty group synced")
+	}
+}
+
+// TestJournalGroupFallsThroughForPlainSinks checks DB.JournalGroup with
+// a sink that has no group support: fn runs unchanged and appends keep
+// their usual path.
+func TestJournalGroupFallsThroughForPlainSinks(t *testing.T) {
+	d := New(clock.System)
+	ran := false
+	if err := d.JournalGroup(func() error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("fn did not run without a journal sink")
+	}
+}

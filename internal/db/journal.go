@@ -122,6 +122,36 @@ func (d *DB) JournalQuery(principal, app, trace, query string, args []string) er
 	return nil
 }
 
+// journalGrouper is the optional group-commit face of a journal sink;
+// JournalWriter implements it. See JournalWriter.BeginGroup.
+type journalGrouper interface {
+	BeginGroup()
+	EndGroup() error
+}
+
+// JournalGroup runs fn with the journal sink in group-commit mode: the
+// appends fn makes (via JournalQuery) defer their per-commit fsyncs and
+// share the single fsync issued when fn returns. The sync error, if
+// any, is returned even when fn succeeded — the batch is durable only
+// if both are nil. Sinks without group support (plain io.Writers, nil
+// journal) run fn unchanged.
+func (d *DB) JournalGroup(fn func() error) error {
+	g, ok := d.journal.(journalGrouper)
+	if !ok {
+		return fn()
+	}
+	g.BeginGroup()
+	err := fn()
+	if serr := g.EndGroup(); serr != nil {
+		d.journalErrs.Add(1)
+		d.wedged.Store(true)
+		if err == nil {
+			err = fmt.Errorf("db: journal group sync: %w", serr)
+		}
+	}
+	return err
+}
+
 // JournalErrors reports how many journal appends have failed.
 func (d *DB) JournalErrors() int64 { return d.journalErrs.Load() }
 

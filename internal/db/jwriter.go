@@ -152,6 +152,7 @@ type JournalWriter struct {
 	interval time.Duration
 	dirty    bool  // bytes appended since the last fsync
 	dead     error // set on partial append; permanent
+	grouped  int   // nested BeginGroup depth; defers per-commit syncs
 
 	stop chan struct{}
 	done chan struct{}
@@ -269,7 +270,7 @@ func (w *JournalWriter) Write(p []byte) (int, error) {
 	w.appends.Add(1)
 	w.segRecs.Add(1)
 	w.sinceSync++
-	if w.policy == SyncEveryCommit {
+	if w.policy == SyncEveryCommit && w.grouped == 0 {
 		if err := fireCrash("journal.presync"); err != nil {
 			w.dead = err
 			return n, err
@@ -323,6 +324,45 @@ func (w *JournalWriter) writeInjected(p []byte) (int, error) {
 		return n + m, err
 	}
 	return w.f.Write(p)
+}
+
+// BeginGroup opens a group commit: appends made before the matching
+// EndGroup skip their per-commit fsync and share the single fsync
+// EndGroup issues. Under SyncInterval or SyncNone there is no
+// per-append sync to suppress and EndGroup is a no-op, so callers can
+// bracket batches unconditionally. Groups nest; only the outermost
+// EndGroup syncs.
+func (w *JournalWriter) BeginGroup() {
+	w.mu.Lock()
+	w.grouped++
+	w.mu.Unlock()
+}
+
+// EndGroup closes a group commit, flushing every record appended since
+// BeginGroup in one fsync (under SyncEveryCommit). Its error is the
+// batch's durability verdict: on failure none of the group's appends
+// may be acknowledged.
+func (w *JournalWriter) EndGroup() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.grouped > 0 {
+		w.grouped--
+	}
+	if w.grouped > 0 || w.policy != SyncEveryCommit || !w.dirty {
+		return nil
+	}
+	if w.dead != nil {
+		return w.dead
+	}
+	if err := fireCrash("journal.presync"); err != nil {
+		w.dead = err
+		return err
+	}
+	if err := w.syncLocked(); err != nil {
+		w.errors.Add(1)
+		return err
+	}
+	return nil
 }
 
 // Sync flushes appended records to stable storage.

@@ -349,11 +349,7 @@ func (m *DCM) serviceCycle(snap *serviceSnapshot, generator gen.Func, stats *Cyc
 				s.FilesGenerated += res.NumFiles
 				s.BytesGenerated += res.TotalBytes
 			})
-			m.setServiceFlags(name, func(s *db.Server) {
-				s.DFGen, s.DFCheck = now, now
-				s.InProgress = false
-			})
-			m.setGenSeq(name, res.Seq)
+			m.finishGeneration(name, now, res.Seq)
 			snap.DFGen, snap.DFCheck = now, now
 			m.cfg.Logf("dcm: %s: generated %d files (%d bytes)", name, res.NumFiles, res.TotalBytes)
 		case err == mrerr.MrNoChange:
@@ -635,12 +631,22 @@ func (m *DCM) genSeq(service string) int64 {
 	return int64(v)
 }
 
-// setGenSeq stores the observed change sequence after a generation.
-func (m *DCM) setGenSeq(service string, seq int64) {
+// finishGeneration releases the in-progress claim and records the
+// generation's timestamps and observed change sequence under a single
+// exclusive-lock acquisition. Doing these as two separate acquisitions
+// opened a window where a concurrent pass could snapshot the service as
+// idle but pair it with the previous generation's sequence and
+// regenerate needlessly.
+func (m *DCM) finishGeneration(name string, now, seq int64) {
 	d := m.cfg.DB
 	d.LockExclusive()
 	defer d.UnlockExclusive()
-	d.SetValue(db.GenSeqPrefix+service, int(seq))
+	if s, ok := d.ServerByName(name); ok {
+		s.DFGen, s.DFCheck = now, now
+		s.InProgress = false
+		d.NoteUpdateInternal(db.TServers)
+	}
+	d.SetValue(db.GenSeqPrefix+name, int(seq))
 }
 
 // notify sends a zephyrgram to class MOIRA instance DCM.

@@ -1,0 +1,44 @@
+package protocol
+
+import (
+	"bufio"
+)
+
+// maxKeepBuf bounds the payload buffer a FrameReader keeps across
+// reads: a connection that once saw a near-MaxFrame request should not
+// hold 16 MB for the rest of its life.
+const maxKeepBuf = 256 << 10
+
+// FrameReader reads request frames into a reused payload buffer,
+// handing out argument slices that alias it. This is the zero-copy fast
+// path for the server's dispatch loop, which converts every argument it
+// keeps (strings, journal lines) before reading the next frame.
+//
+// The contract: a Request returned by ReadRequest — including its Args
+// backing bytes — is valid only until the next ReadRequest call. Code
+// that retains raw argument bytes across reads must use the copying
+// protocol.ReadRequest instead.
+type FrameReader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewFrameReader wraps r for reuse-buffer request reads.
+func NewFrameReader(r *bufio.Reader) *FrameReader {
+	return &FrameReader{r: r}
+}
+
+// ReadRequest reads one request frame. The returned request aliases the
+// reader's internal buffer; see the type comment for the lifetime rule.
+func (fr *FrameReader) ReadRequest() (*Request, error) {
+	head, fields, buf, err := readFrameInto(fr.r, 4, fr.buf)
+	if cap(buf) <= maxKeepBuf {
+		fr.buf = buf
+	} else {
+		fr.buf = nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return parseRequest(head, fields)
+}

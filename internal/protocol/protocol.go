@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 	"sync/atomic"
 
 	"moira/internal/mrerr"
@@ -30,7 +31,17 @@ import (
 // adds the Replicate major request (journal-shipping replication); the
 // frame layout is again unchanged, so older peers reject it cleanly
 // with MR_UNKNOWN_PROC or MR_VERSION_MISMATCH.
-const Version uint16 = 3
+//
+// Version 4 adds pipelining and batching. A v4 request carries a
+// client-assigned tag as one more counted string (2 bytes, big-endian)
+// in front of the trace ID; a v4 reply echoes the tag in the two
+// previously-zero padding bytes of the reply head. Both moves keep the
+// frame layout unchanged, so the v1↔v2 downgrade machinery covers v4
+// unmodified: an old server parses the v4 frame cleanly, sees an
+// unsupported version, and answers MR_VERSION_MISMATCH on the same
+// stream. Version 4 also adds the Batch major request (N mutations in
+// one frame, one commit).
+const Version uint16 = 4
 
 // MinVersion is the oldest protocol version this implementation still
 // accepts; clients fall back to it when a server rejects Version.
@@ -49,6 +60,7 @@ const (
 	OpTriggerDCM uint16 = 5 // no arguments; spawn a DCM
 	OpShutdown   uint16 = 6 // no arguments; ask the server to exit
 	OpReplicate  uint16 = 7 // v3: args: last applied journal (segment, record index)
+	OpBatch      uint16 = 8 // v4: N mutations in one frame; see EncodeBatch
 )
 
 // OpName names an opcode for logging.
@@ -68,6 +80,8 @@ func OpName(op uint16) string {
 		return "shutdown"
 	case OpReplicate:
 		return "replicate"
+	case OpBatch:
+		return "batch"
 	default:
 		return fmt.Sprintf("op%d", op)
 	}
@@ -89,9 +103,15 @@ const (
 // split it, use the bare trace ID everywhere the trace ID was used
 // before (journal lines, logs, rings), and parent their spans on the
 // caller's span ID.
+// Tag, when Version >= 4, identifies the request within its connection
+// so replies to pipelined requests can be matched back to their calls;
+// the server echoes it verbatim on every reply frame of the request,
+// including streamed MR_MORE_DATA tuples. Tag 0 is what a synchronous
+// one-at-a-time caller uses; pipelined callers assign 1..65535.
 type Request struct {
 	Version uint16
 	Op      uint16
+	Tag     uint16
 	TraceID string
 	Args    [][]byte
 }
@@ -108,8 +128,11 @@ func (r *Request) StringArgs() []string {
 // Reply is one server-to-client message. A streamed tuple carries Code
 // MR_MORE_DATA and the tuple fields; the final frame carries the overall
 // result code and no fields.
+// Tag echoes the tag of the request this reply answers (v4; zero on
+// older versions, whose head keeps the two bytes as zero padding).
 type Reply struct {
 	Version uint16
+	Tag     uint16
 	Code    int32
 	Fields  [][]byte
 }
@@ -129,6 +152,15 @@ func (r *Reply) StringFields() []string {
 // Requests and replies share the counted-string tail; requests carry the
 // opcode where replies carry a zero pad plus the code field.
 
+// writeBufs recycles frame encode buffers across calls; oversized ones
+// (beyond maxPooledBuf) are dropped on return so one huge frame does not
+// pin its buffer in the pool forever.
+var writeBufs = sync.Pool{
+	New: func() any { b := make([]byte, 0, 4096); return &b },
+}
+
+const maxPooledBuf = 1 << 20
+
 func writeFrame(w io.Writer, head []byte, fields [][]byte) error {
 	total := len(head) + 4
 	for _, f := range fields {
@@ -137,7 +169,8 @@ func writeFrame(w io.Writer, head []byte, fields [][]byte) error {
 	if total > MaxFrame {
 		return mrerr.MrArgTooLong
 	}
-	buf := make([]byte, 0, 4+total)
+	bp := writeBufs.Get().(*[]byte)
+	buf := (*bp)[:0]
 	buf = binary.BigEndian.AppendUint32(buf, uint32(total))
 	buf = append(buf, head...)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(fields)))
@@ -146,74 +179,120 @@ func writeFrame(w io.Writer, head []byte, fields [][]byte) error {
 		buf = append(buf, f...)
 	}
 	_, err := w.Write(buf)
+	if cap(buf) <= maxPooledBuf {
+		*bp = buf
+		writeBufs.Put(bp)
+	}
 	return err
 }
 
-func readFrame(r io.Reader, headLen int) (head []byte, fields [][]byte, err error) {
+// readFrameInto parses one frame into buf (grown as needed), returning
+// head and fields that alias the buffer. The caller owns the lifetime
+// tradeoff: FrameReader reuses the buffer across reads (zero-copy, one
+// frame live at a time), while ReadRequest/ReadReply copy every field
+// out so a retained field never pins the rest of the frame.
+func readFrameInto(r io.Reader, headLen int, buf []byte) (head []byte, fields [][]byte, payload []byte, err error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return nil, nil, err
+		return nil, nil, buf, err
 	}
 	total := binary.BigEndian.Uint32(lenBuf[:])
 	if total > MaxFrame || int(total) < headLen+4 {
-		return nil, nil, fmt.Errorf("protocol: bad frame length %d", total)
+		return nil, nil, buf, fmt.Errorf("protocol: bad frame length %d", total)
 	}
-	payload := make([]byte, total)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, nil, err
+	if uint32(cap(buf)) < total {
+		buf = make([]byte, total)
 	}
-	head = payload[:headLen]
-	rest := payload[headLen:]
+	buf = buf[:total]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, nil, buf, err
+	}
+	head = buf[:headLen]
+	rest := buf[headLen:]
 	n := binary.BigEndian.Uint32(rest[:4])
 	if n > MaxFields {
-		return nil, nil, fmt.Errorf("protocol: too many fields (%d)", n)
+		return nil, nil, buf, fmt.Errorf("protocol: too many fields (%d)", n)
 	}
 	rest = rest[4:]
 	fields = make([][]byte, 0, n)
 	for i := uint32(0); i < n; i++ {
 		if len(rest) < 4 {
-			return nil, nil, fmt.Errorf("protocol: truncated field header")
+			return nil, nil, buf, fmt.Errorf("protocol: truncated field header")
 		}
 		fl := binary.BigEndian.Uint32(rest[:4])
 		rest = rest[4:]
 		if uint32(len(rest)) < fl {
-			return nil, nil, fmt.Errorf("protocol: truncated field body")
+			return nil, nil, buf, fmt.Errorf("protocol: truncated field body")
 		}
 		fields = append(fields, rest[:fl:fl])
 		rest = rest[fl:]
 	}
 	if len(rest) != 0 {
-		return nil, nil, fmt.Errorf("protocol: %d trailing bytes in frame", len(rest))
+		return nil, nil, buf, fmt.Errorf("protocol: %d trailing bytes in frame", len(rest))
 	}
-	return head, fields, nil
+	return head, fields, buf, nil
+}
+
+func readFrame(r io.Reader, headLen int) (head []byte, fields [][]byte, err error) {
+	head, fields, _, err = readFrameInto(r, headLen, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Copy every field into its own allocation: the parsed fields alias
+	// the whole frame payload, and handing those aliases out means a
+	// caller that keeps one small field (a journal line, a trace ring
+	// entry) silently pins up to MaxFrame bytes for as long as it lives.
+	hc := append([]byte(nil), head...)
+	for i, f := range fields {
+		fields[i] = append([]byte(nil), f...)
+	}
+	return hc, fields, nil
 }
 
 // WriteRequest sends one request frame. A version >= 2 request carries
-// its trace ID (possibly empty) as the first counted string.
+// its trace ID (possibly empty) as the first counted string; a version
+// >= 4 request carries its tag (2 bytes, big-endian) as one more
+// counted string in front of the trace ID.
 func WriteRequest(w io.Writer, req *Request) error {
 	var head [4]byte
 	binary.BigEndian.PutUint16(head[0:2], req.Version)
 	binary.BigEndian.PutUint16(head[2:4], req.Op)
 	args := req.Args
 	if req.Version >= 2 {
-		args = make([][]byte, 0, len(req.Args)+1)
+		args = make([][]byte, 0, len(req.Args)+2)
+		if req.Version >= 4 {
+			var tag [2]byte
+			binary.BigEndian.PutUint16(tag[:], req.Tag)
+			args = append(args, tag[:])
+		}
 		args = append(args, []byte(req.TraceID))
 		args = append(args, req.Args...)
 	}
 	return writeFrame(w, head[:], args)
 }
 
-// ReadRequest reads one request frame, splitting off the trace ID when
-// the peer spoke version 2 or later.
-func ReadRequest(r *bufio.Reader) (*Request, error) {
-	head, fields, err := readFrame(r, 4)
-	if err != nil {
-		return nil, err
-	}
+// parseRequest interprets a parsed frame as a request, splitting off the
+// tag (v4+) and trace ID (v2+) pseudo-arguments.
+func parseRequest(head []byte, fields [][]byte) (*Request, error) {
 	req := &Request{
 		Version: binary.BigEndian.Uint16(head[0:2]),
 		Op:      binary.BigEndian.Uint16(head[2:4]),
 		Args:    fields,
+	}
+	if req.Version >= 4 {
+		switch {
+		case len(fields) > 0 && len(fields[0]) == 2:
+			req.Tag = binary.BigEndian.Uint16(fields[0])
+			fields = fields[1:]
+			req.Args = fields
+		case req.Version <= Version:
+			return nil, fmt.Errorf("protocol: v%d request without a tag field", req.Version)
+		default:
+			// A version beyond ours with an unrecognized layout: leave the
+			// arguments raw so the caller can answer MR_VERSION_MISMATCH
+			// instead of dropping the connection.
+			return req, nil
+		}
 	}
 	if req.Version >= 2 && len(fields) > 0 {
 		req.TraceID = string(fields[0])
@@ -222,26 +301,53 @@ func ReadRequest(r *bufio.Reader) (*Request, error) {
 	return req, nil
 }
 
-// WriteReply sends one reply frame.
+// ReadRequest reads one request frame, splitting off the trace ID when
+// the peer spoke version 2 or later and the tag for version 4. Every
+// argument is its own allocation; retaining one does not retain the
+// frame. Hot loops that never keep arguments past the next read should
+// use FrameReader instead.
+func ReadRequest(r *bufio.Reader) (*Request, error) {
+	head, fields, err := readFrame(r, 4)
+	if err != nil {
+		return nil, err
+	}
+	return parseRequest(head, fields)
+}
+
+// WriteReply sends one reply frame. A version >= 4 reply carries the
+// request tag in the two head bytes that older versions keep as zero
+// padding — zero extra bytes on the wire, and pre-v4 peers never read
+// them.
 func WriteReply(w io.Writer, rep *Reply) error {
 	var head [8]byte
 	binary.BigEndian.PutUint16(head[0:2], rep.Version)
-	// head[2:4] is padding, kept zero.
+	if rep.Version >= 4 {
+		binary.BigEndian.PutUint16(head[2:4], rep.Tag)
+	}
 	binary.BigEndian.PutUint32(head[4:8], uint32(rep.Code))
 	return writeFrame(w, head[:], rep.Fields)
 }
 
-// ReadReply reads one reply frame.
+func parseReply(head []byte, fields [][]byte) *Reply {
+	rep := &Reply{
+		Version: binary.BigEndian.Uint16(head[0:2]),
+		Code:    int32(binary.BigEndian.Uint32(head[4:8])),
+		Fields:  fields,
+	}
+	if rep.Version >= 4 {
+		rep.Tag = binary.BigEndian.Uint16(head[2:4])
+	}
+	return rep
+}
+
+// ReadReply reads one reply frame. Every field is its own allocation;
+// retaining one does not retain the frame.
 func ReadReply(r *bufio.Reader) (*Reply, error) {
 	head, fields, err := readFrame(r, 8)
 	if err != nil {
 		return nil, err
 	}
-	return &Reply{
-		Version: binary.BigEndian.Uint16(head[0:2]),
-		Code:    int32(binary.BigEndian.Uint32(head[4:8])),
-		Fields:  fields,
-	}, nil
+	return parseReply(head, fields), nil
 }
 
 // BytesArgs converts string arguments for a Request.

@@ -60,14 +60,16 @@ func TestNewClientAgainstOldReader(t *testing.T) {
 	if err := WriteRequest(&buf, req); err != nil {
 		t.Fatal(err)
 	}
-	// A version-1 reader is today's reader minus the trace split: the
-	// raw frame must parse with the trace as fields[0].
+	// A version-1 reader is today's reader minus the pseudo-argument
+	// splits: the raw frame must parse with the v4 tag as fields[0] and
+	// the trace as fields[1].
 	head, fields, err := readFrame(bufio.NewReader(&buf), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	_ = head
-	if len(fields) != 3 || string(fields[0]) != "trace-99" || string(fields[1]) != "get_user_by_login" {
+	if len(fields) != 4 || len(fields[0]) != 2 ||
+		string(fields[1]) != "trace-99" || string(fields[2]) != "get_user_by_login" {
 		t.Errorf("raw fields = %q", fields)
 	}
 }

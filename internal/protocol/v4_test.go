@@ -1,0 +1,272 @@
+package protocol
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"io"
+	"runtime"
+	"testing"
+
+	"moira/internal/mrerr"
+)
+
+func TestTagRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	req := &Request{Version: Version, Op: OpQuery, Tag: 41799, TraceID: "t1-1",
+		Args: [][]byte{[]byte("get_machine"), []byte("X")}}
+	if err := WriteRequest(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRequest(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tag != 41799 || got.TraceID != "t1-1" {
+		t.Errorf("tag=%d trace=%q", got.Tag, got.TraceID)
+	}
+	if args := got.StringArgs(); len(args) != 2 || args[0] != "get_machine" {
+		t.Errorf("args = %v", args)
+	}
+
+	for _, rep := range []*Reply{
+		{Version: Version, Tag: 7, Code: int32(mrerr.MrMoreData), Fields: [][]byte{[]byte("f")}},
+		{Version: Version, Tag: 65535, Code: 0},
+	} {
+		buf.Reset()
+		if err := WriteReply(&buf, rep); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadReply(bufio.NewReader(&buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Tag != rep.Tag || got.Code != rep.Code {
+			t.Errorf("got tag=%d code=%d, want tag=%d code=%d", got.Tag, got.Code, rep.Tag, rep.Code)
+		}
+	}
+}
+
+// TestPreV4ReplyPadStaysZero pins the compat contract for the reply
+// head: pre-v4 replies must keep the two pad bytes zero even if a
+// confused caller sets Tag, so old readers see byte-identical frames.
+func TestPreV4ReplyPadStaysZero(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteReply(&buf, &Reply{Version: 2, Tag: 99, Code: 0}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// u32 len | u16 version | u16 pad | ...
+	if pad := binary.BigEndian.Uint16(raw[6:8]); pad != 0 {
+		t.Errorf("v2 reply pad = %d, want 0", pad)
+	}
+	got, err := ReadReply(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tag != 0 {
+		t.Errorf("v2 reply read back tag %d", got.Tag)
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	items := []BatchItem{
+		{Name: "add_user", Args: []string{"babette", "501", "staff"}},
+		{Name: "add_machine", Args: []string{"vax1.mit.edu", "VAX"}},
+		{Name: "noargs"},
+	}
+	args := EncodeBatch(items)
+	back, err := DecodeBatch(BytesArgs(args))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(items) {
+		t.Fatalf("got %d items", len(back))
+	}
+	for i := range items {
+		if back[i].Name != items[i].Name || len(back[i].Args) != len(items[i].Args) {
+			t.Errorf("item %d = %+v, want %+v", i, back[i], items[i])
+		}
+		for j := range items[i].Args {
+			if back[i].Args[j] != items[i].Args[j] {
+				t.Errorf("item %d arg %d = %q", i, j, back[i].Args[j])
+			}
+		}
+	}
+
+	codes := []int32{0, int32(mrerr.MrExists), int32(mrerr.MrPerm)}
+	codesBack, err := DecodeBatchCodes(EncodeBatchCodes(codes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range codes {
+		if codesBack[i] != c {
+			t.Errorf("code %d = %d, want %d", i, codesBack[i], c)
+		}
+	}
+}
+
+func TestDecodeBatchMalformed(t *testing.T) {
+	cases := [][]string{
+		{},                               // empty
+		{"x"},                            // bad count
+		{"-1"},                           // negative count
+		{"2", "add_user", "0"},           // truncated item list
+		{"1", "add_user", "3", "a"},      // argc beyond args
+		{"1", "add_user", "x", "a"},      // bad argc
+		{"1", "add_user", "1", "a", "b"}, // trailing args
+	}
+	for i, c := range cases {
+		if _, err := DecodeBatch(BytesArgs(c)); err == nil {
+			t.Errorf("case %d (%q): no error", i, c)
+		}
+	}
+	if _, err := DecodeBatchCodes([][]byte{[]byte("zero")}); err == nil {
+		t.Error("bad code accepted")
+	}
+}
+
+// TestFieldCopyNoFramePinning is the satellite-3 regression: keeping
+// one small field from a large frame must not pin the frame. Before the
+// fix, fields aliased the full payload allocation, so eight retained
+// 16-byte fields below would hold eight 8 MB payloads (~64 MB) live.
+func TestFieldCopyNoFramePinning(t *testing.T) {
+	const frames, big = 8, 8 << 20
+	mkFrame := func() []byte {
+		var buf bytes.Buffer
+		err := WriteReply(&buf, &Reply{Version: Version, Code: int32(mrerr.MrMoreData),
+			Fields: [][]byte{bytes.Repeat([]byte("k"), 16), make([]byte, big)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	var keep [][]byte
+	heap := func() uint64 {
+		runtime.GC()
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.HeapAlloc
+	}
+	before := heap()
+	for i := 0; i < frames; i++ {
+		rep, err := ReadReply(bufio.NewReader(bytes.NewReader(mkFrame())))
+		if err != nil {
+			t.Fatal(err)
+		}
+		keep = append(keep, rep.Fields[0]) // tiny field only
+	}
+	delta := int64(heap()) - int64(before)
+	if delta > 2*big {
+		t.Errorf("retaining %d tiny fields holds %d bytes live; fields are pinning their frames", frames, delta)
+	}
+	runtime.KeepAlive(keep)
+}
+
+// TestFrameReaderZeroCopy exercises the server-side fast path: argument
+// bytes alias the reused buffer and stay valid until the next read, and
+// an oversized frame does not leave its buffer cached on the reader.
+func TestFrameReaderZeroCopy(t *testing.T) {
+	var buf bytes.Buffer
+	for _, q := range []string{"first", "second"} {
+		err := WriteRequest(&buf, &Request{Version: Version, Op: OpQuery, Tag: 3,
+			TraceID: "t-fr", Args: [][]byte{[]byte(q)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := NewFrameReader(bufio.NewReader(&buf))
+	r1, err := fr.ReadRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Tag != 3 || string(r1.Args[0]) != "first" {
+		t.Fatalf("r1 = %+v", r1)
+	}
+	r2, err := fr.ReadRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(r2.Args[0]) != "second" {
+		t.Fatalf("r2 args = %q", r2.Args)
+	}
+	if _, err := fr.ReadRequest(); err != io.EOF {
+		t.Fatalf("EOF read: %v", err)
+	}
+
+	// A big frame must not stay cached.
+	buf.Reset()
+	err = WriteRequest(&buf, &Request{Version: Version, Op: OpQuery,
+		Args: [][]byte{make([]byte, 1<<20)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr = NewFrameReader(bufio.NewReader(&buf))
+	if _, err := fr.ReadRequest(); err != nil {
+		t.Fatal(err)
+	}
+	if fr.buf != nil {
+		t.Errorf("frame reader kept a %d-byte buffer past maxKeepBuf", cap(fr.buf))
+	}
+}
+
+// FuzzFrameRoundTrip checks write/read canonicality for requests and
+// replies across all supported versions, and that corrupted frames are
+// rejected instead of desynchronizing or crashing the parser.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(uint16(1), uint16(3), uint16(0), "", []byte("get_machine"), []byte("X"), int32(0), uint8(0))
+	f.Add(uint16(4), uint16(8), uint16(17), "t1-9/s3", []byte("add_user"), []byte(""), int32(-151), uint8(3))
+	f.Add(uint16(2), uint16(2), uint16(9), "t", []byte{0, 1, 2}, []byte("x"), int32(10), uint8(200))
+	f.Fuzz(func(t *testing.T, version, op, tag uint16, trace string, a1, a2 []byte, code int32, chop uint8) {
+		version = version%Version + 1 // 1..Version
+		if version < 2 {
+			trace = ""
+		}
+		if version < 4 {
+			tag = 0
+		}
+		req := &Request{Version: version, Op: op, Tag: tag, TraceID: trace,
+			Args: [][]byte{a1, a2}}
+		var buf bytes.Buffer
+		if err := WriteRequest(&buf, req); err != nil {
+			t.Skip() // oversized input
+		}
+		raw := append([]byte(nil), buf.Bytes()...)
+		got, err := ReadRequest(bufio.NewReader(&buf))
+		if err != nil {
+			t.Fatalf("request round trip: %v", err)
+		}
+		if got.Version != version || got.Op != op || got.Tag != tag || got.TraceID != trace ||
+			len(got.Args) != 2 || !bytes.Equal(got.Args[0], a1) || !bytes.Equal(got.Args[1], a2) {
+			t.Fatalf("request mismatch: wrote %+v, read %+v", req, got)
+		}
+
+		// A truncated stream must error, never hang or mis-parse.
+		if n := int(chop); n > 0 && n < len(raw) {
+			if _, err := ReadRequest(bufio.NewReader(bytes.NewReader(raw[:len(raw)-n]))); err == nil {
+				t.Fatal("truncated frame accepted")
+			}
+		}
+		// An oversized length prefix must be rejected up front.
+		huge := append([]byte(nil), raw...)
+		binary.BigEndian.PutUint32(huge[:4], MaxFrame+1)
+		if _, err := ReadRequest(bufio.NewReader(bytes.NewReader(huge))); err == nil {
+			t.Fatal("oversized frame accepted")
+		}
+
+		rep := &Reply{Version: version, Tag: tag, Code: code, Fields: [][]byte{a2, a1}}
+		buf.Reset()
+		if err := WriteReply(&buf, rep); err != nil {
+			t.Skip()
+		}
+		gotRep, err := ReadReply(bufio.NewReader(&buf))
+		if err != nil {
+			t.Fatalf("reply round trip: %v", err)
+		}
+		if gotRep.Version != version || gotRep.Tag != tag || gotRep.Code != code ||
+			len(gotRep.Fields) != 2 || !bytes.Equal(gotRep.Fields[0], a2) || !bytes.Equal(gotRep.Fields[1], a1) {
+			t.Fatalf("reply mismatch: wrote %+v, read %+v", rep, gotRep)
+		}
+	})
+}

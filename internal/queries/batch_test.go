@@ -1,0 +1,107 @@
+package queries
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+
+	"moira/internal/db"
+	"moira/internal/mrerr"
+	"moira/internal/protocol"
+)
+
+func TestExecuteBatchPerItemCodes(t *testing.T) {
+	f := newFixture(t)
+	var journal bytes.Buffer
+	f.d.SetJournal(&journal)
+
+	codes, err := ExecuteBatch(f.priv, []protocol.BatchItem{
+		{Name: "add_machine", Args: []string{"batch1.mit.edu", "VAX"}},
+		{Name: "add_machine", Args: []string{"batch1.mit.edu", "VAX"}}, // duplicate
+		{Name: "no_such_query", Args: nil},
+		{Name: "get_machine", Args: []string{"*"}}, // retrieves are not batchable
+		{Name: "add_machine", Args: []string{"just-one-arg"}},
+		{Name: "add_machine", Args: []string{"batch2.mit.edu", "RT"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []mrerr.Code{
+		mrerr.Success, mrerr.MrNotUnique, mrerr.MrNoHandle,
+		mrerr.MrNoHandle, mrerr.MrArgs, mrerr.Success,
+	}
+	for i, w := range want {
+		if codes[i] != w {
+			t.Errorf("item %d: code %v, want %v", i, codes[i], w)
+		}
+	}
+
+	// The successful items took effect and journaled replayable lines;
+	// the failed ones left nothing behind.
+	if out := f.mustRun(t, f.priv, "get_machine", "BATCH2.MIT.EDU"); len(out) != 1 {
+		t.Errorf("batch2 lookup = %v", out)
+	}
+	var logged []string
+	sc := bufio.NewScanner(&journal)
+	for sc.Scan() {
+		rec, err := db.ParseJournalLine(sc.Text())
+		if err != nil {
+			t.Fatalf("journal line %q: %v", sc.Text(), err)
+		}
+		logged = append(logged, rec.Query+" "+strings.Join(rec.Args, " "))
+	}
+	if len(logged) != 2 || !strings.Contains(logged[0], "batch1") || !strings.Contains(logged[1], "batch2") {
+		t.Errorf("journaled = %q, want the two successful add_machines", logged)
+	}
+}
+
+func TestExecuteBatchAccessDenied(t *testing.T) {
+	f := newFixture(t)
+	f.mustRun(t, f.priv, "add_user", "plebe", "900", "/bin/sh", "Person", "Plebe", "Q", "1", "900000000", "G")
+	cx := f.userCtx("plebe")
+	codes, err := ExecuteBatch(cx, []protocol.BatchItem{
+		{Name: "add_machine", Args: []string{"denied.mit.edu", "VAX"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if codes[0] != mrerr.MrPerm {
+		t.Errorf("unprivileged batch mutation: %v, want MR_PERM", codes[0])
+	}
+	if _, err := f.run(f.priv, "get_machine", "DENIED.MIT.EDU"); err != mrerr.MrNoMatch {
+		t.Errorf("denied item applied anyway: %v", err)
+	}
+}
+
+func TestExecuteBatchWedgedJournal(t *testing.T) {
+	f := newFixture(t)
+	f.d.SetJournal(failWriter{})
+	codes, err := ExecuteBatch(f.priv, []protocol.BatchItem{
+		{Name: "add_machine", Args: []string{"w1.mit.edu", "VAX"}},
+		{Name: "add_machine", Args: []string{"w2.mit.edu", "VAX"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first item's append fails and wedges the store; the second
+	// must fail fast with MR_DOWN, its handler never run.
+	if codes[0] != mrerr.MrInternal || codes[1] != mrerr.MrDown {
+		t.Errorf("codes = %v, want [internal, down]", codes)
+	}
+	if _, err := ExecuteBatch(f.priv, []protocol.BatchItem{
+		{Name: "add_machine", Args: []string{"w3.mit.edu", "VAX"}},
+	}); err != mrerr.MrDown {
+		t.Errorf("wedged batch gate: %v, want MR_DOWN", err)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errBoom }
+
+var errBoom = errFixed("boom")
+
+type errFixed string
+
+func (e errFixed) Error() string { return string(e) }

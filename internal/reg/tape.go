@@ -7,6 +7,7 @@ import (
 
 	"moira/internal/kerberos"
 	"moira/internal/mrerr"
+	"moira/internal/protocol"
 	"moira/internal/queries"
 )
 
@@ -42,32 +43,64 @@ func ParseTape(r io.Reader) ([]TapeEntry, error) {
 	return out, sc.Err()
 }
 
+// tapeBatchSize bounds how many add_user mutations LoadTape submits per
+// batch: one lock acquisition and one journal group-commit each, while
+// keeping any single batch comfortably under the server's MaxBatch.
+const tapeBatchSize = 256
+
 // LoadTape adds each student who does not already have an account to the
 // users relation with a unique userid, no login name, and the encrypted
 // form of the ID number — exactly the pre-registration state of section
 // 5.10. It returns how many entries were added and how many skipped as
 // already present.
+//
+// The adds go through ExecuteBatch in chunks of tapeBatchSize, so a
+// whole term's tape costs one journal fsync per chunk instead of one
+// per student.
 func LoadTape(cx *queries.Context, entries []TapeEntry) (added, skipped int, err error) {
-	for _, e := range entries {
-		hash := kerberos.HashMITID(e.ID, e.First, e.Last)
-		exists := false
-		err := queries.Execute(cx, "get_user_by_mitid", []string{hash},
-			func([]string) error { exists = true; return nil })
-		if err != nil && err != mrerr.MrNoMatch {
-			return added, skipped, err
+	seen := make(map[string]bool)
+	for start := 0; start < len(entries); start += tapeBatchSize {
+		end := start + tapeBatchSize
+		if end > len(entries) {
+			end = len(entries)
 		}
-		if exists {
-			skipped++
+		var items []protocol.BatchItem
+		for _, e := range entries[start:end] {
+			hash := kerberos.HashMITID(e.ID, e.First, e.Last)
+			exists := seen[hash]
+			if !exists {
+				err := queries.Execute(cx, "get_user_by_mitid", []string{hash},
+					func([]string) error { exists = true; return nil })
+				if err != nil && err != mrerr.MrNoMatch {
+					return added, skipped, err
+				}
+			}
+			if exists {
+				skipped++
+				continue
+			}
+			// Within a chunk the lookups all run before the adds, so a
+			// duplicate on the tape itself is deduplicated here rather
+			// than by the (not yet executed) earlier add.
+			seen[hash] = true
+			items = append(items, protocol.BatchItem{Name: "add_user", Args: []string{
+				queries.UniqueLogin, queries.UniqueUID, "/bin/csh",
+				e.Last, e.First, e.Middle, "0", hash, e.Class,
+			}})
+		}
+		if len(items) == 0 {
 			continue
 		}
-		err = queries.Execute(cx, "add_user", []string{
-			queries.UniqueLogin, queries.UniqueUID, "/bin/csh",
-			e.Last, e.First, e.Middle, "0", hash, e.Class,
-		}, func([]string) error { return nil })
+		codes, err := queries.ExecuteBatch(cx, items)
 		if err != nil {
 			return added, skipped, err
 		}
-		added++
+		for _, code := range codes {
+			if code != mrerr.Success {
+				return added, skipped, code
+			}
+			added++
+		}
 	}
 	return added, skipped, nil
 }

@@ -1,12 +1,16 @@
 package server
 
 import (
+	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"moira/internal/client"
 	"moira/internal/clock"
+	"moira/internal/kerberos"
 	"moira/internal/queries"
 	"moira/internal/stats"
 	"moira/internal/trace"
@@ -141,5 +145,147 @@ func TestTraceOverheadUnderFivePercent(t *testing.T) {
 	}
 	if best > 0.05 {
 		t.Errorf("tracing overhead %.2f%% exceeds the 5%% budget in every pairing", best*100)
+	}
+}
+
+// benchPipeline stands up an untraced server and returns a connected v4
+// pipeline. With authed, the server gets a KDC-backed verifier and the
+// pipeline authenticates as an admin, so batched mutations pass the
+// access check and are really applied.
+func benchPipeline(b *testing.B, authed bool) *client.Pipeline {
+	b.Helper()
+	clk := clock.NewFake(time.Unix(600000000, 0))
+	d := queries.NewBootstrappedDB(clk)
+	priv := &queries.Context{DB: d, Privileged: true, App: "bench"}
+	if err := queries.Execute(priv, "add_machine",
+		[]string{"bench.mit.edu", "VAX"}, func([]string) error { return nil }); err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{DB: d, Stats: stats.NewRegistry(), Clock: clk}
+	var creds *kerberos.Credentials
+	if authed {
+		kdc := kerberos.NewKDC("ATHENA.MIT.EDU", clk)
+		for _, setup := range []func() error{
+			func() error { return kdc.AddPrincipal(serverPrincipal, "server-password") },
+			func() error { return kdc.AddPrincipal("admin", "adminpw") },
+			func() error {
+				return queries.Execute(priv, "add_user",
+					[]string{"admin", "-1", "/bin/csh", "Last", "First", "", "1", "x", "STAFF"},
+					func([]string) error { return nil })
+			},
+			func() error {
+				return queries.Execute(priv, "add_member_to_list",
+					[]string{queries.AdminList, "USER", "admin"}, func([]string) error { return nil })
+			},
+		} {
+			if err := setup(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		key, err := kdc.Srvtab(serverPrincipal)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.Verifier = kerberos.NewVerifier(serverPrincipal, key, clk)
+		if creds, err = kdc.GetTicket("admin", "adminpw", serverPrincipal); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv := New(cfg)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	p, err := client.DialPipeline(addr.String(), 5*time.Second, clk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { p.Close() })
+	if authed {
+		if err := p.Auth(creds, "bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return p
+}
+
+// BenchmarkServerQueryPipelined is BenchmarkServerQuery's workload —
+// the same get_machine over loopback — but over a v4 pipeline with N
+// calls kept in flight. The inflight=1 row isolates the per-call
+// pipeline overhead; inflight=16 is the protocol-v4 headline number to
+// compare against BenchmarkServerQuery/tracing=off.
+func BenchmarkServerQueryPipelined(b *testing.B) {
+	for _, inflight := range []int{1, 16} {
+		b.Run(fmt.Sprintf("inflight=%d", inflight), func(b *testing.B) {
+			p := benchPipeline(b, false)
+			// Warm the path.
+			if err := p.Query("get_machine", []string{"BENCH.MIT.EDU"}, func([]string) error { return nil }); err != nil {
+				b.Fatal(err)
+			}
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for w := 0; w < inflight; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for next.Add(1) <= int64(b.N) {
+						if err := p.Query("get_machine", []string{"BENCH.MIT.EDU"},
+							func([]string) error { return nil }); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkServerBatch measures batched mutations end to end: b.N
+// add_machine items in frames of 64, one lock acquisition and one
+// journal group per frame. Per-op cost is per item, directly comparable
+// to one mutation per round trip.
+func BenchmarkServerBatch(b *testing.B) {
+	const per = 64
+	p := benchPipeline(b, true)
+	b.ResetTimer()
+	seq := 0
+	for done := 0; done < b.N; done += per {
+		n := per
+		if rest := b.N - done; rest < n {
+			n = rest
+		}
+		items := make([]client.BatchItem, n)
+		for j := range items {
+			seq++
+			items[j] = client.BatchItem{Name: "add_machine",
+				Args: []string{fmt.Sprintf("bulk-%d.mit.edu", seq), "VAX"}}
+		}
+		codes, err := p.Batch(items)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, code := range codes {
+			if code != 0 {
+				b.Fatalf("batch item refused with code %d", int32(code))
+			}
+		}
+	}
+}
+
+// BenchmarkServerMutation is the single-in-flight baseline for
+// BenchmarkServerBatch: the same authenticated add_machine mutations,
+// one per round trip, one journal sync each.
+func BenchmarkServerMutation(b *testing.B) {
+	p := benchPipeline(b, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Query("add_machine",
+			[]string{fmt.Sprintf("one-%d.mit.edu", i), "VAX"}, nil); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

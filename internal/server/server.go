@@ -106,7 +106,17 @@ type Config struct {
 	// readiness probe). The server contributes its own shed/drain
 	// probe via HealthProbe.
 	Health *health.Checker
+
+	// MaxBatch caps the items accepted in one v4 Batch request; larger
+	// batches are refused with MR_ARG_TOO_LONG. Zero means
+	// DefaultMaxBatch.
+	MaxBatch int
 }
+
+// DefaultMaxBatch is the Batch item cap when Config.MaxBatch is zero.
+// The frame field limit (protocol.MaxFields) bounds what fits anyway;
+// this keeps one batch's exclusive-lock hold time reasonable.
+const DefaultMaxBatch = 1024
 
 // DefaultDrainTimeout is how long Close waits for in-flight requests
 // when Config.DrainTimeout is zero.
@@ -441,8 +451,13 @@ func (s *Server) serveConn(conn net.Conn, st *connState) {
 	ses := s.addSession(conn)
 	defer s.dropSession(ses)
 
-	br := bufio.NewReader(conn)
-	bw := bufio.NewWriter(conn)
+	br := bufio.NewReaderSize(conn, 32<<10)
+	bw := bufio.NewWriterSize(conn, 32<<10)
+	// The dispatch path converts every argument it keeps to strings
+	// before the next read, so requests come through the zero-copy
+	// frame reader: one reused payload buffer per connection instead of
+	// one allocation per frame.
+	fr := protocol.NewFrameReader(br)
 
 	cx := &queries.Context{
 		DB:         s.cfg.DB,
@@ -459,27 +474,44 @@ func (s *Server) serveConn(conn net.Conn, st *connState) {
 	cx.EnableAccessCache()
 
 	// Replies mirror the version the client spoke (within the supported
-	// range), so a version-1 client keeps getting version-1 replies.
+	// range), so a version-1 client keeps getting version-1 replies —
+	// and echo its tag, so a pipelining client can match them up.
+	// Frames buffer in bw and flush when the connection goes quiet (no
+	// next request already buffered): a pipelined burst costs one
+	// syscall on the way out instead of one per frame.
 	repVersion := protocol.Version
+	repTag := uint16(0)
 	reply := func(code mrerr.Code, fields []string) error {
-		rep := &protocol.Reply{Version: repVersion, Code: int32(code)}
+		rep := &protocol.Reply{Version: repVersion, Tag: repTag, Code: int32(code)}
 		if fields != nil {
 			rep.Fields = protocol.BytesArgs(fields)
 		}
 		if d := s.cfg.WriteTimeout; d > 0 {
 			conn.SetWriteDeadline(time.Now().Add(d))
 		}
-		if err := protocol.WriteReply(bw, rep); err != nil {
-			return err
-		}
-		return bw.Flush()
+		return protocol.WriteReply(bw, rep)
 	}
 
 	for {
 		if s.draining() {
+			if d := s.cfg.WriteTimeout; d > 0 {
+				conn.SetWriteDeadline(time.Now().Add(d))
+			}
+			bw.Flush()
 			return
 		}
 		st.set(false)
+		// Before parking for the next request, push out everything the
+		// previous ones buffered — unless more input is already waiting,
+		// in which case the flush rides with a later reply.
+		if br.Buffered() == 0 && bw.Buffered() > 0 {
+			if d := s.cfg.WriteTimeout; d > 0 {
+				conn.SetWriteDeadline(time.Now().Add(d))
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
 		if d := s.cfg.IdleTimeout; d > 0 {
 			conn.SetReadDeadline(time.Now().Add(d))
 		}
@@ -494,7 +526,7 @@ func (s *Server) serveConn(conn net.Conn, st *connState) {
 			return // EOF, timeout, or protocol garbage: drop the connection
 		}
 		readStart := time.Now()
-		req, err := protocol.ReadRequest(br)
+		req, err := fr.ReadRequest()
 		if err != nil {
 			return
 		}
@@ -502,6 +534,7 @@ func (s *Server) serveConn(conn net.Conn, st *connState) {
 		st.set(true)
 		start := s.clk.Now()
 		repVersion = req.Version
+		repTag = req.Tag
 		if req.Version < protocol.MinVersion || req.Version > protocol.Version {
 			repVersion = protocol.Version
 			code := mrerr.MrVersionMismatch
@@ -545,6 +578,7 @@ func (s *Server) serveConn(conn net.Conn, st *connState) {
 		sp.EndCodeAt(int32(code), writeStart.Add(writeDur))
 		s.observe(req, ses, cx.Principal, handle, code, s.clk.Now().Sub(start))
 		if shutdown {
+			bw.Flush() // the acknowledgement must beat the Close
 			s.cfg.Logf("shutdown requested by %s", cx.Principal)
 			go s.Close()
 			return
@@ -624,6 +658,39 @@ func (s *Server) dispatch(cx *queries.Context, ses *session, req *protocol.Reque
 			err = queries.CheckAccessRouted(cx, s.cfg.Router, args[0], args[1:])
 		} else {
 			err = queries.CheckAccess(cx, args[0], args[1:])
+		}
+		code = mrerr.CodeOf(err)
+
+	case protocol.OpBatch:
+		if s.readonly.Load() {
+			s.reg.Counter("server.readonly.refused").Inc()
+			code = mrerr.MrReadonly
+			break
+		}
+		items, derr := protocol.DecodeBatch(req.Args)
+		if derr != nil {
+			code = mrerr.MrArgs
+			break
+		}
+		max := s.cfg.MaxBatch
+		if max <= 0 {
+			max = DefaultMaxBatch
+		}
+		if len(items) > max {
+			code = mrerr.MrArgTooLong
+			break
+		}
+		codes, err := queries.ExecuteBatch(cx, items)
+		if err == nil {
+			// Per-item codes ride as the fields of one streamed frame, in
+			// submission order, ahead of the overall-result frame.
+			fields := make([]string, len(codes))
+			for i, c := range codes {
+				fields[i] = strconv.FormatInt(int64(c), 10)
+			}
+			if reply(mrerr.MrMoreData, fields) != nil {
+				return mrerr.MrAborted, handle, false, true
+			}
 		}
 		code = mrerr.CodeOf(err)
 
