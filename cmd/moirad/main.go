@@ -22,6 +22,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,10 +55,16 @@ func main() {
 
 		replListen = flag.String("repl-listen", "", "with -data-dir: serve the journal-shipping replication stream on this address")
 		replFrom   = flag.String("replicate-from", "", "with -data-dir: run as a read-only replica tailing the primary's -repl-listen address")
-		promote    = flag.Bool("promote", false, "with -replicate-from: promote to primary immediately at boot instead of tailing (SIGUSR1 promotes at runtime)")
-		dcmEvery   = flag.Duration("dcm-interval", 15*time.Minute, "wall-clock DCM pass interval in --demo mode")
-		verbose    = flag.Bool("v", false, "log requests")
-		debug      = flag.String("debug-addr", "", "serve /metrics, /healthz, /readyz, expvar, and pprof on this HTTP address")
+		promote    = flag.Bool("promote", false, "with -replicate-from or -election: promote to primary immediately at boot (SIGUSR1 promotes at runtime)")
+
+		election        = flag.String("election", "", "with -data-dir and -repl-listen: run as a failover cluster node; comma-separated peer replication addresses")
+		leaseInterval   = flag.Duration("lease-interval", 2*time.Second, "cluster mode: primary lease heartbeat period")
+		leaseTimeout    = flag.Duration("lease-timeout", 0, "cluster mode: lease expiry (0 = 3x -lease-interval)")
+		advertiseRepl   = flag.String("advertise-repl", "", "cluster mode: replication address peers dial this node at (default -repl-listen)")
+		advertiseClient = flag.String("advertise-client", "", "cluster mode: client address handed out in primary redirects (default -addr)")
+		dcmEvery        = flag.Duration("dcm-interval", 15*time.Minute, "wall-clock DCM pass interval in --demo mode")
+		verbose         = flag.Bool("v", false, "log requests")
+		debug           = flag.String("debug-addr", "", "serve /metrics, /healthz, /readyz, expvar, and pprof on this HTTP address")
 
 		traceSlow   = flag.Duration("trace-slow", trace.DefaultSlow, "always keep traces at least this slow and count them in trace.slowops (negative = keep all)")
 		traceSample = flag.Int("trace-sample", trace.DefaultSampleN, "keep 1 in N ordinary traces (1 = keep everything)")
@@ -88,12 +95,69 @@ func main() {
 	var d *db.DB
 	var err error
 	var rep *replica.Replica
+	var cl *replica.Cluster
 	var du *core.Durability
 	var policy db.SyncPolicy
 	reg := stats.NewRegistry()
 	trc := trace.New(trace.Options{Process: "moirad", Slow: *traceSlow, SampleN: *traceSample, Stats: reg})
 	hc := health.NewChecker()
+	// The cluster's role callback flips the server's write gate; the
+	// server does not exist yet when the cluster opens, so it arrives
+	// through this indirection (set before cl.Start).
+	var onRole func(role string, readonly bool)
 	switch {
+	case *election != "":
+		if *dataDir == "" || *replListen == "" {
+			log.Fatalf("moirad: -election needs -data-dir and -repl-listen")
+		}
+		if *replFrom != "" || *restore != "" || *journal != "" {
+			log.Fatalf("moirad: -election cannot be combined with -replicate-from, -restore, or -journal")
+		}
+		if policy, err = db.ParseSyncPolicy(*journalSync); err != nil {
+			log.Fatalf("moirad: %v", err)
+		}
+		var peers []string
+		for _, p := range strings.Split(*election, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		advClient := *advertiseClient
+		if advClient == "" {
+			advClient = *addr
+		}
+		var info *queries.RecoverInfo
+		cl, info, err = replica.OpenCluster(replica.ClusterConfig{
+			Root:               *dataDir,
+			ListenRepl:         *replListen,
+			AdvertiseRepl:      *advertiseRepl,
+			AdvertiseClient:    advClient,
+			Peers:              peers,
+			LeaseInterval:      *leaseInterval,
+			LeaseTimeout:       *leaseTimeout,
+			Journal:            db.JournalOptions{Policy: policy, Interval: *syncInterval},
+			CheckpointInterval: *ckptInterval,
+			CheckpointKeep:     *ckptKeep,
+			Logf:               log.Printf,
+			Stats:              reg,
+			Tracer:             trc,
+			OnRole: func(role string, readonly bool) {
+				if onRole != nil {
+					onRole(role, readonly)
+				}
+			},
+		})
+		if err != nil {
+			log.Fatalf("moirad: cluster recovery: %v", err)
+		}
+		if n := len(info.Fsck); n > 0 {
+			for _, inc := range info.Fsck {
+				log.Printf("moirad: fsck: %s", inc)
+			}
+			log.Fatalf("moirad: recovered database has %d integrity violations; refusing to serve it (run mrfsck)", n)
+		}
+		defer cl.Close()
+		d = cl.DB()
 	case *replFrom != "":
 		if *dataDir == "" {
 			log.Fatalf("moirad: -replicate-from needs -data-dir for the mirrored journal and snapshots")
@@ -187,7 +251,7 @@ func main() {
 		log.Fatalf("moirad: -repl-listen needs -data-dir (the replication stream ships the durable journal)")
 	}
 
-	srv := server.New(server.Config{
+	scfg := server.Config{
 		DB:           d,
 		Stats:        reg,
 		Logf:         logf,
@@ -198,8 +262,12 @@ func main() {
 		MaxConns:     lifecycle.maxConns,
 		MaxBatch:     lifecycle.maxBatch,
 		DrainTimeout: lifecycle.drain,
-		ReadOnly:     rep != nil,
-	})
+		ReadOnly:     rep != nil || cl != nil,
+	}
+	if cl != nil {
+		scfg.Failover = cl
+	}
+	srv := server.New(scfg)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatalf("moirad: listen: %v", err)
@@ -226,6 +294,9 @@ func main() {
 			return true, detail
 		})
 	}
+	if cl != nil {
+		cl.BindHealth(hc)
+	}
 	if du != nil {
 		interval := *ckptInterval
 		hc.AddFunc("checkpoint", func() (bool, string) {
@@ -242,7 +313,25 @@ func main() {
 	serveDebug(*debug, srv.Registry(), hc)
 
 	var promoteFn func()
-	if rep != nil {
+	if cl != nil {
+		onRole = func(role string, readonly bool) {
+			srv.SetReadOnly(readonly)
+			log.Printf("moirad: cluster role: %s (readonly=%v)", role, readonly)
+		}
+		promoteFn = func() {
+			if err := cl.ForcePromote("operator"); err != nil {
+				log.Printf("moirad: promote: %v", err)
+			}
+		}
+		cl.Start()
+		if *promote {
+			promoteFn()
+			if srv.ReadOnly() {
+				log.Fatalf("moirad: -promote failed; refusing to serve")
+			}
+		}
+		log.Printf("moirad: failover cluster node on %s (epoch %d; SIGUSR1 forces promotion)", cl.Addr(), cl.Epoch())
+	} else if rep != nil {
 		jopts := db.JournalOptions{Policy: policy, Interval: *syncInterval}
 		promoteFn = func() {
 			jw, err := rep.Promote(jopts)
@@ -263,7 +352,7 @@ func main() {
 			log.Printf("moirad: replicating from %s (read-only; SIGUSR1 promotes)", *replFrom)
 		}
 	} else if *promote {
-		log.Fatalf("moirad: -promote only applies with -replicate-from")
+		log.Fatalf("moirad: -promote only applies with -replicate-from or -election")
 	}
 
 	log.Printf("moirad: serving %d query handles on %s (unauthenticated mode)", queries.Count(), bound)

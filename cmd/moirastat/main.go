@@ -63,7 +63,14 @@ func main() {
 		if err != nil {
 			log.Fatalf("moirastat: _stats: %v", err)
 		}
-		printRepl(rows)
+		// A failover cluster node answers _whois (even read-only or
+		// fenced); anything older falls back to the plain stats view.
+		if who, err := c.QueryAll("_whois"); err == nil && len(who) == 1 &&
+			len(who[0]) >= 8 && who[0][0] != "standalone" {
+			printCluster(who[0], rows)
+		} else {
+			printRepl(rows)
+		}
 	case *interval > 0:
 		watch(c, *interval, *count)
 	default:
@@ -132,6 +139,46 @@ func printGrouped(rows []row) {
 // printRepl renders the replication view from the repl.* series: the
 // server's role, the last applied journal position, and how far behind
 // the primary's advertised head it is.
+// printCluster renders the failover-cluster view from a _whois tuple
+// ([role, epoch, primary, primary_repl, segment, record,
+// lease_remaining_ms, last_election_cause]) plus the election and
+// lease series from _stats.
+func printCluster(w []string, rows []row) {
+	m := make(map[string]int64)
+	for _, r := range rows {
+		if strings.HasPrefix(r.name, "repl.") || strings.HasPrefix(r.name, "election.") ||
+			strings.HasPrefix(r.name, "lease.") {
+			if v, err := strconv.ParseInt(r.value, 10, 64); err == nil {
+				m[r.name] = v
+			}
+		}
+	}
+	fmt.Printf("role: %s (epoch %s)\n", w[0], w[1])
+	if w[2] != "" {
+		fmt.Printf("primary: %s (replication %s)\n", w[2], w[3])
+	} else {
+		fmt.Printf("primary: unknown\n")
+	}
+	fmt.Printf("position: segment %s record %s\n", w[4], w[5])
+	held := "expired"
+	if m["lease.held"] == 1 || w[0] == "replica" {
+		held = "held"
+	}
+	fmt.Printf("lease: %s, %s ms remaining (%d renewals, %d expiries)\n",
+		held, w[6], m["lease.renewals"], m["lease.expiries"])
+	fmt.Printf("elections: %d run, %d won, %d aborted; %d role changes in 5m",
+		m["election.count"], m["election.won"], m["election.aborted"], m["election.flaps"])
+	if w[7] != "" {
+		fmt.Printf("; last cause: %s", w[7])
+	}
+	fmt.Println()
+	if w[0] == "primary" {
+		fmt.Printf("commits: %d gated on replication, %d gate failures\n",
+			m["repl.commit.gated"], m["repl.commit.gatefail"])
+		fmt.Printf("leases: %d sent, %d acked\n", m["lease.sent"], m["lease.acks"])
+	}
+}
+
 func printRepl(rows []row) {
 	m := make(map[string]int64)
 	for _, r := range rows {

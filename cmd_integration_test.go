@@ -12,6 +12,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -490,6 +491,201 @@ func TestBinaryReplication(t *testing.T) {
 	if !strings.Contains(string(out), "role: replica") {
 		t.Errorf("failover -repl view:\n%s", firstN(string(out), 400))
 	}
+}
+
+// TestBinaryFailover boots a two-node election cluster, kill -9s the
+// primary process, and watches the survivor self-promote; the revived
+// old primary must come back as a read-only replica, and SIGUSR1 must
+// force a promotion back. Write-path acceptance (acked-commit survival
+// under storms) lives in the in-process chaos tests, which can run an
+// authenticated client; here we assert the operator-visible surface.
+func TestBinaryFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary build in -short mode")
+	}
+	waitUp := func(name, addr string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			c, err := net.DialTimeout("tcp", addr, time.Second)
+			if err == nil {
+				c.Close()
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never came up on %s", name, addr)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	// role polls moirastat -repl until the node reports the wanted role.
+	role := func(name, addr, want string, timeout time.Duration) string {
+		t.Helper()
+		deadline := time.Now().Add(timeout)
+		var last string
+		for {
+			out, err := exec.Command(toolPath(t, "moirastat"), "-addr", addr, "-repl").CombinedOutput()
+			if err == nil {
+				last = string(out)
+				if strings.Contains(last, "role: "+want) {
+					return last
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never reached role %s:\n%s", name, want, firstN(last, 600))
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	addrA, replA := freePort(t), freePort(t)
+	addrB, replB := freePort(t), freePort(t)
+	dirA, dirB := filepath.Join(t.TempDir(), "a"), filepath.Join(t.TempDir(), "b")
+	nodeArgs := func(addr, dir, repl, peer string) []string {
+		return []string{"-addr", addr, "-data-dir", dir, "-repl-listen", repl,
+			"-election", peer, "-lease-interval", "200ms", "-lease-timeout", "800ms"}
+	}
+	logDir := t.TempDir()
+	logN := 0
+	start := func(args []string) *exec.Cmd {
+		t.Helper()
+		cmd := exec.Command(toolPath(t, "moirad"), args...)
+		logN++
+		lf, err := os.Create(filepath.Join(logDir, fmt.Sprintf("moirad-%d.log", logN)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd.Stdout, cmd.Stderr = lf, lf
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return cmd
+	}
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		for i := 1; i <= logN; i++ {
+			blob, _ := os.ReadFile(filepath.Join(logDir, fmt.Sprintf("moirad-%d.log", i)))
+			t.Logf("moirad-%d.log:\n%s", i, blob)
+		}
+	})
+	a := start(nodeArgs(addrA, dirA, replA, replB))
+	defer func() {
+		a.Process.Kill()
+		a.Wait()
+	}()
+	b := start(nodeArgs(addrB, dirB, replB, replA))
+	defer func() {
+		b.Process.Kill()
+		b.Wait()
+	}()
+	waitUp("node A", addrA)
+	waitUp("node B", addrB)
+
+	// Exactly one node wins the boot election; find out which.
+	deadline := time.Now().Add(15 * time.Second)
+	var primAddr, replAddr string
+	var prim *exec.Cmd
+	var primArgs []string
+	for primAddr == "" {
+		for _, n := range []struct {
+			cmd  *exec.Cmd
+			addr string
+			args []string
+		}{{a, addrA, nodeArgs(addrA, dirA, replA, replB)}, {b, addrB, nodeArgs(addrB, dirB, replB, replA)}} {
+			out, err := exec.Command(toolPath(t, "moirastat"), "-addr", n.addr, "-repl").CombinedOutput()
+			if err == nil && strings.Contains(string(out), "role: primary") {
+				prim, primAddr, primArgs = n.cmd, n.addr, n.args
+			} else {
+				replAddr = n.addr
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no node won the boot election")
+		}
+	}
+	role("follower", replAddr, "replica", 15*time.Second)
+
+	// Wait until the follower's replication session is live and lease
+	// heartbeats are flowing (renewals > 0). Killing the primary before
+	// the pair has ever exchanged a lease is indistinguishable from a
+	// partitioned cold boot, which the follower correctly refuses to
+	// resolve by self-promotion.
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		out, err := exec.Command(toolPath(t, "moirastat"), "-addr", replAddr, "-repl").CombinedOutput()
+		if err == nil && !strings.Contains(string(out), "(0 renewals") &&
+			strings.Contains(string(out), "renewals") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never saw a lease renewal:\n%s", firstN(string(out), 400))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// A mutation against the follower redirects to the primary (the v5
+	// client chases MR_READONLY transparently) where it bounces off
+	// authentication — not off the follower's read-only gate.
+	out, err := exec.Command(toolPath(t, "mrtest"),
+		"-addr", replAddr, "-q", "add_machine", "denied.mit.edu", "VAX").CombinedOutput()
+	if err == nil {
+		t.Fatalf("unauthenticated mutation via follower succeeded:\n%s", out)
+	}
+	if !strings.Contains(string(out), "permission") {
+		t.Errorf("mutation via follower error (want the primary's auth refusal):\n%s", firstN(string(out), 400))
+	}
+	out, err = exec.Command(toolPath(t, "mrtest"), "-addr", replAddr, "-q", "_whois").CombinedOutput()
+	if err != nil {
+		t.Fatalf("_whois on follower: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), primAddr) {
+		t.Errorf("follower _whois does not name primary %s:\n%s", primAddr, firstN(string(out), 400))
+	}
+
+	// kill -9 the primary: the survivor must self-promote.
+	killedAt := time.Now()
+	prim.Process.Kill()
+	prim.Wait()
+	role("survivor", replAddr, "primary", 15*time.Second)
+	t.Logf("survivor promoted %v after kill -9", time.Since(killedAt))
+
+	// Post-promotion the survivor is no longer read-only: the same
+	// mutation now bounces off authentication, not MR_READONLY.
+	out, _ = exec.Command(toolPath(t, "mrtest"),
+		"-addr", replAddr, "-q", "add_machine", "denied.mit.edu", "VAX").CombinedOutput()
+	if strings.Contains(string(out), "read-only") {
+		t.Errorf("promoted survivor still claims read-only:\n%s", firstN(string(out), 400))
+	}
+
+	// Revive the dead primary from its data directory: it must rejoin
+	// as a read-only replica of the survivor.
+	revived := start(primArgs)
+	defer func() {
+		revived.Process.Kill()
+		revived.Wait()
+	}()
+	waitUp("revived node", primAddr)
+	role("revived node", primAddr, "replica", 20*time.Second)
+	// Its redirect chain now points at the survivor: a mutation chases
+	// there and bounces off authentication.
+	out, err = exec.Command(toolPath(t, "mrtest"),
+		"-addr", primAddr, "-q", "add_machine", "denied.mit.edu", "VAX").CombinedOutput()
+	if err == nil {
+		t.Fatalf("unauthenticated mutation via revived replica succeeded:\n%s", out)
+	}
+	if !strings.Contains(string(out), "permission") {
+		t.Errorf("mutation via revived replica error (want the survivor's auth refusal):\n%s", firstN(string(out), 400))
+	}
+
+	// SIGUSR1 forces the revived replica back into the primary role and
+	// deposes the survivor.
+	if err := revived.Process.Signal(syscall.SIGUSR1); err != nil {
+		t.Fatal(err)
+	}
+	role("revived node", primAddr, "primary", 15*time.Second)
+	role("deposed survivor", replAddr, "replica", 20*time.Second)
 }
 
 // parseMoirastat extracts "name value..." pairs from moirastat's

@@ -60,7 +60,29 @@ type Client struct {
 	reconnects  int           // transparent reconnects performed
 	failovers   int           // reconnects that landed on a fallback address
 	tracer      *trace.Tracer // optional: records a client.call span per round trip
+
+	// v5 failover state: the commit-position token of this client's
+	// latest acknowledged write (attached to retrieval requests for
+	// read-your-writes), the fields of the most recent final reply
+	// (MR_READONLY / MR_STALE carry the primary's address there), a
+	// bounded per-address circuit breaker for redirect dials, and the
+	// credentials replayed after a redirect lands on a fresh primary.
+	lastToken  string
+	lastFields []string
+	breaker    map[string]time.Time
+	redirects  int
+	creds      *kerberos.Credentials
+	credsApp   string
 }
+
+// MaxRedirects bounds the primary-chase per call: a request refused
+// with MR_READONLY or MR_STALE plus a primary address is re-sent there
+// at most this many times before the refusal surfaces to the caller.
+const MaxRedirects = 3
+
+// BreakerCooldown is how long a redirect target that failed to accept
+// a connection is skipped before being dialed again.
+const BreakerCooldown = 3 * time.Second
 
 // ReconnectDelay is the backoff slept (through the client's clock)
 // before the one transparent reconnect attempt.
@@ -112,7 +134,12 @@ func (c *Client) SetReadFallbacks(addrs ...string) {
 // DialFailover connects to the first reachable address in addrs and
 // installs the rest of the list as read fallbacks. Retrieval-only tools
 // (moirastat, DCM extraction) use it so a primary outage degrades to
-// reading from a replica instead of an error.
+// reading from a replica instead of an error. Against a failover
+// cluster it also serves writers: a mutation that lands on a follower
+// is refused with MR_READONLY plus the primary's address, and the
+// client chases the redirect transparently (bounded by MaxRedirects,
+// with a per-address circuit breaker), so callers need not know which
+// node currently holds the lease.
 func DialFailover(addrs []string, timeout time.Duration, clk clock.Clock) (*Client, error) {
 	if len(addrs) == 0 {
 		return nil, mrerr.MrNotConnected
@@ -233,21 +260,143 @@ func (c *Client) roundTrip(req *protocol.Request, cb TupleFunc, idempotent bool)
 	// One transparent retry per address in the failover rotation: the
 	// dialed address plus every read fallback.
 	retries := 0
+	redirects := 0
 	for {
 		err := c.sendRecv(req, wcb)
 		if err == mrerr.MrVersionMismatch && c.conn != nil && c.version > protocol.MinVersion {
 			c.version = protocol.MinVersion
 			continue
 		}
-		if err == mrerr.MrAborted && idempotent && retries <= len(c.fallbacks) && !c.authed &&
-			c.addr != "" && delivered == 0 {
-			retries++
-			if c.reconnectLocked() == nil {
-				continue
+		// Primary chase: a refusal that names the primary (v5 final
+		// fields on MR_READONLY / MR_STALE) means the request was never
+		// executed here — re-sending it at the named address is safe,
+		// mutations included.
+		if (err == mrerr.MrReadonly || err == mrerr.MrStale) &&
+			redirects < MaxRedirects && delivered == 0 {
+			if addr := c.redirectAddrLocked(); addr != "" {
+				redirects++
+				if c.redialLocked(addr) == nil {
+					continue
+				}
+			}
+		}
+		if err == mrerr.MrAborted && c.addr != "" && delivered == 0 &&
+			(!c.authed || c.creds != nil) {
+			if idempotent && retries <= len(c.fallbacks) {
+				retries++
+				if c.reconnectLocked() == nil && c.replayAuthLocked() == nil {
+					continue
+				}
+			} else if !idempotent && len(c.fallbacks) > 0 && retries == 0 {
+				// A torn mutation is never resent — the server may have
+				// applied it — but a failover client restores the
+				// connection (rotating to a live node, replaying auth)
+				// so the caller's next write isn't doomed too.
+				retries++
+				if c.reconnectLocked() == nil {
+					c.replayAuthLocked()
+				}
+				return mrerr.MrAborted
 			}
 		}
 		return err
 	}
+}
+
+// redirectAddrLocked extracts the primary address from the most recent
+// final reply's fields, if it is anywhere worth going; callers hold
+// c.mu.
+func (c *Client) redirectAddrLocked() string {
+	if len(c.lastFields) == 0 {
+		return ""
+	}
+	addr := c.lastFields[0]
+	if addr == "" || addr == c.addr {
+		return ""
+	}
+	return addr
+}
+
+// redialLocked points the connection at a redirect target, honouring
+// the per-address circuit breaker, and replays stored credentials so
+// an authenticated caller stays authenticated across the hop; callers
+// hold c.mu.
+func (c *Client) redialLocked(addr string) error {
+	if t, ok := c.breaker[addr]; ok && time.Since(t) < BreakerCooldown {
+		return mrerr.MrConnRefused
+	}
+	conn, err := net.DialTimeout("tcp", addr, c.dialTimeout)
+	if err != nil {
+		if c.breaker == nil {
+			c.breaker = make(map[string]time.Time)
+		}
+		c.breaker[addr] = time.Now()
+		return mrerr.MrConnRefused
+	}
+	delete(c.breaker, addr)
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	c.conn = conn
+	c.br = bufio.NewReader(conn)
+	c.bw = bufio.NewWriter(conn)
+	c.version = protocol.Version
+	c.addr = addr
+	c.redirects++
+	return c.replayAuthLocked()
+}
+
+// replayAuthLocked re-authenticates a fresh connection from stored
+// credentials, so the principal moves with the session across redials
+// and reconnects; a no-op for unauthenticated clients. Callers hold
+// c.mu.
+func (c *Client) replayAuthLocked() error {
+	if !c.authed {
+		return nil
+	}
+	// The principal must move with the connection or the redirected
+	// request would run unauthenticated on the new primary.
+	if c.creds == nil {
+		c.authed = false
+		return mrerr.MrAborted
+	}
+	payload := kerberos.BuildAuth(c.creds, c.credsApp, c.clk)
+	areq := &protocol.Request{
+		Op:      protocol.OpAuth,
+		TraceID: protocol.NewTraceID(),
+		Args:    [][]byte{payload.Marshal()},
+	}
+	if err := c.sendRecv(areq, nil); err != nil {
+		c.authed = false
+		return err
+	}
+	return nil
+}
+
+// Redirects reports how many times this client has chased a primary
+// redirect.
+func (c *Client) Redirects() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.redirects
+}
+
+// LastToken reports the commit-position token of this client's most
+// recent acknowledged write ("" before any). It is attached to
+// retrieval queries automatically; SetMinPos overrides it.
+func (c *Client) LastToken() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastToken
+}
+
+// SetMinPos pins the read-your-writes floor attached to retrieval
+// queries (a token from LastToken, possibly from another client). The
+// empty string restores the default of the client's own latest write.
+func (c *Client) SetMinPos(token string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lastToken = token
 }
 
 // reconnectLocked redials after a short backoff, starting at the
@@ -336,6 +485,15 @@ func (c *Client) sendRecv(req *protocol.Request, cb TupleFunc) error {
 		if cbErr != nil {
 			return mrerr.MrCallbackErr
 		}
+		// Final-frame fields (v5): a commit token on success, the
+		// primary's address on MR_READONLY / MR_STALE.
+		c.lastFields = rep.StringFields()
+		if code == mrerr.Success && len(c.lastFields) > 0 &&
+			(req.Op == protocol.OpQuery || req.Op == protocol.OpBatch) {
+			if _, ok := protocol.ParsePos(c.lastFields[0]); ok && c.lastFields[0] != "" {
+				c.lastToken = c.lastFields[0]
+			}
+		}
 		return code.OrNil()
 	}
 }
@@ -374,6 +532,8 @@ func (c *Client) Auth(creds *kerberos.Credentials, clientName string) error {
 	if err == nil {
 		c.mu.Lock()
 		c.authed = true
+		c.creds = creds
+		c.credsApp = clientName
 		c.mu.Unlock()
 	}
 	return err
@@ -392,10 +552,17 @@ func (c *Client) Access(name string, args []string) error {
 func (c *Client) Query(name string, args []string, cb TupleFunc) error {
 	all := append([]string{name}, args...)
 	idem := false
+	req := &protocol.Request{Op: protocol.OpQuery, Args: protocol.BytesArgs(all)}
 	if q, ok := queries.Lookup(name); ok && q.Kind == queries.Retrieve {
 		idem = true
+		// Read-your-writes: stamp the latest commit token so a lagging
+		// replica waits or redirects instead of serving data older than
+		// this client's own writes. Meta handles are exempt server-side.
+		c.mu.Lock()
+		req.MinPos = c.lastToken
+		c.mu.Unlock()
 	}
-	return c.roundTrip(&protocol.Request{Op: protocol.OpQuery, Args: protocol.BytesArgs(all)}, cb, idem)
+	return c.roundTrip(req, cb, idem)
 }
 
 // QueryAll runs a query and gathers all tuples.

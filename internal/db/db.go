@@ -265,6 +265,21 @@ func (d *DB) SetJournal(w io.Writer) {
 // the memory/disk divergence; reads keep serving.
 func (d *DB) JournalWedged() bool { return d.wedged.Load() }
 
+// JournalHead reports the durable journal's head position (current
+// segment sequence and the count of records appended to it) when the
+// attached journal exposes one (*JournalWriter does). ok is false for
+// plain io.Writer journals and for no journal at all. Callers must
+// hold the exclusive lock, which is what makes "the head right after
+// my append" the committed position of that append.
+func (d *DB) JournalHead() (seg, recs int64, ok bool) {
+	type header interface{ Head() (int64, int64) }
+	if h, is := d.journal.(header); is {
+		seg, recs = h.Head()
+		return seg, recs, true
+	}
+	return 0, 0, false
+}
+
 // AdoptFrom replaces d's entire data state with src's under d's
 // exclusive lock, keeping d's identity — clock, journal target, stats
 // mirror bindings, and every pointer other code holds to d. A replica

@@ -51,6 +51,8 @@ var mrTable = Register("mr", []string{
 	/* 41 */ "The server is shutting down", // MR_DOWN
 	/* 42 */ "Server has too many connections; try again later", // MR_BUSY
 	/* 43 */ "Server is a read-only replica; send updates to the primary", // MR_READONLY
+	/* 44 */ "Replica has not caught up to the requested journal position", // MR_STALE
+	/* 45 */ "Commit was not acknowledged by any replica before the deadline", // MR_NOT_REPLICATED
 })
 
 // Server and query error codes, exported as Go constants. The names keep
@@ -98,6 +100,8 @@ var (
 	MrDown            = mrTable.Code(41)
 	MrBusy            = mrTable.Code(42) // MR_BUSY
 	MrReadonly        = mrTable.Code(43) // MR_READONLY
+	MrStale           = mrTable.Code(44) // MR_STALE
+	MrNotReplicated   = mrTable.Code(45) // MR_NOT_REPLICATED
 )
 
 // mrcTable holds the client library / connection errors.

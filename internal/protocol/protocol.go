@@ -41,7 +41,16 @@ import (
 // unsupported version, and answers MR_VERSION_MISMATCH on the same
 // stream. Version 4 also adds the Batch major request (N mutations in
 // one frame, one commit).
-const Version uint16 = 4
+//
+// Version 5 adds failover: the Election major request (lease/epoch
+// election RPCs between cluster nodes) and read-your-writes position
+// tokens. A v5 request carries a minimum-position token (possibly
+// empty; see Pos) as one more counted string between the trace ID and
+// the arguments; a v5 final reply may carry fields — the commit
+// position token on a successful mutation, or the current primary's
+// address on MR_READONLY / MR_STALE refusals. The frame layout is once
+// again unchanged, so the established downgrade machinery covers v5.
+const Version uint16 = 5
 
 // MinVersion is the oldest protocol version this implementation still
 // accepts; clients fall back to it when a server rejects Version.
@@ -61,6 +70,7 @@ const (
 	OpShutdown   uint16 = 6 // no arguments; ask the server to exit
 	OpReplicate  uint16 = 7 // v3: args: last applied journal (segment, record index)
 	OpBatch      uint16 = 8 // v4: N mutations in one frame; see EncodeBatch
+	OpElection   uint16 = 9 // v5: cluster election RPCs (info, claim, ack)
 )
 
 // OpName names an opcode for logging.
@@ -82,6 +92,8 @@ func OpName(op uint16) string {
 		return "replicate"
 	case OpBatch:
 		return "batch"
+	case OpElection:
+		return "election"
 	default:
 		return fmt.Sprintf("op%d", op)
 	}
@@ -108,11 +120,16 @@ const (
 // the server echoes it verbatim on every reply frame of the request,
 // including streamed MR_MORE_DATA tuples. Tag 0 is what a synchronous
 // one-at-a-time caller uses; pipelined callers assign 1..65535.
+// MinPos, when Version >= 5, is the caller's read-your-writes floor: a
+// position token (Pos.String) from an earlier commit. A replica that
+// has not applied up to it answers MR_STALE instead of serving stale
+// data. Empty means no floor.
 type Request struct {
 	Version uint16
 	Op      uint16
 	Tag     uint16
 	TraceID string
+	MinPos  string
 	Args    [][]byte
 }
 
@@ -259,13 +276,16 @@ func WriteRequest(w io.Writer, req *Request) error {
 	binary.BigEndian.PutUint16(head[2:4], req.Op)
 	args := req.Args
 	if req.Version >= 2 {
-		args = make([][]byte, 0, len(req.Args)+2)
+		args = make([][]byte, 0, len(req.Args)+3)
 		if req.Version >= 4 {
 			var tag [2]byte
 			binary.BigEndian.PutUint16(tag[:], req.Tag)
 			args = append(args, tag[:])
 		}
 		args = append(args, []byte(req.TraceID))
+		if req.Version >= 5 {
+			args = append(args, []byte(req.MinPos))
+		}
 		args = append(args, req.Args...)
 	}
 	return writeFrame(w, head[:], args)
@@ -296,6 +316,11 @@ func parseRequest(head []byte, fields [][]byte) (*Request, error) {
 	}
 	if req.Version >= 2 && len(fields) > 0 {
 		req.TraceID = string(fields[0])
+		fields = fields[1:]
+		req.Args = fields
+	}
+	if req.Version >= 5 && len(fields) > 0 {
+		req.MinPos = string(fields[0])
 		req.Args = fields[1:]
 	}
 	return req, nil

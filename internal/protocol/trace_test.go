@@ -61,15 +61,16 @@ func TestNewClientAgainstOldReader(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A version-1 reader is today's reader minus the pseudo-argument
-	// splits: the raw frame must parse with the v4 tag as fields[0] and
-	// the trace as fields[1].
+	// splits: the raw frame must parse with the v4 tag as fields[0], the
+	// trace as fields[1], and the v5 position token as fields[2].
 	head, fields, err := readFrame(bufio.NewReader(&buf), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	_ = head
-	if len(fields) != 4 || len(fields[0]) != 2 ||
-		string(fields[1]) != "trace-99" || string(fields[2]) != "get_user_by_login" {
+	if len(fields) != 5 || len(fields[0]) != 2 ||
+		string(fields[1]) != "trace-99" || string(fields[2]) != "" ||
+		string(fields[3]) != "get_user_by_login" {
 		t.Errorf("raw fields = %q", fields)
 	}
 }

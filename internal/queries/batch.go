@@ -38,20 +38,38 @@ func ExecuteBatch(cx *Context, items []protocol.BatchItem) ([]mrerr.Code, error)
 	if cx.Span != nil {
 		t0 = time.Now()
 	}
-	cx.DB.LockExclusive()
-	defer cx.DB.UnlockExclusive()
-	err := cx.DB.JournalGroup(func() error {
-		for i, it := range items {
-			codes[i] = batchItemLocked(cx, it)
+	cx.CommitOK = false
+	// As in Execute, the locked section is a closure so the commit gate
+	// below waits for the replica ack without the exclusive lock held.
+	err := func() error {
+		cx.DB.LockExclusive()
+		defer cx.DB.UnlockExclusive()
+		err := cx.DB.JournalGroup(func() error {
+			for i, it := range items {
+				codes[i] = batchItemLocked(cx, it)
+			}
+			return nil
+		})
+		if err == nil {
+			if seg, recs, ok := cx.DB.JournalHead(); ok {
+				idx := recs - 1 // clamped as in Execute: see the rotation note there
+				if idx < 0 {
+					idx = 0
+				}
+				cx.CommitSeg, cx.CommitIdx, cx.CommitOK = seg, idx, true
+			}
 		}
-		return nil
-	})
+		return err
+	}()
 	if cx.Span != nil {
 		// One phase covering the whole batch; per-item phases would swamp
 		// the trace ring.
 		cx.Span.Record("server.batch", t0, time.Since(t0), int32(mrerr.CodeOf(err)))
 	}
-	return codes, err
+	if err != nil || !cx.CommitOK || cx.CommitGate == nil {
+		return codes, err
+	}
+	return codes, commitGate(cx)
 }
 
 // batchItemLocked runs one batch item under the already-held exclusive

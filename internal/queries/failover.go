@@ -1,0 +1,68 @@
+package queries
+
+// The failover discovery handle. `_whois` reports the serving node's
+// cluster identity — role, election epoch, applied journal position,
+// and the current primary's addresses — so clients (DialFailover) and
+// operators (moirastat -repl) can find the primary without an external
+// coordinator. It is a retrieve served even by a read-only or fenced
+// node: discovery must keep working exactly when the cluster is
+// degraded.
+
+import (
+	"strconv"
+	"time"
+)
+
+// WhoisInfo is the node identity reported by the _whois handle,
+// supplied by the server via Context.Whois.
+type WhoisInfo struct {
+	Role  string // "primary", "replica", "fenced", or "standalone"
+	Epoch int64  // election epoch the node currently honours
+	Seg   int64  // journal position: current/next segment sequence
+	Idx   int64  // journal position: records applied in Seg
+
+	// Primary is the current primary's client (query) address as this
+	// node believes it, "" when unknown; PrimaryRepl is its replication
+	// address.
+	Primary     string
+	PrimaryRepl string
+
+	// LeaseRemain is how much lease time remains from this node's view
+	// (on the primary: until it must fence; on a replica: until it may
+	// call an election). Negative or zero means expired or not tracked.
+	LeaseRemain time.Duration
+
+	// LastCause names what triggered the node's last role change:
+	// "boot", "lease-expired", "operator", "deposed", "rejoin", or ""
+	// when the role has never changed.
+	LastCause string
+}
+
+func init() {
+	register(&Query{
+		Name: "_whois", Short: "_who", Kind: Retrieve,
+		Returns: []string{"role", "epoch", "primary", "primary_repl",
+			"segment", "record", "lease_remaining_ms", "last_election_cause"},
+		Access: accessAnyone,
+		Handler: func(cx *Context, args []string, emit EmitFunc) error {
+			w := WhoisInfo{Role: "standalone"}
+			if cx.Whois != nil {
+				w = cx.Whois()
+			}
+			ms := w.LeaseRemain.Milliseconds()
+			if ms < 0 {
+				ms = 0
+			}
+			return emit([]string{
+				w.Role,
+				strconv.FormatInt(w.Epoch, 10),
+				w.Primary,
+				w.PrimaryRepl,
+				strconv.FormatInt(w.Seg, 10),
+				strconv.FormatInt(w.Idx, 10),
+				strconv.FormatInt(ms, 10),
+				w.LastCause,
+			})
+		},
+	})
+}

@@ -115,6 +115,28 @@ type Context struct {
 	// Health, when set by the server, backs the _health query handle.
 	Health func() []health.Status
 
+	// Whois, when set by the server, backs the _whois query handle with
+	// the node's failover identity (role, epoch, primary address). nil
+	// (a standalone server) makes _whois report a standalone role.
+	Whois func() WhoisInfo
+
+	// CommitGate, when set by the server on a cluster primary, is called
+	// by Execute after a successful journal append — outside the
+	// exclusive lock — with the commit's journal position. It blocks
+	// until a replica acknowledges the position (semi-synchronous
+	// replication) and its error fails the request: the client must not
+	// treat a commit as acknowledged while the primary alone holds it,
+	// or a failover could lose an "acked" write.
+	CommitGate func(seg, idx int64) error
+
+	// CommitSeg/CommitIdx/CommitOK report the journal position of the
+	// mutation this Execute (or ExecuteBatch) committed; the server
+	// reads them to mint the v5 position token and resets them between
+	// requests. CommitOK is false when nothing was journaled.
+	CommitSeg int64
+	CommitIdx int64
+	CommitOK  bool
+
 	// cache memoizes successful access checks (section 5.5); see
 	// accesscache.go. nil means caching is off.
 	cache *accessCache
@@ -284,37 +306,79 @@ func Execute(cx *Context, name string, args []string, emit EmitFunc) error {
 	if cx.DB.JournalWedged() {
 		return mrerr.MrDown
 	}
-	cx.DB.LockExclusive()
-	defer cx.DB.UnlockExclusive()
-	if err := checkAccessLocked(cx, q, args); err != nil {
+	cx.CommitOK = false
+	// The locked section runs in a closure so its deferred unlock fires
+	// before the commit gate below: waiting on a replica ack must not
+	// hold the exclusive lock, or replication lag would stall readers
+	// and every other writer.
+	err := func() error {
+		cx.DB.LockExclusive()
+		defer cx.DB.UnlockExclusive()
+		if err := checkAccessLocked(cx, q, args); err != nil {
+			return err
+		}
+		var t0 time.Time
+		if cx.Span != nil {
+			t0 = time.Now()
+		}
+		if err := q.Handler(cx, args, emit); err != nil {
+			if cx.Span != nil {
+				cx.Span.Record("server.handler", t0, time.Since(t0), int32(mrerr.CodeOf(err)))
+			}
+			return err
+		}
+		// A journal append failure fails the transaction: the client
+		// must not believe a change committed that recovery could never
+		// reproduce. The in-memory effect of this one query stands until
+		// the process exits, but the failure wedges the database
+		// (JournalWedged), so the gate above fail-stops every later
+		// mutation — the divergence never grows past this change, and
+		// the error tells the operator the store is no longer durable
+		// (full disk, dead device) before more is lost.
+		var t1 time.Time
+		if cx.Span != nil {
+			t1 = time.Now()
+			cx.Span.Record("server.handler", t0, t1.Sub(t0), 0)
+		}
+		err := cx.DB.JournalQuery(cx.Principal, cx.App, cx.TraceID, q.Name, args)
+		if cx.Span != nil {
+			cx.Span.Record("server.journal", t1, time.Since(t1), int32(mrerr.CodeOf(err)))
+		}
+		if err == nil {
+			if seg, recs, ok := cx.DB.JournalHead(); ok {
+				// recs counts records appended to the current segment, so
+				// the commit just written sits at recs-1. A checkpoint
+				// rotation can slide in between the append and this read
+				// (the journal writer has its own lock); the fresh segment
+				// then reads recs == 0 and the position clamps to (seg, 0),
+				// a floor one record past the commit — strictly stronger,
+				// so read-your-writes still holds.
+				idx := recs - 1
+				if idx < 0 {
+					idx = 0
+				}
+				cx.CommitSeg, cx.CommitIdx, cx.CommitOK = seg, idx, true
+			}
+		}
+		return err
+	}()
+	if err != nil || !cx.CommitOK || cx.CommitGate == nil {
 		return err
 	}
+	return commitGate(cx)
+}
+
+// commitGate runs the context's semi-sync replication gate for the
+// commit position Execute/ExecuteBatch recorded, tracing it as its own
+// phase. Callers must not hold the database lock.
+func commitGate(cx *Context) error {
 	var t0 time.Time
 	if cx.Span != nil {
 		t0 = time.Now()
 	}
-	if err := q.Handler(cx, args, emit); err != nil {
-		if cx.Span != nil {
-			cx.Span.Record("server.handler", t0, time.Since(t0), int32(mrerr.CodeOf(err)))
-		}
-		return err
-	}
-	// A journal append failure fails the transaction: the client
-	// must not believe a change committed that recovery could never
-	// reproduce. The in-memory effect of this one query stands until
-	// the process exits, but the failure wedges the database
-	// (JournalWedged), so the gate above fail-stops every later
-	// mutation — the divergence never grows past this change, and
-	// the error tells the operator the store is no longer durable
-	// (full disk, dead device) before more is lost.
-	var t1 time.Time
+	err := cx.CommitGate(cx.CommitSeg, cx.CommitIdx)
 	if cx.Span != nil {
-		t1 = time.Now()
-		cx.Span.Record("server.handler", t0, t1.Sub(t0), 0)
-	}
-	err := cx.DB.JournalQuery(cx.Principal, cx.App, cx.TraceID, q.Name, args)
-	if cx.Span != nil {
-		cx.Span.Record("server.journal", t1, time.Since(t1), int32(mrerr.CodeOf(err)))
+		cx.Span.Record("server.replicate", t0, time.Since(t0), int32(mrerr.CodeOf(err)))
 	}
 	return err
 }

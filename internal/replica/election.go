@@ -1,0 +1,133 @@
+package replica
+
+// Election RPCs: the tiny client side of the OpElection protocol.
+// Nodes poll each other's identity ("info") to discover the primary
+// and size up the electorate, and ask for votes ("claim") when a lease
+// expiry or an operator starts an election. Both are one-shot
+// request/reply exchanges on the replication port, served by the
+// Cluster's listener.
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"moira/internal/mrerr"
+	"moira/internal/protocol"
+)
+
+// peerInfo is one node's identity as reported by an "info" poll.
+type peerInfo struct {
+	addr       string // the address we polled
+	role       string // "primary", "replica", or "fenced"
+	epoch      int64
+	seg, idx   int64  // next journal record the node wants (its applied position)
+	replAddr   string // the node's advertised replication address
+	clientAddr string // the node's advertised client (query) address
+	held       bool   // primary only: whether it believes its lease is held
+}
+
+// better orders election candidates: highest journal position wins, so
+// no acknowledged commit can be lost to a failover; the advertised
+// replication address breaks exact ties deterministically (lowest
+// wins), so two equally-caught-up nodes never elect each other
+// simultaneously.
+func better(aSeg, aIdx int64, aAddr string, bSeg, bIdx int64, bAddr string) bool {
+	if aSeg != bSeg {
+		return aSeg > bSeg
+	}
+	if aIdx != bIdx {
+		return aIdx > bIdx
+	}
+	return aAddr < bAddr
+}
+
+// electionRPC runs one request/final-reply exchange against a peer's
+// replication port.
+func electionRPC(addr string, timeout time.Duration, args []string) (mrerr.Code, []string, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	bw := bufio.NewWriter(conn)
+	err = protocol.WriteRequest(bw, &protocol.Request{
+		Version: protocol.Version,
+		Op:      protocol.OpElection,
+		Args:    protocol.BytesArgs(args),
+	})
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	rep, err := protocol.ReadReply(bufio.NewReader(conn))
+	if err != nil {
+		return 0, nil, err
+	}
+	return mrerr.Code(rep.Code), rep.StringFields(), nil
+}
+
+// pollPeer asks one node who it is.
+func pollPeer(addr string, timeout time.Duration) (peerInfo, error) {
+	code, fields, err := electionRPC(addr, timeout, []string{electInfo})
+	if err != nil {
+		return peerInfo{}, err
+	}
+	if code != mrerr.Success || len(fields) < 7 {
+		return peerInfo{}, fmt.Errorf("replica: info from %s: code %d, %d fields", addr, code, len(fields))
+	}
+	epoch, e1 := parseInt(fields[1])
+	seg, e2 := parseInt(fields[2])
+	idx, e3 := parseInt(fields[3])
+	if e1 != nil || e2 != nil || e3 != nil {
+		return peerInfo{}, fmt.Errorf("replica: malformed info from %s", addr)
+	}
+	return peerInfo{
+		addr:       addr,
+		role:       fields[0],
+		epoch:      epoch,
+		seg:        seg,
+		idx:        idx,
+		replAddr:   fields[4],
+		clientAddr: fields[5],
+		held:       fields[6] == "1",
+	}, nil
+}
+
+// claimResult is one peer's answer to a claim.
+type claimResult struct {
+	granted bool
+	reason  string // denial reason
+	epoch   int64  // the denier's epoch, to fast-forward a stale candidate
+}
+
+// sendClaim asks one node to accept the caller as primary for epoch.
+func sendClaim(addr string, timeout time.Duration, epoch, seg, idx int64, replAddr, clientAddr string, force bool) (claimResult, error) {
+	forceField := "0"
+	if force {
+		forceField = "1"
+	}
+	code, fields, err := electionRPC(addr, timeout, []string{
+		electClaim, itoa(epoch), itoa(seg), itoa(idx), replAddr, clientAddr, forceField,
+	})
+	if err != nil {
+		return claimResult{}, err
+	}
+	res := claimResult{granted: code == mrerr.Success}
+	if len(fields) > 0 {
+		res.reason = fields[0]
+	}
+	if len(fields) > 1 {
+		if e, err := parseInt(fields[1]); err == nil {
+			res.epoch = e
+		}
+	}
+	if !res.granted && code != mrerr.MrPerm {
+		return res, fmt.Errorf("replica: claim to %s failed: code %d (%v)", addr, code, code.OrNil())
+	}
+	return res, nil
+}

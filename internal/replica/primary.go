@@ -43,6 +43,35 @@ type PrimaryConfig struct {
 	// Clock stamps head-frame heartbeats (replicas measure lag against
 	// it, cancelling cross-host clock skew); nil means the system clock.
 	Clock clock.Clock
+
+	// Cluster, when non-nil, puts the primary in cluster mode: it
+	// greets each epoch-aware replica with a hello frame, interleaves
+	// lease heartbeats with the stream, and reads position/lease
+	// acknowledgements back up the same connection. nil keeps the
+	// legacy one-way stream.
+	Cluster *PrimaryCluster
+}
+
+// PrimaryCluster wires a Primary into its Cluster: what to announce
+// and who to tell when an acknowledgement reveals this primary has
+// been deposed.
+type PrimaryCluster struct {
+	// Epoch reports the node's current election epoch, announced in
+	// hello and lease frames and compared against replica handshakes.
+	Epoch func() int64
+
+	// ReplAddr and ClientAddr are the advertised replication and
+	// client (query) addresses sent in the hello frame; clients
+	// chasing the primary are redirected to ClientAddr.
+	ReplAddr   string
+	ClientAddr string
+
+	// LeaseInterval is how often lease frames are sent per connection.
+	LeaseInterval time.Duration
+
+	// OnStaleSelf is called when a replica reports a higher epoch than
+	// ours: the cluster has moved on and this primary must fence.
+	OnStaleSelf func(peerEpoch int64)
 }
 
 // Primary serves the replication stream: it listens on its own port
@@ -66,6 +95,15 @@ type Primary struct {
 	tails  map[*subscriberPos]struct{}
 	closed bool
 
+	// ackWake is closed and replaced under mu on every inbound ack;
+	// WaitAcked parks on it.
+	ackWake chan struct{}
+
+	leaseSeq     atomic.Int64 // lease frame sequence numbers, all conns
+	leasesSent   atomic.Int64
+	acksRecv     atomic.Int64
+	everEpochSub atomic.Bool // an epoch-aware replica subscribed at least once
+
 	active    atomic.Int64
 	served    atomic.Int64
 	snapshots atomic.Int64
@@ -75,10 +113,61 @@ type Primary struct {
 
 // subscriberPos is one tailing replica's ship position — the next
 // (segment, record) the tailer will send it — updated lock-free as the
-// stream advances and read by the ship-lag gauges.
+// stream advances and read by the ship-lag gauges. In cluster mode it
+// also carries the replica's acknowledged position (what the commit
+// gate waits on) and its lease grant.
 type subscriberPos struct {
 	seg atomic.Int64
 	idx atomic.Int64
+
+	epochAware bool
+	ackSeg     atomic.Int64 // next record the replica wants, per its last ack
+	ackIdx     atomic.Int64
+	grant      atomic.Int64 // UnixNano send instant of the newest acked lease seq
+
+	lmu  sync.Mutex
+	sent map[int64]time.Time // outstanding lease seq → send instant
+}
+
+// leaseGrant records that the replica acknowledged lease seq: the
+// grant anchors at the SEND time of that seq, so a delayed ack never
+// extends the lease past what the replica actually heard — the fence
+// deadline (send-anchored) always precedes the replica's election
+// timer (receive-anchored).
+func (s *subscriberPos) leaseGrant(seq int64) {
+	if seq <= 0 {
+		return
+	}
+	s.lmu.Lock()
+	defer s.lmu.Unlock()
+	t, ok := s.sent[seq]
+	if !ok {
+		return
+	}
+	if n := t.UnixNano(); n > s.grant.Load() {
+		s.grant.Store(n)
+	}
+	for k := range s.sent {
+		if k <= seq {
+			delete(s.sent, k)
+		}
+	}
+}
+
+// leaseSent records a lease frame's send instant, pruning entries the
+// replica never acknowledged once they are clearly dead.
+func (s *subscriberPos) leaseSent(seq int64, at time.Time, horizon time.Duration) {
+	s.lmu.Lock()
+	defer s.lmu.Unlock()
+	if s.sent == nil {
+		s.sent = make(map[int64]time.Time)
+	}
+	for k, t := range s.sent {
+		if at.Sub(t) > horizon {
+			delete(s.sent, k)
+		}
+	}
+	s.sent[seq] = at
 }
 
 // NewPrimary builds a replication primary over an open journal writer
@@ -99,6 +188,7 @@ func NewPrimary(cfg PrimaryConfig) *Primary {
 		closing: make(chan struct{}),
 		conns:   make(map[net.Conn]struct{}),
 		tails:   make(map[*subscriberPos]struct{}),
+		ackWake: make(chan struct{}),
 	}
 	if cfg.Stats != nil {
 		p.BindStats(cfg.Stats)
@@ -221,6 +311,32 @@ func (p *Primary) acceptLoop() {
 }
 
 func (p *Primary) serveConn(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	req, err := protocol.ReadRequest(br)
+	if err != nil {
+		conn.Close()
+		p.mu.Lock()
+		delete(p.conns, conn)
+		p.mu.Unlock()
+		return
+	}
+	p.ServeReplicate(conn, br, req)
+}
+
+// ServeReplicate serves one replication stream whose Replicate request
+// has already been read from br — the entry point for a Cluster that
+// owns the listener and dispatches by op. It adopts the connection
+// (registers it for shutdown, closes it when the stream ends) and
+// blocks until the stream is over.
+func (p *Primary) ServeReplicate(conn net.Conn, br *bufio.Reader, req *protocol.Request) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		conn.Close()
+		return
+	}
+	p.conns[conn] = struct{}{}
+	p.mu.Unlock()
 	defer func() {
 		conn.Close()
 		p.mu.Lock()
@@ -231,17 +347,12 @@ func (p *Primary) serveConn(conn net.Conn) {
 	p.active.Add(1)
 	p.served.Add(1)
 
-	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 	final := func(code mrerr.Code) {
 		protocol.WriteReply(bw, &protocol.Reply{Version: protocol.Version, Code: int32(code)})
 		bw.Flush()
 	}
 
-	req, err := protocol.ReadRequest(br)
-	if err != nil {
-		return
-	}
 	if req.Version != protocol.Version {
 		final(mrerr.MrVersionMismatch)
 		return
@@ -250,20 +361,62 @@ func (p *Primary) serveConn(conn net.Conn) {
 		final(mrerr.MrUnknownProc)
 		return
 	}
-	if len(req.Args) != 2 {
+	// Two-arg handshake: legacy one-way stream. Three args add the
+	// replica's election epoch (cluster mode); position (-1, -1) is the
+	// explicit "bootstrap me" of a rejoining node whose journal tail
+	// may diverge from this history.
+	if len(req.Args) != 2 && len(req.Args) != 3 {
 		final(mrerr.MrArgs)
 		return
 	}
 	args := req.StringArgs()
 	seg, err1 := parseInt(args[0])
 	idx, err2 := parseInt(args[1])
-	if err1 != nil || err2 != nil || seg < 0 || idx < 0 {
+	if err1 != nil || err2 != nil || idx < 0 != (seg < 0) {
+		final(mrerr.MrArgs)
+		return
+	}
+	epochAware := len(args) == 3
+	var replicaEpoch int64
+	if epochAware {
+		var err error
+		if replicaEpoch, err = parseInt(args[2]); err != nil || replicaEpoch < 0 {
+			final(mrerr.MrArgs)
+			return
+		}
+	}
+	if seg < 0 && !epochAware {
 		final(mrerr.MrArgs)
 		return
 	}
 
+	force := seg < 0
+	if cl := p.cfg.Cluster; cl != nil && epochAware {
+		myEpoch := cl.Epoch()
+		if replicaEpoch > myEpoch {
+			// Deposed on contact: the cluster elected a higher epoch
+			// while we weren't looking. Fence instead of streaming a
+			// dead history.
+			p.logf("repl: %s reports epoch %d > ours %d: deposed", conn.RemoteAddr(), replicaEpoch, myEpoch)
+			if cl.OnStaleSelf != nil {
+				cl.OnStaleSelf(replicaEpoch)
+			}
+			final(mrerr.MrReadonly)
+			return
+		}
+		if replicaEpoch < myEpoch {
+			// The replica's journal tail may contain records a deposed
+			// primary streamed that this history never committed; a
+			// full bootstrap replaces it rather than appending to it.
+			force = true
+		}
+	}
+	if force {
+		seg, idx = 0, 0
+	}
+
 	p.logf("repl: %s connected at position (%d, %d)", conn.RemoteAddr(), seg, idx)
-	if err := p.stream(conn, bw, seg, idx); err != nil {
+	if err := p.stream(conn, br, bw, seg, idx, epochAware, force); err != nil {
 		p.logf("repl: %s: %v", conn.RemoteAddr(), err)
 		final(mrerr.MrInternal)
 	}
@@ -271,20 +424,43 @@ func (p *Primary) serveConn(conn net.Conn) {
 
 // stream feeds one replica: bootstrap if its position predates the
 // retained journal, then tail the segments from its position on.
-func (p *Primary) stream(conn net.Conn, bw *bufio.Writer, seg, idx int64) error {
+func (p *Primary) stream(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, seg, idx int64, epochAware, force bool) error {
 	// Subscribe before examining any on-disk state so no append
 	// notification can slip between the scan and the first park.
 	notify := p.cfg.Journal.Subscribe()
 
-	// The replica sends nothing after its handshake, so a read on the
-	// connection blocks until it dies — which is exactly the signal a
-	// tailer parked on the notify channel needs to notice a dead peer.
-	connDead := make(chan struct{})
-	go func() {
-		var one [1]byte
-		conn.Read(one[:])
-		close(connDead)
+	sub := &subscriberPos{epochAware: epochAware}
+	sub.seg.Store(seg)
+	sub.idx.Store(idx)
+	// Registered before bootstrap: acknowledgements (and so the lease)
+	// flow while the snapshot ships.
+	p.mu.Lock()
+	p.tails[sub] = struct{}{}
+	p.mu.Unlock()
+	if epochAware {
+		p.everEpochSub.Store(true)
+	}
+	defer func() {
+		p.mu.Lock()
+		delete(p.tails, sub)
+		p.mu.Unlock()
 	}()
+
+	// A legacy replica sends nothing after its handshake, so a read on
+	// the connection blocks until it dies — exactly the dead-peer
+	// signal a parked tailer needs. An epoch-aware replica instead
+	// sends ack requests up the same connection; reading them serves
+	// both purposes.
+	connDead := make(chan struct{})
+	if epochAware && p.cfg.Cluster != nil {
+		go p.readAcks(br, sub, connDead)
+	} else {
+		go func() {
+			var one [1]byte
+			conn.Read(one[:])
+			close(connDead)
+		}()
+	}
 
 	send := func(fields ...[]byte) error {
 		return protocol.WriteReply(bw, &protocol.Reply{
@@ -297,30 +473,180 @@ func (p *Primary) stream(conn net.Conn, bw *bufio.Writer, seg, idx int64) error 
 		return send(protocol.BytesArgs(fields)...)
 	}
 
-	seg, idx, err := p.maybeBootstrap(bw, send, sendStrings, seg, idx)
+	// maybeLease interleaves lease heartbeats with whatever else the
+	// stream is doing. It never flushes on its own: the frame rides
+	// the next flush, which every caller does promptly.
+	var lastLease time.Time
+	maybeLease := func() error {
+		cl := p.cfg.Cluster
+		if cl == nil || !epochAware {
+			return nil
+		}
+		interval := cl.LeaseInterval
+		if interval <= 0 {
+			interval = time.Second
+		}
+		now := time.Now()
+		if !lastLease.IsZero() && now.Sub(lastLease) < interval {
+			return nil
+		}
+		lastLease = now
+		seq := p.leaseSeq.Add(1)
+		sub.leaseSent(seq, now, 10*interval)
+		p.leasesSent.Add(1)
+		return sendStrings(tagLease, itoa(cl.Epoch()), itoa(seq))
+	}
+
+	if cl := p.cfg.Cluster; cl != nil && epochAware {
+		if err := sendStrings(tagHello, itoa(cl.Epoch()), cl.ReplAddr, cl.ClientAddr); err != nil {
+			return err
+		}
+		if err := maybeLease(); err != nil {
+			return err
+		}
+	}
+
+	seg, idx, err := p.maybeBootstrap(bw, send, sendStrings, maybeLease, seg, idx, force)
 	if err != nil {
 		return err
 	}
-
-	sub := &subscriberPos{}
 	sub.seg.Store(seg)
 	sub.idx.Store(idx)
-	p.mu.Lock()
-	p.tails[sub] = struct{}{}
-	p.mu.Unlock()
-	defer func() {
-		p.mu.Lock()
-		delete(p.tails, sub)
-		p.mu.Unlock()
-	}()
 
-	return p.tail(bw, sendStrings, notify, connDead, sub, seg, idx)
+	return p.tail(bw, sendStrings, maybeLease, notify, connDead, sub, seg, idx)
 }
+
+// readAcks consumes the replica's acknowledgement requests for the
+// life of the connection, feeding the subscriber's acked position and
+// lease grant, and closes dead when the peer goes away.
+func (p *Primary) readAcks(br *bufio.Reader, sub *subscriberPos, dead chan struct{}) {
+	defer close(dead)
+	cl := p.cfg.Cluster
+	for {
+		req, err := protocol.ReadRequest(br)
+		if err != nil {
+			return
+		}
+		if req.Op != protocol.OpElection {
+			continue
+		}
+		a := req.StringArgs()
+		if len(a) != 5 || a[0] != electAck {
+			continue
+		}
+		epoch, e1 := parseInt(a[1])
+		seq, e2 := parseInt(a[2])
+		aseg, e3 := parseInt(a[3])
+		aidx, e4 := parseInt(a[4])
+		if e1 != nil || e2 != nil || e3 != nil || e4 != nil {
+			return
+		}
+		if my := cl.Epoch(); epoch > my {
+			p.logf("repl: ack reports epoch %d > ours %d: deposed", epoch, my)
+			if cl.OnStaleSelf != nil {
+				cl.OnStaleSelf(epoch)
+			}
+			return
+		}
+		sub.ackSeg.Store(aseg)
+		sub.ackIdx.Store(aidx)
+		sub.leaseGrant(seq)
+		p.acksRecv.Add(1)
+		p.mu.Lock()
+		close(p.ackWake)
+		p.ackWake = make(chan struct{})
+		p.mu.Unlock()
+	}
+}
+
+// WaitAcked blocks until at least need epoch-aware subscribers have
+// acknowledged a position past (seg, idx) — the record is then applied
+// and durably mirrored on that many replicas — or the timeout lapses.
+// This is the semi-synchronous commit gate: a timeout means the commit
+// is journaled locally but must not be acknowledged to the client as
+// replicated.
+func (p *Primary) WaitAcked(seg, idx int64, need int, timeout time.Duration) error {
+	if need <= 0 {
+		return nil
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		p.mu.Lock()
+		got := 0
+		for s := range p.tails {
+			if !s.epochAware {
+				continue
+			}
+			as, ai := s.ackSeg.Load(), s.ackIdx.Load()
+			if as > seg || (as == seg && ai > idx) {
+				got++
+			}
+		}
+		wake := p.ackWake
+		p.mu.Unlock()
+		if got >= need {
+			return nil
+		}
+		select {
+		case <-wake:
+		case <-deadline.C:
+			return fmt.Errorf("replica: position (%d, %d) unacknowledged after %v (%d/%d)", seg, idx, timeout, got, need)
+		case <-p.closing:
+			return fmt.Errorf("replica: primary shut down before position (%d, %d) was acknowledged", seg, idx)
+		}
+	}
+}
+
+// LeaseFresh counts connected epoch-aware subscribers whose lease
+// grant is newer than timeout ago — the primary's view of how many
+// voters still honour its lease.
+func (p *Primary) LeaseFresh(timeout time.Duration) (subs, fresh int) {
+	cut := time.Now().Add(-timeout).UnixNano()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for s := range p.tails {
+		if !s.epochAware {
+			continue
+		}
+		subs++
+		if s.grant.Load() > cut {
+			fresh++
+		}
+	}
+	return subs, fresh
+}
+
+// NewestGrant reports the most recent lease grant instant across all
+// epoch-aware subscribers (zero when none have acked a lease).
+func (p *Primary) NewestGrant() time.Time {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var newest int64
+	for s := range p.tails {
+		if s.epochAware {
+			if g := s.grant.Load(); g > newest {
+				newest = g
+			}
+		}
+	}
+	if newest == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, newest)
+}
+
+// HadEpochSub reports whether any epoch-aware replica has subscribed
+// since this primary started. Until one does, the primary is serving
+// alone — a fresh failover winner or an operator promotion — and the
+// cluster runs degraded: the lease is self-held and the commit gate is
+// waived, because there is nobody to replicate to yet.
+func (p *Primary) HadEpochSub() bool { return p.everEpochSub.Load() }
 
 // maybeBootstrap decides bootstrap-vs-tail and, when the replica's
 // position predates what the journal still holds, ships the newest
 // manifest-valid snapshot. It returns the position tailing starts from.
-func (p *Primary) maybeBootstrap(bw *bufio.Writer, send func(...[]byte) error, sendStrings func(...string) error, seg, idx int64) (int64, int64, error) {
+func (p *Primary) maybeBootstrap(bw *bufio.Writer, send func(...[]byte) error, sendStrings func(...string) error, maybeLease func() error, seg, idx int64, force bool) (int64, int64, error) {
 	segs, err := db.ListSegments(p.cfg.Journal.Dir())
 	if err != nil {
 		return 0, 0, err
@@ -334,8 +660,11 @@ func (p *Primary) maybeBootstrap(bw *bufio.Writer, send func(...[]byte) error, s
 		return 0, 0, fmt.Errorf("replica position (%d, %d) is ahead of journal head %d: diverged history", seg, idx, cur)
 	}
 
-	need := false
+	need := force
 	switch {
+	case need:
+		// Epoch skew or an explicit bootstrap request: the replica's
+		// history cannot be trusted to be a prefix of ours.
 	case seg == 0:
 		// Empty replica: bootstrap whenever a snapshot exists (the
 		// journal alone may not reach back to the beginning of time);
@@ -380,7 +709,7 @@ func (p *Primary) maybeBootstrap(bw *bufio.Writer, send func(...[]byte) error, s
 	}
 
 	p.logf("repl: bootstrapping from snapshot generation %d (journal seq %d)", gen, m.JournalSeq)
-	if err := p.sendSnapshot(send, sendStrings, gen, m); err != nil {
+	if err := p.sendSnapshot(send, sendStrings, maybeLease, gen, m); err != nil {
 		return 0, 0, err
 	}
 	if err := bw.Flush(); err != nil {
@@ -415,7 +744,7 @@ func (p *Primary) newestValidSnapshot() (int64, *db.Manifest, error) {
 // sendSnapshot ships every file of one snapshot generation, raw,
 // manifest last. The replica verifies the manifest after reassembly,
 // so a file damaged in flight is caught before it is adopted.
-func (p *Primary) sendSnapshot(send func(...[]byte) error, sendStrings func(...string) error, gen int64, m *db.Manifest) error {
+func (p *Primary) sendSnapshot(send func(...[]byte) error, sendStrings func(...string) error, maybeLease func() error, gen int64, m *db.Manifest) error {
 	dir := p.cfg.Store.Path(gen)
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -442,6 +771,13 @@ func (p *Primary) sendSnapshot(send func(...[]byte) error, sendStrings func(...s
 			return err
 		}
 		for {
+			// Lease frames ride between chunks so a long bootstrap does
+			// not silently expire the primary's lease; the receiving
+			// replica acknowledges them mid-snapshot.
+			if err := maybeLease(); err != nil {
+				f.Close()
+				return err
+			}
 			n, rerr := f.Read(buf)
 			if n > 0 {
 				if err := send([]byte(tagChunk), buf[:n]); err != nil {
@@ -477,8 +813,14 @@ const headHeartbeat = time.Second
 // and kills the stream; an incomplete tail of a *rotated* segment is
 // the torn-line crash signature and is skipped, exactly as recovery
 // does.
-func (p *Primary) tail(bw *bufio.Writer, sendStrings func(...string) error, notify <-chan struct{}, connDead <-chan struct{}, sub *subscriberPos, seg, idx int64) error {
+func (p *Primary) tail(bw *bufio.Writer, sendStrings func(...string) error, maybeLease func() error, notify <-chan struct{}, connDead <-chan struct{}, sub *subscriberPos, seg, idx int64) error {
 	jdir := p.cfg.Journal.Dir()
+	wake := headHeartbeat
+	if cl := p.cfg.Cluster; cl != nil && cl.LeaseInterval > 0 && cl.LeaseInterval < wake {
+		// Park no longer than the lease interval, or a quiet journal
+		// would starve the heartbeat that keeps the lease alive.
+		wake = cl.LeaseInterval
+	}
 	var (
 		f        *os.File
 		rem      []byte // bytes read but not yet forming a complete line
@@ -500,7 +842,7 @@ func (p *Primary) tail(bw *bufio.Writer, sendStrings func(...string) error, noti
 		select {
 		case <-notify:
 			return nil
-		case <-time.After(headHeartbeat):
+		case <-time.After(wake):
 			// Wake to re-send the head frame: an idle replica's lag
 			// gauge stays fresh only while heartbeats keep arriving.
 			return nil
@@ -519,6 +861,9 @@ func (p *Primary) tail(bw *bufio.Writer, sendStrings func(...string) error, noti
 		case <-connDead:
 			return fmt.Errorf("replica hung up")
 		default:
+		}
+		if err := maybeLease(); err != nil {
+			return err
 		}
 
 		if f == nil {

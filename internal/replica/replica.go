@@ -53,6 +53,34 @@ type Config struct {
 	// RetryDelay is the backoff between reconnect attempts (default 1s),
 	// slept through Clock.
 	RetryDelay time.Duration
+
+	// Cluster, when non-nil, runs the replica in cluster mode: the
+	// handshake carries the node's election epoch, the primary's hello
+	// and lease frames are surfaced through the callbacks, and applied
+	// positions are acknowledged up the connection for the primary's
+	// lease and semi-synchronous commit gate.
+	Cluster *ReplicaCluster
+}
+
+// ReplicaCluster wires a Replica into its Cluster.
+type ReplicaCluster struct {
+	// Epoch reports the node's current election epoch, sent in the
+	// handshake and every acknowledgement.
+	Epoch func() int64
+
+	// OnHello receives the primary's greeting. Returning an error ends
+	// the session (e.g. the primary's epoch is older than ours: a
+	// deposed primary must not be followed).
+	OnHello func(epoch int64, replAddr, clientAddr string) error
+
+	// OnLease is called at each lease frame, at receive time — the
+	// replica's election timer anchors here.
+	OnLease func(epoch int64)
+
+	// OnRedirect is called when the dialed node refuses the stream
+	// read-only and names the primary it knows (a follower was asked
+	// to act as one); the session ends and the caller retargets.
+	OnRedirect func(replAddr string)
 }
 
 // Replica is a read-only copy of the primary, kept hot by tailing its
@@ -75,6 +103,11 @@ type Replica struct {
 	closing  chan struct{}
 	done     chan struct{}
 	promoted atomic.Bool
+
+	// forceBoot makes the next handshake request a full bootstrap
+	// (position -1, -1): set on rejoin after this node was primary, so
+	// a diverged journal tail is replaced, never appended to.
+	forceBoot atomic.Bool
 
 	// Mirror of the primary's journal, owned by the run goroutine.
 	mf   *os.File
@@ -117,20 +150,7 @@ func Open(cfg Config) (*Replica, *queries.RecoverInfo, error) {
 	if cfg.Root == "" || cfg.From == "" {
 		return nil, nil, fmt.Errorf("replica: Root and From are required")
 	}
-	clk := cfg.Clock
-	if clk == nil {
-		clk = clock.System
-	}
-	logf := cfg.Logf
-	if logf == nil {
-		logf = func(string, ...any) {}
-	}
-	if cfg.DialTimeout <= 0 {
-		cfg.DialTimeout = 10 * time.Second
-	}
-	if cfg.RetryDelay <= 0 {
-		cfg.RetryDelay = time.Second
-	}
+	cfg, clk, logf := cfg.withDefaults()
 
 	d, info, err := queries.Recover(cfg.Root, clk, logf)
 	if err != nil {
@@ -140,11 +160,62 @@ func Open(cfg Config) (*Replica, *queries.RecoverInfo, error) {
 	if err != nil {
 		return nil, info, err
 	}
+	r, err := attach(cfg, d, dd, true)
+	if err != nil {
+		return nil, info, err
+	}
+	logf("repl: opened replica at position (%d, %d): %s", r.nextSeg.Load(), r.nextIdx.Load(), info.Summary())
+	return r, info, nil
+}
 
+// OpenRejoin builds a Replica over an already-open live database — the
+// cluster's boot-as-follower path and the fenced-primary rejoin path.
+// No recovery runs (the state is live and keeps serving reads), and
+// the caller must already have detached the database's journal writer.
+// With force set, the first handshake requests a full bootstrap
+// (position -1, -1): a node that journaled as primary may hold a tail
+// this history never committed, which must be replaced, not appended
+// to.
+func OpenRejoin(cfg Config, d *db.DB, dd *db.DataDir, force bool) (*Replica, error) {
+	if cfg.From == "" {
+		return nil, fmt.Errorf("replica: From is required")
+	}
+	cfg, _, logf := cfg.withDefaults()
+	r, err := attach(cfg, d, dd, !force)
+	if err != nil {
+		return nil, err
+	}
+	r.forceBoot.Store(force)
+	logf("repl: rejoining %s at position (%d, %d), force-bootstrap=%v",
+		cfg.From, r.nextSeg.Load(), r.nextIdx.Load(), force)
+	return r, nil
+}
+
+func (cfg Config) withDefaults() (Config, clock.Clock, func(string, ...any)) {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	if cfg.RetryDelay <= 0 {
+		cfg.RetryDelay = time.Second
+	}
+	return cfg, cfg.Clock, cfg.Logf
+}
+
+// attach builds the Replica struct over an open database, computing
+// the resume position from the mirrored journal. truncate cuts a torn
+// tail off the newest mirrored segment — wanted whenever that segment
+// will be appended to rather than replaced.
+func attach(cfg Config, d *db.DB, dd *db.DataDir, truncate bool) (*Replica, error) {
 	r := &Replica{
 		cfg:     cfg,
-		clk:     clk,
-		logf:    logf,
+		clk:     cfg.Clock,
+		logf:    cfg.Logf,
 		d:       d,
 		dd:      dd,
 		closing: make(chan struct{}),
@@ -152,24 +223,63 @@ func Open(cfg Config) (*Replica, *queries.RecoverInfo, error) {
 	}
 	seg, idx, off, err := scanPosition(dd.JournalDir())
 	if err != nil {
-		return nil, info, err
+		return nil, err
 	}
-	if seg > 0 {
+	if seg > 0 && truncate {
 		// A torn tail from the replica's own crash must be cut off:
 		// the primary resends that record whole, and appending it after
 		// the partial bytes would manufacture mid-file corruption.
 		if err := truncateSegment(filepath.Join(dd.JournalDir(), db.SegmentName(seg)), off); err != nil {
-			return nil, info, err
+			return nil, err
 		}
 	}
 	r.nextSeg.Store(seg)
 	r.nextIdx.Store(idx)
 	r.segBytes.Store(off)
-	logf("repl: opened replica at position (%d, %d): %s", seg, idx, info.Summary())
 	if cfg.Stats != nil {
 		r.BindStats(cfg.Stats)
 	}
-	return r, info, nil
+	return r, nil
+}
+
+// SetFrom retargets the replica at a different primary: the current
+// session is cut and the reconnect loop dials the new address.
+func (r *Replica) SetFrom(addr string) {
+	r.mu.Lock()
+	if addr == r.cfg.From {
+		r.mu.Unlock()
+		return
+	}
+	r.cfg.From = addr
+	conn := r.conn
+	r.mu.Unlock()
+	r.logf("repl: retargeting to %s", addr)
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// ForceBootstrap discards the local tail on the next session: the
+// replica re-handshakes with the explicit bootstrap position, so the
+// primary ships a full snapshot instead of a tail that might not share
+// a prefix with this node's journal. The cluster uses it whenever the
+// election epoch advances past the epoch this node's tail was written
+// under.
+func (r *Replica) ForceBootstrap() {
+	r.forceBoot.Store(true)
+	r.mu.Lock()
+	conn := r.conn
+	r.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// From reports the primary address the replica currently targets.
+func (r *Replica) From() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cfg.From
 }
 
 // DB returns the replica's database, live from the moment Open
@@ -316,7 +426,8 @@ func (r *Replica) setConn(conn net.Conn) bool {
 
 // session runs one connection to the primary to completion.
 func (r *Replica) session() error {
-	conn, err := net.DialTimeout("tcp", r.cfg.From, r.cfg.DialTimeout)
+	from := r.From()
+	conn, err := net.DialTimeout("tcp", from, r.cfg.DialTimeout)
 	if err != nil {
 		return err
 	}
@@ -335,12 +446,20 @@ func (r *Replica) session() error {
 		r.mu.Unlock()
 	}()
 
+	cl := r.cfg.Cluster
 	bw := bufio.NewWriter(conn)
 	seg, idx := r.nextSeg.Load(), r.nextIdx.Load()
+	args := []string{itoa(seg), itoa(idx)}
+	if cl != nil {
+		if r.forceBoot.Load() {
+			args = []string{"-1", "-1"}
+		}
+		args = append(args, itoa(cl.Epoch()))
+	}
 	err = protocol.WriteRequest(bw, &protocol.Request{
 		Version: protocol.Version,
 		Op:      protocol.OpReplicate,
-		Args:    protocol.BytesArgs([]string{itoa(seg), itoa(idx)}),
+		Args:    protocol.BytesArgs(args),
 	})
 	if err == nil {
 		err = bw.Flush()
@@ -349,16 +468,60 @@ func (r *Replica) session() error {
 		return err
 	}
 	r.connected.Store(true)
-	r.logf("repl: connected to %s at position (%d, %d)", r.cfg.From, seg, idx)
+	r.logf("repl: connected to %s at position (%d, %d)", from, seg, idx)
+
+	// Cluster-mode acknowledgements: one OpElection "ack" request back
+	// up the stream, carrying our epoch, the newest lease sequence
+	// seen, and the next record we want (everything before it is
+	// mirrored and applied). Sent at each lease frame and after each
+	// drained burst of records.
+	var lastLeaseSeq int64
+	helloSeen := false
+	ack := func() error {
+		if cl == nil || !helloSeen {
+			return nil
+		}
+		err := protocol.WriteRequest(bw, &protocol.Request{
+			Version: protocol.Version,
+			Op:      protocol.OpElection,
+			Args: protocol.BytesArgs([]string{electAck, itoa(cl.Epoch()),
+				itoa(lastLeaseSeq), itoa(r.nextSeg.Load()), itoa(r.nextIdx.Load())}),
+		})
+		if err == nil {
+			err = bw.Flush()
+		}
+		return err
+	}
+
+	// leaseAck processes one lease frame wherever it arrives — in the
+	// main stream or interleaved with snapshot chunks.
+	leaseAck := func(epoch, seq int64) error {
+		if seq > lastLeaseSeq {
+			lastLeaseSeq = seq
+		}
+		if cl != nil && cl.OnLease != nil {
+			cl.OnLease(epoch)
+		}
+		return ack()
+	}
 
 	br := bufio.NewReader(conn)
+	dirty := false // positions advanced since the last ack
 	for {
 		rep, err := protocol.ReadReply(br)
 		if err != nil {
 			return err
 		}
-		if mrerr.Code(rep.Code) != mrerr.MrMoreData {
-			return fmt.Errorf("primary ended stream with code %d (%v)", rep.Code, mrerr.Code(rep.Code).OrNil())
+		if code := mrerr.Code(rep.Code); code != mrerr.MrMoreData {
+			if code == mrerr.MrReadonly && cl != nil {
+				// The dialed node is not (or no longer) the primary. If
+				// it knows who is, chase that instead of redialing it.
+				if f := rep.StringFields(); len(f) > 0 && f[0] != "" && cl.OnRedirect != nil {
+					cl.OnRedirect(f[0])
+				}
+				return fmt.Errorf("%s is not the primary", from)
+			}
+			return fmt.Errorf("primary ended stream with code %d (%v)", rep.Code, code.OrNil())
 		}
 		if len(rep.Fields) == 0 {
 			return fmt.Errorf("empty stream frame")
@@ -372,6 +535,34 @@ func (r *Replica) session() error {
 			if err := r.applyRecord(f[1], f[2], f[3]); err != nil {
 				return err
 			}
+			dirty = true
+		case tagHello:
+			if len(f) != 4 {
+				return fmt.Errorf("malformed hello frame")
+			}
+			epoch, err := parseInt(f[1])
+			if err != nil {
+				return fmt.Errorf("malformed hello frame")
+			}
+			if cl != nil && cl.OnHello != nil {
+				if err := cl.OnHello(epoch, f[2], f[3]); err != nil {
+					return err
+				}
+			}
+			helloSeen = true
+		case tagLease:
+			if len(f) != 3 {
+				return fmt.Errorf("malformed lease frame")
+			}
+			epoch, e1 := parseInt(f[1])
+			seq, e2 := parseInt(f[2])
+			if e1 != nil || e2 != nil {
+				return fmt.Errorf("malformed lease frame")
+			}
+			if err := leaseAck(epoch, seq); err != nil {
+				return err
+			}
+			dirty = false
 		case tagHead:
 			// 4 fields from older primaries; 5 adds the primary's clock
 			// (Unix seconds) so heartbeats keep freshness current.
@@ -399,11 +590,22 @@ func (r *Replica) session() error {
 			if len(f) != 3 {
 				return fmt.Errorf("malformed snap-begin frame")
 			}
-			if err := r.receiveSnapshot(br, f[1], f[2]); err != nil {
+			if err := r.receiveSnapshot(br, f[1], f[2], leaseAck); err != nil {
 				return err
 			}
+			r.forceBoot.Store(false)
+			dirty = true
 		default:
 			return fmt.Errorf("unknown stream frame %q", f[0])
+		}
+		// Acknowledge advanced positions once the read buffer drains: a
+		// burst of records costs one ack, and the primary's commit gate
+		// hears about the burst's last commit promptly.
+		if dirty && br.Buffered() == 0 {
+			if err := ack(); err != nil {
+				return err
+			}
+			dirty = false
 		}
 	}
 }
@@ -517,7 +719,7 @@ func (r *Replica) closeMirror() error {
 // readers see the old state until the swap, never a half-loaded one.
 // The stale mirror segments are removed; tailing resumes at the
 // snapshot's journal sequence.
-func (r *Replica) receiveSnapshot(br *bufio.Reader, genField, seqField string) (err error) {
+func (r *Replica) receiveSnapshot(br *bufio.Reader, genField, seqField string, leaseAck func(epoch, seq int64) error) (err error) {
 	gen, e1 := parseInt(genField)
 	jseq, e2 := parseInt(seqField)
 	if e1 != nil || e2 != nil || gen <= 0 || jseq <= 0 {
@@ -605,6 +807,21 @@ receive:
 			if err := closeCur(); err != nil {
 				return err
 			}
+		case tagLease:
+			// Lease heartbeats ride between chunks; acknowledging them
+			// keeps the primary's lease alive through a long bootstrap.
+			f := rep.StringFields()
+			if len(f) != 3 {
+				return fmt.Errorf("malformed lease frame")
+			}
+			epoch, e1 := parseInt(f[1])
+			seq, e2 := parseInt(f[2])
+			if e1 != nil || e2 != nil {
+				return fmt.Errorf("malformed lease frame")
+			}
+			if err := leaseAck(epoch, seq); err != nil {
+				return err
+			}
 		case tagSnapEnd:
 			break receive
 		default:
@@ -690,6 +907,17 @@ func (r *Replica) Promote(opts db.JournalOptions) (*db.JournalWriter, error) {
 		return nil, err
 	}
 	r.d.SetJournal(jw)
+	// Bump the persisted election epoch on a legacy (non-cluster)
+	// promotion too: if this node or its deposed primary later joins
+	// an elected cluster, the epochs must still order the promotion.
+	// In cluster mode the Cluster persists the claimed epoch itself.
+	if r.cfg.Cluster == nil && r.cfg.Root != "" {
+		if epoch, err := LoadEpoch(r.cfg.Root); err == nil {
+			if err := StoreEpoch(r.cfg.Root, epoch+1); err != nil {
+				r.logf("repl: promote: persisting epoch: %v", err)
+			}
+		}
+	}
 	r.logf("repl: promoted to primary; journal segment %d", jw.Seq())
 	return jw, nil
 }

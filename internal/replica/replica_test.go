@@ -112,6 +112,7 @@ func (w *primaryWorld) openReplica(root string) *Replica {
 		From:       w.addr,
 		Clock:      staticClock{instant},
 		RetryDelay: 10 * time.Millisecond,
+		Logf:       w.t.Logf,
 	})
 	if err != nil {
 		w.t.Fatalf("replica open: %v", err)
@@ -176,7 +177,20 @@ func TestReplicaConvergesUnderConcurrentWrites(t *testing.T) {
 		w.run("add_machine", fmt.Sprintf("m%03d.mit.edu", i), "VAX")
 	}
 
-	// Kill the replica mid-stream; the primary keeps writing.
+	// Kill the replica mid-stream; the primary keeps writing. Wait for
+	// the stream to actually start first — "mid-stream" requires the
+	// replica to have mirrored at least one record, and the connect
+	// races the write loop above.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if seg, idx := rep.Position(); seg > 0 || idx > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replica never started mirroring")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 	if err := rep.Close(); err != nil {
 		t.Fatal(err)
 	}

@@ -33,7 +33,10 @@ package replica
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"strconv"
+	"strings"
 )
 
 // Frame tags.
@@ -45,7 +48,102 @@ const (
 	tagSnapEnd   = "snap-end"
 	tagRec       = "rec"
 	tagHead      = "head"
+
+	// Cluster-mode frames (protocol v5 failover). The hello frame is
+	// the primary's greeting, sent before anything else on an
+	// epoch-aware stream:
+	//
+	//	hello epoch replAddr clientAddr
+	//
+	// lease frames are the primary's deadline-heartbeat, interleaved
+	// with the stream (including mid-snapshot, so a long bootstrap
+	// does not cost the primary its lease):
+	//
+	//	lease epoch seq
+	//
+	// The replica acknowledges both positions and lease sequence
+	// numbers by writing OpElection "ack" requests back up the same
+	// connection — the stream is full duplex in cluster mode, where a
+	// legacy replica sends nothing after its handshake.
+	tagHello = "hello"
+	tagLease = "lease"
 )
+
+// Election subops: the first argument of an OpElection request.
+const (
+	// electAck rides the replication connection, replica → primary:
+	//
+	//	ack epoch seq seg idx
+	//
+	// epoch is the replica's current epoch (a higher one deposes the
+	// primary on contact), seq echoes the newest lease frame seen (0
+	// before any), and (seg, idx) is the next record the replica wants
+	// — everything before it is mirrored durably and applied.
+	electAck = "ack"
+
+	// electInfo polls a node's identity; the final reply's fields are
+	// [role, epoch, seg, idx, replAddr, clientAddr, held].
+	electInfo = "info"
+
+	// electClaim asks a node to accept the sender as primary for a new
+	// epoch: [claim, epoch, seg, idx, replAddr, clientAddr, force].
+	// Success grants; MR_PERM denies with a reason field.
+	electClaim = "claim"
+)
+
+// epochFile is the election epoch persisted at the data-dir root. It
+// is read at boot and rewritten (atomically, fsynced) on every epoch
+// adoption — a node must never regress its epoch across a crash, or
+// it could grant two primaries the same epoch.
+const epochFile = "EPOCH"
+
+// LoadEpoch reads the persisted election epoch; a missing file is
+// epoch 0 (never participated in an election).
+func LoadEpoch(root string) (int64, error) {
+	data, err := os.ReadFile(filepath.Join(root, epochFile))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(string(data)), 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("replica: corrupt epoch file: %q", data)
+	}
+	return v, nil
+}
+
+// StoreEpoch durably persists the election epoch: write-temp, fsync,
+// rename, fsync directory — the same discipline as every other
+// durable file in the layout.
+func StoreEpoch(root string, epoch int64) error {
+	path := filepath.Join(root, epochFile)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	_, err = f.WriteString(strconv.FormatInt(epoch, 10) + "\n")
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if dir, derr := os.Open(root); derr == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	return nil
+}
 
 // snapChunkSize bounds one snapshot chunk frame, well under the
 // protocol's MaxFrame.

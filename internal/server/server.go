@@ -15,6 +15,7 @@ import (
 	"net"
 	"runtime/debug"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -111,6 +112,33 @@ type Config struct {
 	// batches are refused with MR_ARG_TOO_LONG. Zero means
 	// DefaultMaxBatch.
 	MaxBatch int
+
+	// Failover, when set, wires the server into a failover cluster:
+	// the _whois handle answers from it, v5 mutations gate on
+	// replication and return commit-position tokens, v5 reads carrying
+	// a token wait for coverage (or answer MR_STALE plus the primary's
+	// address), and read-only refusals name the primary so clients can
+	// chase it.
+	Failover FailoverState
+}
+
+// FailoverState is the cluster surface the server consumes; it is
+// implemented by replica.Cluster. All methods are safe for concurrent
+// use and reflect the node's current role.
+type FailoverState interface {
+	// Whois reports the node's failover identity (the _whois handle).
+	Whois() queries.WhoisInfo
+	// CommitGate blocks until the commit at (seg, idx) is replicated
+	// to quorum, or fails with MR_NOT_REPLICATED.
+	CommitGate(seg, idx int64) error
+	// Token mints the position token for a gated commit.
+	Token(seg, idx int64) string
+	// WaitCovered reports whether this node has applied up to pos,
+	// waiting briefly for it to catch up.
+	WaitCovered(pos protocol.Pos) bool
+	// PrimaryClient names the current primary's client address ("" if
+	// unknown), attached to MR_READONLY and MR_STALE replies.
+	PrimaryClient() string
 }
 
 // DefaultMaxBatch is the Batch item cap when Config.MaxBatch is zero.
@@ -468,6 +496,10 @@ func (s *Server) serveConn(conn net.Conn, st *connState) {
 		Spans:      s.cfg.Tracer.Traces,
 		Health:     s.cfg.Health.Check,
 	}
+	if fo := s.cfg.Failover; fo != nil {
+		cx.Whois = fo.Whois
+		cx.CommitGate = fo.CommitGate
+	}
 	// Section 5.5: access checks commonly run twice (Access request,
 	// then the Query itself); the per-connection cache absorbs the
 	// second one.
@@ -556,7 +588,7 @@ func (s *Server) serveConn(conn net.Conn, st *connState) {
 		cx.Span = sp
 		cx.PhaseStart = readStart.Add(readDur)
 
-		code, handle, shutdown, fatal := s.dispatch(cx, ses, req, reply)
+		code, fields, handle, shutdown, fatal := s.dispatch(cx, ses, req, reply)
 		cx.Span = nil
 		if handle != "" {
 			sp.SetDetailParts(protocol.OpName(req.Op), handle)
@@ -567,7 +599,7 @@ func (s *Server) serveConn(conn net.Conn, st *connState) {
 			return
 		}
 		writeStart := time.Now()
-		if reply(code, nil) != nil {
+		if reply(code, fields) != nil {
 			sp.EndCode(int32(mrerr.MrAborted))
 			return
 		}
@@ -592,15 +624,28 @@ func (s *Server) serveConn(conn net.Conn, st *connState) {
 // and counts server.panics.recovered. fatal means the connection is dead
 // (the client stopped reading mid-stream) and must be dropped without a
 // final reply.
-func (s *Server) dispatch(cx *queries.Context, ses *session, req *protocol.Request, reply func(mrerr.Code, []string) error) (code mrerr.Code, handle string, shutdown, fatal bool) {
+func (s *Server) dispatch(cx *queries.Context, ses *session, req *protocol.Request, reply func(mrerr.Code, []string) error) (code mrerr.Code, fields []string, handle string, shutdown, fatal bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.reg.Counter("server.panics.recovered").Inc()
 			s.cfg.Logf("panic serving client=%d op=%s handle=%s: %v\n%s",
 				ses.id, protocol.OpName(req.Op), handle, r, debug.Stack())
-			code, shutdown, fatal = mrerr.MrInternal, false, false
+			code, fields, shutdown, fatal = mrerr.MrInternal, nil, false, false
 		}
 	}()
+
+	// Redirect fields ride v5 final replies only; older clients get the
+	// bare code they always did.
+	v5 := req.Version >= 5 && s.cfg.Failover != nil
+	redirect := func() []string {
+		if !v5 {
+			return nil
+		}
+		if addr := s.cfg.Failover.PrimaryClient(); addr != "" {
+			return []string{addr}
+		}
+		return nil
+	}
 
 	switch req.Op {
 	case protocol.OpNoop:
@@ -623,7 +668,24 @@ func (s *Server) dispatch(cx *queries.Context, ses *session, req *protocol.Reque
 			// through so the client still gets MR_NO_HANDLE.
 			if q, ok := queries.Lookup(args[0]); ok && q.Kind != queries.Retrieve {
 				s.reg.Counter("server.readonly.refused").Inc()
-				code = mrerr.MrReadonly
+				code, fields = mrerr.MrReadonly, redirect()
+				break
+			}
+		}
+		// Read-your-writes: a v5 read carrying a position token waits
+		// (briefly) for this node to apply up to it, then refuses with
+		// MR_STALE and the primary's address rather than serve data
+		// older than the caller's own write. Meta handles ("_...") are
+		// exempt — _whois must answer even on a lagging node.
+		if v5 && req.MinPos != "" && !strings.HasPrefix(handle, "_") {
+			pos, ok := protocol.ParsePos(req.MinPos)
+			if !ok {
+				code = mrerr.MrArgs
+				break
+			}
+			if !s.cfg.Failover.WaitCovered(pos) {
+				s.reg.Counter("server.stale.refused").Inc()
+				code, fields = mrerr.MrStale, redirect()
 				break
 			}
 		}
@@ -642,9 +704,14 @@ func (s *Server) dispatch(cx *queries.Context, ses *session, req *protocol.Reque
 			err = queries.Execute(cx, args[0], args[1:], emitFn)
 		}
 		if emitErr {
-			return mrerr.MrAborted, handle, false, true
+			return mrerr.MrAborted, nil, handle, false, true
 		}
 		code = mrerr.CodeOf(err)
+		if v5 && code == mrerr.Success && cx.CommitOK {
+			// A gated commit mints the position token the client can
+			// present on subsequent reads.
+			fields = []string{s.cfg.Failover.Token(cx.CommitSeg, cx.CommitIdx)}
+		}
 
 	case protocol.OpAccess:
 		if len(req.Args) < 1 {
@@ -664,7 +731,7 @@ func (s *Server) dispatch(cx *queries.Context, ses *session, req *protocol.Reque
 	case protocol.OpBatch:
 		if s.readonly.Load() {
 			s.reg.Counter("server.readonly.refused").Inc()
-			code = mrerr.MrReadonly
+			code, fields = mrerr.MrReadonly, redirect()
 			break
 		}
 		items, derr := protocol.DecodeBatch(req.Args)
@@ -684,20 +751,23 @@ func (s *Server) dispatch(cx *queries.Context, ses *session, req *protocol.Reque
 		if err == nil {
 			// Per-item codes ride as the fields of one streamed frame, in
 			// submission order, ahead of the overall-result frame.
-			fields := make([]string, len(codes))
+			itemCodes := make([]string, len(codes))
 			for i, c := range codes {
-				fields[i] = strconv.FormatInt(int64(c), 10)
+				itemCodes[i] = strconv.FormatInt(int64(c), 10)
 			}
-			if reply(mrerr.MrMoreData, fields) != nil {
-				return mrerr.MrAborted, handle, false, true
+			if reply(mrerr.MrMoreData, itemCodes) != nil {
+				return mrerr.MrAborted, nil, handle, false, true
 			}
 		}
 		code = mrerr.CodeOf(err)
+		if v5 && code == mrerr.Success && cx.CommitOK {
+			fields = []string{s.cfg.Failover.Token(cx.CommitSeg, cx.CommitIdx)}
+		}
 
 	case protocol.OpTriggerDCM:
 		if s.readonly.Load() {
 			s.reg.Counter("server.readonly.refused").Inc()
-			code = mrerr.MrReadonly
+			code, fields = mrerr.MrReadonly, redirect()
 			break
 		}
 		err := queries.CheckAccess(cx, queries.TriggerDCMCapability, nil)
@@ -714,7 +784,7 @@ func (s *Server) dispatch(cx *queries.Context, ses *session, req *protocol.Reque
 	default:
 		code = mrerr.MrUnknownProc
 	}
-	return code, handle, shutdown, false
+	return code, fields, handle, shutdown, false
 }
 
 // handleName canonicalizes a query handle to its long name for metrics

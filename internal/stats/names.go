@@ -23,6 +23,7 @@ var KnownNames = []string{
 	"server.conns.forceclosed",
 	"server.panics.recovered",
 	"server.readonly.refused",
+	"server.stale.refused",
 
 	// database (internal/db)
 	"db.*", // per-table append/update/delete mirrors
@@ -65,6 +66,22 @@ var KnownNames = []string{
 	"repl.primary.sent.bytes",
 	"repl.primary.subscribers",
 	"repl.primary.shiplag.records",
+
+	// failover cluster (internal/replica cluster)
+	"election.epoch",
+	"election.count",
+	"election.won",
+	"election.aborted",
+	"election.flaps",
+	"lease.held",
+	"lease.remaining.ms",
+	"lease.renewals",
+	"lease.expiries",
+	"lease.acks",
+	"lease.sent",
+	"repl.commit.gated",
+	"repl.commit.gatefail",
+	"repl.commit.waived",
 
 	// DCM (internal/dcm)
 	"dcm.passes",
