@@ -37,6 +37,9 @@ func main() {
 		retries  = flag.Int("retries", 0, "in-pass soft-failure retries per host (0 = default, negative = none)")
 		pushTO   = flag.Duration("push-timeout", 0, "per-host update deadline; a slower host counts as a soft failure (0 = default 30s)")
 		latency  = flag.Duration("host-latency", 0, "inject this much real service delay into every update agent (demo of the parallel push)")
+		incr     = flag.Bool("incremental", false, "journal-delta extraction: patch keyed models from the durable journal instead of rebuilding from scratch")
+		fullEv   = flag.Int("full-every", 0, "with -incremental, force a full rebuild every N generating passes per service (0 = never)")
+		whole    = flag.Bool("whole-file", false, "disable the content-chunked diff transport; push whole files")
 		verbose  = flag.Bool("v", false, "log every DCM action")
 		debug    = flag.String("debug-addr", "", "serve /metrics, /healthz, /readyz, expvar, and pprof on this HTTP address")
 	)
@@ -51,6 +54,9 @@ func main() {
 		DCMParallelHosts:    *parHosts,
 		DCMMaxRetries:       *retries,
 		DCMPushTimeout:      *pushTO,
+		DCMIncremental:      *incr,
+		DCMFullEvery:        *fullEv,
+		DCMWholeFilePush:    *whole,
 	}
 	if *verbose {
 		opts.Logf = log.Printf
@@ -106,6 +112,11 @@ func main() {
 			stats.HostSoftFails+stats.HostHardFails, stats.Retries,
 			stats.FilesPropagated, stats.BytesPropagated,
 			wall.Round(time.Millisecond))
+		if *incr {
+			fmt.Printf("      delta: full=%d delta=%d noop=%d fallback=%d records=%d keys=%d pushed=%dB skipped=%dB\n",
+				stats.FullBuilds, stats.DeltaBuilds, stats.NoopPasses, stats.Fallbacks,
+				stats.DeltaRecords, stats.DeltaKeys, stats.BytesPushed, stats.BytesSkipped)
+		}
 		if stats.HostsConsidered > 0 {
 			fmt.Printf("      push latency: %s\n", stats.PushLatency.String())
 		}

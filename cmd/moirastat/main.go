@@ -42,6 +42,7 @@ func main() {
 		spans    = flag.String("spans", "", "dump kept span trees ('*' for all, or one trace ID)")
 		healthy  = flag.Bool("health", false, "one-shot health view: print every probe, exit nonzero when any fails")
 		repl     = flag.Bool("repl", false, "one-shot replication view: role, last applied position, lag")
+		dcmView  = flag.Bool("dcm", false, "one-shot DCM view: per-service journal position and backlog, pass modes, bytes pushed vs skipped")
 	)
 	flag.Parse()
 
@@ -58,6 +59,12 @@ func main() {
 		dumpSpans(c, *spans)
 	case *healthy:
 		checkHealth(c)
+	case *dcmView:
+		rows, err := fetch(c)
+		if err != nil {
+			log.Fatalf("moirastat: _stats: %v", err)
+		}
+		printDCM(rows)
 	case *repl:
 		rows, err := fetch(c)
 		if err != nil {
@@ -176,6 +183,81 @@ func printCluster(w []string, rows []row) {
 		fmt.Printf("commits: %d gated on replication, %d gate failures\n",
 			m["repl.commit.gated"], m["repl.commit.gatefail"])
 		fmt.Printf("leases: %d sent, %d acked\n", m["lease.sent"], m["lease.acks"])
+	}
+}
+
+// printDCM renders the incremental-DCM view from the dcm.* and
+// update.chunks.* series: cumulative pass modes and transfer savings,
+// then a per-service table of committed journal position, last-pass
+// backlog, and last pass mode from the dcm.delta.*.<service> gauges.
+func printDCM(rows []row) {
+	m := make(map[string]int64)
+	type svcRow struct{ seg, idx, backlog, mode int64 }
+	services := make(map[string]*svcRow)
+	var order []string
+	svc := func(name string) *svcRow {
+		s, ok := services[name]
+		if !ok {
+			s = &svcRow{}
+			services[name] = s
+			order = append(order, name)
+		}
+		return s
+	}
+	for _, r := range rows {
+		if !strings.HasPrefix(r.name, "dcm.") && !strings.HasPrefix(r.name, "update.chunks.") &&
+			!strings.HasPrefix(r.name, "journal.") {
+			continue
+		}
+		v, err := strconv.ParseInt(r.value, 10, 64)
+		if err != nil {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(r.name, "dcm.delta.pos.seg."):
+			svc(strings.TrimPrefix(r.name, "dcm.delta.pos.seg.")).seg = v
+		case strings.HasPrefix(r.name, "dcm.delta.pos.idx."):
+			svc(strings.TrimPrefix(r.name, "dcm.delta.pos.idx.")).idx = v
+		case strings.HasPrefix(r.name, "dcm.delta.backlog."):
+			svc(strings.TrimPrefix(r.name, "dcm.delta.backlog.")).backlog = v
+		case strings.HasPrefix(r.name, "dcm.delta.lastmode."):
+			svc(strings.TrimPrefix(r.name, "dcm.delta.lastmode.")).mode = v
+		default:
+			m[r.name] = v
+		}
+	}
+	fmt.Printf("passes: %d total (%d full, %d delta, %d no-op; %d fallbacks to full)\n",
+		m["dcm.passes"],
+		m["dcm.delta.passes.full"], m["dcm.delta.passes.delta"], m["dcm.delta.passes.noop"],
+		m["dcm.delta.fallbacks"])
+	fmt.Printf("deltas: %d journal records consumed, %d keys recomputed\n",
+		m["dcm.delta.records"], m["dcm.delta.keys"])
+	pushed, skipped := m["dcm.bytes.pushed"], m["dcm.bytes.skipped"]
+	pct := 0.0
+	if pushed+skipped > 0 {
+		pct = 100 * float64(skipped) / float64(pushed+skipped)
+	}
+	fmt.Printf("transfer: %d bytes pushed, %d bytes reused by agents (%.1f%% saved); %d whole-file downgrades\n",
+		pushed, skipped, pct, m["update.chunks.downgrades"])
+	fmt.Printf("chunks: %d manifests exchanged, %d chunks pushed, %d reused\n",
+		m["update.chunks.manifests"], m["update.chunks.pushed"], m["update.chunks.reused"])
+	if hs, ok := m["journal.segment"]; ok {
+		fmt.Printf("journal: head segment %d\n", hs)
+	}
+	if len(order) == 0 {
+		fmt.Println("no incremental services (DCM running without -incremental?)")
+		return
+	}
+	sort.Strings(order)
+	modes := []string{"full", "delta", "no-op"}
+	fmt.Printf("\n%-12s %10s %10s %8s %s\n", "service", "pos.seg", "pos.idx", "backlog", "last-pass")
+	for _, name := range order {
+		s := services[name]
+		mode := "?"
+		if s.mode >= 0 && int(s.mode) < len(modes) {
+			mode = modes[s.mode]
+		}
+		fmt.Printf("%-12s %10d %10d %8d %s\n", name, s.seg, s.idx, s.backlog, mode)
 	}
 }
 

@@ -74,6 +74,16 @@ type Options struct {
 	// default.
 	DCMPushTimeout time.Duration
 
+	// DCMIncremental turns on the journal-delta extract path: Boot
+	// attaches a durable journal to the database and the DCM patches
+	// per-service keyed models from it instead of rebuilding from
+	// scratch each pass. DCMFullEvery forces a full rebuild every N
+	// generating passes per service (0 disables the cadence);
+	// DCMWholeFilePush disables the content-chunked diff transport.
+	DCMIncremental   bool
+	DCMFullEvery     int
+	DCMWholeFilePush bool
+
 	// Connection-lifecycle knobs for the Moira server (see
 	// server.Config): per-request read and write deadlines, the
 	// accept-time connection cap, and the Close drain bound. Zero values
@@ -138,6 +148,10 @@ type System struct {
 	DCM    *dcm.DCM
 	Broker *zephyr.Broker
 
+	// Journal is the durable journal attached for DCMIncremental (nil
+	// otherwise); the DCM's delta planner reads it.
+	Journal *db.JournalWriter
+
 	Hesiod   *hesiod.Server
 	NFSHosts map[string]*nfshost.Host
 	Mailhub  *mailhub.Hub
@@ -151,6 +165,7 @@ type System struct {
 	passwords  []pwEntry
 	tmpRoot    string
 	ownTmpRoot bool
+	journalDir string
 }
 
 // Boot brings up a complete system.
@@ -221,6 +236,28 @@ func Boot(opts Options) (*System, error) {
 		}
 	}
 
+	// The delta planner's journal. Attached after the workload
+	// populate so the bulk load does not flow through segment files:
+	// records before the attach are invisible to the planner, which is
+	// fine because every service's first pass is a full build that
+	// commits its position at the then-current head.
+	if opts.DCMIncremental {
+		jdir, err := os.MkdirTemp("", "moira-journal-*")
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.journalDir = jdir
+		jw, err := db.OpenJournalWriter(jdir, db.JournalOptions{})
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		jw.BindStats(s.Registry)
+		s.DB.SetJournal(jw)
+		s.Journal = jw
+	}
+
 	// The Moira server.
 	srvKey, err := s.KDC.Srvtab(MoiraServicePrincipal)
 	if err != nil {
@@ -289,6 +326,10 @@ func Boot(opts Options) (*System, error) {
 		MaxParallelServices: opts.DCMParallelServices,
 		MaxParallelHosts:    opts.DCMParallelHosts,
 		MaxRetries:          opts.DCMMaxRetries,
+		Incremental:         opts.DCMIncremental,
+		Journal:             s.Journal,
+		FullEvery:           opts.DCMFullEvery,
+		WholeFilePush:       opts.DCMWholeFilePush,
 	})
 
 	// The registration server.
@@ -405,6 +446,12 @@ func (s *System) Close() {
 	}
 	for _, a := range s.Agents {
 		a.Close()
+	}
+	if s.Journal != nil {
+		s.Journal.Close()
+	}
+	if s.journalDir != "" {
+		os.RemoveAll(s.journalDir)
 	}
 	if s.ownTmpRoot && s.tmpRoot != "" {
 		os.RemoveAll(s.tmpRoot)

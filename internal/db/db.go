@@ -122,6 +122,7 @@ type DB struct {
 	journal     io.Writer
 	journalErrs atomic.Int64 // failed journal appends, surfaced as journal.errors
 	wedged      atomic.Bool  // fail-stop latch: set on the first journal write error
+	adoptions   atomic.Int64 // AdoptFrom count; cached extract models key off it
 
 	// ops mirrors the per-table op counts from TBLSTATS into atomics
 	// under their own lock, so a stats snapshot taken while a query
@@ -258,6 +259,13 @@ func (d *DB) SetJournal(w io.Writer) {
 	d.wedged.Store(false)
 }
 
+// AdoptCount reports how many times AdoptFrom replaced this database's
+// state. Derived caches built from a read of the database (the
+// incremental extract models) record the count they were built at and
+// discard themselves when it moves — an adopted snapshot invalidates
+// every delta chain.
+func (d *DB) AdoptCount() int64 { return d.adoptions.Load() }
+
 // JournalWedged reports whether a journal append has failed since the
 // journal was last (re)set. A wedged database is no longer durable —
 // its memory already holds at least one change the journal does not —
@@ -290,6 +298,7 @@ func (d *DB) JournalHead() (seg, recs int64, ok bool) {
 func (d *DB) AdoptFrom(src *DB) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.adoptions.Add(1)
 	d.users, d.usersByLogin = src.users, src.usersByLogin
 	d.machines, d.machByName = src.machines, src.machByName
 	d.clusters, d.cluByName = src.clusters, src.cluByName

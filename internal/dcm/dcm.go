@@ -18,6 +18,7 @@ import (
 
 	"moira/internal/clock"
 	"moira/internal/db"
+	"moira/internal/extract"
 	"moira/internal/gen"
 	"moira/internal/kerberos"
 	"moira/internal/mrerr"
@@ -39,6 +40,34 @@ type Config struct {
 	// Generators maps service name to generator; defaults to
 	// gen.Registry.
 	Generators map[string]gen.Func
+
+	// Tables maps service name to the relations its extract reads, for
+	// the no-change sequence check that replaced the generators'
+	// internal short-circuit; defaults to gen.Tables. Services absent
+	// from the map regenerate on every due pass.
+	Tables map[string][]string
+
+	// Incremental turns on journal-delta extraction: per-service keyed
+	// models patched from the durable journal instead of full rebuilds.
+	// Services without an entry in Incrementals still rebuild fully.
+	Incremental bool
+
+	// Incrementals maps service name to its keyed generator; defaults
+	// to gen.Incrementals. Only consulted when Incremental is set.
+	Incrementals map[string]*gen.Incremental
+
+	// Journal is the durable journal the delta planner reads; nil
+	// degrades every incremental decision to the sequence check.
+	Journal *db.JournalWriter
+
+	// FullEvery forces a full rebuild every N generating passes per
+	// service even when deltas would do, bounding drift; 0 disables.
+	FullEvery int
+
+	// WholeFilePush forces whole-file transfers, disabling the
+	// content-chunked diff transport. The zero value pushes chunk diffs
+	// (agents that do not speak the chunk ops downgrade per host).
+	WholeFilePush bool
 
 	// ExtractDB, when non-nil, is the database the generators read
 	// from — typically a caught-up read replica, so extraction passes
@@ -129,9 +158,15 @@ const (
 
 // DCM is a data control manager instance.
 type DCM struct {
-	cfg Config
-	clk clock.Clock
-	rnd *lockedRand
+	cfg     Config
+	clk     clock.Clock
+	rnd     *lockedRand
+	planner *extract.Planner
+
+	// scratchMu guards scratch; each service's bundle buffers are only
+	// touched by that service's (serialized) cycles.
+	scratchMu sync.Mutex
+	scratch   map[string]*gen.Scratch
 }
 
 // New creates a DCM.
@@ -141,6 +176,12 @@ func New(cfg Config) *DCM {
 	}
 	if cfg.Generators == nil {
 		cfg.Generators = gen.Registry
+	}
+	if cfg.Tables == nil {
+		cfg.Tables = gen.Tables
+	}
+	if cfg.Incrementals == nil {
+		cfg.Incrementals = gen.Incrementals
 	}
 	if cfg.Scripts == nil {
 		cfg.Scripts = DefaultScripts
@@ -154,7 +195,53 @@ func New(cfg Config) *DCM {
 	if cfg.Backoff.zero() {
 		cfg.Backoff = DefaultBackoff
 	}
-	return &DCM{cfg: cfg, clk: cfg.Clock, rnd: newLockedRand(cfg.BackoffSeed)}
+	m := &DCM{
+		cfg: cfg, clk: cfg.Clock, rnd: newLockedRand(cfg.BackoffSeed),
+		scratch: map[string]*gen.Scratch{},
+	}
+	if cfg.Incremental {
+		d := cfg.DB
+		if cfg.ExtractDB != nil {
+			d = cfg.ExtractDB
+		}
+		m.planner = extract.NewPlanner(d, cfg.Journal, cfg.FullEvery)
+	}
+	return m
+}
+
+// Planner exposes the delta planner for monitoring; nil when the DCM is
+// not running incrementally.
+func (m *DCM) Planner() *extract.Planner { return m.planner }
+
+// scratchFor returns the service's recycled bundle buffers. Safe
+// because claimService serializes a service's cycles: the previous
+// pass's bundles are fully pushed before the next render reuses them.
+func (m *DCM) scratchFor(name string) *gen.Scratch {
+	m.scratchMu.Lock()
+	defer m.scratchMu.Unlock()
+	s, ok := m.scratch[name]
+	if !ok {
+		s = gen.NewScratch()
+		m.scratch[name] = s
+	}
+	return s
+}
+
+// extractDB is the database generation passes read.
+func (m *DCM) extractDB() *db.DB {
+	if m.cfg.ExtractDB != nil {
+		return m.cfg.ExtractDB
+	}
+	return m.cfg.DB
+}
+
+// incrementalFor returns the keyed generator the planner should drive
+// for a service, or nil when the service regenerates fully.
+func (m *DCM) incrementalFor(name string) *gen.Incremental {
+	if m.planner == nil {
+		return nil
+	}
+	return m.cfg.Incrementals[name]
 }
 
 func (m *DCM) maxParallelServices() int {
@@ -302,8 +389,29 @@ func (m *DCM) RunOnceTraced(trace string) (*CycleStats, error) {
 	}
 	wg.Wait()
 	stats.publish(m.cfg.Stats, time.Since(started))
+	m.publishDeltaGauges(services)
 	m.cfg.Logf("dcm: pass complete:%s %s", traceSuffix(trace), stats.Summary())
 	return stats, nil
+}
+
+// publishDeltaGauges exports the planner's per-service position and
+// backlog after a pass, so moirastat can show where each service's
+// extract stands relative to the journal head.
+func (m *DCM) publishDeltaGauges(services []serviceSnapshot) {
+	reg := m.cfg.Stats
+	if reg == nil || m.planner == nil {
+		return
+	}
+	for _, snap := range services {
+		if m.incrementalFor(snap.Name) == nil {
+			continue
+		}
+		st := m.planner.Status(snap.Name)
+		reg.Gauge("dcm.delta.pos.seg." + snap.Name).Set(st.Pos.Seg)
+		reg.Gauge("dcm.delta.pos.idx." + snap.Name).Set(st.Pos.Idx)
+		reg.Gauge("dcm.delta.backlog." + snap.Name).Set(int64(st.Backlog))
+		reg.Gauge("dcm.delta.lastmode." + snap.Name).Set(int64(st.Mode))
+	}
 }
 
 // traceSuffix formats a trace ID for appending to a log line; empty
@@ -318,10 +426,6 @@ func traceSuffix(trace string) string {
 // serviceCycle regenerates one service's files if due, then scans its
 // hosts.
 func (m *DCM) serviceCycle(snap *serviceSnapshot, generator gen.Func, stats *CycleStats, passSpan *trace.Span) {
-	d := m.cfg.DB
-	if m.cfg.ExtractDB != nil {
-		d = m.cfg.ExtractDB
-	}
 	now := m.clk.Now().Unix()
 	name := snap.Name
 
@@ -340,24 +444,49 @@ func (m *DCM) serviceCycle(snap *serviceSnapshot, generator gen.Func, stats *Cyc
 			m.cfg.Logf("dcm: %s: claimed by a concurrent pass, skipping", name)
 			return
 		}
-		res, err := generator(d, m.genSeq(name))
+		res, plan, err := m.generate(name, generator, csp)
 		switch {
-		case err == nil:
+		case err == nil && res != nil:
 			result = res
 			stats.add(func(s *CycleStats) {
 				s.Generated++
 				s.FilesGenerated += res.NumFiles
 				s.BytesGenerated += res.TotalBytes
+				if plan.Mode == extract.ModeDelta {
+					s.DeltaBuilds++
+				} else {
+					s.FullBuilds++
+					if fallbackReason(plan.Reason) {
+						s.Fallbacks++
+					}
+				}
+				s.DeltaRecords += plan.Records
+				s.DeltaKeys += plan.Keys
 			})
-			m.finishGeneration(name, now, res.Seq)
+			m.finishGeneration(name, now, plan)
 			snap.DFGen, snap.DFCheck = now, now
-			m.cfg.Logf("dcm: %s: generated %d files (%d bytes)", name, res.NumFiles, res.TotalBytes)
-		case err == mrerr.MrNoChange:
-			stats.add(func(s *CycleStats) { s.NoChange++ })
+			if plan.Mode == extract.ModeDelta {
+				m.cfg.Logf("dcm: %s: delta pass: %d journal records -> %d keys, %d files (%d bytes)",
+					name, plan.Records, plan.Keys, res.NumFiles, res.TotalBytes)
+			} else {
+				m.cfg.Logf("dcm: %s: full build (%s): %d files (%d bytes)",
+					name, fullReason(plan.Reason), res.NumFiles, res.TotalBytes)
+			}
+		case err == nil:
+			// The planner (or the sequence check) proved nothing the
+			// extract reads has changed: a no-op pass, zero generator
+			// work. The position still advances past any consumed
+			// records that proved irrelevant.
+			stats.add(func(s *CycleStats) {
+				s.NoChange++
+				s.NoopPasses++
+				s.DeltaRecords += plan.Records
+			})
 			m.setServiceFlags(name, func(s *db.Server) {
 				s.DFCheck = now
 				s.InProgress = false
 			})
+			m.commitPlan(name, plan)
 			snap.DFCheck = now
 			m.cfg.Logf("dcm: %s: no change", name)
 		default:
@@ -383,9 +512,11 @@ func (m *DCM) serviceCycle(snap *serviceSnapshot, generator gen.Func, stats *Cyc
 	}
 	// Updates are needed but this pass produced no files (the service
 	// was not due, or nothing changed): regenerate unconditionally. The
-	// data files are valid; extra generations are not harmful.
+	// data files are valid; extra generations are not harmful — and on
+	// the incremental path this renders the planner's cached model
+	// rather than rebuilding.
 	if result == nil {
-		res, err := generator(d, 0)
+		res, err := m.regenForHosts(name, generator)
 		if err != nil {
 			m.cfg.Logf("dcm: %s: regeneration for host updates failed: %v", name, err)
 			return
@@ -576,9 +707,19 @@ func (m *DCM) pushOnce(snap *serviceSnapshot, h hostSnapshot, data []byte, stats
 	p := &update.Push{
 		Addr: addr, Target: snap.TargetFile, Data: data, Script: lines,
 		Creds: creds, Clock: m.clk, Timeout: m.cfg.PushTimeout,
-		Trace: wireTrace,
+		Trace: wireTrace, Chunked: !m.cfg.WholeFilePush,
 	}
-	return p.Run()
+	err = p.Run()
+	if err == nil {
+		stats.add(func(s *CycleStats) {
+			s.BytesPushed += p.SentBytes
+			s.BytesSkipped += p.ReusedBytes
+			if p.Downgraded {
+				s.ChunkDowngrades++
+			}
+		})
+	}
+	return err
 }
 
 // claimHost atomically transitions one serverhost row to InProgress,
@@ -617,6 +758,97 @@ func (m *DCM) claimService(name string) bool {
 	return true
 }
 
+// generate runs one generation pass for a service. Services with a
+// keyed generator go through the planner's journal-delta path; the rest
+// take the legacy full path behind a driver-side sequence check (the
+// check that used to live inside each generator as unchanged()). A nil
+// Result with a nil error means "nothing changed, zero generator work".
+func (m *DCM) generate(name string, generator gen.Func, csp *trace.Span) (*gen.Result, *extract.Plan, error) {
+	psp := csp.Child("dcm.plan")
+	defer psp.End()
+
+	if inc := m.incrementalFor(name); inc != nil {
+		model, plan, err := m.planner.Run(name, inc)
+		psp.SetDetail(fmt.Sprintf("%s mode=%s reason=%q records=%d keys=%d",
+			name, plan.Mode, plan.Reason, plan.Records, plan.Keys))
+		if err != nil || plan.Mode == extract.ModeNoChange {
+			return nil, plan, err
+		}
+		res, err := gen.FromModelInto(model, m.scratchFor(name))
+		return res, plan, err
+	}
+
+	d := m.extractDB()
+	tables, tracked := m.cfg.Tables[name]
+	if !tracked {
+		// No table list: regenerate every due pass.
+		psp.SetDetail(name + " mode=full reason=\"untracked tables\"")
+		res, err := generator(d)
+		return res, &extract.Plan{Mode: extract.ModeFull, Reason: "untracked tables"}, err
+	}
+	d.LockShared()
+	seq := d.SeqOf(tables...)
+	d.UnlockShared()
+	if stored := m.genSeq(name); stored > 0 && seq <= stored {
+		psp.SetDetail(name + " mode=nochange")
+		return nil, &extract.Plan{Mode: extract.ModeNoChange, Seq: seq}, nil
+	}
+	psp.SetDetail(name + " mode=full reason=\"sequence advanced\"")
+	res, err := generator(d)
+	return res, &extract.Plan{Mode: extract.ModeFull, Reason: "sequence advanced", Seq: seq}, err
+}
+
+// regenForHosts rebuilds a service's bundles for the host-update path
+// when the due check produced none this pass. Incremental services
+// render the planner's model (patched up to the journal head if
+// records arrived since); legacy services regenerate fully.
+func (m *DCM) regenForHosts(name string, generator gen.Func) (*gen.Result, error) {
+	if inc := m.incrementalFor(name); inc != nil {
+		model, plan, err := m.planner.Run(name, inc)
+		if err != nil {
+			return nil, err
+		}
+		if plan.Mode != extract.ModeNoChange {
+			m.commitPlan(name, plan)
+		}
+		return gen.FromModelInto(model, m.scratchFor(name))
+	}
+	return generator(m.extractDB())
+}
+
+// commitPlan persists a planner-managed service's pass outcome (journal
+// position, sequence, mode) under the planner database's exclusive
+// lock. No-ops for legacy services and nil plans.
+func (m *DCM) commitPlan(name string, plan *extract.Plan) {
+	if plan == nil || m.incrementalFor(name) == nil {
+		return
+	}
+	pd := m.planner.DB
+	pd.LockExclusive()
+	m.planner.Commit(name, plan)
+	pd.UnlockExclusive()
+}
+
+// fallbackReason reports whether a full-build reason counts as a
+// fallback — an incremental pass that could not proceed — rather than
+// an expected full build (first pass, scheduled cadence, no journal).
+func fallbackReason(reason string) bool {
+	switch reason {
+	case "", "cold start", "scheduled full", "no journal",
+		"untracked tables", "sequence advanced":
+		return false
+	}
+	return true
+}
+
+// fullReason renders a full-build reason for logs; empty means plain.
+func fullReason(reason string) string {
+	if reason == "" {
+		return "full"
+	}
+	return reason
+}
+
 // genSeq reads the stored change sequence of the last successful
 // generation for a service (kept in the values relation so it survives
 // DCM restarts); zero means "never generated".
@@ -636,17 +868,21 @@ func (m *DCM) genSeq(service string) int64 {
 // exclusive-lock acquisition. Doing these as two separate acquisitions
 // opened a window where a concurrent pass could snapshot the service as
 // idle but pair it with the previous generation's sequence and
-// regenerate needlessly.
-func (m *DCM) finishGeneration(name string, now, seq int64) {
+// regenerate needlessly. Planner-managed services persist their journal
+// position through the planner instead of a bare genseq value.
+func (m *DCM) finishGeneration(name string, now int64, plan *extract.Plan) {
 	d := m.cfg.DB
 	d.LockExclusive()
-	defer d.UnlockExclusive()
 	if s, ok := d.ServerByName(name); ok {
 		s.DFGen, s.DFCheck = now, now
 		s.InProgress = false
 		d.NoteUpdateInternal(db.TServers)
 	}
-	d.SetValue(db.GenSeqPrefix+name, int(seq))
+	if plan != nil && m.incrementalFor(name) == nil {
+		d.SetValue(db.GenSeqPrefix+name, int(plan.Seq))
+	}
+	d.UnlockExclusive()
+	m.commitPlan(name, plan)
 }
 
 // notify sends a zephyrgram to class MOIRA instance DCM.
@@ -688,12 +924,20 @@ func (m *DCM) setHostFlags(service string, machID int, fn func(*db.ServerHost)) 
 func (m *DCM) Loop(interval time.Duration, trigger <-chan struct{}, stop <-chan struct{}) {
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
+	// An incremental DCM also wakes on journal appends, so a burst of
+	// mutations propagates at the next due check instead of waiting out
+	// the full tick.
+	var journal <-chan struct{}
+	if m.cfg.Journal != nil {
+		journal = m.cfg.Journal.Subscribe()
+	}
 	for {
 		select {
 		case <-stop:
 			return
 		case <-tick.C:
 		case <-trigger:
+		case <-journal:
 		}
 		if _, err := m.RunOnce(); err != nil && err != mrerr.MrDCMDisabled {
 			m.cfg.Logf("dcm: pass failed: %v", err)

@@ -109,7 +109,7 @@ func TestClaimClosesTOCTOU(t *testing.T) {
 	// A concurrent worker claims it between the scan and the push.
 	w.dcm.setHostFlags("SMTP", machID, func(sh *db.ServerHost) { sh.InProgress = true })
 
-	res, err := gen.Mail(w.d, 0)
+	res, err := gen.Mail(w.d)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,324 @@
+// Package extract is the incremental extract subsystem: it turns a DCM
+// pass from O(population) into O(changes). A generator builds a keyed
+// Model of its extract files once; after that, the delta Planner reads
+// the durable journal since the service's last successful pass, maps
+// each record to the logical keys it touches, and the generator
+// recomputes only those keys. Rendering a file from the model is
+// byte-identical to a from-scratch generation by construction: the full
+// build and the incremental patch go through the same per-key emit.
+package extract
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sep joins sort-key components. It is below every printable byte, so
+// K("a")-prefixed keys order exactly like Go string comparison of the
+// components themselves ("a" < "ab" stays true after joining).
+const sep = "\x1f"
+
+// K builds a sort key from components: ints render zero-padded to 12
+// digits so numeric order and lexical order agree, strings pass
+// through. The resulting keys order entries within a file exactly the
+// way the full-scan emit order would.
+func K(parts ...any) string {
+	var b strings.Builder
+	for i, p := range parts {
+		if i > 0 {
+			b.WriteString(sep)
+		}
+		switch v := p.(type) {
+		case int:
+			b.WriteString(pad(int64(v)))
+		case int64:
+			b.WriteString(pad(v))
+		case string:
+			b.WriteString(v)
+		default:
+			panic("extract.K: unsupported component type")
+		}
+	}
+	return b.String()
+}
+
+func pad(v int64) string {
+	s := strconv.FormatInt(v, 10)
+	if len(s) >= 12 {
+		return s
+	}
+	return strings.Repeat("0", 12-len(s)) + s
+}
+
+// entry is one keyed span of bytes at one position in one file.
+type entry struct {
+	sort string // position within the file
+	key  string // the logical key that owns the span
+	data []byte
+}
+
+// File is one extract file: a sequence of entries ordered by sort key.
+// Mutations that hit the middle of the sequence are buffered in an
+// overlay (dirty + pending) and merged into the sorted slice in one
+// pass at render time, so a delta patch of k keys against an n-entry
+// file costs O(n + k log k) instead of k point insertions at O(n) each.
+type File struct {
+	entries []entry
+	cache   []byte // rendered bytes; nil after any mutation
+	scratch []byte // retired render buffer, reused by the next render
+	n       int    // live entry count (entries plus overlay effects)
+
+	// Overlay: dirty maps a sort key to its pending index, or -1 for a
+	// deletion. A dirty sort key shadows any base entry with that key.
+	dirty   map[string]int
+	pending []entry
+}
+
+// find returns the index of sortKey in the base entry slice, or the
+// insertion point and false. Overlay-blind; callers outside flush use
+// lookup.
+func (f *File) find(sortKey string) (int, bool) {
+	i := sort.Search(len(f.entries), func(i int) bool {
+		return f.entries[i].sort >= sortKey
+	})
+	return i, i < len(f.entries) && f.entries[i].sort == sortKey
+}
+
+// lookup returns the live entry at sortKey, seeing through the overlay.
+func (f *File) lookup(sortKey string) (entry, bool) {
+	if j, ok := f.dirty[sortKey]; ok {
+		if j < 0 {
+			return entry{}, false
+		}
+		return f.pending[j], true
+	}
+	i, ok := f.find(sortKey)
+	if !ok {
+		return entry{}, false
+	}
+	return f.entries[i], true
+}
+
+// invalidate retires the render cache on mutation. The backing array is
+// kept for the next render: pass after pass, the same few big files
+// change, and re-zeroing (and re-collecting) tens of megabytes per pass
+// costs more than the render itself.
+func (f *File) invalidate() {
+	if f.cache != nil {
+		f.scratch, f.cache = f.cache, nil
+	}
+}
+
+func (f *File) set(e entry) {
+	f.invalidate()
+	// Append fast path: full builds emit in sort order, so they stay on
+	// the contiguous slice and never pay for the overlay.
+	if len(f.dirty) == 0 && (len(f.entries) == 0 || f.entries[len(f.entries)-1].sort < e.sort) {
+		f.entries = append(f.entries, e)
+		f.n++
+		return
+	}
+	if j, ok := f.dirty[e.sort]; ok {
+		if j >= 0 {
+			f.pending[j] = e
+			return
+		}
+		// Re-setting a key deleted earlier in this batch.
+		f.n++
+	} else if _, exists := f.find(e.sort); !exists {
+		f.n++
+	}
+	if f.dirty == nil {
+		f.dirty = map[string]int{}
+	}
+	f.dirty[e.sort] = len(f.pending)
+	f.pending = append(f.pending, e)
+}
+
+func (f *File) del(sortKey string) {
+	if _, ok := f.lookup(sortKey); !ok {
+		return
+	}
+	f.invalidate()
+	f.n--
+	if f.dirty == nil {
+		f.dirty = map[string]int{}
+	}
+	f.dirty[sortKey] = -1
+}
+
+// flush merges the overlay into the sorted base slice in one pass.
+func (f *File) flush() {
+	if len(f.dirty) == 0 {
+		return
+	}
+	// Live pending entries: the ones their dirty marker still points at
+	// (a later delete or re-set leaves stale pending slots behind).
+	adds := f.pending[:0]
+	for j := range f.pending {
+		if k, ok := f.dirty[f.pending[j].sort]; ok && k == j {
+			adds = append(adds, f.pending[j])
+		}
+	}
+	sort.Slice(adds, func(a, b int) bool { return adds[a].sort < adds[b].sort })
+	merged := make([]entry, 0, f.n)
+	ai := 0
+	for _, e := range f.entries {
+		for ai < len(adds) && adds[ai].sort < e.sort {
+			merged = append(merged, adds[ai])
+			ai++
+		}
+		if _, shadowed := f.dirty[e.sort]; shadowed {
+			continue // deleted, or replaced by a pending entry
+		}
+		merged = append(merged, e)
+	}
+	merged = append(merged, adds[ai:]...)
+	f.entries, f.dirty, f.pending = merged, nil, nil
+}
+
+// Bytes renders the file: the concatenation of every entry's data in
+// sort-key order. The result is cached until the next mutation; a
+// mutation-then-render reuses the retired buffer, so the returned slice
+// is only valid until the file next renders after a mutation.
+func (f *File) Bytes() []byte {
+	if f.cache != nil {
+		return f.cache
+	}
+	f.flush()
+	n := 0
+	for i := range f.entries {
+		n += len(f.entries[i].data)
+	}
+	out := f.scratch
+	f.scratch = nil
+	if out == nil || cap(out) < n {
+		// A non-nil zero-length render distinguishes "empty file" from
+		// "no cache", so allocate even when n is zero.
+		out = make([]byte, 0, n)
+	} else {
+		out = out[:0]
+	}
+	for i := range f.entries {
+		out = append(out, f.entries[i].data...)
+	}
+	f.cache = out
+	return out
+}
+
+// loc names one entry: which file, at which position.
+type loc struct {
+	file, sort string
+}
+
+// Model is the keyed representation of one generator's extract files.
+// Every byte of every file is owned by exactly one logical key; a full
+// build emits every key of the domain, an incremental patch deletes the
+// dirty keys' entries and re-emits just those keys.
+type Model struct {
+	files map[string]*File
+	locs  map[string][]loc
+}
+
+// NewModel returns an empty model.
+func NewModel() *Model {
+	return &Model{files: map[string]*File{}, locs: map[string][]loc{}}
+}
+
+// Emit places data at sortKey in file, owned by the logical key. A file
+// exists once anything — even a zero-length presence entry — was
+// emitted into it; generators emit presence entries for files whose
+// existence is unconditional.
+func (m *Model) Emit(file, sortKey, key string, data []byte) {
+	f := m.files[file]
+	if f == nil {
+		f = &File{}
+		m.files[file] = f
+	}
+	if old, ok := f.lookup(sortKey); ok {
+		// Replacing an entry: drop the old owner's location record
+		// first so ownership never dangles.
+		if old.key != key {
+			m.dropLoc(old.key, loc{file, sortKey})
+		} else {
+			f.set(entry{sort: sortKey, key: key, data: data})
+			return
+		}
+	}
+	f.set(entry{sort: sortKey, key: key, data: data})
+	m.locs[key] = append(m.locs[key], loc{file, sortKey})
+}
+
+func (m *Model) dropLoc(key string, l loc) {
+	ls := m.locs[key]
+	for i := range ls {
+		if ls[i] == l {
+			m.locs[key] = append(ls[:i], ls[i+1:]...)
+			break
+		}
+	}
+	if len(m.locs[key]) == 0 {
+		delete(m.locs, key)
+	}
+}
+
+// DeleteKey removes every entry the logical key owns, across all files.
+// Files left with no entries at all cease to exist (a zephyr class
+// whose last ACE went away loses its files, exactly as a full build
+// would never create them).
+func (m *Model) DeleteKey(key string) {
+	for _, l := range m.locs[key] {
+		if f := m.files[l.file]; f != nil {
+			f.del(l.sort)
+			if f.n == 0 {
+				delete(m.files, l.file)
+			}
+		}
+	}
+	delete(m.locs, key)
+}
+
+// KeysWithPrefix lists the logical keys currently in the model that
+// start with prefix, for dependency functions that dirty a whole key
+// family ("shcred:*").
+func (m *Model) KeysWithPrefix(prefix string) []string {
+	var out []string
+	for k := range m.locs {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Bytes renders one file; nil if the file does not exist.
+func (m *Model) Bytes(file string) []byte {
+	f := m.files[file]
+	if f == nil {
+		return nil
+	}
+	return f.Bytes()
+}
+
+// Files renders every file. The map is freshly allocated; the byte
+// slices are the model's render caches and must not be mutated. They
+// stay valid until the model next renders after a mutation — consume
+// (or copy) them before the next pass patches the model.
+func (m *Model) Files() map[string][]byte {
+	out := make(map[string][]byte, len(m.files))
+	for name, f := range m.files {
+		out[name] = f.Bytes()
+	}
+	return out
+}
+
+// NumEntries reports the total entry count, for stats and tests.
+func (m *Model) NumEntries() int {
+	n := 0
+	for _, f := range m.files {
+		n += f.n
+	}
+	return n
+}

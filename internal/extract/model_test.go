@@ -1,0 +1,140 @@
+package extract
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+)
+
+func TestKOrdersLikeEmitOrder(t *testing.T) {
+	// Numeric components zero-pad so lexical order equals numeric order.
+	if K(9) >= K(10) || K(10) >= K(100) {
+		t.Errorf("numeric keys out of order: %q %q %q", K(9), K(10), K(100))
+	}
+	// Mixed components order by component, not by concatenation: "a" as
+	// a whole component sorts before "ab".
+	keys := []string{K("ab", 1), K("a", 2), K("a", 10)}
+	sorted := append([]string(nil), keys...)
+	sort.Strings(sorted)
+	want := []string{K("a", 2), K("a", 10), K("ab", 1)}
+	for i := range sorted {
+		if sorted[i] != want[i] {
+			t.Fatalf("sorted[%d] = %q, want %q", i, sorted[i], want[i])
+		}
+	}
+}
+
+func TestKPanicsOnUnsupportedType(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("K(3.14) did not panic")
+		}
+	}()
+	K(3.14)
+}
+
+func TestModelEmitRenderDelete(t *testing.T) {
+	m := NewModel()
+	m.Emit("f", K("b"), "user:b", []byte("bob\n"))
+	m.Emit("f", K("a"), "user:a", []byte("alice\n"))
+	if got := m.Bytes("f"); !bytes.Equal(got, []byte("alice\nbob\n")) {
+		t.Errorf("render = %q, want entries in sort order", got)
+	}
+
+	// Deleting one key removes exactly its spans.
+	m.DeleteKey("user:a")
+	if got := m.Bytes("f"); !bytes.Equal(got, []byte("bob\n")) {
+		t.Errorf("after delete = %q", got)
+	}
+	// Deleting the last key makes the file cease to exist, like a full
+	// build that never emitted it.
+	m.DeleteKey("user:b")
+	if got := m.Bytes("f"); got != nil {
+		t.Errorf("empty file still exists: %q", got)
+	}
+	if _, ok := m.Files()["f"]; ok {
+		t.Error("Files() lists a deleted file")
+	}
+}
+
+func TestModelKeySpansMultipleFiles(t *testing.T) {
+	m := NewModel()
+	m.Emit("passwd", K("u"), "user:u", []byte("u:pw\n"))
+	m.Emit("uid", K(7), "user:u", []byte("7:u\n"))
+	m.Emit("passwd", K("v"), "user:v", []byte("v:pw\n"))
+	m.DeleteKey("user:u")
+	if got := m.Bytes("passwd"); !bytes.Equal(got, []byte("v:pw\n")) {
+		t.Errorf("passwd after delete = %q", got)
+	}
+	if got := m.Bytes("uid"); got != nil {
+		t.Errorf("uid survived its only key: %q", got)
+	}
+}
+
+func TestModelReEmitReplacesInPlace(t *testing.T) {
+	m := NewModel()
+	m.Emit("f", K("a"), "user:a", []byte("old\n"))
+	m.Emit("f", K("a"), "user:a", []byte("new\n"))
+	if got := m.Bytes("f"); !bytes.Equal(got, []byte("new\n")) {
+		t.Errorf("re-emit = %q", got)
+	}
+	m.DeleteKey("user:a")
+	if m.NumEntries() != 0 {
+		t.Errorf("NumEntries = %d after deleting everything", m.NumEntries())
+	}
+}
+
+func TestModelOwnershipTransfer(t *testing.T) {
+	// A sort position re-emitted under a new logical key transfers
+	// ownership: deleting the old key must not remove the span.
+	m := NewModel()
+	m.Emit("f", K("slot"), "old", []byte("v1\n"))
+	m.Emit("f", K("slot"), "new", []byte("v2\n"))
+	m.DeleteKey("old")
+	if got := m.Bytes("f"); !bytes.Equal(got, []byte("v2\n")) {
+		t.Errorf("after old-owner delete = %q", got)
+	}
+	m.DeleteKey("new")
+	if got := m.Bytes("f"); got != nil {
+		t.Errorf("after new-owner delete = %q", got)
+	}
+}
+
+func TestModelPresenceEntryKeepsFileAlive(t *testing.T) {
+	m := NewModel()
+	m.Emit("f", "", "static", nil) // zero-length presence entry
+	m.Emit("f", K("a"), "user:a", []byte("a\n"))
+	m.DeleteKey("user:a")
+	if got := m.Bytes("f"); got == nil || len(got) != 0 {
+		t.Errorf("presence entry did not keep the file: %v", got)
+	}
+}
+
+func TestKeysWithPrefix(t *testing.T) {
+	m := NewModel()
+	m.Emit("f", K("a"), "quota:fs1:a", []byte("x"))
+	m.Emit("f", K("b"), "quota:fs1:b", []byte("x"))
+	m.Emit("f", K("c"), "quota:fs2:c", []byte("x"))
+	got := m.KeysWithPrefix("quota:fs1:")
+	if len(got) != 2 || got[0] != "quota:fs1:a" || got[1] != "quota:fs1:b" {
+		t.Errorf("KeysWithPrefix = %v", got)
+	}
+	if got := m.KeysWithPrefix("nothing:"); len(got) != 0 {
+		t.Errorf("KeysWithPrefix(miss) = %v", got)
+	}
+}
+
+func TestModelRenderCacheInvalidation(t *testing.T) {
+	m := NewModel()
+	m.Emit("f", K("a"), "a", []byte("1"))
+	_ = m.Bytes("f") // populate the cache
+	m.Emit("f", K("b"), "b", []byte("2"))
+	if got := m.Bytes("f"); !bytes.Equal(got, []byte("12")) {
+		t.Errorf("stale cache after emit: %q", got)
+	}
+	_ = m.Bytes("f")
+	m.DeleteKey("a")
+	if got := m.Bytes("f"); !bytes.Equal(got, []byte("2")) {
+		t.Errorf("stale cache after delete: %q", got)
+	}
+}

@@ -4,9 +4,12 @@
 // Hesiod BIND files, NFS credentials/quota/directory files, the sendmail
 // aliases file, and Zephyr ACL files.
 //
-// A generator returns MR_NO_CHANGE when none of the relations it reads
-// were modified since the last generation, which is what makes the
-// 15-minute DCM wakeups cheap (section 5.1.E).
+// Every generator is written as a keyed emitter over an extract.Model:
+// the full build enumerates the domain and emits each logical key; an
+// incremental pass (driven by the extract.Planner from journal deltas)
+// deletes the dirty keys and re-emits just those. Both paths share the
+// per-key emit functions, which is what makes an incremental extract
+// byte-identical to a from-scratch one by construction.
 package gen
 
 import (
@@ -14,7 +17,9 @@ import (
 	"sort"
 	"strings"
 
+	"moira/internal/acl"
 	"moira/internal/db"
+	"moira/internal/extract"
 	"moira/internal/update"
 )
 
@@ -31,9 +36,6 @@ type Result struct {
 	// NumFiles counts generated files; TotalBytes their summed size.
 	NumFiles   int
 	TotalBytes int
-	// Seq is the database change sequence the generator observed; the
-	// DCM stores it and passes it back as `since` on the next run.
-	Seq int64
 }
 
 func (r *Result) finish() {
@@ -45,9 +47,10 @@ func (r *Result) finish() {
 }
 
 // Func is a generator: it reads the database (taking its own shared
-// lock) and produces the service's files, or MR_NO_CHANGE if nothing
-// relevant changed since the given change sequence.
-type Func func(d *db.DB, since int64) (*Result, error)
+// lock) and produces the service's files. Deciding whether anything
+// changed since the last pass is the driver's job (the extract planner
+// or the DCM's sequence check), not the generator's.
+type Func func(d *db.DB) (*Result, error)
 
 // Registry maps DCM service names to their generators, the equivalent of
 // the /u1/sms/bin/<service>.gen modules.
@@ -58,12 +61,137 @@ var Registry = map[string]Func{
 	"ZEPHYR": ZephyrACL,
 }
 
-// unchanged reports whether none of the tables changed since the change
-// sequence `since`. A zero `since` means "never generated": always
-// regenerate. Sequences, not wall times, drive this so a change landing
-// in the same second as a generation is never lost.
-func unchanged(d *db.DB, since int64, tables ...string) bool {
-	return since > 0 && d.SeqOf(tables...) <= since
+// Tables maps DCM service names to the relations their extracts read,
+// for the driver-side "did anything change" sequence check that
+// replaced the old in-generator unchanged() short-circuit.
+var Tables = map[string][]string{
+	"HESIOD": hesiodTables,
+	"NFS":    nfsTables,
+	"SMTP":   mailTables,
+	"ZEPHYR": zephyrTables,
+}
+
+// Incremental is a keyed generator: the full build, the journal-record
+// dependency map, and the per-key emit, packaged for the extract
+// planner. Emit must produce exactly the entries the full build would
+// produce for that key against current database state.
+type Incremental struct {
+	TablesList []string
+	BuildFn    func(d *db.DB) (*extract.Model, error)
+	DepsFn     func(d *db.DB, rec *db.JournalRecord) ([]string, bool)
+	EmitFn     func(d *db.DB, m *extract.Model, key string)
+}
+
+// Tables implements extract.Generator.
+func (g *Incremental) Tables() []string { return g.TablesList }
+
+// Build implements extract.Generator.
+func (g *Incremental) Build(d *db.DB) (*extract.Model, error) { return g.BuildFn(d) }
+
+// Deps implements extract.Generator.
+func (g *Incremental) Deps(d *db.DB, rec *db.JournalRecord) ([]string, bool) {
+	return g.DepsFn(d, rec)
+}
+
+// Apply implements extract.Generator: delete each dirty key, re-emit it.
+func (g *Incremental) Apply(d *db.DB, m *extract.Model, keys []string) error {
+	for _, k := range keys {
+		m.DeleteKey(k)
+		g.EmitFn(d, m, k)
+	}
+	return nil
+}
+
+// Incrementals maps service names to their keyed generators. Services
+// absent here (custom test generators) always regenerate fully.
+var Incrementals = map[string]*Incremental{
+	"HESIOD": HesiodIncremental,
+	"NFS":    NFSIncremental,
+	"SMTP":   MailIncremental,
+	"ZEPHYR": ZephyrIncremental,
+}
+
+// Scratch holds one service's reusable bundle buffers between DCM
+// passes. Rebuilding a service's tar bundles allocates tens of
+// megabytes per pass; recycling the previous pass's buffers keeps an
+// incremental pass's allocation proportional to the delta. A Scratch
+// must not be shared across services generating concurrently, and the
+// previous pass's bundles must be fully consumed (pushed) before the
+// next render overwrites them.
+type Scratch struct {
+	bufs map[string][]byte
+}
+
+// NewScratch returns an empty bundle-buffer cache.
+func NewScratch() *Scratch { return &Scratch{bufs: map[string][]byte{}} }
+
+// FromModel converts a rendered model into a generator Result: files
+// named "HOST/path" group into per-host tar bundles, files without a
+// slash form the common bundle.
+func FromModel(m *extract.Model) (*Result, error) {
+	return FromModelInto(m, nil)
+}
+
+// FromModelInto is FromModel rendering the bundles into s's recycled
+// buffers (s may be nil for plain allocation).
+func FromModelInto(m *extract.Model, s *Scratch) (*Result, error) {
+	files := m.Files()
+	common := map[string][]byte{}
+	perHost := map[string]map[string][]byte{}
+	r := &Result{Files: map[string][]byte{}}
+	for name, data := range files {
+		if host, rest, ok := strings.Cut(name, "/"); ok {
+			if perHost[host] == nil {
+				perHost[host] = map[string][]byte{}
+			}
+			perHost[host][rest] = data
+		} else {
+			common[name] = data
+		}
+		r.Files[name] = data
+	}
+	bundleInto := func(key string, fs map[string][]byte) ([]byte, error) {
+		var prev []byte
+		if s != nil {
+			prev = s.bufs[key]
+		}
+		tarball, err := update.BuildTarInto(prev, fs)
+		if err == nil && s != nil {
+			s.bufs[key] = tarball
+		}
+		return tarball, err
+	}
+	if len(common) > 0 {
+		tarball, err := bundleInto("", common)
+		if err != nil {
+			return nil, err
+		}
+		r.Common = tarball
+	}
+	if len(perHost) > 0 {
+		r.PerHost = map[string][]byte{}
+		for host, hf := range perHost {
+			tarball, err := bundleInto("/"+host, hf)
+			if err != nil {
+				return nil, err
+			}
+			r.PerHost[host] = tarball
+		}
+	}
+	r.finish()
+	return r, nil
+}
+
+// runFull is the legacy full-generation path: build the keyed model
+// from scratch under a shared lock and render it.
+func runFull(d *db.DB, build func(*db.DB) (*extract.Model, error)) (*Result, error) {
+	d.LockShared()
+	m, err := build(d)
+	d.UnlockShared()
+	if err != nil {
+		return nil, err
+	}
+	return FromModel(m)
 }
 
 // shortHost returns the lowercase first label of a hostname, the form
@@ -86,7 +214,18 @@ func cnameLine(b *strings.Builder, name, target string) {
 	fmt.Fprintf(b, "%s HS CNAME %s\n", name, target)
 }
 
-// activeGroups returns the active group lists, sorted by GID.
+// listLess orders group lists by (GID, ListID) — GID first for the
+// paper's ordering, ListID to break GID ties deterministically (the
+// old sort.Slice by GID alone left tie order unstable, which an
+// incremental re-insert could never reproduce).
+func listLess(a, b *db.List) bool {
+	if a.GID != b.GID {
+		return a.GID < b.GID
+	}
+	return a.ListID < b.ListID
+}
+
+// activeGroups returns the active group lists, sorted by (GID, ListID).
 func activeGroups(d *db.DB) []*db.List {
 	var out []*db.List
 	d.EachList(func(l *db.List) bool {
@@ -95,20 +234,44 @@ func activeGroups(d *db.DB) []*db.List {
 		}
 		return true
 	})
-	sort.Slice(out, func(i, j int) bool { return out[i].GID < out[j].GID })
+	sort.Slice(out, func(i, j int) bool { return listLess(out[i], out[j]) })
 	return out
 }
 
-// groupsOfUser returns the active group lists containing the user,
-// directly or through sublists, with the user's namesake group first —
-// the ordering visible in the paper's grplist.db example.
-func groupsOfUser(d *db.DB, u *db.User, groups []*db.List, memberOf func(listID, usersID int) bool) []*db.List {
-	var own *db.List
-	var rest []*db.List
-	for _, g := range groups {
-		if !memberOf(g.ListID, u.UsersID) {
+// upLists returns the IDs of every list transitively containing the
+// member (mtype, mid): the upward closure through LIST memberships,
+// cycle-safe. It is the inverse walk of acl.ExpandMembers — a member
+// is in ExpandMembers(L) exactly when L is in upLists(member).
+func upLists(d *db.DB, mtype string, mid int) map[int]bool {
+	seen := map[int]bool{}
+	queue := append([]int(nil), d.ListsContaining(mtype, mid)...)
+	for len(queue) > 0 {
+		lid := queue[0]
+		queue = queue[1:]
+		if seen[lid] {
 			continue
 		}
+		seen[lid] = true
+		queue = append(queue, d.ListsContaining(db.ACEList, lid)...)
+	}
+	return seen
+}
+
+// activeGroupsOfUser returns the active group lists containing the user
+// (directly or through sublists) in (GID, ListID) order with the user's
+// namesake group first — the ordering visible in the paper's grplist.db
+// example.
+func activeGroupsOfUser(d *db.DB, u *db.User) []*db.List {
+	var gs []*db.List
+	for lid := range upLists(d, db.ACEUser, u.UsersID) {
+		if l, ok := d.ListByID(lid); ok && l.Active && l.Group {
+			gs = append(gs, l)
+		}
+	}
+	sort.Slice(gs, func(i, j int) bool { return listLess(gs[i], gs[j]) })
+	var own *db.List
+	var rest []*db.List
+	for _, g := range gs {
 		if g.Name == u.Login && own == nil {
 			own = g
 		} else {
@@ -119,6 +282,34 @@ func groupsOfUser(d *db.DB, u *db.User, groups []*db.List, memberOf func(listID,
 		return append([]*db.List{own}, rest...)
 	}
 	return rest
+}
+
+// upListKeys renders the upward closure of (mtype, mid) as "list:" keys
+// for dependency maps: a change inside a list is visible to every list
+// that (transitively) contains it.
+func upListKeys(d *db.DB, mtype string, mid int) []string {
+	var keys []string
+	for lid := range upLists(d, mtype, mid) {
+		if l, ok := d.ListByID(lid); ok {
+			keys = append(keys, "list:"+l.Name)
+		}
+	}
+	return keys
+}
+
+// userKeysUnder renders "user:" keys for every user in the downward
+// expansion of a list — the users whose derived lines change when the
+// list's membership or flags change.
+func userKeysUnder(d *db.DB, listID int) []string {
+	var keys []string
+	for _, m := range acl.ExpandMembers(d, listID) {
+		if m.MemberType == db.ACEUser {
+			if u, ok := d.UserByID(m.MemberID); ok {
+				keys = append(keys, "user:"+u.Login)
+			}
+		}
+	}
+	return keys
 }
 
 // bundle tars a file set.

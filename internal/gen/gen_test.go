@@ -7,7 +7,7 @@ import (
 
 	"moira/internal/clock"
 	"moira/internal/db"
-	"moira/internal/mrerr"
+	"moira/internal/extract"
 	"moira/internal/queries"
 	"moira/internal/update"
 	"moira/internal/workload"
@@ -25,7 +25,7 @@ func popDB(t *testing.T, users int) (*db.DB, *clock.Fake) {
 
 func TestHesiodGeneratesElevenFiles(t *testing.T) {
 	d, _ := popDB(t, 100)
-	res, err := Hesiod(d, 0)
+	res, err := Hesiod(d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestHesiodGeneratesElevenFiles(t *testing.T) {
 
 func TestHesiodFileFormats(t *testing.T) {
 	d, _ := popDB(t, 60)
-	res, err := Hesiod(d, 0)
+	res, err := Hesiod(d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestHesiodFileFormats(t *testing.T) {
 
 func TestHesiodPseudoCluster(t *testing.T) {
 	d, _ := popDB(t, 2000)
-	res, err := Hesiod(d, 0)
+	res, err := Hesiod(d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,18 +116,41 @@ func TestHesiodPseudoCluster(t *testing.T) {
 	}
 }
 
+// TestNoChangeDetection exercises the driver-side change check that
+// replaced the generators' internal short-circuit: a journal-less
+// planner compares the table sequence against the persisted value and
+// only runs the generator when it advanced.
 func TestNoChangeDetection(t *testing.T) {
 	d, clk := popDB(t, 50)
-	res, err := Hesiod(d, 0)
-	if err != nil {
-		t.Fatal(err)
+	p := extract.NewPlanner(d, nil, 0)
+	run := func(service string, g extract.Generator) (*Result, *extract.Plan) {
+		t.Helper()
+		model, plan, err := p.Run(service, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Mode == extract.ModeNoChange {
+			return nil, plan
+		}
+		res, err := FromModel(model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.LockExclusive()
+		p.Commit(service, plan)
+		d.UnlockExclusive()
+		return res, plan
 	}
-	genSeq := res.Seq
+
+	res, plan := run("HESIOD", HesiodIncremental)
+	if res == nil || plan.Mode != extract.ModeFull {
+		t.Fatalf("first pass: res=%v mode=%v", res != nil, plan.Mode)
+	}
 	clk.Advance(time.Hour)
 
-	// Nothing changed: MR_NO_CHANGE.
-	if _, err := Hesiod(d, genSeq); err != mrerr.MrNoChange {
-		t.Errorf("unchanged err = %v", err)
+	// Nothing changed: a no-change plan, zero generator work.
+	if res, plan := run("HESIOD", HesiodIncremental); res != nil {
+		t.Errorf("unchanged pass regenerated (mode=%v)", plan.Mode)
 	}
 	// A user modification invalidates it.
 	priv := &queries.Context{DB: d, Privileged: true, App: "test"}
@@ -136,30 +159,27 @@ func TestNoChangeDetection(t *testing.T) {
 		func([]string) error { return nil }); err != nil {
 		t.Fatal(err)
 	}
-	res2, err := Hesiod(d, genSeq)
-	if err != nil {
-		t.Fatalf("after change err = %v", err)
+	res2, _ := run("HESIOD", HesiodIncremental)
+	if res2 == nil {
+		t.Fatal("pass after change did not regenerate")
 	}
 	if !strings.Contains(string(res2.Files["passwd.db"]), "newbie.passwd") {
 		t.Error("new user missing from regenerated passwd.db")
 	}
-	if res2.Seq <= genSeq {
-		t.Errorf("sequence did not advance: %d -> %d", genSeq, res2.Seq)
-	}
-	// All four standard generators implement the same contract.
-	d.LockShared()
-	cur := d.CurSeq()
-	d.UnlockShared()
-	for name, fn := range Registry {
-		if _, err := fn(d, cur); err != mrerr.MrNoChange {
-			t.Errorf("%s unchanged err = %v", name, err)
+	// All four standard keyed generators implement the same contract.
+	for name, inc := range Incrementals {
+		if res, _ := run(name, inc); res == nil && name != "HESIOD" {
+			t.Errorf("%s first pass did not generate", name)
+		}
+		if res, plan := run(name, inc); res != nil {
+			t.Errorf("%s unchanged pass regenerated (mode=%v)", name, plan.Mode)
 		}
 	}
 }
 
 func TestNFSPerHostBundles(t *testing.T) {
 	d, _ := popDB(t, 200)
-	res, err := NFS(d, 0)
+	res, err := NFS(d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +240,7 @@ func TestNFSCredentialsRestrictedByValue3(t *testing.T) {
 	m, _ := d.MachineByID(hosts[0].MachID)
 	d.UnlockExclusive()
 
-	res, err := NFS(d, 0)
+	res, err := NFS(d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +256,7 @@ func TestNFSCredentialsRestrictedByValue3(t *testing.T) {
 
 func TestMailAliasesFormat(t *testing.T) {
 	d, _ := popDB(t, 80)
-	res, err := Mail(d, 0)
+	res, err := Mail(d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +278,7 @@ func TestMailAliasesFormat(t *testing.T) {
 
 func TestZephyrACLFiles(t *testing.T) {
 	d, _ := popDB(t, 30)
-	res, err := ZephyrACL(d, 0)
+	res, err := ZephyrACL(d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,11 +314,11 @@ func TestZephyrACLFiles(t *testing.T) {
 func TestGeneratorScaling(t *testing.T) {
 	small, _ := popDB(t, 50)
 	large, _ := popDB(t, 500)
-	rs, err := Hesiod(small, 0)
+	rs, err := Hesiod(small)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rl, err := Hesiod(large, 0)
+	rl, err := Hesiod(large)
 	if err != nil {
 		t.Fatal(err)
 	}

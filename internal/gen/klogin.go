@@ -5,7 +5,6 @@ import (
 
 	"moira/internal/acl"
 	"moira/internal/db"
-	"moira/internal/mrerr"
 )
 
 var kloginTables = []string{
@@ -20,13 +19,9 @@ var kloginTables = []string{
 // queries but describes no generator; this completes the pipeline the
 // schema was built for.
 func KLogin(realm string) Func {
-	return func(d *db.DB, since int64) (*Result, error) {
+	return func(d *db.DB) (*Result, error) {
 		d.LockShared()
 		defer d.UnlockShared()
-		if unchanged(d, since, kloginTables...) {
-			return nil, mrerr.MrNoChange
-		}
-		observedSeq := d.SeqOf(kloginTables...)
 
 		r := &Result{PerHost: map[string][]byte{}, Files: map[string][]byte{}}
 		d.EachHostAccess(func(h *db.HostAccess) bool {
@@ -62,11 +57,14 @@ func KLogin(realm string) Func {
 			r.Files[m.Name+"/.klogin"] = files[".klogin"]
 			return true
 		})
-		r.Seq = observedSeq
 		r.finish()
 		return r, nil
 	}
 }
+
+// KLoginTables are the relations feeding the klogin extract, for the
+// driver-side change check.
+func KLoginTables() []string { return kloginTables }
 
 // KLoginInstallScript installs the .klogin file at the host root.
 func KLoginInstallScript(target, destDir string) []string {

@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"moira/internal/db"
-	"moira/internal/mrerr"
 	"moira/internal/queries"
 )
 
@@ -23,7 +22,7 @@ func TestKLoginGenerator(t *testing.T) {
 	run("add_server_host_access", "ATHENA.MIT.EDU", "LIST", "dbadmin")
 
 	gen := KLogin("ATHENA.MIT.EDU")
-	res, err := gen(d, 0)
+	res, err := gen(d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,14 +39,20 @@ func TestKLoginGenerator(t *testing.T) {
 		t.Errorf("mailhub .klogin = %q", hub)
 	}
 
-	// No-change contract.
-	if _, err := gen(d, res.Seq); err != mrerr.MrNoChange {
-		t.Errorf("unchanged err = %v", err)
-	}
+	// The driver-side change check sees the klogin tables.
+	d.LockShared()
+	seq0 := d.SeqOf(KLoginTables()...)
+	d.UnlockShared()
 	// Membership change regenerates.
 	run("add_user", "newop", "-1", "/bin/csh", "New", "Op", "", "1", "", "STAFF")
 	run("add_member_to_list", "dbadmin", "USER", "newop")
-	res2, err := gen(d, res.Seq)
+	d.LockShared()
+	seq1 := d.SeqOf(KLoginTables()...)
+	d.UnlockShared()
+	if seq1 <= seq0 {
+		t.Errorf("klogin table sequence did not advance: %d -> %d", seq0, seq1)
+	}
+	res2, err := gen(d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +62,7 @@ func TestKLoginGenerator(t *testing.T) {
 
 	// Inactive principals are excluded.
 	run("update_user_status", "newop", "0")
-	res3, err := gen(d, res2.Seq)
+	res3, err := gen(d)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -100,13 +100,33 @@ var KnownNames = []string{
 	"dcm.files.propagated",
 	"dcm.bytes.generated",
 	"dcm.bytes.propagated",
+	"dcm.bytes.pushed",
+	"dcm.bytes.skipped",
 	"dcm.pass.duration",
 	"dcm.push.latency",
+
+	// incremental DCM (internal/dcm + internal/extract)
+	"dcm.delta.passes.full",
+	"dcm.delta.passes.delta",
+	"dcm.delta.passes.noop",
+	"dcm.delta.fallbacks",
+	"dcm.delta.records",
+	"dcm.delta.keys",
+	"dcm.delta.pos.seg.*",  // per-service committed journal segment
+	"dcm.delta.pos.idx.*",  // per-service committed record index
+	"dcm.delta.backlog.*",  // per-service records consumed by the last pass
+	"dcm.delta.lastmode.*", // per-service last pass mode (0 full, 1 delta, 2 noop)
 
 	// update agents (internal/update)
 	"update.installs",
 	"update.xfers",
 	"update.bytes",
+	"update.chunks.manifests",
+	"update.chunks.pushed",
+	"update.chunks.reused",
+	"update.chunks.bytes.pushed",
+	"update.chunks.bytes.reused",
+	"update.chunks.downgrades",
 	"update.conns.busy",
 	"update.conns.forceclosed",
 	"update.panics.recovered",

@@ -28,6 +28,16 @@ const (
 	OpUXfer    uint16 = 21 // args: target path, sha256 hex, file data
 	OpUScript  uint16 = 22 // args: instruction lines
 	OpUExecute uint16 = 23 // no args; runs the staged script
+
+	// Chunked diff transfer (the alternative to OpUXfer): the pusher
+	// sends the new file's chunk manifest, the agent answers with the
+	// indices it cannot reuse from the file it already holds, the pusher
+	// ships only those, and the agent reassembles and stages the result.
+	// Agents predating these ops answer MrUnknownProc, which the pusher
+	// treats as "downgrade to whole-file OpUXfer".
+	OpUManifest uint16 = 24 // args: target path, whole-file sha256 hex, manifest
+	OpUChunks   uint16 = 25 // args: alternating chunk index, chunk data
+	OpUAssemble uint16 = 26 // no args; reassemble, verify, stage
 )
 
 // Suffixes used by the atomic installation dance.
@@ -368,6 +378,23 @@ type updateSession struct {
 	staged bool
 	trace  string // bare trace ID carried by the push's requests
 	parent string // span ID of the DCM push span, from the wire field
+
+	// Chunked-transfer state, alive between OpUManifest and OpUAssemble.
+	manifest    []Chunk
+	wholeSum    string
+	chunkTarget string
+	have        map[string][]byte // checksum -> chunk bytes (reused + received)
+
+	// fields carries reply fields for the next reply (the manifest
+	// response lists the needed chunk indices).
+	fields [][]byte
+}
+
+// takeFields returns and clears the pending reply fields.
+func (s *updateSession) takeFields() [][]byte {
+	f := s.fields
+	s.fields = nil
+	return f
 }
 
 // SetCrashPoint installs (or clears, with nil) a crash-injection hook:
@@ -460,7 +487,8 @@ func (a *Agent) serve(conn net.Conn, st *connState) {
 		if a.WriteTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(a.WriteTimeout))
 		}
-		if err := protocol.WriteReply(bw, &protocol.Reply{Version: repVersion, Code: int32(code)}); err != nil {
+		rep := &protocol.Reply{Version: repVersion, Code: int32(code), Fields: ses.takeFields()}
+		if err := protocol.WriteReply(bw, rep); err != nil {
 			return err
 		}
 		return bw.Flush()
@@ -522,6 +550,22 @@ func (a *Agent) dispatch(conn net.Conn, ses *updateSession, req *protocol.Reques
 			return code, true
 		}
 		code = ses.xfer(req)
+		if a.crash(conn, "after-xfer") {
+			return code, true
+		}
+	case OpUManifest:
+		code = ses.chunkManifest(req)
+	case OpUChunks:
+		code = ses.chunkData(req)
+	case OpUAssemble:
+		// The assemble is the staging step of a chunked push, so the
+		// xfer crash points fire here too — fault tests simulate the
+		// same "server died around the data transfer" failures on both
+		// transports.
+		if a.crash(conn, "before-xfer") {
+			return code, true
+		}
+		code = ses.chunkAssemble(req)
 		if a.crash(conn, "after-xfer") {
 			return code, true
 		}
@@ -624,6 +668,157 @@ func (s *updateSession) xfer(req *protocol.Request) mrerr.Code {
 	}
 	s.target = target
 	s.staged = true
+	s.agent.reg.Counter("update.xfers").Inc()
+	s.agent.reg.Counter("update.bytes").Add(int64(len(data)))
+	return mrerr.Success
+}
+
+// chunkManifest starts a chunked transfer: parse the new file's
+// manifest, chunk whatever currently sits at the target path, pre-fill
+// the chunks the old file already supplies, and answer with the indices
+// the pusher must still send.
+func (s *updateSession) chunkManifest(req *protocol.Request) mrerr.Code {
+	if !s.authed {
+		return mrerr.UpdAuthFailed
+	}
+	if len(req.Args) != 3 {
+		return mrerr.MrArgs
+	}
+	target := string(req.Args[0])
+	wholeSum := string(req.Args[1])
+	manifest, err := DecodeManifest(req.Args[2])
+	if err != nil {
+		return mrerr.MrArgs
+	}
+	if len(wholeSum) != 64 {
+		return mrerr.MrArgs
+	}
+	if _, err := s.agent.path(target); err != nil {
+		return mrerr.UpdBadInstr
+	}
+
+	wanted := map[string]bool{}
+	for _, c := range manifest {
+		wanted[c.Sum] = true
+	}
+	have := map[string][]byte{}
+	reused, reusedBytes := 0, 0
+	if old, err := s.agent.ReadHostFile(target); err == nil {
+		for _, c := range SplitChunks(old) {
+			if wanted[c.Sum] && have[c.Sum] == nil {
+				have[c.Sum] = old[c.Off : c.Off+c.Len]
+			}
+		}
+	}
+	var needed [][]byte
+	seen := map[string]bool{}
+	for i, c := range manifest {
+		if _, ok := have[c.Sum]; ok {
+			reused++
+			reusedBytes += c.Len
+			continue
+		}
+		if seen[c.Sum] {
+			continue // a duplicate chunk travels once
+		}
+		seen[c.Sum] = true
+		needed = append(needed, []byte(strconv.Itoa(i)))
+	}
+
+	s.manifest = manifest
+	s.wholeSum = wholeSum
+	s.chunkTarget = target
+	s.have = have
+	s.fields = needed
+	s.agent.reg.Counter("update.chunks.manifests").Inc()
+	s.agent.reg.Counter("update.chunks.reused").Add(int64(reused))
+	s.agent.reg.Counter("update.chunks.bytes.reused").Add(int64(reusedBytes))
+	return mrerr.Success
+}
+
+// chunkData receives pushed chunks (alternating index and data args),
+// verifying each against the manifest before keeping it.
+func (s *updateSession) chunkData(req *protocol.Request) mrerr.Code {
+	if !s.authed {
+		return mrerr.UpdAuthFailed
+	}
+	if s.manifest == nil {
+		return mrerr.UpdNoFile
+	}
+	if len(req.Args)%2 != 0 {
+		return mrerr.MrArgs
+	}
+	pushed, pushedBytes := 0, 0
+	for i := 0; i+1 < len(req.Args); i += 2 {
+		idx, err := strconv.Atoi(string(req.Args[i]))
+		if err != nil || idx < 0 || idx >= len(s.manifest) {
+			return mrerr.MrArgs
+		}
+		c := s.manifest[idx]
+		data := req.Args[i+1]
+		if len(data) != c.Len {
+			return mrerr.UpdChecksum
+		}
+		sum := sha256.Sum256(data)
+		if hex.EncodeToString(sum[:]) != c.Sum {
+			return mrerr.UpdChecksum
+		}
+		s.have[c.Sum] = data
+		pushed++
+		pushedBytes += len(data)
+	}
+	s.agent.reg.Counter("update.chunks.pushed").Add(int64(pushed))
+	s.agent.reg.Counter("update.chunks.bytes.pushed").Add(int64(pushedBytes))
+	return mrerr.Success
+}
+
+// chunkAssemble reassembles the file from reused and received chunks,
+// verifies the whole-file checksum, and stages it exactly as a
+// whole-file xfer would (fsynced before the reply).
+func (s *updateSession) chunkAssemble(req *protocol.Request) mrerr.Code {
+	if !s.authed {
+		return mrerr.UpdAuthFailed
+	}
+	if s.manifest == nil {
+		return mrerr.UpdNoFile
+	}
+	data, err := Reassemble(s.manifest, s.have, s.wholeSum)
+	if err != nil {
+		return mrerr.UpdChecksum
+	}
+	target := s.chunkTarget
+	s.manifest, s.have, s.wholeSum, s.chunkTarget = nil, nil, "", ""
+
+	fp, perr := s.agent.path(target)
+	if perr != nil {
+		return mrerr.UpdBadInstr
+	}
+	if err := os.MkdirAll(filepath.Dir(fp), 0o755); err != nil {
+		return mrerr.MrInternal
+	}
+	matches, _ := filepath.Glob(fp + "*" + updateSuffix)
+	for _, m := range matches {
+		os.Remove(m)
+	}
+	f, err := os.Create(fp)
+	if err != nil {
+		return mrerr.MrInternal
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return mrerr.MrInternal
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return mrerr.MrInternal
+	}
+	if err := f.Close(); err != nil {
+		return mrerr.MrInternal
+	}
+	s.target = target
+	s.staged = true
+	// The staged-file counters cover both transports; the chunk
+	// counters above hold the wire-level story.
 	s.agent.reg.Counter("update.xfers").Inc()
 	s.agent.reg.Counter("update.bytes").Add(int64(len(data)))
 	return mrerr.Success

@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"net"
+	"strconv"
 	"time"
 
 	"moira/internal/clock"
@@ -39,6 +40,18 @@ type Push struct {
 	// ("" for scheduled passes); stamped on every protocol request so
 	// the agent can record it against the install.
 	Trace string
+	// Chunked transfers the data as a content-defined chunk diff
+	// against whatever the host already holds, shipping only the chunks
+	// the agent lacks. Agents that do not speak the chunk ops downgrade
+	// transparently to a whole-file transfer.
+	Chunked bool
+
+	// Transfer accounting, filled in by Run: bytes that actually
+	// traveled as chunk data, bytes the agent reused from its old file,
+	// and whether the push fell back to a whole-file transfer.
+	SentBytes   int
+	ReusedBytes int
+	Downgraded  bool
 }
 
 // Run performs the update: transfer phase (auth, data file with
@@ -61,18 +74,22 @@ func (p *Push) Run() error {
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 
-	call := func(op uint16, args [][]byte) error {
+	callR := func(op uint16, args [][]byte) (*protocol.Reply, error) {
 		if err := protocol.WriteRequest(bw, &protocol.Request{Version: protocol.Version, Op: op, TraceID: p.Trace, Args: args}); err != nil {
-			return ioErr(err)
+			return nil, ioErr(err)
 		}
 		if err := bw.Flush(); err != nil {
-			return ioErr(err)
+			return nil, ioErr(err)
 		}
 		rep, err := protocol.ReadReply(br)
 		if err != nil {
-			return ioErr(err)
+			return nil, ioErr(err)
 		}
-		return mrerr.Code(rep.Code).OrNil()
+		return rep, mrerr.Code(rep.Code).OrNil()
+	}
+	call := func(op uint16, args [][]byte) error {
+		_, err := callR(op, args)
+		return err
 	}
 
 	// A. Transfer phase.
@@ -83,10 +100,28 @@ func (p *Push) Run() error {
 		}
 	}
 	sum := sha256.Sum256(p.Data)
-	if err := call(OpUXfer, [][]byte{
-		[]byte(p.Target), []byte(hex.EncodeToString(sum[:])), p.Data,
-	}); err != nil {
-		return err
+	sumHex := hex.EncodeToString(sum[:])
+	whole := !p.Chunked
+	if p.Chunked {
+		switch err := p.transferChunked(callR, sumHex); err {
+		case nil:
+		case mrerr.MrUnknownProc:
+			// An agent predating the chunk ops: downgrade to the
+			// whole-file transfer.
+			p.Downgraded = true
+			whole = true
+		default:
+			return err
+		}
+	}
+	if whole {
+		if err := call(OpUXfer, [][]byte{
+			[]byte(p.Target), []byte(sumHex), p.Data,
+		}); err != nil {
+			return err
+		}
+		p.SentBytes = len(p.Data)
+		p.ReusedBytes = 0
 	}
 	if err := call(OpUScript, protocol.BytesArgs(p.Script)); err != nil {
 		return err
@@ -94,6 +129,58 @@ func (p *Push) Run() error {
 
 	// B. Execution phase + C. confirmation.
 	return call(OpUExecute, nil)
+}
+
+// chunkBatchBytes bounds how much chunk data rides in one OpUChunks
+// request, so a large diff still flows in protocol-sized frames.
+const chunkBatchBytes = 256 << 10
+
+// transferChunked runs the manifest/chunks/assemble exchange. It
+// returns MrUnknownProc untouched so Run can downgrade.
+func (p *Push) transferChunked(callR func(uint16, [][]byte) (*protocol.Reply, error), sumHex string) error {
+	chunks := SplitChunks(p.Data)
+	rep, err := callR(OpUManifest, [][]byte{
+		[]byte(p.Target), []byte(sumHex), EncodeManifest(chunks),
+	})
+	if err != nil {
+		return err
+	}
+
+	sent := 0
+	var batch [][]byte
+	batchBytes := 0
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		_, err := callR(OpUChunks, batch)
+		batch, batchBytes = nil, 0
+		return err
+	}
+	for _, f := range rep.Fields {
+		idx, aerr := strconv.Atoi(string(f))
+		if aerr != nil || idx < 0 || idx >= len(chunks) {
+			return mrerr.UpdBadInstr
+		}
+		c := chunks[idx]
+		batch = append(batch, f, p.Data[c.Off:c.Off+c.Len])
+		batchBytes += c.Len
+		sent += c.Len
+		if batchBytes >= chunkBatchBytes {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if _, err := callR(OpUAssemble, nil); err != nil {
+		return err
+	}
+	p.SentBytes = sent
+	p.ReusedBytes = len(p.Data) - sent
+	return nil
 }
 
 // ioErr classifies a transport failure: deadline exceeded is a timeout,

@@ -24,13 +24,26 @@ import (
 // BuildTar packs the files (name -> content) into a tar archive with
 // deterministic member order.
 func BuildTar(files map[string][]byte) ([]byte, error) {
+	return BuildTarInto(nil, files)
+}
+
+// BuildTarInto is BuildTar reusing prev's backing array when it is big
+// enough — a DCM pass re-bundles tens of megabytes whose allocation
+// (and collection) would otherwise dominate an incremental pass. The
+// returned archive aliases prev; callers own the rotation and must be
+// done with the previous archive before rebuilding into it.
+func BuildTarInto(prev []byte, files map[string][]byte) ([]byte, error) {
 	names := make([]string, 0, len(files))
+	size := 1024 // the two terminating zero blocks
 	for n := range files {
 		names = append(names, n)
+		// One 512-byte header plus the data rounded up to a block.
+		size += 512 + (len(files[n])+511)&^511
 	}
 	sort.Strings(names)
-	var buf bytes.Buffer
-	tw := tar.NewWriter(&buf)
+	buf := bytes.NewBuffer(prev[:0])
+	buf.Grow(size)
+	tw := tar.NewWriter(buf)
 	for _, n := range names {
 		hdr := &tar.Header{Name: n, Mode: 0o644, Size: int64(len(files[n]))}
 		if err := tw.WriteHeader(hdr); err != nil {
